@@ -1,0 +1,245 @@
+// Package adaptix is a from-scratch Go implementation of adaptive
+// indexing with concurrency control, reproducing
+//
+//	Graefe, Halim, Idreos, Kuno, Manegold:
+//	"Concurrency Control for Adaptive Indexing", PVLDB 5(7), 2012.
+//
+// Adaptive indexing creates and refines indexes incrementally as a
+// side effect of query processing: the more often a key range is
+// queried, the more its physical representation is optimized. This
+// package provides the three adaptive-indexing methods of the paper —
+// database cracking, adaptive merging over a partitioned B-tree, and
+// the hybrid crack-sort — together with the concurrency-control
+// techniques that let logically read-only queries refine indexes
+// safely and cheaply: column latches, piece latches, middle-first
+// scheduling of waiting cracks, conflict avoidance (optional
+// refinement), early termination / latch downgrades, and verification
+// of user-transaction locks by refining system transactions.
+//
+// # Quick start
+//
+//	col := adaptix.NewCrackedColumn(values, adaptix.CrackOptions{})
+//	n, _ := col.Count(100, 200) // count of values in [100, 200)
+//	s, _ := col.Sum(100, 200)   // cracking refines the index as a side effect
+//
+// The facade re-exports the building blocks so that one import path
+// serves typical uses; the internal packages remain the source of
+// truth for documentation of each subsystem.
+package adaptix
+
+import (
+	"adaptix/internal/amerge"
+	"adaptix/internal/baseline"
+	"adaptix/internal/column"
+	"adaptix/internal/cracker"
+	"adaptix/internal/crackindex"
+	"adaptix/internal/engine"
+	"adaptix/internal/harness"
+	"adaptix/internal/hybrid"
+	"adaptix/internal/latch"
+	"adaptix/internal/lockmgr"
+	"adaptix/internal/sideways"
+	"adaptix/internal/txn"
+	"adaptix/internal/wal"
+	"adaptix/internal/workload"
+)
+
+// Core aliases: the cracked column (database cracking) and its options.
+type (
+	// CrackedColumn is a column with a cracker index refined as a side
+	// effect of queries (database cracking, paper §5).
+	CrackedColumn = crackindex.Index
+	// CrackOptions configures latching mode, layout, scheduling,
+	// conflict policy and optimizations of a CrackedColumn.
+	CrackOptions = crackindex.Options
+	// OpStats is the per-query cost breakdown (wait vs crack time).
+	OpStats = crackindex.OpStats
+	// TraceEvent is a latch/crack trace record (Figure 8 timelines).
+	TraceEvent = crackindex.TraceEvent
+)
+
+// Latching modes (paper §5.3).
+const (
+	// LatchPiece: one latch per array piece — the finest granularity.
+	LatchPiece = crackindex.LatchPiece
+	// LatchColumn: one latch per column.
+	LatchColumn = crackindex.LatchColumn
+	// LatchNone: no concurrency control (single-threaded only).
+	LatchNone = crackindex.LatchNone
+)
+
+// Conflict policies for optional refinement.
+const (
+	// WaitOnConflict blocks until the latch is free.
+	WaitOnConflict = crackindex.Wait
+	// SkipOnConflict forgoes the optional refinement (conflict
+	// avoidance, §3.3).
+	SkipOnConflict = crackindex.Skip
+)
+
+// Cracker-array layouts (Figure 7).
+const (
+	// LayoutSplit stores rowIDs and values as a pair of arrays.
+	LayoutSplit = cracker.LayoutSplit
+	// LayoutPairs stores an array of rowID-value pairs.
+	LayoutPairs = cracker.LayoutPairs
+)
+
+// Waiting-crack scheduling policies (§5.3 optimization).
+const (
+	// MiddleFirst wakes the median-bound waiter first.
+	MiddleFirst = latch.MiddleFirst
+	// FIFO wakes waiters in arrival order.
+	FIFO = latch.FIFO
+)
+
+// NewCrackedColumn creates a cracked column over values. The column
+// is copied lazily by the first query (index initialization is itself
+// a query side effect).
+func NewCrackedColumn(values []int64, opts CrackOptions) *CrackedColumn {
+	return crackindex.New(values, opts)
+}
+
+// Engine is the common interface of all five query engines (scan,
+// sort, crack, amerge, hybrid).
+type Engine = engine.Engine
+
+// Result is one query's outcome and cost breakdown.
+type Result = engine.Result
+
+// NewScanEngine answers every query with a full column scan (the
+// paper's "default case" baseline).
+func NewScanEngine(values []int64) Engine { return baseline.NewScan(values) }
+
+// NewFullSortEngine sorts the whole column on the first query and
+// binary-searches afterwards (the paper's "full indexing" baseline).
+func NewFullSortEngine(values []int64) Engine { return baseline.NewFullSort(values) }
+
+// NewCrackEngine wraps a CrackedColumn as an Engine.
+func NewCrackEngine(ix *CrackedColumn) Engine { return engine.NewCrack(ix) }
+
+// Adaptive merging (paper §2/§4) over a partitioned B-tree.
+type (
+	// MergeIndex is an adaptive-merging index.
+	MergeIndex = amerge.Index
+	// MergeOptions configures run size, merge budget, conflict policy,
+	// structural logging and system-transaction wrapping.
+	MergeOptions = amerge.Options
+)
+
+// NewMergeIndex creates an adaptive-merging index over values.
+func NewMergeIndex(values []int64, opts MergeOptions) *MergeIndex {
+	return amerge.New(values, opts)
+}
+
+// Hybrid crack-sort (paper §2, Figure 4).
+type (
+	// HybridIndex is a hybrid crack-sort index.
+	HybridIndex = hybrid.Index
+	// HybridOptions configures partition size, layout and conflict
+	// policy.
+	HybridOptions = hybrid.Options
+)
+
+// NewHybridIndex creates a hybrid crack-sort index over values.
+func NewHybridIndex(values []int64, opts HybridOptions) *HybridIndex {
+	return hybrid.New(values, opts)
+}
+
+// Sideways cracking (reference [22]; §5 "Other Adaptive Indexing
+// Methods").
+type (
+	// SidewaysMap is a cracker map M(head, tail): aligned selection
+	// and projection values reorganized together, so refined ranges
+	// aggregate without positional fetches.
+	SidewaysMap = sideways.Map
+	// SidewaysOptions configures the map's conflict policy.
+	SidewaysOptions = sideways.Options
+)
+
+// NewSidewaysMap creates a cracker map over aligned head/tail columns.
+func NewSidewaysMap(head, tail []int64, opts SidewaysOptions) *SidewaysMap {
+	return sideways.NewMap(head, tail, opts)
+}
+
+// Column-store kernel (paper §5.1, Figure 6).
+type (
+	// Table is a set of aligned dense columns.
+	Table = column.Table
+	// Executor evaluates bulk operator-at-a-time plans with cracking
+	// selects.
+	Executor = column.Executor
+)
+
+// NewTable creates an empty column-store table.
+func NewTable(name string) *Table { return column.NewTable(name) }
+
+// NewExecutor creates a plan executor over tab.
+func NewExecutor(tab *Table, opts CrackOptions) *Executor {
+	return column.NewExecutor(tab, opts)
+}
+
+// Workload generation (paper §6 set-up).
+type (
+	// Query is one range query (Lo <= A < Hi).
+	Query = workload.Query
+	// Dataset is a generated base column.
+	Dataset = workload.Dataset
+)
+
+// Query kinds.
+const (
+	// CountQuery is Q1: select count(*) where v1 < A < v2.
+	CountQuery = workload.Count
+	// SumQuery is Q2: select sum(A) where v1 < A < v2.
+	SumQuery = workload.Sum
+)
+
+// NewUniqueDataset builds n unique integers 0..n-1 in random order.
+func NewUniqueDataset(n int, seed uint64) *Dataset {
+	return workload.NewUniqueUniform(n, seed)
+}
+
+// UniformQueries draws n random range queries of the given kind and
+// selectivity over [0, domain).
+func UniformQueries(kind workload.QueryKind, domain int64, selectivity float64, seed uint64, n int) []Query {
+	return workload.Fixed(workload.NewUniform(kind, domain, selectivity, seed), n)
+}
+
+// RunResult is the outcome of a (possibly concurrent) experiment run.
+type RunResult = harness.Run
+
+// Run drives the engine with the query sequence split across the
+// given number of concurrent clients, as in the paper's experiments.
+func Run(e Engine, queries []Query, clients int) *RunResult {
+	return harness.Execute(e, queries, clients)
+}
+
+// Transactions and locks (paper §3, Table 1).
+type (
+	// TxnManager creates user and system transactions.
+	TxnManager = txn.Manager
+	// Txn is one transaction.
+	Txn = txn.Txn
+	// LockMode is a transactional lock mode (IS, IX, S, SIX, U, X).
+	LockMode = lockmgr.Mode
+	// StructuralLog is the write-ahead log for structural operations.
+	StructuralLog = wal.Log
+)
+
+// Lock modes.
+const (
+	IS  = lockmgr.IS
+	IX  = lockmgr.IX
+	SLk = lockmgr.S
+	SIX = lockmgr.SIX
+	ULk = lockmgr.U
+	XLk = lockmgr.X
+)
+
+// NewTxnManager returns a transaction manager with a fresh lock
+// manager.
+func NewTxnManager() *TxnManager { return txn.NewManager() }
+
+// NewStructuralLog returns an in-memory structural WAL.
+func NewStructuralLog() *StructuralLog { return wal.New(nil) }

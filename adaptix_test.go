@@ -1,0 +1,131 @@
+package adaptix_test
+
+import (
+	"sync"
+	"testing"
+
+	"adaptix"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	d := adaptix.NewUniqueDataset(10000, 1)
+	col := adaptix.NewCrackedColumn(d.Values, adaptix.CrackOptions{Latching: adaptix.LatchPiece})
+	n, st := col.Count(1000, 4000)
+	if n != 3000 {
+		t.Fatalf("Count = %d", n)
+	}
+	if st.Crack == 0 {
+		t.Fatal("first query should refine")
+	}
+	s, _ := col.Sum(1000, 4000)
+	if want := int64((1000 + 3999) * 3000 / 2); s != want {
+		t.Fatalf("Sum = %d, want %d", s, want)
+	}
+}
+
+func TestPublicAPIEngines(t *testing.T) {
+	d := adaptix.NewUniqueDataset(20000, 2)
+	qs := adaptix.UniformQueries(adaptix.SumQuery, d.Domain, 0.01, 5, 32)
+	engines := []adaptix.Engine{
+		adaptix.NewScanEngine(d.Values),
+		adaptix.NewFullSortEngine(d.Values),
+		adaptix.NewCrackEngine(adaptix.NewCrackedColumn(d.Values, adaptix.CrackOptions{})),
+		adaptix.NewMergeIndex(d.Values, adaptix.MergeOptions{RunSize: 1 << 10}),
+		adaptix.NewHybridIndex(d.Values, adaptix.HybridOptions{PartitionSize: 1 << 10}),
+	}
+	var checksums []int64
+	for _, e := range engines {
+		run := adaptix.Run(e, qs, 4)
+		checksums = append(checksums, run.Checksum)
+	}
+	for i := 1; i < len(checksums); i++ {
+		if checksums[i] != checksums[0] {
+			t.Fatalf("engine %d disagrees: %d vs %d", i, checksums[i], checksums[0])
+		}
+	}
+}
+
+func TestPublicAPIColumnStore(t *testing.T) {
+	tab := adaptix.NewTable("R")
+	a := adaptix.NewUniqueDataset(5000, 3)
+	bd := adaptix.NewUniqueDataset(5000, 4)
+	if err := tab.AddColumn("A", a.Values); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddColumn("B", bd.Values); err != nil {
+		t.Fatal(err)
+	}
+	ex := adaptix.NewExecutor(tab, adaptix.CrackOptions{Latching: adaptix.LatchPiece})
+	got, _, err := ex.SumFetchWhere("B", "A", 100, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i, v := range a.Values {
+		if v >= 100 && v < 900 {
+			want += bd.Values[i]
+		}
+	}
+	if got != want {
+		t.Fatalf("SumFetchWhere = %d, want %d", got, want)
+	}
+}
+
+func TestPublicAPITransactions(t *testing.T) {
+	tm := adaptix.NewTxnManager()
+	u := tm.Begin(0) // user
+	if err := u.LockHierarchy([]string{"db", "db/R", "db/R/A"}, adaptix.XLk); err != nil {
+		t.Fatal(err)
+	}
+	if !tm.Locks().HasConflicting("db/R/A", adaptix.SLk, 0) {
+		t.Fatal("lock invisible")
+	}
+	if err := u.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIConcurrentTrace(t *testing.T) {
+	d := adaptix.NewUniqueDataset(50000, 9)
+	var mu sync.Mutex
+	var events int
+	col := adaptix.NewCrackedColumn(d.Values, adaptix.CrackOptions{
+		Latching: adaptix.LatchPiece,
+		Tracer: func(adaptix.TraceEvent) {
+			mu.Lock()
+			events++
+			mu.Unlock()
+		},
+	})
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			qs := adaptix.UniformQueries(adaptix.SumQuery, d.Domain, 0.01, uint64(c+1), 16)
+			for _, q := range qs {
+				want := (q.Lo + q.Hi - 1) * (q.Hi - q.Lo) / 2
+				if s, _ := col.Sum(q.Lo, q.Hi); s != want {
+					panic("sum mismatch")
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if events == 0 {
+		t.Fatal("no trace events")
+	}
+}
+
+func TestPublicAPIStructuralLog(t *testing.T) {
+	log := adaptix.NewStructuralLog()
+	tm := adaptix.NewTxnManager()
+	d := adaptix.NewUniqueDataset(5000, 11)
+	ix := adaptix.NewMergeIndex(d.Values, adaptix.MergeOptions{
+		RunSize: 1 << 9, Log: log, TxnMgr: tm,
+	})
+	ix.Sum(1000, 2000)
+	if log.Len() == 0 {
+		t.Fatal("nothing logged")
+	}
+}

@@ -1,0 +1,392 @@
+// Benchmarks regenerating every figure of the paper's §6 plus the
+// design-choice ablations. Each BenchmarkFigNN_* family corresponds to
+// one figure; cmd/figures runs the same experiments at full scale with
+// tabular output. Benchmark scale is kept small (256k rows, 256
+// queries) so `go test -bench=.` finishes in minutes; shapes — who
+// wins, by what factor — are the reproduction target, not absolute
+// numbers (see EXPERIMENTS.md).
+package adaptix_test
+
+import (
+	"sync"
+	"testing"
+
+	"adaptix"
+	"adaptix/internal/amerge"
+	"adaptix/internal/avltree"
+	"adaptix/internal/baseline"
+	"adaptix/internal/cracker"
+	"adaptix/internal/crackindex"
+	"adaptix/internal/engine"
+	"adaptix/internal/harness"
+	"adaptix/internal/hybrid"
+	"adaptix/internal/latch"
+	"adaptix/internal/pbtree"
+	"adaptix/internal/sideways"
+	"adaptix/internal/workload"
+)
+
+const (
+	benchRows    = 1 << 18
+	benchQueries = 256
+)
+
+var benchData = sync.OnceValue(func() *workload.Dataset {
+	return workload.NewUniqueUniform(benchRows, 42)
+})
+
+func benchQuerySet(kind workload.QueryKind, sel float64) []workload.Query {
+	return workload.Fixed(workload.NewUniform(kind, int64(benchRows), sel, 7), benchQueries)
+}
+
+func crackEngine(opts crackindex.Options) func() engine.Engine {
+	return func() engine.Engine {
+		return engine.NewCrack(crackindex.New(benchData().Values, opts))
+	}
+}
+
+// runEngine executes the whole query sequence once per benchmark
+// iteration on a fresh engine (adaptive state must not leak between
+// iterations).
+func runEngine(b *testing.B, mk func() engine.Engine, qs []workload.Query, clients int) {
+	b.Helper()
+	b.ReportAllocs()
+	var checksum int64
+	for i := 0; i < b.N; i++ {
+		run := harness.Execute(mk(), qs, clients)
+		checksum += run.Checksum
+	}
+	if checksum == 0 {
+		b.Fatal("zero checksum: engines computed nothing")
+	}
+}
+
+// --- Figure 11: scan vs sort vs crack, 10 serial queries, sel 10% ---
+
+func fig11Queries() []workload.Query {
+	return workload.Fixed(workload.NewUniform(workload.Count, int64(benchRows), 0.10, 3), 10)
+}
+
+func BenchmarkFig11_Scan(b *testing.B) {
+	runEngine(b, func() engine.Engine { return baseline.NewScan(benchData().Values) }, fig11Queries(), 1)
+}
+
+func BenchmarkFig11_Sort(b *testing.B) {
+	runEngine(b, func() engine.Engine { return baseline.NewFullSort(benchData().Values) }, fig11Queries(), 1)
+}
+
+func BenchmarkFig11_Crack(b *testing.B) {
+	runEngine(b, crackEngine(crackindex.Options{Latching: crackindex.LatchPiece}), fig11Queries(), 1)
+}
+
+// --- Figure 12: total time for the sequence at 1..8 clients, Q2 sel 0.01% ---
+
+func benchFig12(b *testing.B, mk func() engine.Engine) {
+	qs := benchQuerySet(workload.Sum, 0.0001)
+	for _, clients := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "Clients1", 2: "Clients2", 4: "Clients4", 8: "Clients8"}[clients], func(b *testing.B) {
+			runEngine(b, mk, qs, clients)
+		})
+	}
+}
+
+func BenchmarkFig12_Scan(b *testing.B) {
+	benchFig12(b, func() engine.Engine { return baseline.NewScan(benchData().Values) })
+}
+
+func BenchmarkFig12_Sort(b *testing.B) {
+	benchFig12(b, func() engine.Engine { return baseline.NewFullSort(benchData().Values) })
+}
+
+func BenchmarkFig12_Crack(b *testing.B) {
+	benchFig12(b, crackEngine(crackindex.Options{Latching: crackindex.LatchPiece}))
+}
+
+// --- Figure 13: CC administration overhead, sequential ---
+
+func BenchmarkFig13_CCEnabled(b *testing.B) {
+	runEngine(b, crackEngine(crackindex.Options{Latching: crackindex.LatchPiece}),
+		benchQuerySet(workload.Sum, 0.0001), 1)
+}
+
+func BenchmarkFig13_CCDisabled(b *testing.B) {
+	runEngine(b, crackEngine(crackindex.Options{Latching: crackindex.LatchNone}),
+		benchQuerySet(workload.Sum, 0.0001), 1)
+}
+
+// --- Figure 14: latch granularity x query type x selectivity ---
+
+func benchFig14(b *testing.B, kind workload.QueryKind, mode crackindex.LatchMode) {
+	for _, sel := range []struct {
+		name string
+		frac float64
+	}{{"Sel0.01pct", 0.0001}, {"Sel10pct", 0.10}, {"Sel50pct", 0.50}} {
+		b.Run(sel.name, func(b *testing.B) {
+			runEngine(b, crackEngine(crackindex.Options{Latching: mode}),
+				benchQuerySet(kind, sel.frac), 4)
+		})
+	}
+}
+
+func BenchmarkFig14_Count_ColumnLatch(b *testing.B) {
+	benchFig14(b, workload.Count, crackindex.LatchColumn)
+}
+
+func BenchmarkFig14_Count_PieceLatch(b *testing.B) {
+	benchFig14(b, workload.Count, crackindex.LatchPiece)
+}
+
+func BenchmarkFig14_Sum_ColumnLatch(b *testing.B) {
+	benchFig14(b, workload.Sum, crackindex.LatchColumn)
+}
+
+func BenchmarkFig14_Sum_PieceLatch(b *testing.B) {
+	benchFig14(b, workload.Sum, crackindex.LatchPiece)
+}
+
+// --- Figure 15: wait/crack decay under 8 clients, sel 50% ---
+
+func BenchmarkFig15_Breakdown(b *testing.B) {
+	qs := benchQuerySet(workload.Sum, 0.50)
+	b.ReportAllocs()
+	var crackDecay, waitDecay float64
+	for i := 0; i < b.N; i++ {
+		run := harness.Execute(crackEngine(crackindex.Options{Latching: crackindex.LatchPiece})(), qs, 8)
+		q := len(run.Series.Costs) / 4
+		var cf, cl, wf, wl int64
+		for _, c := range run.Series.Costs[:q] {
+			cf += int64(c.Crack)
+			wf += int64(c.Wait)
+		}
+		for _, c := range run.Series.Costs[len(run.Series.Costs)-q:] {
+			cl += int64(c.Crack)
+			wl += int64(c.Wait)
+		}
+		if cf > 0 {
+			crackDecay = float64(cl) / float64(cf)
+		}
+		if wf > 0 {
+			waitDecay = float64(wl) / float64(wf)
+		}
+	}
+	b.ReportMetric(crackDecay, "crack-decay")
+	b.ReportMetric(waitDecay, "wait-decay")
+}
+
+// --- Ablations: the design choices DESIGN.md calls out ---
+
+func BenchmarkAblation_Scheduling_MiddleFirst(b *testing.B) {
+	runEngine(b, crackEngine(crackindex.Options{Latching: crackindex.LatchPiece, Scheduling: latch.MiddleFirst}),
+		benchQuerySet(workload.Sum, 0.001), 8)
+}
+
+func BenchmarkAblation_Scheduling_FIFO(b *testing.B) {
+	runEngine(b, crackEngine(crackindex.Options{Latching: crackindex.LatchPiece, Scheduling: latch.FIFO}),
+		benchQuerySet(workload.Sum, 0.001), 8)
+}
+
+func BenchmarkAblation_Bounds_Serial(b *testing.B) {
+	runEngine(b, crackEngine(crackindex.Options{Latching: crackindex.LatchPiece}),
+		benchQuerySet(workload.Sum, 0.001), 4)
+}
+
+func BenchmarkAblation_Bounds_Parallel(b *testing.B) {
+	runEngine(b, crackEngine(crackindex.Options{Latching: crackindex.LatchPiece, ParallelBounds: true}),
+		benchQuerySet(workload.Sum, 0.001), 4)
+}
+
+func BenchmarkAblation_Layout_Split(b *testing.B) {
+	runEngine(b, crackEngine(crackindex.Options{Latching: crackindex.LatchPiece, Layout: cracker.LayoutSplit}),
+		benchQuerySet(workload.Sum, 0.001), 1)
+}
+
+func BenchmarkAblation_Layout_Pairs(b *testing.B) {
+	runEngine(b, crackEngine(crackindex.Options{Latching: crackindex.LatchPiece, Layout: cracker.LayoutPairs}),
+		benchQuerySet(workload.Sum, 0.001), 1)
+}
+
+func BenchmarkAblation_Conflict_Wait(b *testing.B) {
+	runEngine(b, crackEngine(crackindex.Options{Latching: crackindex.LatchPiece, OnConflict: crackindex.Wait}),
+		benchQuerySet(workload.Sum, 0.001), 8)
+}
+
+func BenchmarkAblation_Conflict_Skip(b *testing.B) {
+	runEngine(b, crackEngine(crackindex.Options{Latching: crackindex.LatchPiece, OnConflict: crackindex.Skip}),
+		benchQuerySet(workload.Sum, 0.001), 8)
+}
+
+func BenchmarkAblation_GroupCracking_Off(b *testing.B) {
+	runEngine(b, crackEngine(crackindex.Options{Latching: crackindex.LatchPiece}),
+		benchQuerySet(workload.Sum, 0.001), 8)
+}
+
+func BenchmarkAblation_GroupCracking_On(b *testing.B) {
+	runEngine(b, crackEngine(crackindex.Options{Latching: crackindex.LatchPiece, GroupCracking: true}),
+		benchQuerySet(workload.Sum, 0.001), 8)
+}
+
+// BenchmarkUpdates_MixedWorkload interleaves differential updates with
+// range queries: the structure keeps refining while contents change.
+func BenchmarkUpdates_MixedWorkload(b *testing.B) {
+	d := benchData()
+	qs := benchQuerySet(workload.Sum, 0.001)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix := crackindex.New(d.Values, crackindex.Options{Latching: crackindex.LatchPiece})
+		for j, q := range qs {
+			ix.Sum(q.Lo, q.Hi)
+			if j%8 == 0 {
+				ix.Insert(q.Lo)
+			}
+			if j%16 == 0 {
+				ix.DeleteValue(q.Hi - 1)
+			}
+		}
+	}
+}
+
+// --- Adaptive method comparison on one concurrent workload ---
+
+func BenchmarkMethod_Crack(b *testing.B) {
+	runEngine(b, crackEngine(crackindex.Options{Latching: crackindex.LatchPiece}),
+		benchQuerySet(workload.Sum, 0.001), 4)
+}
+
+func BenchmarkMethod_AdaptiveMerge(b *testing.B) {
+	runEngine(b, func() engine.Engine { return amerge.New(benchData().Values, amerge.Options{}) },
+		benchQuerySet(workload.Sum, 0.001), 4)
+}
+
+func BenchmarkMethod_Hybrid(b *testing.B) {
+	runEngine(b, func() engine.Engine { return hybrid.New(benchData().Values, hybrid.Options{}) },
+		benchQuerySet(workload.Sum, 0.001), 4)
+}
+
+func BenchmarkAblation_Stochastic_Off(b *testing.B) {
+	runEngine(b, crackEngine(crackindex.Options{Latching: crackindex.LatchPiece}),
+		benchQuerySet(workload.Count, 0.0001), 1)
+}
+
+func BenchmarkAblation_Stochastic_On(b *testing.B) {
+	runEngine(b, crackEngine(crackindex.Options{Latching: crackindex.LatchPiece, Stochastic: true}),
+		benchQuerySet(workload.Count, 0.0001), 1)
+}
+
+// Sideways cracking vs the Figure 6 fetch plan for
+// select sum(B) where lo <= A < hi.
+func benchTwoColumnPlan(b *testing.B, useSideways bool) {
+	d := benchData()
+	d2 := workload.NewUniqueUniform(benchRows, 43)
+	qs := benchQuerySet(workload.Sum, 0.001)
+	b.ReportAllocs()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		if useSideways {
+			m := sideways.NewMap(d.Values, d2.Values, sideways.Options{})
+			for _, q := range qs {
+				s, _ := m.SumTargetWhere(q.Lo, q.Hi)
+				sink += s
+			}
+		} else {
+			ix := crackindex.New(d.Values, crackindex.Options{Latching: crackindex.LatchPiece})
+			for _, q := range qs {
+				ids, _ := ix.SelectRowIDs(q.Lo, q.Hi)
+				for _, id := range ids {
+					sink += d2.Values[id]
+				}
+			}
+		}
+	}
+	if sink == 0 {
+		b.Fatal("zero checksum")
+	}
+}
+
+func BenchmarkPlan_SelectFetchSum(b *testing.B) { benchTwoColumnPlan(b, false) }
+func BenchmarkPlan_Sideways(b *testing.B)       { benchTwoColumnPlan(b, true) }
+
+// --- Microbenchmarks of the substrates ---
+
+func BenchmarkMicro_CrackInTwo_Split(b *testing.B) {
+	benchCrackInTwo(b, cracker.LayoutSplit)
+}
+
+func BenchmarkMicro_CrackInTwo_Pairs(b *testing.B) {
+	benchCrackInTwo(b, cracker.LayoutPairs)
+}
+
+func benchCrackInTwo(b *testing.B, layout cracker.Layout) {
+	d := benchData()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := cracker.New(d.Values, layout)
+		b.StartTimer()
+		a.CrackInTwo(0, a.Len(), int64(benchRows/2))
+	}
+	b.SetBytes(int64(benchRows * 8))
+}
+
+func BenchmarkMicro_CrackInThree(b *testing.B) {
+	d := benchData()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := cracker.New(d.Values, cracker.LayoutSplit)
+		b.StartTimer()
+		a.CrackInThree(0, a.Len(), int64(benchRows/4), int64(3*benchRows/4))
+	}
+	b.SetBytes(int64(benchRows * 8))
+}
+
+func BenchmarkMicro_AVLInsert(b *testing.B) {
+	r := workload.NewRNG(5)
+	tr := &avltree.Tree[int]{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(r.Int63()%1_000_000, i)
+	}
+}
+
+func BenchmarkMicro_PBTreeInsert(b *testing.B) {
+	r := workload.NewRNG(9)
+	tr := pbtree.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(pbtree.Entry{Part: int32(i % 8), Key: r.Int63() % 1_000_000, Row: uint32(i)})
+	}
+}
+
+func BenchmarkMicro_LatchUncontended(b *testing.B) {
+	l := latch.New(latch.MiddleFirst)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Lock(0)
+		l.Unlock()
+	}
+}
+
+func BenchmarkMicro_LatchReadShared(b *testing.B) {
+	l := latch.New(latch.MiddleFirst)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.RLock()
+			l.RUnlock()
+		}
+	})
+}
+
+// --- Public API smoke benchmark (quickstart path) ---
+
+func BenchmarkPublicAPI_SumQueries(b *testing.B) {
+	d := benchData()
+	qs := adaptix.UniformQueries(adaptix.SumQuery, int64(benchRows), 0.01, 11, benchQueries)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		col := adaptix.NewCrackedColumn(d.Values, adaptix.CrackOptions{Latching: adaptix.LatchPiece})
+		for _, q := range qs {
+			col.Sum(q.Lo, q.Hi)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command figures regenerates the experimental figures of
+// "Concurrency Control for Adaptive Indexing" (VLDB 2012, §6).
+//
+// Usage:
+//
+//	figures [-fig 11|12|13|14|15|ablations|all] [-rows N] [-queries N] [-seed N]
+//
+// The paper ran 100M rows on a 4-core i7-2600; the default here is 1M
+// rows so every figure regenerates in seconds. Absolute times differ
+// from the paper, the qualitative shapes (who wins, crossovers,
+// decay) are the reproduction target; see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"adaptix/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 11, 12, 13, 14, 15, ablations, or all")
+	rows := flag.Int("rows", 1<<20, "base table size (paper: 100M)")
+	queries := flag.Int("queries", 1024, "query sequence length (paper: 1024)")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	clients := flag.Int("clients", 8, "client count for the ablation run")
+	flag.Parse()
+
+	cfg := experiments.Config{Rows: *rows, Queries: *queries, Seed: *seed}
+	fmt.Printf("adaptix figures: %d rows, %d queries, %d cores (GOMAXPROCS)\n\n",
+		*rows, *queries, runtime.GOMAXPROCS(0))
+
+	out := os.Stdout
+	ran := false
+	if *fig == "11" || *fig == "all" {
+		experiments.Fig11(cfg, out)
+		ran = true
+	}
+	if *fig == "12" || *fig == "all" {
+		experiments.Fig12(cfg, out)
+		ran = true
+	}
+	if *fig == "13" || *fig == "all" {
+		experiments.Fig13(cfg, out)
+		ran = true
+	}
+	if *fig == "14" || *fig == "all" {
+		experiments.Fig14(cfg, out)
+		ran = true
+	}
+	if *fig == "15" || *fig == "all" {
+		experiments.Fig15(cfg, out)
+		ran = true
+	}
+	if *fig == "ablations" || *fig == "all" {
+		experiments.Ablations(cfg, *clients, out)
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

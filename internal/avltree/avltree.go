@@ -1,0 +1,271 @@
+// Package avltree implements the balanced search tree that serves as
+// the cracker index's table of contents (paper §5.2): it maps crack
+// boundary values to array positions / piece handles, giving instant
+// access to previously requested key ranges and, for non-exact matches,
+// the shortest qualifying range for further cracking.
+//
+// The tree is generic in its payload so the cracked-column index can
+// store piece handles while other substrates store plain positions. It
+// is not internally synchronized: the cracked column protects it with
+// its short-term structure latch.
+package avltree
+
+// Tree is an AVL tree keyed by int64 with payloads of type V.
+// The zero value is an empty tree.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+}
+
+type node[V any] struct {
+	key         int64
+	val         V
+	left, right *node[V]
+	height      int
+}
+
+func height[V any](n *node[V]) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func update[V any](n *node[V]) {
+	hl, hr := height(n.left), height(n.right)
+	if hl > hr {
+		n.height = hl + 1
+	} else {
+		n.height = hr + 1
+	}
+}
+
+func balanceFactor[V any](n *node[V]) int { return height(n.left) - height(n.right) }
+
+func rotateRight[V any](y *node[V]) *node[V] {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	update(y)
+	update(x)
+	return x
+}
+
+func rotateLeft[V any](x *node[V]) *node[V] {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	update(x)
+	update(y)
+	return y
+}
+
+func rebalance[V any](n *node[V]) *node[V] {
+	update(n)
+	bf := balanceFactor(n)
+	switch {
+	case bf > 1:
+		if balanceFactor(n.left) < 0 {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if balanceFactor(n.right) > 0 {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Height returns the height of the tree (0 for empty).
+func (t *Tree[V]) Height() int { return height(t.root) }
+
+// Insert adds key with payload val, or replaces the payload if key is
+// already present. It reports whether a new key was inserted.
+func (t *Tree[V]) Insert(key int64, val V) bool {
+	var added bool
+	t.root, added = insert(t.root, key, val)
+	if added {
+		t.size++
+	}
+	return added
+}
+
+func insert[V any](n *node[V], key int64, val V) (*node[V], bool) {
+	if n == nil {
+		return &node[V]{key: key, val: val, height: 1}, true
+	}
+	var added bool
+	switch {
+	case key < n.key:
+		n.left, added = insert(n.left, key, val)
+	case key > n.key:
+		n.right, added = insert(n.right, key, val)
+	default:
+		n.val = val
+		return n, false
+	}
+	return rebalance(n), added
+}
+
+// Delete removes key and reports whether it was present.
+func (t *Tree[V]) Delete(key int64) bool {
+	var deleted bool
+	t.root, deleted = del(t.root, key)
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func del[V any](n *node[V], key int64) (*node[V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch {
+	case key < n.key:
+		n.left, deleted = del(n.left, key)
+	case key > n.key:
+		n.right, deleted = del(n.right, key)
+	default:
+		deleted = true
+		if n.left == nil {
+			return n.right, true
+		}
+		if n.right == nil {
+			return n.left, true
+		}
+		// Replace with in-order successor.
+		s := n.right
+		for s.left != nil {
+			s = s.left
+		}
+		n.key, n.val = s.key, s.val
+		n.right, _ = del(n.right, s.key)
+	}
+	return rebalance(n), deleted
+}
+
+// Get returns the payload for key.
+func (t *Tree[V]) Get(key int64) (V, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Floor returns the largest key <= key and its payload.
+func (t *Tree[V]) Floor(key int64) (int64, V, bool) {
+	var (
+		best *node[V]
+		n    = t.root
+	)
+	for n != nil {
+		if n.key == key {
+			return n.key, n.val, true
+		}
+		if n.key < key {
+			best = n
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	if best == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return best.key, best.val, true
+}
+
+// Ceiling returns the smallest key >= key and its payload.
+func (t *Tree[V]) Ceiling(key int64) (int64, V, bool) {
+	var (
+		best *node[V]
+		n    = t.root
+	)
+	for n != nil {
+		if n.key == key {
+			return n.key, n.val, true
+		}
+		if n.key > key {
+			best = n
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if best == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return best.key, best.val, true
+}
+
+// Min returns the smallest key and its payload.
+func (t *Tree[V]) Min() (int64, V, bool) {
+	if t.root == nil {
+		var zero V
+		return 0, zero, false
+	}
+	n := t.root
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.val, true
+}
+
+// Max returns the largest key and its payload.
+func (t *Tree[V]) Max() (int64, V, bool) {
+	if t.root == nil {
+		var zero V
+		return 0, zero, false
+	}
+	n := t.root
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, n.val, true
+}
+
+// Ascend visits keys in increasing order until fn returns false.
+func (t *Tree[V]) Ascend(fn func(key int64, val V) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend[V any](n *node[V], fn func(int64, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.val) {
+		return false
+	}
+	return ascend(n.right, fn)
+}
+
+// Keys returns all keys in increasing order.
+func (t *Tree[V]) Keys() []int64 {
+	out := make([]int64, 0, t.size)
+	t.Ascend(func(k int64, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}

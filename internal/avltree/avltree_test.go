@@ -1,0 +1,236 @@
+package avltree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"adaptix/internal/workload"
+)
+
+// checkInvariants verifies AVL balance and BST ordering; returns the
+// number of nodes.
+func checkInvariants[V any](t *testing.T, tr *Tree[V]) int {
+	t.Helper()
+	var walk func(n *node[V], min, max int64) int
+	walk = func(n *node[V], min, max int64) int {
+		if n == nil {
+			return 0
+		}
+		if n.key <= min || n.key >= max {
+			t.Fatalf("BST violation: key %d outside (%d, %d)", n.key, min, max)
+		}
+		hl, hr := height(n.left), height(n.right)
+		if n.height != 1+maxInt(hl, hr) {
+			t.Fatalf("stale height at key %d", n.key)
+		}
+		if bf := hl - hr; bf < -1 || bf > 1 {
+			t.Fatalf("imbalance %d at key %d", bf, n.key)
+		}
+		return 1 + walk(n.left, min, n.key) + walk(n.right, n.key, max)
+	}
+	return walk(tr.root, math.MinInt64, math.MaxInt64)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	tr := &Tree[string]{}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("empty tree Get returned ok")
+	}
+	if !tr.Insert(10, "ten") || !tr.Insert(5, "five") || !tr.Insert(20, "twenty") {
+		t.Fatal("fresh inserts should report added")
+	}
+	if tr.Insert(10, "TEN") {
+		t.Fatal("replacing insert reported added")
+	}
+	if v, ok := tr.Get(10); !ok || v != "TEN" {
+		t.Fatalf("Get(10) = %q, %v", v, ok)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if !tr.Delete(5) {
+		t.Fatal("Delete(5) failed")
+	}
+	if tr.Delete(5) {
+		t.Fatal("double Delete(5) succeeded")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len after delete = %d", tr.Len())
+	}
+	checkInvariants(t, tr)
+}
+
+func TestSequentialInsertStaysBalanced(t *testing.T) {
+	tr := &Tree[int]{}
+	const n = 4096
+	for i := 0; i < n; i++ {
+		tr.Insert(int64(i), i)
+	}
+	if got := checkInvariants(t, tr); got != n {
+		t.Fatalf("node count %d, want %d", got, n)
+	}
+	// AVL height bound: 1.44*log2(n+2).
+	if h := tr.Height(); float64(h) > 1.44*math.Log2(n+2)+1 {
+		t.Fatalf("height %d exceeds AVL bound", h)
+	}
+}
+
+func TestFloorCeiling(t *testing.T) {
+	tr := &Tree[int]{}
+	for _, k := range []int64{10, 20, 30, 40} {
+		tr.Insert(k, int(k))
+	}
+	cases := []struct {
+		q        int64
+		floorKey int64
+		floorOK  bool
+		ceilKey  int64
+		ceilOK   bool
+	}{
+		{5, 0, false, 10, true},
+		{10, 10, true, 10, true},
+		{15, 10, true, 20, true},
+		{40, 40, true, 40, true},
+		{45, 40, true, 0, false},
+	}
+	for _, c := range cases {
+		k, _, ok := tr.Floor(c.q)
+		if ok != c.floorOK || (ok && k != c.floorKey) {
+			t.Fatalf("Floor(%d) = %d,%v want %d,%v", c.q, k, ok, c.floorKey, c.floorOK)
+		}
+		k, _, ok = tr.Ceiling(c.q)
+		if ok != c.ceilOK || (ok && k != c.ceilKey) {
+			t.Fatalf("Ceiling(%d) = %d,%v want %d,%v", c.q, k, ok, c.ceilKey, c.ceilOK)
+		}
+	}
+}
+
+func TestMinMaxAscendKeys(t *testing.T) {
+	tr := &Tree[int]{}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree")
+	}
+	input := []int64{7, 3, 9, 1, 5, 8, 2}
+	for _, k := range input {
+		tr.Insert(k, int(k))
+	}
+	if k, _, _ := tr.Min(); k != 1 {
+		t.Fatalf("Min = %d", k)
+	}
+	if k, _, _ := tr.Max(); k != 9 {
+		t.Fatalf("Max = %d", k)
+	}
+	keys := tr.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatalf("Keys not sorted: %v", keys)
+	}
+	if len(keys) != len(input) {
+		t.Fatalf("Keys len %d, want %d", len(keys), len(input))
+	}
+	// Early-terminating Ascend.
+	var visited int
+	tr.Ascend(func(k int64, _ int) bool {
+		visited++
+		return visited < 3
+	})
+	if visited != 3 {
+		t.Fatalf("Ascend visited %d, want 3", visited)
+	}
+}
+
+func TestRandomOpsAgainstReferenceMap(t *testing.T) {
+	tr := &Tree[int64]{}
+	ref := make(map[int64]int64)
+	r := workload.NewRNG(77)
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		k := r.Int64n(2000)
+		switch r.Intn(3) {
+		case 0, 1:
+			tr.Insert(k, k*10)
+			ref[k] = k * 10
+		case 2:
+			gotDel := tr.Delete(k)
+			_, had := ref[k]
+			if gotDel != had {
+				t.Fatalf("Delete(%d) = %v, ref had %v", k, gotDel, had)
+			}
+			delete(ref, k)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len %d vs ref %d", tr.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := tr.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	if n := checkInvariants(t, tr); n != len(ref) {
+		t.Fatalf("invariant walk count %d vs ref %d", n, len(ref))
+	}
+}
+
+func TestFloorMatchesSortedSliceProperty(t *testing.T) {
+	f := func(keys []int64, probes []int64) bool {
+		tr := &Tree[struct{}]{}
+		uniq := map[int64]bool{}
+		for _, k := range keys {
+			tr.Insert(k, struct{}{})
+			uniq[k] = true
+		}
+		sorted := make([]int64, 0, len(uniq))
+		for k := range uniq {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, q := range probes {
+			// Reference floor via binary search.
+			i := sort.Search(len(sorted), func(i int) bool { return sorted[i] > q })
+			wantOK := i > 0
+			k, _, ok := tr.Floor(q)
+			if ok != wantOK {
+				return false
+			}
+			if ok && k != sorted[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteTwoChildrenNode(t *testing.T) {
+	tr := &Tree[int]{}
+	for _, k := range []int64{50, 30, 70, 20, 40, 60, 80} {
+		tr.Insert(k, int(k))
+	}
+	if !tr.Delete(50) { // root with two children
+		t.Fatal("Delete(50) failed")
+	}
+	if _, ok := tr.Get(50); ok {
+		t.Fatal("50 still present")
+	}
+	for _, k := range []int64{30, 70, 20, 40, 60, 80} {
+		if _, ok := tr.Get(k); !ok {
+			t.Fatalf("key %d lost by delete", k)
+		}
+	}
+	checkInvariants(t, tr)
+}

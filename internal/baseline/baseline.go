@@ -1,0 +1,124 @@
+// Package baseline implements the two non-adaptive comparison points
+// of the paper's §6.1:
+//
+//   - Scan: the default case — every query scans the whole column with
+//     a predicate; no indexing mechanism, no state, no concurrency
+//     control needed ("purely read-only data access").
+//   - FullSort: the traditional "very active" indexing approach — the
+//     first query builds the complete index (sorts a copy of the
+//     column) before answering; all later queries use binary search.
+//     The build runs under a write latch so concurrent first queries
+//     wait, exactly once.
+//
+// Both engines are safe for concurrent use.
+package baseline
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"adaptix/internal/engine"
+)
+
+// Scan answers every query by a full predicate scan of the column.
+type Scan struct {
+	vals []int64
+}
+
+// NewScan returns a scan engine over vals (not copied; treated
+// read-only).
+func NewScan(vals []int64) *Scan { return &Scan{vals: vals} }
+
+// Name implements engine.Engine.
+func (s *Scan) Name() string { return "scan" }
+
+// Count implements engine.Engine by a full scan.
+func (s *Scan) Count(lo, hi int64) engine.Result {
+	var n int64
+	for _, v := range s.vals {
+		if v >= lo && v < hi {
+			n++
+		}
+	}
+	return engine.Result{Value: n}
+}
+
+// Sum implements engine.Engine by a full scan.
+func (s *Scan) Sum(lo, hi int64) engine.Result {
+	var sum int64
+	for _, v := range s.vals {
+		if v >= lo && v < hi {
+			sum += v
+		}
+	}
+	return engine.Result{Value: sum}
+}
+
+// FullSort sorts a copy of the column on first access, then answers
+// queries by binary search over the sorted array.
+type FullSort struct {
+	base []int64
+
+	mu     sync.RWMutex
+	sorted []int64
+}
+
+// NewFullSort returns a full-index engine over vals (not copied until
+// the first query builds the index).
+func NewFullSort(vals []int64) *FullSort { return &FullSort{base: vals} }
+
+// Name implements engine.Engine.
+func (f *FullSort) Name() string { return "sort" }
+
+// ensure builds the sorted copy exactly once; the builder charges the
+// sort to its refinement time, concurrent callers charge wait time.
+func (f *FullSort) ensure(res *engine.Result) []int64 {
+	f.mu.RLock()
+	s := f.sorted
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	start := time.Now()
+	f.mu.Lock()
+	if f.sorted == nil {
+		s = make([]int64, len(f.base))
+		copy(s, f.base)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		f.sorted = s
+		f.mu.Unlock()
+		res.Refine = time.Since(start)
+		return s
+	}
+	s = f.sorted
+	f.mu.Unlock()
+	res.Wait = time.Since(start)
+	res.Conflicts = 1
+	return s
+}
+
+// Count implements engine.Engine by two binary searches.
+func (f *FullSort) Count(lo, hi int64) engine.Result {
+	var res engine.Result
+	s := f.ensure(&res)
+	a := sort.Search(len(s), func(i int) bool { return s[i] >= lo })
+	b := sort.Search(len(s), func(i int) bool { return s[i] >= hi })
+	res.Value = int64(b - a)
+	return res
+}
+
+// Sum implements engine.Engine by binary search plus a scan of the
+// qualifying sorted range.
+func (f *FullSort) Sum(lo, hi int64) engine.Result {
+	var res engine.Result
+	s := f.ensure(&res)
+	a := sort.Search(len(s), func(i int) bool { return s[i] >= lo })
+	b := sort.Search(len(s), func(i int) bool { return s[i] >= hi })
+	var sum int64
+	for _, v := range s[a:b] {
+		sum += v
+	}
+	res.Value = sum
+	return res
+}

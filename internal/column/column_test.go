@@ -1,0 +1,204 @@
+package column
+
+import (
+	"sync"
+	"testing"
+
+	"adaptix/internal/crackindex"
+	"adaptix/internal/workload"
+)
+
+func buildTable(t *testing.T, n int) (*Table, *workload.Dataset, *workload.Dataset) {
+	t.Helper()
+	tab := NewTable("R")
+	a := workload.NewUniqueUniform(n, 1)
+	b := workload.NewUniqueUniform(n, 2)
+	if err := tab.AddColumn("A", a.Values); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddColumn("B", b.Values); err != nil {
+		t.Fatal(err)
+	}
+	return tab, a, b
+}
+
+func TestTableBasics(t *testing.T) {
+	tab := NewTable("R")
+	if tab.Rows() != 0 {
+		t.Fatal("empty table has rows")
+	}
+	if err := tab.AddColumn("A", []int64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 3 || tab.Name() != "R" {
+		t.Fatal("bad table shape")
+	}
+	if err := tab.AddColumn("A", []int64{4, 5, 6}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if err := tab.AddColumn("B", []int64{1}); err == nil {
+		t.Fatal("misaligned column accepted")
+	}
+	if _, err := tab.Column("missing"); err == nil {
+		t.Fatal("missing column lookup succeeded")
+	}
+	c, err := tab.Column("A")
+	if err != nil || c.Name() != "A" || c.Len() != 3 {
+		t.Fatal("bad column lookup")
+	}
+}
+
+func TestColumnFetch(t *testing.T) {
+	c := &Column{name: "X", vals: []int64{10, 20, 30, 40}}
+	got := c.Fetch(nil, []uint32{3, 0, 2})
+	if len(got) != 3 || got[0] != 40 || got[1] != 10 || got[2] != 30 {
+		t.Fatalf("Fetch = %v", got)
+	}
+}
+
+func TestExecutorCountSum(t *testing.T) {
+	tab, a, _ := buildTable(t, 5000)
+	ex := NewExecutor(tab, crackindex.Options{Latching: crackindex.LatchPiece})
+	lo, hi := int64(1000), int64(2500)
+	n, _, err := ex.CountWhere("A", lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := a.TrueCount(lo, hi); n != want {
+		t.Fatalf("CountWhere = %d, want %d", n, want)
+	}
+	s, _, err := ex.SumWhere("A", lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := a.TrueSum(lo, hi); s != want {
+		t.Fatalf("SumWhere = %d, want %d", s, want)
+	}
+}
+
+func TestExecutorFig6Plan(t *testing.T) {
+	// select sum(B) from R where lo <= A < hi, verified by brute force.
+	tab, a, b := buildTable(t, 4000)
+	ex := NewExecutor(tab, crackindex.Options{Latching: crackindex.LatchPiece})
+	lo, hi := int64(500), int64(1500)
+	got, _, err := ex.SumFetchWhere("B", "A", lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i, v := range a.Values {
+		if v >= lo && v < hi {
+			want += b.Values[i]
+		}
+	}
+	if got != want {
+		t.Fatalf("SumFetchWhere = %d, want %d", got, want)
+	}
+	// The select column now has a cracker index; B does not.
+	if _, ok := ex.Index("A"); !ok {
+		t.Fatal("no index created for selection column A")
+	}
+	if _, ok := ex.Index("B"); ok {
+		t.Fatal("index created for non-selection column B")
+	}
+}
+
+func TestExecutorSidewaysPlan(t *testing.T) {
+	tab, a, b := buildTable(t, 6000)
+	ex := NewExecutor(tab, crackindex.Options{Latching: crackindex.LatchPiece})
+	lo, hi := int64(1000), int64(2500)
+	var want int64
+	for i, v := range a.Values {
+		if v >= lo && v < hi {
+			want += b.Values[i]
+		}
+	}
+	// The sideways plan and the fetch plan must agree with brute force.
+	s1, _, err := ex.SumSidewaysWhere("B", "A", lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := ex.SumFetchWhere("B", "A", lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != want || s2 != want {
+		t.Fatalf("sideways %d, fetch %d, want %d", s1, s2, want)
+	}
+	if ex.SidewaysMaps() != 1 {
+		t.Fatalf("maps = %d", ex.SidewaysMaps())
+	}
+	if _, _, err := ex.SumSidewaysWhere("missing", "A", 0, 1); err == nil {
+		t.Fatal("missing agg column accepted")
+	}
+	if _, _, err := ex.SumSidewaysWhere("B", "missing", 0, 1); err == nil {
+		t.Fatal("missing sel column accepted")
+	}
+}
+
+func TestExecutorErrors(t *testing.T) {
+	tab, _, _ := buildTable(t, 100)
+	ex := NewExecutor(tab, crackindex.Options{})
+	if _, _, err := ex.CountWhere("missing", 0, 1); err == nil {
+		t.Fatal("CountWhere on missing column succeeded")
+	}
+	if _, _, err := ex.SumFetchWhere("missing", "A", 0, 1); err == nil {
+		t.Fatal("SumFetchWhere with missing agg column succeeded")
+	}
+	if _, _, err := ex.SumFetchWhere("A", "missing", 0, 1); err == nil {
+		t.Fatal("SumFetchWhere with missing sel column succeeded")
+	}
+}
+
+func TestExecutorConcurrentMixedPlan(t *testing.T) {
+	tab, a, b := buildTable(t, 20000)
+	ex := NewExecutor(tab, crackindex.Options{Latching: crackindex.LatchPiece})
+	// Brute-force reference for sum(B) given A-range.
+	ref := func(lo, hi int64) int64 {
+		var s int64
+		for i, v := range a.Values {
+			if v >= lo && v < hi {
+				s += b.Values[i]
+			}
+		}
+		return s
+	}
+	var wg sync.WaitGroup
+	errc := make(chan string, 8)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := workload.NewRNG(uint64(c + 99))
+			for i := 0; i < 30; i++ {
+				lo := r.Int64n(15000)
+				hi := lo + 1 + r.Int64n(4000)
+				switch i % 3 {
+				case 0:
+					n, _, _ := ex.CountWhere("A", lo, hi)
+					if n != a.TrueCount(lo, hi) {
+						errc <- "count mismatch"
+						return
+					}
+				case 1:
+					s, _, _ := ex.SumWhere("A", lo, hi)
+					if s != a.TrueSum(lo, hi) {
+						errc <- "sum mismatch"
+						return
+					}
+				case 2:
+					s, _, _ := ex.SumFetchWhere("B", "A", lo, hi)
+					if s != ref(lo, hi) {
+						errc <- "fetch-sum mismatch"
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for e := range errc {
+		t.Fatal(e)
+	}
+}

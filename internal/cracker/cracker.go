@@ -1,0 +1,379 @@
+// Package cracker implements the cracker array, the physical data
+// structure of database cracking (paper §5.2, Figure 7): a dense,
+// auxiliary copy of a column that is continuously and incrementally
+// reorganized (partitioned) as a side effect of query processing.
+//
+// Both physical layouts from Figure 7 are provided:
+//
+//   - LayoutPairs: one array of (rowID, value) pairs — the original
+//     cracking design;
+//   - LayoutSplit: a pair of aligned arrays, one of rowIDs and one of
+//     values — the later design with better cache locality for
+//     operators that touch only one of the two.
+//
+// The two reorganization kernels are crack-in-two (one pivot, at most
+// one piece split per bound) and crack-in-three (both query bounds fall
+// into the same piece and are applied in a single pass).
+//
+// The package performs no synchronization: callers (the cracked-column
+// index) latch the pieces they reorganize or read.
+package cracker
+
+import "sort"
+
+// Layout selects the physical representation of the cracker array.
+type Layout int
+
+const (
+	// LayoutSplit stores rowIDs and values in two aligned arrays.
+	LayoutSplit Layout = iota
+	// LayoutPairs stores an array of rowID-value pairs.
+	LayoutPairs
+)
+
+func (l Layout) String() string {
+	if l == LayoutPairs {
+		return "pairs"
+	}
+	return "split"
+}
+
+// Pair is one rowID-value entry of the pairs layout.
+type Pair struct {
+	Value int64
+	RowID uint32
+}
+
+// Array is a cracker array over int64 keys.
+type Array struct {
+	layout Layout
+	pairs  []Pair   // LayoutPairs
+	vals   []int64  // LayoutSplit
+	ids    []uint32 // LayoutSplit
+	n      int
+}
+
+// New builds a cracker array holding an auxiliary copy of values, with
+// rowIDs assigned positionally (0-based), in the given layout. The
+// input slice is not retained or modified.
+func New(values []int64, layout Layout) *Array {
+	a := &Array{layout: layout, n: len(values)}
+	switch layout {
+	case LayoutPairs:
+		a.pairs = make([]Pair, len(values))
+		for i, v := range values {
+			a.pairs[i] = Pair{Value: v, RowID: uint32(i)}
+		}
+	default:
+		a.vals = make([]int64, len(values))
+		copy(a.vals, values)
+		a.ids = make([]uint32, len(values))
+		for i := range a.ids {
+			a.ids[i] = uint32(i)
+		}
+	}
+	return a
+}
+
+// Len returns the number of entries.
+func (a *Array) Len() int { return a.n }
+
+// Layout returns the physical layout of the array.
+func (a *Array) Layout() Layout { return a.layout }
+
+// Value returns the key at position i.
+func (a *Array) Value(i int) int64 {
+	if a.layout == LayoutPairs {
+		return a.pairs[i].Value
+	}
+	return a.vals[i]
+}
+
+// RowID returns the base-table row id at position i.
+func (a *Array) RowID(i int) uint32 {
+	if a.layout == LayoutPairs {
+		return a.pairs[i].RowID
+	}
+	return a.ids[i]
+}
+
+// CrackInTwo partitions positions [lo, hi) in place so that all values
+// < pivot precede all values >= pivot, and returns the split position:
+// the first position whose value is >= pivot (== hi if none).
+// This is one step of the "incremental quicksort" that cracking
+// performs (paper §2, Figure 2).
+func (a *Array) CrackInTwo(lo, hi int, pivot int64) int {
+	if a.layout == LayoutPairs {
+		return crackInTwoPairs(a.pairs, lo, hi, pivot)
+	}
+	return crackInTwoSplit(a.vals, a.ids, lo, hi, pivot)
+}
+
+func crackInTwoSplit(vals []int64, ids []uint32, lo, hi int, pivot int64) int {
+	i, j := lo, hi-1
+	for {
+		for i <= j && vals[i] < pivot {
+			i++
+		}
+		for i <= j && vals[j] >= pivot {
+			j--
+		}
+		if i >= j {
+			return i
+		}
+		vals[i], vals[j] = vals[j], vals[i]
+		ids[i], ids[j] = ids[j], ids[i]
+		i++
+		j--
+	}
+}
+
+func crackInTwoPairs(pairs []Pair, lo, hi int, pivot int64) int {
+	i, j := lo, hi-1
+	for {
+		for i <= j && pairs[i].Value < pivot {
+			i++
+		}
+		for i <= j && pairs[j].Value >= pivot {
+			j--
+		}
+		if i >= j {
+			return i
+		}
+		pairs[i], pairs[j] = pairs[j], pairs[i]
+		i++
+		j--
+	}
+}
+
+// CrackInThree partitions positions [lo, hi) in place into three
+// regions — values < a, values in [a, b), values >= b — and returns
+// (posA, posB): the first position >= a and the first position >= b.
+// It requires a <= b. Used when both bounds of a range predicate fall
+// into the same uncracked piece, saving one pass (paper §5.3).
+func (a *Array) CrackInThree(lo, hi int, va, vb int64) (posA, posB int) {
+	if va > vb {
+		panic("cracker: CrackInThree requires va <= vb")
+	}
+	if va == vb {
+		p := a.CrackInTwo(lo, hi, va)
+		return p, p
+	}
+	if a.layout == LayoutPairs {
+		return crackInThreePairs(a.pairs, lo, hi, va, vb)
+	}
+	return crackInThreeSplit(a.vals, a.ids, lo, hi, va, vb)
+}
+
+func crackInThreeSplit(vals []int64, ids []uint32, lo, hi int, va, vb int64) (int, int) {
+	// Dutch-national-flag single pass.
+	lp, i, hp := lo, lo, hi-1
+	for i <= hp {
+		v := vals[i]
+		switch {
+		case v < va:
+			vals[i], vals[lp] = vals[lp], vals[i]
+			ids[i], ids[lp] = ids[lp], ids[i]
+			lp++
+			i++
+		case v >= vb:
+			vals[i], vals[hp] = vals[hp], vals[i]
+			ids[i], ids[hp] = ids[hp], ids[i]
+			hp--
+		default:
+			i++
+		}
+	}
+	return lp, hp + 1
+}
+
+func crackInThreePairs(pairs []Pair, lo, hi int, va, vb int64) (int, int) {
+	lp, i, hp := lo, lo, hi-1
+	for i <= hp {
+		v := pairs[i].Value
+		switch {
+		case v < va:
+			pairs[i], pairs[lp] = pairs[lp], pairs[i]
+			lp++
+			i++
+		case v >= vb:
+			pairs[i], pairs[hp] = pairs[hp], pairs[i]
+			hp--
+		default:
+			i++
+		}
+	}
+	return lp, hp + 1
+}
+
+// CrackMulti partitions positions [lo, hi) on all pivots at once and
+// returns one split position per pivot (the first position whose value
+// is >= that pivot). Pivots must be sorted ascending. The recursion
+// cracks on the median pivot first and then handles each half within
+// its sub-range, so the whole group costs O(n log k) — one pass per
+// recursion level instead of one pass per pivot.
+//
+// This is the kernel of the "dynamic algorithms" extension sketched in
+// the paper's §7: when several queries wait to crack the same piece,
+// the query holding the latch can refine the index for all waiting
+// requests in one step.
+func (a *Array) CrackMulti(lo, hi int, pivots []int64) []int {
+	for i := 1; i < len(pivots); i++ {
+		if pivots[i-1] > pivots[i] {
+			panic("cracker: CrackMulti pivots not sorted")
+		}
+	}
+	out := make([]int, len(pivots))
+	a.crackMultiRec(lo, hi, pivots, out)
+	return out
+}
+
+func (a *Array) crackMultiRec(lo, hi int, pivots []int64, out []int) {
+	if len(pivots) == 0 {
+		return
+	}
+	m := len(pivots) / 2
+	pos := a.CrackInTwo(lo, hi, pivots[m])
+	out[m] = pos
+	a.crackMultiRec(lo, pos, pivots[:m], out[:m])
+	a.crackMultiRec(pos, hi, pivots[m+1:], out[m+1:])
+}
+
+// Sum returns the sum of values at positions [lo, hi).
+func (a *Array) Sum(lo, hi int) int64 {
+	var s int64
+	if a.layout == LayoutPairs {
+		for _, p := range a.pairs[lo:hi] {
+			s += p.Value
+		}
+		return s
+	}
+	for _, v := range a.vals[lo:hi] {
+		s += v
+	}
+	return s
+}
+
+// ScanCount counts values v with va <= v < vb among positions [lo, hi)
+// by brute-force scan. Used when refinement is skipped under
+// conflict-avoidance: the piece is read without being reorganized.
+func (a *Array) ScanCount(lo, hi int, va, vb int64) int64 {
+	var c int64
+	if a.layout == LayoutPairs {
+		for _, p := range a.pairs[lo:hi] {
+			if p.Value >= va && p.Value < vb {
+				c++
+			}
+		}
+		return c
+	}
+	for _, v := range a.vals[lo:hi] {
+		if v >= va && v < vb {
+			c++
+		}
+	}
+	return c
+}
+
+// ScanSum sums values v with va <= v < vb among positions [lo, hi) by
+// brute-force scan.
+func (a *Array) ScanSum(lo, hi int, va, vb int64) int64 {
+	var s int64
+	if a.layout == LayoutPairs {
+		for _, p := range a.pairs[lo:hi] {
+			if p.Value >= va && p.Value < vb {
+				s += p.Value
+			}
+		}
+		return s
+	}
+	for _, v := range a.vals[lo:hi] {
+		if v >= va && v < vb {
+			s += v
+		}
+	}
+	return s
+}
+
+// AppendRowIDs appends the rowIDs at positions [lo, hi) to dst and
+// returns the extended slice. It implements the output side of the
+// select operator in the Figure 6 plan.
+func (a *Array) AppendRowIDs(dst []uint32, lo, hi int) []uint32 {
+	if a.layout == LayoutPairs {
+		for _, p := range a.pairs[lo:hi] {
+			dst = append(dst, p.RowID)
+		}
+		return dst
+	}
+	return append(dst, a.ids[lo:hi]...)
+}
+
+// AppendRowIDsWhere appends the rowIDs of values v with va <= v < vb
+// among positions [lo, hi) to dst and returns the extended slice.
+func (a *Array) AppendRowIDsWhere(dst []uint32, lo, hi int, va, vb int64) []uint32 {
+	if a.layout == LayoutPairs {
+		for _, p := range a.pairs[lo:hi] {
+			if p.Value >= va && p.Value < vb {
+				dst = append(dst, p.RowID)
+			}
+		}
+		return dst
+	}
+	for i := lo; i < hi; i++ {
+		if a.vals[i] >= va && a.vals[i] < vb {
+			dst = append(dst, a.ids[i])
+		}
+	}
+	return dst
+}
+
+// Sort fully sorts positions [lo, hi) by value (stable order between
+// equal values is not guaranteed). Used by the full-index baseline and
+// by hybrid algorithms' sorted final partitions.
+func (a *Array) Sort(lo, hi int) {
+	if a.layout == LayoutPairs {
+		s := a.pairs[lo:hi]
+		sort.Slice(s, func(i, j int) bool { return s[i].Value < s[j].Value })
+		return
+	}
+	sort.Sort(&splitSorter{vals: a.vals[lo:hi], ids: a.ids[lo:hi]})
+}
+
+type splitSorter struct {
+	vals []int64
+	ids  []uint32
+}
+
+func (s *splitSorter) Len() int           { return len(s.vals) }
+func (s *splitSorter) Less(i, j int) bool { return s.vals[i] < s.vals[j] }
+func (s *splitSorter) Swap(i, j int) {
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+}
+
+// Values returns a copy of the value array in current physical order.
+// Intended for tests and visualization.
+func (a *Array) Values() []int64 {
+	out := make([]int64, a.n)
+	if a.layout == LayoutPairs {
+		for i, p := range a.pairs {
+			out[i] = p.Value
+		}
+		return out
+	}
+	copy(out, a.vals)
+	return out
+}
+
+// RowIDs returns a copy of the rowID array in current physical order.
+func (a *Array) RowIDs() []uint32 {
+	out := make([]uint32, a.n)
+	if a.layout == LayoutPairs {
+		for i, p := range a.pairs {
+			out[i] = p.RowID
+		}
+		return out
+	}
+	copy(out, a.ids)
+	return out
+}

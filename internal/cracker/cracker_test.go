@@ -1,0 +1,343 @@
+package cracker
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"adaptix/internal/workload"
+)
+
+var bothLayouts = []Layout{LayoutSplit, LayoutPairs}
+
+// checkAlignment verifies that every (rowID, value) pair still refers
+// to the original base column: reorganization must never separate a
+// value from its row id.
+func checkAlignment(t *testing.T, a *Array, base []int64) {
+	t.Helper()
+	for i := 0; i < a.Len(); i++ {
+		if base[a.RowID(i)] != a.Value(i) {
+			t.Fatalf("pos %d: rowID %d has value %d, base says %d",
+				i, a.RowID(i), a.Value(i), base[a.RowID(i)])
+		}
+	}
+}
+
+// checkMultiset verifies the array is a permutation of base.
+func checkMultiset(t *testing.T, a *Array, base []int64) {
+	t.Helper()
+	got := a.Values()
+	want := append([]int64(nil), base...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("multiset changed at sorted pos %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewAssignsPositionalRowIDs(t *testing.T) {
+	base := []int64{30, 10, 20}
+	for _, layout := range bothLayouts {
+		a := New(base, layout)
+		if a.Len() != 3 || a.Layout() != layout {
+			t.Fatalf("%v: bad shape", layout)
+		}
+		for i := range base {
+			if a.Value(i) != base[i] || a.RowID(i) != uint32(i) {
+				t.Fatalf("%v: pos %d = (%d,%d)", layout, i, a.Value(i), a.RowID(i))
+			}
+		}
+	}
+}
+
+func TestNewDoesNotAliasInput(t *testing.T) {
+	base := []int64{5, 6, 7}
+	a := New(base, LayoutSplit)
+	base[0] = 99
+	if a.Value(0) != 5 {
+		t.Fatal("cracker array aliases the input slice")
+	}
+}
+
+func TestCrackInTwoPostcondition(t *testing.T) {
+	for _, layout := range bothLayouts {
+		base := workload.NewUniqueUniform(1000, 42).Values
+		a := New(base, layout)
+		pos := a.CrackInTwo(0, a.Len(), 500)
+		for i := 0; i < pos; i++ {
+			if a.Value(i) >= 500 {
+				t.Fatalf("%v: pos %d value %d >= pivot", layout, i, a.Value(i))
+			}
+		}
+		for i := pos; i < a.Len(); i++ {
+			if a.Value(i) < 500 {
+				t.Fatalf("%v: pos %d value %d < pivot", layout, i, a.Value(i))
+			}
+		}
+		if pos != 500 { // unique 0..999: exactly 500 values below 500
+			t.Fatalf("%v: split pos %d, want 500", layout, pos)
+		}
+		checkAlignment(t, a, base)
+		checkMultiset(t, a, base)
+	}
+}
+
+func TestCrackInTwoSubrange(t *testing.T) {
+	base := workload.NewUniqueUniform(1000, 1).Values
+	a := New(base, LayoutSplit)
+	mid := a.CrackInTwo(0, a.Len(), 600)
+	// Crack only the left part again.
+	p := a.CrackInTwo(0, mid, 200)
+	for i := 0; i < p; i++ {
+		if a.Value(i) >= 200 {
+			t.Fatalf("pos %d: %d >= 200", i, a.Value(i))
+		}
+	}
+	for i := p; i < mid; i++ {
+		if v := a.Value(i); v < 200 || v >= 600 {
+			t.Fatalf("pos %d: %d outside [200,600)", i, v)
+		}
+	}
+	for i := mid; i < a.Len(); i++ {
+		if a.Value(i) < 600 {
+			t.Fatalf("pos %d: %d < 600", i, a.Value(i))
+		}
+	}
+	checkAlignment(t, a, base)
+}
+
+func TestCrackInTwoEdgePivots(t *testing.T) {
+	base := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	for _, layout := range bothLayouts {
+		a := New(base, layout)
+		if pos := a.CrackInTwo(0, a.Len(), 0); pos != 0 {
+			t.Fatalf("%v: pivot below all: pos %d", layout, pos)
+		}
+		if pos := a.CrackInTwo(0, a.Len(), 100); pos != a.Len() {
+			t.Fatalf("%v: pivot above all: pos %d", layout, pos)
+		}
+		checkMultiset(t, a, base)
+	}
+}
+
+func TestCrackInTwoEmptyAndSingle(t *testing.T) {
+	a := New([]int64{7}, LayoutSplit)
+	if pos := a.CrackInTwo(0, 0, 5); pos != 0 {
+		t.Fatalf("empty range: pos %d", pos)
+	}
+	if pos := a.CrackInTwo(0, 1, 7); pos != 0 {
+		t.Fatalf("single equal: pos %d", pos)
+	}
+	if pos := a.CrackInTwo(0, 1, 8); pos != 1 {
+		t.Fatalf("single below: pos %d", pos)
+	}
+}
+
+func TestCrackInThreePostcondition(t *testing.T) {
+	for _, layout := range bothLayouts {
+		base := workload.NewUniqueUniform(1000, 9).Values
+		a := New(base, layout)
+		pa, pb := a.CrackInThree(0, a.Len(), 300, 700)
+		if pa != 300 || pb != 700 {
+			t.Fatalf("%v: positions (%d,%d), want (300,700)", layout, pa, pb)
+		}
+		for i := 0; i < pa; i++ {
+			if a.Value(i) >= 300 {
+				t.Fatalf("%v: left region violated at %d", layout, i)
+			}
+		}
+		for i := pa; i < pb; i++ {
+			if v := a.Value(i); v < 300 || v >= 700 {
+				t.Fatalf("%v: middle region violated at %d: %d", layout, i, v)
+			}
+		}
+		for i := pb; i < a.Len(); i++ {
+			if a.Value(i) < 700 {
+				t.Fatalf("%v: right region violated at %d", layout, i)
+			}
+		}
+		checkAlignment(t, a, base)
+		checkMultiset(t, a, base)
+	}
+}
+
+func TestCrackInThreeEqualBounds(t *testing.T) {
+	base := workload.NewUniqueUniform(100, 4).Values
+	a := New(base, LayoutSplit)
+	pa, pb := a.CrackInThree(0, a.Len(), 50, 50)
+	if pa != pb || pa != 50 {
+		t.Fatalf("equal bounds: (%d,%d)", pa, pb)
+	}
+}
+
+func TestCrackInThreePanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for va > vb")
+		}
+	}()
+	New([]int64{1, 2, 3}, LayoutSplit).CrackInThree(0, 3, 5, 2)
+}
+
+func TestCrackInThreeWithDuplicates(t *testing.T) {
+	base := workload.NewDuplicates(2000, 50, 5).Values
+	for _, layout := range bothLayouts {
+		a := New(base, layout)
+		pa, pb := a.CrackInThree(0, a.Len(), 10, 40)
+		for i := 0; i < pa; i++ {
+			if a.Value(i) >= 10 {
+				t.Fatalf("%v: left violated", layout)
+			}
+		}
+		for i := pa; i < pb; i++ {
+			if v := a.Value(i); v < 10 || v >= 40 {
+				t.Fatalf("%v: middle violated", layout)
+			}
+		}
+		for i := pb; i < a.Len(); i++ {
+			if a.Value(i) < 40 {
+				t.Fatalf("%v: right violated", layout)
+			}
+		}
+		checkMultiset(t, a, base)
+		checkAlignment(t, a, base)
+	}
+}
+
+func TestCrackPropertyQuick(t *testing.T) {
+	for _, layout := range bothLayouts {
+		layout := layout
+		f := func(vals []int64, pivot int64) bool {
+			a := New(vals, layout)
+			pos := a.CrackInTwo(0, a.Len(), pivot)
+			for i := 0; i < pos; i++ {
+				if a.Value(i) >= pivot {
+					return false
+				}
+			}
+			for i := pos; i < a.Len(); i++ {
+				if a.Value(i) < pivot {
+					return false
+				}
+			}
+			// Multiset preserved (checksum-ish: sort both).
+			got, want := a.Values(), append([]int64(nil), vals...)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+	}
+}
+
+func TestCrackInThreePropertyQuick(t *testing.T) {
+	f := func(vals []int64, x, y int64) bool {
+		va, vb := x, y
+		if va > vb {
+			va, vb = vb, va
+		}
+		for _, layout := range bothLayouts {
+			a := New(vals, layout)
+			pa, pb := a.CrackInThree(0, a.Len(), va, vb)
+			if pa > pb || pa < 0 || pb > a.Len() {
+				return false
+			}
+			for i := 0; i < pa; i++ {
+				if a.Value(i) >= va {
+					return false
+				}
+			}
+			for i := pa; i < pb; i++ {
+				if v := a.Value(i); v < va || v >= vb {
+					return false
+				}
+			}
+			for i := pb; i < a.Len(); i++ {
+				if a.Value(i) < vb {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumAndScans(t *testing.T) {
+	base := []int64{5, 1, 9, 3, 7}
+	for _, layout := range bothLayouts {
+		a := New(base, layout)
+		if got := a.Sum(0, 5); got != 25 {
+			t.Fatalf("%v: Sum = %d", layout, got)
+		}
+		if got := a.Sum(1, 3); got != 10 {
+			t.Fatalf("%v: partial Sum = %d", layout, got)
+		}
+		if got := a.ScanCount(0, 5, 3, 8); got != 3 { // 5, 3, 7
+			t.Fatalf("%v: ScanCount = %d", layout, got)
+		}
+		if got := a.ScanSum(0, 5, 3, 8); got != 15 {
+			t.Fatalf("%v: ScanSum = %d", layout, got)
+		}
+	}
+}
+
+func TestAppendRowIDs(t *testing.T) {
+	base := []int64{5, 1, 9, 3, 7}
+	for _, layout := range bothLayouts {
+		a := New(base, layout)
+		ids := a.AppendRowIDs(nil, 1, 4)
+		if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+			t.Fatalf("%v: AppendRowIDs = %v", layout, ids)
+		}
+		ids = a.AppendRowIDsWhere(nil, 0, 5, 3, 8)
+		// values 5,3,7 at rowIDs 0,3,4
+		if len(ids) != 3 {
+			t.Fatalf("%v: AppendRowIDsWhere = %v", layout, ids)
+		}
+		for _, id := range ids {
+			v := base[id]
+			if v < 3 || v >= 8 {
+				t.Fatalf("%v: rowID %d value %d fails predicate", layout, id, v)
+			}
+		}
+	}
+}
+
+func TestSortRange(t *testing.T) {
+	base := workload.NewUniqueUniform(500, 13).Values
+	for _, layout := range bothLayouts {
+		a := New(base, layout)
+		a.Sort(100, 400)
+		for i := 101; i < 400; i++ {
+			if a.Value(i-1) > a.Value(i) {
+				t.Fatalf("%v: not sorted at %d", layout, i)
+			}
+		}
+		checkAlignment(t, a, base)
+		checkMultiset(t, a, base)
+	}
+}
+
+func TestRowIDsCopy(t *testing.T) {
+	a := New([]int64{4, 2}, LayoutPairs)
+	ids := a.RowIDs()
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("RowIDs = %v", ids)
+	}
+	ids[0] = 99
+	if a.RowID(0) == 99 {
+		t.Fatal("RowIDs did not copy")
+	}
+}

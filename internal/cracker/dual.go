@@ -1,0 +1,140 @@
+package cracker
+
+// DualArray is the physical structure of a cracker *map* as used by
+// sideways cracking (Idreos et al., "Self-organizing tuple
+// reconstruction in column stores", SIGMOD 2009 — reference [22] of
+// the paper, whose concurrency-control techniques "apply as is" to it,
+// §5 "Other Adaptive Indexing Methods").
+//
+// A cracker map M(A,B) holds aligned pairs of a selection attribute
+// (head) and a projection attribute (tail). Cracking reorganizes both
+// arrays together on head values, so that after a crack the tail
+// values of a qualifying range are contiguous — no positional fetch
+// against the base column is needed.
+type DualArray struct {
+	head []int64
+	tail []int64
+}
+
+// NewDual builds a cracker map over aligned head/tail columns.
+// The inputs are copied, not retained.
+func NewDual(head, tail []int64) *DualArray {
+	if len(head) != len(tail) {
+		panic("cracker: NewDual requires aligned columns")
+	}
+	d := &DualArray{
+		head: make([]int64, len(head)),
+		tail: make([]int64, len(tail)),
+	}
+	copy(d.head, head)
+	copy(d.tail, tail)
+	return d
+}
+
+// Len returns the number of pairs.
+func (d *DualArray) Len() int { return len(d.head) }
+
+// Head returns the head (selection) value at position i.
+func (d *DualArray) Head(i int) int64 { return d.head[i] }
+
+// Tail returns the tail (projection) value at position i.
+func (d *DualArray) Tail(i int) int64 { return d.tail[i] }
+
+// CrackInTwo partitions positions [lo, hi) on head values so that all
+// heads < pivot precede all heads >= pivot, moving tails along, and
+// returns the split position.
+func (d *DualArray) CrackInTwo(lo, hi int, pivot int64) int {
+	i, j := lo, hi-1
+	for {
+		for i <= j && d.head[i] < pivot {
+			i++
+		}
+		for i <= j && d.head[j] >= pivot {
+			j--
+		}
+		if i >= j {
+			return i
+		}
+		d.head[i], d.head[j] = d.head[j], d.head[i]
+		d.tail[i], d.tail[j] = d.tail[j], d.tail[i]
+		i++
+		j--
+	}
+}
+
+// CrackInThree partitions positions [lo, hi) into heads < a,
+// a <= heads < b, heads >= b, and returns the two split positions.
+func (d *DualArray) CrackInThree(lo, hi int, a, b int64) (posA, posB int) {
+	if a > b {
+		panic("cracker: CrackInThree requires a <= b")
+	}
+	if a == b {
+		p := d.CrackInTwo(lo, hi, a)
+		return p, p
+	}
+	lp, i, hp := lo, lo, hi-1
+	for i <= hp {
+		v := d.head[i]
+		switch {
+		case v < a:
+			d.head[i], d.head[lp] = d.head[lp], d.head[i]
+			d.tail[i], d.tail[lp] = d.tail[lp], d.tail[i]
+			lp++
+			i++
+		case v >= b:
+			d.head[i], d.head[hp] = d.head[hp], d.head[i]
+			d.tail[i], d.tail[hp] = d.tail[hp], d.tail[i]
+			hp--
+		default:
+			i++
+		}
+	}
+	return lp, hp + 1
+}
+
+// SumTail sums the tail values at positions [lo, hi).
+func (d *DualArray) SumTail(lo, hi int) int64 {
+	var s int64
+	for _, v := range d.tail[lo:hi] {
+		s += v
+	}
+	return s
+}
+
+// ScanSumTail sums tail values whose heads satisfy va <= head < vb
+// among positions [lo, hi), by brute-force scan (the conflict-
+// avoidance fallback).
+func (d *DualArray) ScanSumTail(lo, hi int, va, vb int64) int64 {
+	var s int64
+	for i := lo; i < hi; i++ {
+		if d.head[i] >= va && d.head[i] < vb {
+			s += d.tail[i]
+		}
+	}
+	return s
+}
+
+// ScanCountHead counts heads in [va, vb) among positions [lo, hi).
+func (d *DualArray) ScanCountHead(lo, hi int, va, vb int64) int64 {
+	var c int64
+	for i := lo; i < hi; i++ {
+		if d.head[i] >= va && d.head[i] < vb {
+			c++
+		}
+	}
+	return c
+}
+
+// HeadValues returns a copy of the head array (for tests).
+func (d *DualArray) HeadValues() []int64 {
+	out := make([]int64, len(d.head))
+	copy(out, d.head)
+	return out
+}
+
+// TailValues returns a copy of the tail array (for tests).
+func (d *DualArray) TailValues() []int64 {
+	out := make([]int64, len(d.tail))
+	copy(out, d.tail)
+	return out
+}

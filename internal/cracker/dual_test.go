@@ -1,0 +1,167 @@
+package cracker
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"adaptix/internal/workload"
+)
+
+// checkDualAlignment verifies (head, tail) pairs survived reorganization.
+func checkDualAlignment(t *testing.T, d *DualArray, head, tail []int64) {
+	t.Helper()
+	// Build the multiset of original pairs and compare.
+	type pair struct{ h, t int64 }
+	count := map[pair]int{}
+	for i := range head {
+		count[pair{head[i], tail[i]}]++
+	}
+	for i := 0; i < d.Len(); i++ {
+		p := pair{d.Head(i), d.Tail(i)}
+		count[p]--
+		if count[p] < 0 {
+			t.Fatalf("pair (%d,%d) not in original data", p.h, p.t)
+		}
+	}
+	for p, c := range count {
+		if c != 0 {
+			t.Fatalf("pair (%d,%d) lost by reorganization", p.h, p.t)
+		}
+	}
+}
+
+func TestDualCrackInTwo(t *testing.T) {
+	head := workload.NewUniqueUniform(1000, 3).Values
+	tail := workload.NewUniqueUniform(1000, 4).Values
+	d := NewDual(head, tail)
+	pos := d.CrackInTwo(0, d.Len(), 500)
+	if pos != 500 {
+		t.Fatalf("pos = %d", pos)
+	}
+	for i := 0; i < pos; i++ {
+		if d.Head(i) >= 500 {
+			t.Fatal("left side violated")
+		}
+	}
+	for i := pos; i < d.Len(); i++ {
+		if d.Head(i) < 500 {
+			t.Fatal("right side violated")
+		}
+	}
+	checkDualAlignment(t, d, head, tail)
+}
+
+func TestDualCrackInThree(t *testing.T) {
+	head := workload.NewDuplicates(2000, 300, 5).Values
+	tail := workload.NewUniqueUniform(2000, 6).Values
+	d := NewDual(head, tail)
+	pa, pb := d.CrackInThree(0, d.Len(), 100, 200)
+	for i := 0; i < pa; i++ {
+		if d.Head(i) >= 100 {
+			t.Fatal("left violated")
+		}
+	}
+	for i := pa; i < pb; i++ {
+		if h := d.Head(i); h < 100 || h >= 200 {
+			t.Fatal("middle violated")
+		}
+	}
+	for i := pb; i < d.Len(); i++ {
+		if d.Head(i) < 200 {
+			t.Fatal("right violated")
+		}
+	}
+	checkDualAlignment(t, d, head, tail)
+	// Equal bounds degenerate to crack-in-two.
+	d2 := NewDual(head, tail)
+	a, b := d2.CrackInThree(0, d2.Len(), 150, 150)
+	if a != b {
+		t.Fatal("equal bounds should coincide")
+	}
+}
+
+func TestDualCrackInThreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for inverted bounds")
+		}
+	}()
+	NewDual([]int64{1}, []int64{2}).CrackInThree(0, 1, 5, 3)
+}
+
+func TestDualSumsAndScans(t *testing.T) {
+	head := []int64{5, 1, 9, 3}
+	tail := []int64{50, 10, 90, 30}
+	d := NewDual(head, tail)
+	if got := d.SumTail(0, 4); got != 180 {
+		t.Fatalf("SumTail = %d", got)
+	}
+	if got := d.ScanSumTail(0, 4, 3, 9); got != 80 { // heads 5,3 -> tails 50,30
+		t.Fatalf("ScanSumTail = %d", got)
+	}
+	if got := d.ScanCountHead(0, 4, 3, 9); got != 2 {
+		t.Fatalf("ScanCountHead = %d", got)
+	}
+}
+
+func TestDualDoesNotAliasInputs(t *testing.T) {
+	head := []int64{1, 2}
+	tail := []int64{10, 20}
+	d := NewDual(head, tail)
+	head[0], tail[0] = 99, 99
+	if d.Head(0) != 1 || d.Tail(0) != 10 {
+		t.Fatal("DualArray aliases its inputs")
+	}
+}
+
+func TestDualMisalignedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewDual([]int64{1, 2}, []int64{1})
+}
+
+func TestDualCrackPropertyQuick(t *testing.T) {
+	f := func(heads []int64, pivot int64) bool {
+		tails := make([]int64, len(heads))
+		for i := range tails {
+			tails[i] = int64(i) * 7
+		}
+		d := NewDual(heads, tails)
+		pos := d.CrackInTwo(0, d.Len(), pivot)
+		for i := 0; i < pos; i++ {
+			if d.Head(i) >= pivot {
+				return false
+			}
+		}
+		for i := pos; i < d.Len(); i++ {
+			if d.Head(i) < pivot {
+				return false
+			}
+		}
+		// Head multiset preserved.
+		got, want := d.HeadValues(), append([]int64(nil), heads...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// Tail sum preserved (cheap multiset proxy given distinct tails).
+		var sg, sw int64
+		for _, v := range d.TailValues() {
+			sg += v
+		}
+		for _, v := range tails {
+			sw += v
+		}
+		return sg == sw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

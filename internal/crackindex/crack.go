@@ -1,0 +1,392 @@
+package crackindex
+
+import (
+	"sort"
+	"time"
+)
+
+// opCtx carries the per-operation cost accumulator and the query tag
+// used by the trace hook (Figure 8 timelines).
+type opCtx struct {
+	tag string
+	OpStats
+}
+
+// crackBound ensures a crack boundary exists at value v and returns its
+// array position: every value at a position < pos is < v, every value
+// at a position >= pos is >= v. Once created, a boundary position never
+// changes (later cracks only subdivide pieces), so returned positions
+// are valid forever.
+//
+// In LatchPiece mode this implements the full protocol of §5.3:
+// navigate to the piece under the structure latch, block on (or, under
+// conflict avoidance, try) the piece's write latch, re-determine the
+// bound after waking up if the piece was split in the meantime
+// (Figure 10), physically partition, then publish the split.
+//
+// ok is false only when refinement was forgone (conflict avoidance or
+// a conflicting user-transaction lock).
+func (ix *Index) crackBound(v int64, ctx *opCtx) (pos int, ok bool) {
+	if ix.opts.Latching != LatchPiece {
+		return ix.crackBoundExclusive(v, ctx), true
+	}
+	ix.mu.Lock()
+	p := ix.findPieceLocked(v)
+	ix.mu.Unlock()
+	for {
+		// Exact match: the boundary already exists. lo and loVal are
+		// immutable after publication (splits keep the left part), so
+		// no latch is needed for this check or the returned position.
+		if p.loVal == v {
+			return p.lo, true
+		}
+		if !ix.pieceWriteLock(p, v, ctx) {
+			return 0, false
+		}
+		// Re-validate under the piece latch: the piece may have been
+		// split (hiVal narrowed) while this query waited (Figure 10).
+		// loVal < v still holds: loVal is immutable and was checked.
+		if v < p.hiVal {
+			break
+		}
+		ix.pieceWriteUnlock(ctx, p)
+		p = ix.redetermine(p, v)
+	}
+	// p is write-latched and v falls strictly inside it: crack.
+	start := time.Now()
+	switch {
+	case ix.opts.GroupCracking && ix.groupCrack(p, v, &pos):
+		// grouped multi-pivot crack done
+	case ix.opts.Stochastic && ix.stochasticCrack(p, v, &pos):
+		// crack plus a random auxiliary pivot done
+	default:
+		pos = ix.arr.CrackInTwo(p.lo, p.hi, v)
+		ix.mu.Lock()
+		ix.splitTwoLocked(p, v, pos)
+		ix.mu.Unlock()
+	}
+	d := time.Since(start)
+	ctx.Crack += d
+	ix.stats.CrackTime.Add(d)
+	ix.stats.Cracks.Inc()
+	ix.traceCrack(ctx, p, v)
+	ix.pieceWriteUnlock(ctx, p)
+	return pos, true
+}
+
+// groupCrack implements the §7 "dynamic algorithms" extension: the
+// holder of p's write latch cracks not only for its own bound v but
+// for the bounds of every crack currently queued on p, in a single
+// multi-pivot pass. It reports false (and does nothing) when no other
+// bound falls inside the piece. Caller holds p's write latch; *pos
+// receives the split position of v.
+//
+// Safety of the chained structural splits: the intermediate pieces
+// created here become reachable only through the structure latch
+// (held for the whole chain) or through p.next (readable only under
+// p's latch, which we hold exclusively), so no other thread can
+// observe a partially split chain.
+func (ix *Index) groupCrack(p *piece, v int64, pos *int) bool {
+	pivots := append([]int64{v}, p.latch.WaiterBounds()...)
+	sort.Slice(pivots, func(i, j int) bool { return pivots[i] < pivots[j] })
+	// Keep pivots strictly inside the piece, deduplicated.
+	kept := pivots[:0]
+	for _, b := range pivots {
+		if b > p.loVal && b < p.hiVal && (len(kept) == 0 || kept[len(kept)-1] != b) {
+			kept = append(kept, b)
+		}
+	}
+	if len(kept) <= 1 {
+		return false
+	}
+	positions := ix.arr.CrackMulti(p.lo, p.hi, kept)
+	ix.mu.Lock()
+	cur := p
+	for i, pv := range kept {
+		cur = ix.splitTwoLocked(cur, pv, positions[i])
+	}
+	ix.mu.Unlock()
+	for i, pv := range kept {
+		if pv == v {
+			*pos = positions[i]
+		}
+	}
+	ix.stats.GroupCracks.Inc()
+	ix.stats.GroupedBounds.Add(int64(len(kept) - 1))
+	return true
+}
+
+// stochasticCrack implements the DDR flavour of stochastic cracking
+// [16]: alongside the query's own bound v, crack at a pseudo-random
+// value sampled from the piece, so that skewed or sequential workloads
+// still cut large pieces down geometrically. Returns false when the
+// piece is already small (plain crack suffices). Caller holds p's
+// write latch; *pos receives v's split position.
+func (ix *Index) stochasticCrack(p *piece, v int64, pos *int) bool {
+	min := ix.opts.StochasticMinPiece
+	if min <= 0 {
+		min = 1024
+	}
+	if p.hi-p.lo < min {
+		return false
+	}
+	// Sample a value from the middle of the piece's physical range;
+	// xorshift on the piece offset keeps this deterministic per state
+	// yet well spread.
+	h := uint64(p.lo)*0x9e3779b97f4a7c15 + uint64(p.hi)*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	r := ix.arr.Value(p.lo + int(h%uint64(p.hi-p.lo)))
+	if r <= p.loVal || r >= p.hiVal || r == v {
+		return false
+	}
+	pivots := []int64{v, r}
+	if r < v {
+		pivots[0], pivots[1] = r, v
+	}
+	positions := ix.arr.CrackMulti(p.lo, p.hi, pivots)
+	ix.mu.Lock()
+	cur := p
+	for i, pv := range pivots {
+		cur = ix.splitTwoLocked(cur, pv, positions[i])
+	}
+	ix.mu.Unlock()
+	if pivots[0] == v {
+		*pos = positions[0]
+	} else {
+		*pos = positions[1]
+	}
+	ix.stats.StochasticCracks.Inc()
+	return true
+}
+
+// redetermine walks the piece list from p to the piece currently
+// containing v, as in Figure 10: "every query achieves that by walking
+// through the pieces of the array starting from the original piece
+// they tried to latch". Since splits keep the left part, the target is
+// always reachable by walking right; the prev walk is defensive.
+func (ix *Index) redetermine(p *piece, v int64) *piece {
+	ix.mu.Lock()
+	ix.stats.Redeterminations.Inc()
+	for v >= p.hiVal && p.next != nil {
+		p = p.next
+	}
+	for v < p.loVal && p.prev != nil {
+		p = p.prev
+	}
+	ix.mu.Unlock()
+	return p
+}
+
+// pieceWriteLock acquires p's write latch according to the conflict
+// policy, recording wait time and conflicts. It consults the user-lock
+// probe first: a system transaction must verify that no concurrent
+// user transaction holds conflicting locks and, refinement being
+// optional, it simply forgoes the work if one does (§3.3).
+func (ix *Index) pieceWriteLock(p *piece, bound int64, ctx *opCtx) bool {
+	if ix.opts.LockProbe != nil && ix.opts.LockProbe() {
+		ctx.Skipped = true
+		ix.stats.Skipped.Inc()
+		return false
+	}
+	ix.traceWant(ctx, p, true, bound)
+	if ix.opts.OnConflict == Skip {
+		if !p.latch.TryLock() {
+			ctx.Conflicts++
+			ctx.Skipped = true
+			ix.stats.Conflicts.Inc()
+			ix.stats.Skipped.Inc()
+			return false
+		}
+		ix.traceAcquired(ctx, p, true)
+		return true
+	}
+	w := p.latch.Lock(bound)
+	ctx.addWait(w)
+	if w > 0 {
+		ix.stats.Conflicts.Inc()
+		ix.stats.WaitTime.Add(w)
+	}
+	ix.traceAcquired(ctx, p, true)
+	return true
+}
+
+func (ix *Index) pieceWriteUnlock(ctx *opCtx, p *piece) {
+	ix.traceRelease(ctx, p, true)
+	p.latch.Unlock()
+}
+
+// pieceReadLock acquires p's read latch, recording wait time.
+// Aggregation reads are never skipped: they are required for the
+// answer, and they conflict only with an active crack of this piece.
+func (ix *Index) pieceReadLock(p *piece, ctx *opCtx) {
+	ix.traceWant(ctx, p, false, 0)
+	w := p.latch.RLock()
+	ctx.addWait(w)
+	if w > 0 {
+		ix.stats.Conflicts.Inc()
+		ix.stats.WaitTime.Add(w)
+	}
+	ix.traceAcquired(ctx, p, false)
+}
+
+func (ix *Index) pieceReadUnlock(ctx *opCtx, p *piece) {
+	ix.traceRelease(ctx, p, false)
+	p.latch.RUnlock()
+}
+
+// crackBoundExclusive is the structurally-exclusive variant used by
+// LatchColumn mode (caller holds the column write latch) and LatchNone
+// mode (single-threaded). The structure latch is still taken around
+// TOC updates in LatchColumn mode so that concurrent read-side piece
+// walks observe consistent links.
+func (ix *Index) crackBoundExclusive(v int64, ctx *opCtx) int {
+	ix.structLock()
+	p := ix.findPieceLocked(v)
+	ix.structUnlock()
+	if p.loVal == v {
+		return p.lo
+	}
+	start := time.Now()
+	var pos int
+	if !(ix.opts.Stochastic && ix.stochasticCrack(p, v, &pos)) {
+		pos = ix.arr.CrackInTwo(p.lo, p.hi, v)
+		ix.structLock()
+		ix.splitTwoLocked(p, v, pos)
+		ix.structUnlock()
+	}
+	d := time.Since(start)
+	ctx.Crack += d
+	ix.stats.CrackTime.Add(d)
+	ix.stats.Cracks.Inc()
+	ix.traceCrack(ctx, p, v)
+	return pos
+}
+
+// crackPair ensures boundaries exist at both lo and hi, preferring the
+// single-pass crack-in-three when both bounds fall into the same piece.
+// On success it returns the two positions. If keepMiddle is true and
+// the crack-in-three path was taken, the middle piece is returned
+// still write-latched (LatchPiece mode only) so the caller may
+// downgrade it and aggregate in place; otherwise mid is nil.
+//
+// ok is false only when refinement was skipped (the caller then
+// answers by scanning).
+func (ix *Index) crackPair(lo, hi int64, keepMiddle bool, ctx *opCtx) (posLo, posHi int, mid *piece, ok bool) {
+	if ix.opts.Latching != LatchPiece {
+		posLo, posHi = ix.crackPairExclusive(lo, hi, ctx)
+		return posLo, posHi, nil, true
+	}
+
+	// Crack-in-three fast path when both bounds are strictly inside
+	// the same piece.
+	ix.mu.Lock()
+	p := ix.findPieceLocked(lo)
+	same := p.loVal < lo && hi < p.hiVal
+	ix.mu.Unlock()
+	if same {
+		posLo, posHi, mid, ok, done := ix.crackThreePiece(p, lo, hi, keepMiddle, ctx)
+		if done {
+			return posLo, posHi, mid, ok
+		}
+		// The piece was split while waiting and the bounds no longer
+		// share a piece: fall through to independent bound cracks.
+	}
+
+	if ix.opts.ParallelBounds {
+		// The two cracking actions are independent when they operate
+		// on different pieces, and may be performed concurrently
+		// (§5.3 "Optimizations"). Even if a concurrent split moves
+		// both bounds into one piece, each crackBound is individually
+		// correct. If one bound's refinement is skipped under
+		// conflict avoidance, the other still proceeds ("even if
+		// there is a conflict for one of them the query actually
+		// proceeds with the second bound").
+		type res struct {
+			pos int
+			ok  bool
+			st  opCtx
+		}
+		ch := make(chan res, 1)
+		go func() {
+			sub := opCtx{tag: ctx.tag}
+			pos, ok := ix.crackBound(hi, &sub)
+			ch <- res{pos, ok, sub}
+		}()
+		posLo, okLo := ix.crackBound(lo, ctx)
+		r := <-ch
+		ctx.Wait += r.st.Wait
+		ctx.Crack += r.st.Crack
+		ctx.Conflicts += r.st.Conflicts
+		ctx.Skipped = ctx.Skipped || r.st.Skipped
+		if !okLo || !r.ok {
+			return 0, 0, nil, false
+		}
+		return posLo, r.pos, nil, true
+	}
+
+	posLo, okLo := ix.crackBound(lo, ctx)
+	if !okLo {
+		return 0, 0, nil, false
+	}
+	posHi, okHi := ix.crackBound(hi, ctx)
+	if !okHi {
+		return 0, 0, nil, false
+	}
+	return posLo, posHi, nil, true
+}
+
+// crackThreePiece attempts the latched crack-in-three of piece p at
+// (lo, hi). done is false when, after acquiring the latch, the bounds
+// no longer fall strictly inside p and the caller must fall back; ok
+// is false when refinement was skipped. When keepMiddle and ok, mid is
+// returned write-latched.
+func (ix *Index) crackThreePiece(p *piece, lo, hi int64, keepMiddle bool, ctx *opCtx) (posLo, posHi int, mid *piece, ok, done bool) {
+	if !ix.pieceWriteLock(p, lo, ctx) {
+		return 0, 0, nil, false, true
+	}
+	if !(p.loVal < lo && hi < p.hiVal) {
+		ix.pieceWriteUnlock(ctx, p)
+		return 0, 0, nil, false, false
+	}
+	start := time.Now()
+	posLo, posHi = ix.arr.CrackInThree(p.lo, p.hi, lo, hi)
+	ix.mu.Lock()
+	mid = ix.splitThreeLocked(p, lo, hi, posLo, posHi, keepMiddle)
+	ix.mu.Unlock()
+	d := time.Since(start)
+	ctx.Crack += d
+	ix.stats.CrackTime.Add(d)
+	ix.stats.Cracks.Inc()
+	ix.traceCrack(ctx, p, lo)
+	ix.pieceWriteUnlock(ctx, p)
+	if keepMiddle {
+		// mid was created already write-latched; the caller downgrades
+		// it and aggregates the qualifying range in place.
+		return posLo, posHi, mid, true, true
+	}
+	return posLo, posHi, nil, true, true
+}
+
+// crackPairExclusive is the LatchColumn/LatchNone variant of crackPair.
+func (ix *Index) crackPairExclusive(lo, hi int64, ctx *opCtx) (posLo, posHi int) {
+	ix.structLock()
+	p := ix.findPieceLocked(lo)
+	same := p.loVal < lo && hi < p.hiVal
+	ix.structUnlock()
+	if same {
+		start := time.Now()
+		posLo, posHi = ix.arr.CrackInThree(p.lo, p.hi, lo, hi)
+		ix.structLock()
+		ix.splitThreeLocked(p, lo, hi, posLo, posHi, false)
+		ix.structUnlock()
+		d := time.Since(start)
+		ctx.Crack += d
+		ix.stats.CrackTime.Add(d)
+		ix.stats.Cracks.Inc()
+		ix.traceCrack(ctx, p, lo)
+		return posLo, posHi
+	}
+	posLo = ix.crackBoundExclusive(lo, ctx)
+	posHi = ix.crackBoundExclusive(hi, ctx)
+	return posLo, posHi
+}

@@ -1,0 +1,266 @@
+package crackindex
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"adaptix/internal/workload"
+)
+
+// --- Group cracking (§7 "dynamic algorithms" extension) ---
+
+func TestGroupCrackingCorrectness(t *testing.T) {
+	d := workload.NewUniqueUniform(20000, 3)
+	ix := New(d.Values, Options{Latching: LatchPiece, GroupCracking: true})
+	qs := workload.Fixed(workload.NewUniform(workload.Sum, d.Domain, 0.02, 9), 80)
+	for i, q := range qs {
+		if got, _ := ix.Count(q.Lo, q.Hi); got != q.Hi-q.Lo {
+			t.Fatalf("query %d: Count = %d, want %d", i, got, q.Hi-q.Lo)
+		}
+		want := (q.Lo + q.Hi - 1) * (q.Hi - q.Lo) / 2
+		if got, _ := ix.Sum(q.Lo, q.Hi); got != want {
+			t.Fatalf("query %d: Sum = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestGroupCrackingConcurrent(t *testing.T) {
+	d := workload.NewUniqueUniform(100000, 4)
+	ix := New(d.Values, Options{Latching: LatchPiece, GroupCracking: true})
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			gen := workload.NewUniform(workload.Sum, d.Domain, 0.005, uint64(c*7+1))
+			for i := 0; i < 80; i++ {
+				q := gen.Next()
+				if got, _ := ix.Count(q.Lo, q.Hi); got != q.Hi-q.Lo {
+					errs <- "count mismatch"
+					return
+				}
+				want := (q.Lo + q.Hi - 1) * (q.Hi - q.Lo) / 2
+				if got, _ := ix.Sum(q.Lo, q.Hi); got != want {
+					errs <- "sum mismatch"
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	// All boundaries must still be physically respected.
+	for _, b := range ix.BoundaryPositions() {
+		for i := 0; i < b.Pos; i++ {
+			if ix.arr.Value(i) >= b.Value {
+				t.Fatalf("boundary %d violated at pos %d", b.Value, i)
+			}
+		}
+	}
+}
+
+func TestGroupCrackingSatisfiesWaiters(t *testing.T) {
+	// Force a queue: many goroutines crack distinct bounds inside the
+	// same (single, uncracked) piece. With group cracking, some of
+	// those bounds should be satisfied by another query's group pass.
+	d := workload.NewUniqueUniform(200000, 5)
+	ix := New(d.Values, Options{Latching: LatchPiece, GroupCracking: true})
+	ix.Count(0, 1) // initialize
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lo := int64(10000 * (i + 1))
+			if got, _ := ix.Count(lo, lo+5000); got != 5000 {
+				panic("count mismatch")
+			}
+		}(i)
+	}
+	wg.Wait()
+	t.Logf("group cracks: %d, grouped bounds: %d",
+		ix.Stats().GroupCracks.Load(), ix.Stats().GroupedBounds.Load())
+	// The group pass may or may not trigger depending on scheduling;
+	// correctness (above) is mandatory either way. If it triggered,
+	// counters must be consistent.
+	if g, b := ix.Stats().GroupCracks.Load(), ix.Stats().GroupedBounds.Load(); g > 0 && b == 0 {
+		t.Fatal("group cracks recorded without grouped bounds")
+	}
+}
+
+func TestCrackMultiMatchesRepeatedCrackInTwo(t *testing.T) {
+	f := func(seed uint64, rawPivots []int64) bool {
+		d := workload.NewDuplicates(2000, 500, seed)
+		if len(rawPivots) > 8 {
+			rawPivots = rawPivots[:8]
+		}
+		var pivots []int64
+		seen := map[int64]bool{}
+		for _, p := range rawPivots {
+			v := p % 500
+			if v < 0 {
+				v = -v
+			}
+			if !seen[v] {
+				seen[v] = true
+				pivots = append(pivots, v)
+			}
+		}
+		ixGroup := New(d.Values, Options{Latching: LatchNone})
+		ixPlain := New(d.Values, Options{Latching: LatchNone})
+		for _, p := range pivots {
+			a, _ := ixGroup.Count(0, p)
+			b, _ := ixPlain.Count(0, p)
+			if a != b || a != d.TrueCount(0, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Differential updates ([22]/[30] extension) ---
+
+func TestInsertDeleteBasic(t *testing.T) {
+	d := workload.NewUniqueUniform(10000, 7)
+	ix := New(d.Values, Options{Latching: LatchPiece})
+	// Baseline.
+	if n, _ := ix.Count(1000, 2000); n != 1000 {
+		t.Fatal("baseline count")
+	}
+	ix.Insert(1500)
+	ix.Insert(1500)
+	ix.Insert(5)
+	if n, _ := ix.Count(1000, 2000); n != 1002 {
+		t.Fatalf("count after inserts = %d", n)
+	}
+	wantSum := (1000+1999)*1000/2 + 2*1500
+	if s, _ := ix.Sum(1000, 2000); s != int64(wantSum) {
+		t.Fatalf("sum after inserts = %d, want %d", s, wantSum)
+	}
+	// Delete one base value and one inserted value.
+	if !ix.DeleteValue(1500) || !ix.DeleteValue(1500) || !ix.DeleteValue(1500) {
+		t.Fatal("deletes of existing instances failed")
+	}
+	// 1500 had base 1 + ins 2 = 3 instances; all gone now.
+	if ix.DeleteValue(1500) {
+		t.Fatal("deleted a 4th instance of 1500 (only 3 existed)")
+	}
+	if n, _ := ix.Count(1000, 2000); n != 999 {
+		t.Fatalf("count after deletes = %d", n)
+	}
+	ins, dels := ix.PendingUpdates()
+	if ins != 3 || dels != 3 {
+		t.Fatalf("pending = %d,%d", ins, dels)
+	}
+}
+
+func TestDeleteNonexistent(t *testing.T) {
+	d := workload.NewUniqueUniform(100, 9)
+	ix := New(d.Values, Options{Latching: LatchPiece})
+	if ix.DeleteValue(5000) {
+		t.Fatal("deleted a value outside the domain")
+	}
+	if !ix.DeleteValue(50) {
+		t.Fatal("failed to delete an existing value")
+	}
+	if ix.DeleteValue(50) {
+		t.Fatal("double-deleted a unique value")
+	}
+}
+
+func TestUpdatesDoNotTouchStructure(t *testing.T) {
+	d := workload.NewUniqueUniform(10000, 11)
+	ix := New(d.Values, Options{Latching: LatchPiece})
+	ix.Count(2000, 8000)
+	cracks := ix.Stats().Cracks.Load()
+	pieces := ix.NumPieces()
+	for i := int64(0); i < 100; i++ {
+		ix.Insert(3000 + i)
+	}
+	if ix.Stats().Cracks.Load() != cracks || ix.NumPieces() != pieces {
+		t.Fatal("inserts changed the physical index structure")
+	}
+	// Queries after updates remain exact and keep refining.
+	if n, _ := ix.Count(3000, 3100); n != 200 {
+		t.Fatalf("count = %d, want 200 (100 base + 100 inserted)", n)
+	}
+}
+
+func TestUpdatesConcurrentWithQueries(t *testing.T) {
+	d := workload.NewUniqueUniform(50000, 13)
+	ix := New(d.Values, Options{Latching: LatchPiece})
+	var wg sync.WaitGroup
+	// Writer: inserts 1000 values into [10000, 11000) and deletes 500
+	// base values from [20000, 20500).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); i < 1000; i++ {
+			ix.Insert(10000 + (i % 1000))
+		}
+		for i := int64(0); i < 500; i++ {
+			if !ix.DeleteValue(20000 + i) {
+				panic("delete failed")
+			}
+		}
+	}()
+	// Readers: ranges untouched by the writer stay exact throughout.
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			gen := workload.NewUniform(workload.Sum, 9000, 0.05, uint64(c+1))
+			for i := 0; i < 50; i++ {
+				q := gen.Next() // entirely below 10000
+				if got, _ := ix.Count(q.Lo, q.Hi); got != q.Hi-q.Lo {
+					panic("count mismatch in untouched range")
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	// Final state exact everywhere.
+	if n, _ := ix.Count(10000, 11000); n != 2000 {
+		t.Fatalf("inserted range count = %d, want 2000", n)
+	}
+	if n, _ := ix.Count(20000, 20500); n != 0 {
+		t.Fatalf("deleted range count = %d, want 0", n)
+	}
+	if n, _ := ix.Count(0, 50000); n != 50000+1000-500 {
+		t.Fatalf("total count = %d", n)
+	}
+}
+
+func TestUpdatesWithGroupCrackingAndSkip(t *testing.T) {
+	// Updates compose with every CC configuration.
+	d := workload.NewDuplicates(5000, 200, 15)
+	for _, opts := range []Options{
+		{Latching: LatchPiece, GroupCracking: true},
+		{Latching: LatchPiece, OnConflict: Skip},
+		{Latching: LatchColumn},
+		{Latching: LatchNone},
+	} {
+		ix := New(d.Values, opts)
+		ix.Insert(50)
+		ix.Insert(50)
+		ix.DeleteValue(100)
+		want := d.TrueCount(0, 200) + 2
+		if d.TrueCount(100, 101) > 0 {
+			want--
+		}
+		if n, _ := ix.Count(0, 200); n != want {
+			t.Fatalf("%v: total = %d, want %d", opts.Latching, n, want)
+		}
+	}
+}

@@ -1,0 +1,599 @@
+// Package crackindex implements the cracked-column index — selection
+// cracking over a column-store array — together with the paper's
+// concurrency-control protocols for the index-refining side effects of
+// read-only queries (paper §5).
+//
+// The index consists of (paper §5.2):
+//
+//   - a cracker array (internal/cracker): a dense auxiliary copy of the
+//     column, continuously reorganized in place;
+//   - an AVL tree (internal/avltree) as table of contents, mapping
+//     crack boundary values to pieces of the array;
+//   - a doubly-linked list of piece descriptors, each owning a
+//     short-term read/write latch and a sorted waiter queue
+//     (internal/latch).
+//
+// Three concurrency-control modes are provided (paper §5.3):
+//
+//   - LatchNone: no concurrency control at all; only safe under
+//     single-threaded access. Used to measure the administrative
+//     overhead of the CC machinery (Figure 13).
+//   - LatchColumn: one read/write latch per column. Cracking takes the
+//     write latch, aggregation the read latch.
+//   - LatchPiece: one read/write latch per piece. Two queries can crack
+//     different pieces of the same column concurrently; cracking and
+//     aggregation on different pieces also proceed concurrently.
+//
+// Refinement is optional: with OnConflict == Skip, a query that cannot
+// acquire a write latch immediately forgoes cracking and answers from a
+// read-latched scan of the unrefined piece(s) (conflict avoidance,
+// paper §3.3).
+package crackindex
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptix/internal/avltree"
+	"adaptix/internal/cracker"
+	"adaptix/internal/latch"
+	"adaptix/internal/metrics"
+)
+
+// LatchMode selects the concurrency-control granularity (paper §5.3).
+type LatchMode int
+
+const (
+	// LatchPiece uses one latch per array piece (finest granularity).
+	LatchPiece LatchMode = iota
+	// LatchColumn uses a single latch for the whole column.
+	LatchColumn
+	// LatchNone disables concurrency control (single-threaded only).
+	LatchNone
+)
+
+func (m LatchMode) String() string {
+	switch m {
+	case LatchPiece:
+		return "piece"
+	case LatchColumn:
+		return "column"
+	default:
+		return "none"
+	}
+}
+
+// ConflictPolicy selects behaviour when a write latch is contended.
+type ConflictPolicy int
+
+const (
+	// Wait blocks until the latch is granted (default).
+	Wait ConflictPolicy = iota
+	// Skip forgoes the optional index refinement on contention and
+	// answers the query from a scan instead (conflict avoidance).
+	Skip
+)
+
+func (p ConflictPolicy) String() string {
+	if p == Skip {
+		return "skip"
+	}
+	return "wait"
+}
+
+// Sentinel value bounds of the head and tail pieces.
+const (
+	minKey = math.MinInt64
+	maxKey = math.MaxInt64
+)
+
+// Options configures an Index.
+type Options struct {
+	// Layout selects the cracker-array representation (Figure 7).
+	Layout cracker.Layout
+	// Latching selects the CC granularity.
+	Latching LatchMode
+	// Scheduling selects the order in which queued cracks are granted
+	// a piece's write latch (middle-first per paper §5.3, or FIFO).
+	Scheduling latch.Policy
+	// OnConflict selects waiting versus conflict avoidance.
+	OnConflict ConflictPolicy
+	// ParallelBounds cracks the two bounds of a range predicate
+	// concurrently when they fall into different pieces (§5.3).
+	ParallelBounds bool
+	// GroupCracking enables the "dynamic algorithms" extension the
+	// paper sketches in §7: a query that holds a piece's write latch
+	// also cracks for the bounds of all queries queued on that piece,
+	// in one multi-pivot pass. Waiters then find their boundary
+	// already in place when granted the latch.
+	GroupCracking bool
+	// Stochastic enables stochastic cracking [16] (cited in §2):
+	// whenever a crack would split a piece larger than
+	// StochasticMinPiece, an additional random pivot inside the piece
+	// is cracked in the same pass. This bounds worst-case convergence
+	// under adversarial (e.g. strictly sequential) workloads at a
+	// small constant extra cost per crack.
+	Stochastic bool
+	// StochasticMinPiece is the piece size below which no random
+	// pivot is added (default 1024).
+	StochasticMinPiece int
+	// Tracer, when non-nil, receives latch/crack trace events
+	// (used by the Figure 8 walk-through example).
+	Tracer func(TraceEvent)
+	// LockProbe, when non-nil, is consulted before refinement: if it
+	// reports a conflicting user-transaction lock on this column, the
+	// refinement is skipped (system transactions must respect user
+	// locks but never acquire their own, paper §3.3/§3.4).
+	LockProbe func() bool
+}
+
+// piece is one contiguous segment of the cracker array holding values
+// in [loVal, hiVal). prev/next form the ordered piece list. Each piece
+// owns its latch (used in LatchPiece mode).
+//
+// Synchronization discipline (race-freedom relies on it):
+//   - lo and loVal are immutable after the piece is published;
+//   - hi, hiVal and next are mutated only while holding BOTH the
+//     piece's write latch and the structure latch mu, so holding
+//     either one is sufficient to read them;
+//   - prev is mutated and read only under mu;
+//   - splits keep the existing piece as the LEFT part, so a piece
+//     never loses its starting boundary.
+type piece struct {
+	lo, hi       int   // array positions [lo, hi)
+	loVal, hiVal int64 // value bounds [loVal, hiVal)
+	prev, next   *piece
+	latch        *latch.Latch
+}
+
+// Stats aggregates index-wide counters.
+type Stats struct {
+	// Cracks counts physical reorganization actions (a crack-in-three
+	// counts once).
+	Cracks metrics.Counter
+	// Boundaries counts crack boundaries inserted into the AVL tree.
+	Boundaries metrics.Counter
+	// Conflicts counts latch acquisitions that blocked or failed.
+	Conflicts metrics.Counter
+	// Redeterminations counts bound re-determinations after wake-up
+	// (the piece had been split while the query waited, Figure 10).
+	Redeterminations metrics.Counter
+	// Skipped counts refinements forgone under conflict avoidance.
+	Skipped metrics.Counter
+	// GroupCracks counts multi-pivot group cracks (§7 extension).
+	GroupCracks metrics.Counter
+	// GroupedBounds counts waiter bounds satisfied by group cracks.
+	GroupedBounds metrics.Counter
+	// StochasticCracks counts cracks that added a random pivot [16].
+	StochasticCracks metrics.Counter
+	// WaitTime accumulates latch wait time.
+	WaitTime metrics.DurationCounter
+	// CrackTime accumulates physical reorganization time.
+	CrackTime metrics.DurationCounter
+	// InitTime records the one-off index initialization (copying the
+	// base column into the cracker array).
+	InitTime metrics.DurationCounter
+}
+
+// OpStats is the per-operation cost breakdown returned by Count / Sum.
+type OpStats struct {
+	// Wait is time spent blocked on latches.
+	Wait time.Duration
+	// Crack is time spent physically refining the index.
+	Crack time.Duration
+	// Conflicts counts latch acquisitions that were not granted
+	// immediately.
+	Conflicts int64
+	// Skipped reports that refinement was forgone due to contention.
+	Skipped bool
+}
+
+func (o *OpStats) addWait(w time.Duration) {
+	if w > 0 {
+		o.Wait += w
+		o.Conflicts++
+	}
+}
+
+// Index is a cracked column: the primary adaptive-indexing structure.
+type Index struct {
+	opts Options
+	base []int64 // base column; copied lazily on first query
+
+	// mu is the short-term structure latch protecting toc, the piece
+	// list links, and piece bounds. It is held only during lookups and
+	// boundary insertion, never during data reorganization. LatchNone
+	// mode (single-threaded by contract) skips it entirely so that the
+	// Figure 13 "CC disabled" run truly performs no synchronization.
+	mu       sync.Mutex
+	toc      *avltree.Tree[*piece]
+	head     *piece
+	arr      *cracker.Array
+	init     bool
+	initDone atomic.Bool // fast-path mirror of init
+
+	colLatch *latch.Latch
+	pieces   int
+
+	// Differential updates (see updates.go).
+	pend  pendingUpdates
+	pendN pendingCounter
+
+	stats Stats
+}
+
+// New creates an index over the base column. The column is not copied
+// until the first query touches the index (index initialization is
+// itself a query side effect, paper §5.3 "Column latches").
+func New(base []int64, opts Options) *Index {
+	return &Index{
+		opts:     opts,
+		base:     base,
+		toc:      &avltree.Tree[*piece]{},
+		colLatch: latch.New(opts.Scheduling),
+	}
+}
+
+// structLock / structUnlock guard the table of contents; LatchNone
+// mode skips them (see the mu field comment).
+func (ix *Index) structLock() {
+	if ix.opts.Latching != LatchNone {
+		ix.mu.Lock()
+	}
+}
+
+func (ix *Index) structUnlock() {
+	if ix.opts.Latching != LatchNone {
+		ix.mu.Unlock()
+	}
+}
+
+// ensureInitLocked builds the cracker array and head piece on first
+// use. Caller must hold the structure latch (or be otherwise exclusive).
+func (ix *Index) ensureInitLocked() {
+	if ix.init {
+		return
+	}
+	start := time.Now()
+	ix.arr = cracker.New(ix.base, ix.opts.Layout)
+	ix.head = &piece{
+		lo: 0, hi: ix.arr.Len(),
+		loVal: minKey, hiVal: maxKey,
+		latch: latch.New(ix.opts.Scheduling),
+	}
+	ix.pieces = 1
+	ix.init = true
+	ix.initDone.Store(true)
+	ix.stats.InitTime.Add(time.Since(start))
+}
+
+// findPieceLocked returns the piece containing value v. Caller must
+// hold the structure latch (LatchPiece) or otherwise exclude
+// structural changes.
+func (ix *Index) findPieceLocked(v int64) *piece {
+	if _, p, ok := ix.toc.Floor(v); ok {
+		return p
+	}
+	return ix.head
+}
+
+// splitTwoLocked records the crack of p at value v / position pos:
+// p keeps the left part [p.lo, pos), a new piece q takes [pos, p.hi).
+// Caller must hold the structure latch and p's write latch (or be
+// otherwise exclusive).
+func (ix *Index) splitTwoLocked(p *piece, v int64, pos int) *piece {
+	q := &piece{
+		lo: pos, hi: p.hi,
+		loVal: v, hiVal: p.hiVal,
+		prev: p, next: p.next,
+		latch: latch.New(ix.opts.Scheduling),
+	}
+	if p.next != nil {
+		p.next.prev = q
+	}
+	p.next = q
+	p.hi = pos
+	p.hiVal = v
+	ix.toc.Insert(v, q)
+	ix.pieces++
+	ix.stats.Boundaries.Inc()
+	return q
+}
+
+// splitThreeLocked records a crack-in-three of p at values (a, b) with
+// result positions (posA, posB). p keeps the left part [p.lo, posA);
+// new pieces are created for the middle [posA, posB) — the qualifying
+// range — and the right part [posB, p.hi). If lockMid is true the
+// middle piece's latch is acquired exclusively *before* the piece is
+// published, so the caller can downgrade it to a shared latch and
+// aggregate the qualifying range in place without a release window
+// (the downgrade technique of §3.3). Caller must hold the structure
+// latch and p's write latch (or be otherwise exclusive).
+func (ix *Index) splitThreeLocked(p *piece, a, b int64, posA, posB int, lockMid bool) *piece {
+	mid := &piece{
+		lo: posA, hi: posB,
+		loVal: a, hiVal: b,
+		prev:  p,
+		latch: latch.New(ix.opts.Scheduling),
+	}
+	if lockMid {
+		// Cannot fail: the piece is not yet visible to anyone else.
+		mid.latch.TryLock()
+	}
+	right := &piece{
+		lo: posB, hi: p.hi,
+		loVal: b, hiVal: p.hiVal,
+		prev: mid, next: p.next,
+		latch: latch.New(ix.opts.Scheduling),
+	}
+	mid.next = right
+	if p.next != nil {
+		p.next.prev = right
+	}
+	p.next = mid
+	p.hi = posA
+	p.hiVal = a
+	ix.toc.Insert(a, mid)
+	ix.toc.Insert(b, right)
+	ix.pieces += 2
+	ix.stats.Boundaries.Add(2)
+	return mid
+}
+
+// LifecycleState is the index life-cycle state of the paper's
+// Figure 5. Traditional online index builds pass through a partially
+// populated but fully optimized state (3); adaptive indexing instead
+// inhabits state 4 — fully populated, partially optimized — and keeps
+// serving both reads and refinements there.
+type LifecycleState int
+
+const (
+	// StateNonexistent: the index does not exist yet (state 1/2 — the
+	// catalog entry is the Index value itself, created but empty).
+	StateNonexistent LifecycleState = iota
+	// StateAdaptive: fully populated, partially optimized (state 4).
+	// All index entries exist but not yet in final position;
+	// optimization is left to future queries.
+	StateAdaptive
+	// StateOptimized: fully populated and effectively fully optimized
+	// (state 5): every piece is at most OptimizedPieceSize wide, so a
+	// lookup costs no more than a bounded final partitioning pass.
+	StateOptimized
+)
+
+func (s LifecycleState) String() string {
+	switch s {
+	case StateNonexistent:
+		return "nonexistent"
+	case StateAdaptive:
+		return "adaptive (fully populated, partially optimized)"
+	default:
+		return "optimized"
+	}
+}
+
+// OptimizedPieceSize is the piece-width threshold below which the
+// index counts as fully optimized (Figure 5 state 5): remaining
+// refinement work per query is bounded by this constant.
+const OptimizedPieceSize = 64
+
+// Lifecycle reports the index's Figure 5 state.
+func (ix *Index) Lifecycle() LifecycleState {
+	ix.structLock()
+	defer ix.structUnlock()
+	if !ix.init {
+		return StateNonexistent
+	}
+	for p := ix.head; p != nil; p = p.next {
+		if p.hi-p.lo > OptimizedPieceSize {
+			return StateAdaptive
+		}
+	}
+	return StateOptimized
+}
+
+// NumPieces returns the current number of pieces (1 + #boundaries).
+func (ix *Index) NumPieces() int {
+	ix.structLock()
+	defer ix.structUnlock()
+	if !ix.init {
+		return 0
+	}
+	return ix.pieces
+}
+
+// Boundaries returns the crack boundary values in increasing order.
+func (ix *Index) Boundaries() []int64 {
+	ix.structLock()
+	defer ix.structUnlock()
+	return ix.toc.Keys()
+}
+
+// PhysicalValues returns a copy of the cracker array's values in
+// their current physical order. For inspection and visualization;
+// callers should quiesce concurrent queries first.
+func (ix *Index) PhysicalValues() []int64 {
+	ix.structLock()
+	defer ix.structUnlock()
+	if !ix.init {
+		return nil
+	}
+	return ix.arr.Values()
+}
+
+// BoundaryPosition is one crack boundary: all values at positions
+// < Pos are < Value, all others are >= Value.
+type BoundaryPosition struct {
+	Value int64
+	Pos   int
+}
+
+// BoundaryPositions returns the crack boundaries with their array
+// positions, in increasing value order.
+func (ix *Index) BoundaryPositions() []BoundaryPosition {
+	ix.structLock()
+	defer ix.structUnlock()
+	out := make([]BoundaryPosition, 0, ix.toc.Len())
+	ix.toc.Ascend(func(k int64, p *piece) bool {
+		out = append(out, BoundaryPosition{Value: k, Pos: p.lo})
+		return true
+	})
+	return out
+}
+
+// Stats returns a pointer to the index-wide counters.
+func (ix *Index) Stats() *Stats { return &ix.stats }
+
+// Validate checks every structural invariant of the index and returns
+// an error describing the first violation. It must be called while no
+// queries are in flight (it takes no piece latches). Checked:
+//
+//   - the piece list is contiguous, starts at 0, ends at Len, and its
+//     value bounds are strictly increasing;
+//   - the AVL table of contents maps exactly the piece boundaries;
+//   - every piece physically contains only values in [loVal, hiVal);
+//   - the cracker array holds a permutation of the base column with
+//     rowID alignment intact.
+func (ix *Index) Validate() error {
+	ix.structLock()
+	defer ix.structUnlock()
+	if !ix.init {
+		return nil
+	}
+	// Piece chain.
+	pos, nPieces := 0, 0
+	prevHi := int64(minKey)
+	for p := ix.head; p != nil; p = p.next {
+		nPieces++
+		if p.lo != pos {
+			return fmt.Errorf("crackindex: piece chain gap at pos %d (piece.lo=%d)", pos, p.lo)
+		}
+		if p.hi < p.lo {
+			return fmt.Errorf("crackindex: negative piece [%d,%d)", p.lo, p.hi)
+		}
+		if p != ix.head && p.loVal != prevHi {
+			return fmt.Errorf("crackindex: piece loVal %d != previous hiVal %d", p.loVal, prevHi)
+		}
+		for i := p.lo; i < p.hi; i++ {
+			v := ix.arr.Value(i)
+			if v < p.loVal || v >= p.hiVal {
+				return fmt.Errorf("crackindex: value %d at pos %d outside piece [%d,%d)",
+					v, i, p.loVal, p.hiVal)
+			}
+		}
+		prevHi = p.hiVal
+		pos = p.hi
+	}
+	if pos != ix.arr.Len() {
+		return fmt.Errorf("crackindex: piece chain covers %d of %d positions", pos, ix.arr.Len())
+	}
+	if nPieces != ix.pieces {
+		return fmt.Errorf("crackindex: pieces counter %d, chain has %d", ix.pieces, nPieces)
+	}
+	// TOC consistency.
+	if ix.toc.Len() != nPieces-1 {
+		return fmt.Errorf("crackindex: TOC has %d boundaries for %d pieces", ix.toc.Len(), nPieces)
+	}
+	var tocErr error
+	ix.toc.Ascend(func(k int64, p *piece) bool {
+		if p.loVal != k {
+			tocErr = fmt.Errorf("crackindex: TOC key %d maps to piece starting at %d", k, p.loVal)
+			return false
+		}
+		return true
+	})
+	if tocErr != nil {
+		return tocErr
+	}
+	// Permutation + alignment with the base column.
+	if ix.arr.Len() != len(ix.base) {
+		return fmt.Errorf("crackindex: array length %d != base %d", ix.arr.Len(), len(ix.base))
+	}
+	seen := make([]bool, len(ix.base))
+	for i := 0; i < ix.arr.Len(); i++ {
+		id := ix.arr.RowID(i)
+		if int(id) >= len(ix.base) || seen[id] {
+			return fmt.Errorf("crackindex: rowID %d out of range or duplicated", id)
+		}
+		seen[id] = true
+		if ix.base[id] != ix.arr.Value(i) {
+			return fmt.Errorf("crackindex: rowID %d maps to %d, base has %d",
+				id, ix.arr.Value(i), ix.base[id])
+		}
+	}
+	return nil
+}
+
+// Options returns the index configuration.
+func (ix *Index) Options() Options { return ix.opts }
+
+// Initialized reports whether the cracker array has been built.
+func (ix *Index) Initialized() bool {
+	ix.structLock()
+	defer ix.structUnlock()
+	return ix.init
+}
+
+// Registry tracks which cracker indexes exist, keyed by column name.
+// It models the paper's "global data structure that keeps track of
+// which cracker indexes do exist" (§5.3): the select operator latches
+// it briefly to look up or initialize the index for a column, then
+// releases it before doing any cracking.
+type Registry struct {
+	mu      sync.RWMutex
+	indexes map[string]*Index
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{indexes: make(map[string]*Index)}
+}
+
+// GetOrCreate returns the index registered under name, creating it
+// with base and opts on first use.
+func (r *Registry) GetOrCreate(name string, base []int64, opts Options) *Index {
+	r.mu.RLock()
+	ix, ok := r.indexes[name]
+	r.mu.RUnlock()
+	if ok {
+		return ix
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ix, ok = r.indexes[name]; ok {
+		return ix
+	}
+	ix = New(base, opts)
+	r.indexes[name] = ix
+	return ix
+}
+
+// Get returns the index registered under name, if any.
+func (r *Registry) Get(name string) (*Index, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ix, ok := r.indexes[name]
+	return ix, ok
+}
+
+// Drop removes the index registered under name. Adaptive indexes are
+// optional and can be dropped at any time (paper §4.2).
+func (r *Registry) Drop(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.indexes, name)
+}
+
+// Names returns the registered column names (unordered).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.indexes))
+	for n := range r.indexes {
+		out = append(out, n)
+	}
+	return out
+}

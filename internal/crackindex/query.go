@@ -1,0 +1,358 @@
+package crackindex
+
+import "time"
+
+// Count executes query type Q1 of the paper's §6 —
+// select count(*) from R where lo <= A < hi — cracking the column as a
+// side effect. It returns the count and the operation's cost breakdown.
+func (ix *Index) Count(lo, hi int64) (int64, OpStats) {
+	return ix.CountTagged("", lo, hi)
+}
+
+// CountTagged is Count with a query tag for the trace hook. The result
+// merges any pending differential updates (see updates.go).
+func (ix *Index) CountTagged(tag string, lo, hi int64) (int64, OpStats) {
+	n, st := ix.countBase(tag, lo, hi)
+	return n + ix.pendingCountAdj(lo, hi), st
+}
+
+// countBase answers from the physical index only, ignoring the
+// differential file.
+func (ix *Index) countBase(tag string, lo, hi int64) (int64, OpStats) {
+	ctx := opCtx{tag: tag}
+	if lo >= hi {
+		return 0, ctx.OpStats
+	}
+	ix.ensureInit(&ctx)
+	switch ix.opts.Latching {
+	case LatchColumn:
+		if ix.opts.OnConflict == Skip {
+			if !ix.tryColumnWrite(&ctx) {
+				n := ix.fallbackScanColumn(false, lo, hi, &ctx)
+				return n, ctx.OpStats
+			}
+		} else {
+			ix.columnWriteLock(lo, &ctx)
+		}
+		posLo, posHi := ix.crackPairExclusive(lo, hi, &ctx)
+		ix.columnWriteUnlock(&ctx)
+		return int64(posHi - posLo), ctx.OpStats
+	case LatchNone:
+		posLo, posHi := ix.crackPairExclusive(lo, hi, &ctx)
+		return int64(posHi - posLo), ctx.OpStats
+	default: // LatchPiece
+		posLo, posHi, _, ok := ix.crackPair(lo, hi, false, &ctx)
+		if !ok {
+			return ix.fallbackScanPiece(false, lo, hi, &ctx), ctx.OpStats
+		}
+		// Boundary positions are permanent: once both bounds are
+		// cracked, the count is derived purely from the index
+		// structure, with no further latching (the "continuously
+		// reduced conflicts" effect of §5.3).
+		return int64(posHi - posLo), ctx.OpStats
+	}
+}
+
+// Sum executes query type Q2 —
+// select sum(A) from R where lo <= A < hi — cracking the column as a
+// side effect and aggregating under read latches.
+func (ix *Index) Sum(lo, hi int64) (int64, OpStats) {
+	return ix.SumTagged("", lo, hi)
+}
+
+// SumTagged is Sum with a query tag for the trace hook. The result
+// merges any pending differential updates (see updates.go).
+func (ix *Index) SumTagged(tag string, lo, hi int64) (int64, OpStats) {
+	s, st := ix.sumBase(tag, lo, hi)
+	return s + ix.pendingSumAdj(lo, hi), st
+}
+
+// sumBase answers from the physical index only, ignoring the
+// differential file.
+func (ix *Index) sumBase(tag string, lo, hi int64) (int64, OpStats) {
+	ctx := opCtx{tag: tag}
+	if lo >= hi {
+		return 0, ctx.OpStats
+	}
+	ix.ensureInit(&ctx)
+	switch ix.opts.Latching {
+	case LatchColumn:
+		if ix.opts.OnConflict == Skip {
+			if !ix.tryColumnWrite(&ctx) {
+				return ix.fallbackScanColumn(true, lo, hi, &ctx), ctx.OpStats
+			}
+		} else {
+			ix.columnWriteLock(lo, &ctx)
+		}
+		posLo, posHi := ix.crackPairExclusive(lo, hi, &ctx)
+		ix.columnWriteUnlock(&ctx)
+		// The aggregation operator runs under a separate read latch:
+		// multiple aggregations proceed in parallel, but no cracking
+		// can happen meanwhile (Figure 8, top).
+		ix.columnReadLock(&ctx)
+		s := ix.arr.Sum(posLo, posHi)
+		ix.columnReadUnlock(&ctx)
+		return s, ctx.OpStats
+	case LatchNone:
+		posLo, posHi := ix.crackPairExclusive(lo, hi, &ctx)
+		return ix.arr.Sum(posLo, posHi), ctx.OpStats
+	default: // LatchPiece
+		posLo, posHi, mid, ok := ix.crackPair(lo, hi, true, &ctx)
+		if !ok {
+			return ix.fallbackScanPiece(true, lo, hi, &ctx), ctx.OpStats
+		}
+		if mid != nil {
+			// Crack-in-three path: the middle piece holds exactly the
+			// qualifying range and is still write-latched; downgrade
+			// to a read latch and aggregate in place (§3.3).
+			ix.traceDowngrade(&ctx, mid)
+			mid.latch.Downgrade()
+			s := ix.arr.Sum(posLo, posHi)
+			ix.pieceReadUnlock(&ctx, mid)
+			return s, ctx.OpStats
+		}
+		return ix.sumWalk(lo, posLo, posHi, &ctx), ctx.OpStats
+	}
+}
+
+// SelectRowIDs executes the select operator of the Figure 6 plan:
+// it returns the base-table row ids of all values in [lo, hi),
+// cracking the column as a side effect. The result order follows the
+// current physical order of the cracker array.
+func (ix *Index) SelectRowIDs(lo, hi int64) ([]uint32, OpStats) {
+	ctx := opCtx{}
+	if lo >= hi {
+		return nil, ctx.OpStats
+	}
+	ix.ensureInit(&ctx)
+	switch ix.opts.Latching {
+	case LatchColumn:
+		if ix.opts.OnConflict == Skip {
+			if !ix.tryColumnWrite(&ctx) {
+				ids := ix.fallbackCollectColumn(lo, hi, &ctx)
+				return ids, ctx.OpStats
+			}
+		} else {
+			ix.columnWriteLock(lo, &ctx)
+		}
+		posLo, posHi := ix.crackPairExclusive(lo, hi, &ctx)
+		ix.columnWriteUnlock(&ctx)
+		ix.columnReadLock(&ctx)
+		ids := ix.arr.AppendRowIDs(make([]uint32, 0, posHi-posLo), posLo, posHi)
+		ix.columnReadUnlock(&ctx)
+		return ids, ctx.OpStats
+	case LatchNone:
+		posLo, posHi := ix.crackPairExclusive(lo, hi, &ctx)
+		return ix.arr.AppendRowIDs(make([]uint32, 0, posHi-posLo), posLo, posHi), ctx.OpStats
+	default:
+		posLo, posHi, mid, ok := ix.crackPair(lo, hi, true, &ctx)
+		if !ok {
+			return ix.fallbackCollectPiece(lo, hi, &ctx), ctx.OpStats
+		}
+		if mid != nil {
+			ix.traceDowngrade(&ctx, mid)
+			mid.latch.Downgrade()
+			ids := ix.arr.AppendRowIDs(make([]uint32, 0, posHi-posLo), posLo, posHi)
+			ix.pieceReadUnlock(&ctx, mid)
+			return ids, ctx.OpStats
+		}
+		ids := make([]uint32, 0, posHi-posLo)
+		ix.walkPieces(lo, posHi, &ctx, func(start, end int) {
+			ids = ix.arr.AppendRowIDs(ids, start, end)
+		})
+		return ids, ctx.OpStats
+	}
+}
+
+// ensureInit lazily builds the cracker array on the first query
+// touching the index. The initializing query charges the copy to its
+// refinement time; queries that block behind it charge wait time
+// (compare Figure 15's expensive first query).
+func (ix *Index) ensureInit(ctx *opCtx) {
+	if ix.initDone.Load() {
+		return
+	}
+	start := time.Now()
+	ix.mu.Lock()
+	if !ix.init {
+		ix.ensureInitLocked()
+		ix.mu.Unlock()
+		d := time.Since(start)
+		ctx.Crack += d
+		ix.stats.CrackTime.Add(d)
+		return
+	}
+	ix.mu.Unlock()
+	ctx.addWait(time.Since(start))
+}
+
+// sumWalk aggregates positions [posLo, posHi) by walking the piece
+// list from the piece starting at value lo, read-latching one piece at
+// a time. Holding at most one latch keeps the protocol deadlock-free
+// and lets cracking of other pieces proceed concurrently (Figure 8,
+// middle and bottom).
+func (ix *Index) sumWalk(lo int64, posLo, posHi int, ctx *opCtx) int64 {
+	var s int64
+	ix.walkPieces(lo, posHi, ctx, func(start, end int) {
+		if start < posLo {
+			start = posLo
+		}
+		s += ix.arr.Sum(start, end)
+	})
+	return s
+}
+
+// walkPieces visits the pieces covering positions up to posHi,
+// starting at the piece whose loVal boundary is <= lo, invoking visit
+// with each piece's clamped [start, end) position range while holding
+// that piece's read latch.
+func (ix *Index) walkPieces(lo int64, posHi int, ctx *opCtx, visit func(start, end int)) {
+	ix.mu.Lock()
+	p := ix.findPieceLocked(lo)
+	ix.mu.Unlock()
+	for p != nil && p.lo < posHi { // p.lo is immutable: safe unlatched
+		ix.pieceReadLock(p, ctx)
+		end := p.hi // stable under the read latch
+		if end > posHi {
+			end = posHi
+		}
+		if p.lo < end {
+			visit(p.lo, end)
+		}
+		np := p.next // stable under the read latch
+		ix.pieceReadUnlock(ctx, p)
+		p = np
+	}
+}
+
+// fallbackScanPiece answers a query without refining the index: the
+// optional crack was forgone (conflict avoidance), so the answer is
+// computed by predicate scans over the read-latched pieces overlapping
+// [lo, hi). Pieces fully covered by the predicate use position-based
+// aggregation.
+func (ix *Index) fallbackScanPiece(wantSum bool, lo, hi int64, ctx *opCtx) int64 {
+	var res int64
+	ix.mu.Lock()
+	p := ix.findPieceLocked(lo)
+	ix.mu.Unlock()
+	for p != nil && p.loVal < hi { // p.loVal is immutable: safe unlatched
+		ix.pieceReadLock(p, ctx)
+		res += ix.scanPieceLocked(p, wantSum, lo, hi)
+		np := p.next
+		ix.pieceReadUnlock(ctx, p)
+		p = np
+	}
+	return res
+}
+
+// scanPieceLocked aggregates the qualifying values of p; caller holds
+// p's read latch (or has exclusive access).
+func (ix *Index) scanPieceLocked(p *piece, wantSum bool, lo, hi int64) int64 {
+	if p.loVal >= lo && p.hiVal <= hi {
+		// Fully covered: no predicate needed.
+		if wantSum {
+			return ix.arr.Sum(p.lo, p.hi)
+		}
+		return int64(p.hi - p.lo)
+	}
+	if wantSum {
+		return ix.arr.ScanSum(p.lo, p.hi, lo, hi)
+	}
+	return ix.arr.ScanCount(p.lo, p.hi, lo, hi)
+}
+
+// fallbackScanColumn is the LatchColumn variant: one read latch over
+// the whole column, then an unlatched piece walk (structure is stable
+// under the column read latch).
+func (ix *Index) fallbackScanColumn(wantSum bool, lo, hi int64, ctx *opCtx) int64 {
+	ix.columnReadLock(ctx)
+	defer ix.columnReadUnlock(ctx)
+	var res int64
+	ix.structLock()
+	p := ix.findPieceLocked(lo)
+	ix.structUnlock()
+	for p != nil && p.loVal < hi {
+		res += ix.scanPieceLocked(p, wantSum, lo, hi)
+		p = p.next
+	}
+	return res
+}
+
+// fallbackCollectPiece collects qualifying rowIDs without refinement.
+func (ix *Index) fallbackCollectPiece(lo, hi int64, ctx *opCtx) []uint32 {
+	var ids []uint32
+	ix.mu.Lock()
+	p := ix.findPieceLocked(lo)
+	ix.mu.Unlock()
+	for p != nil && p.loVal < hi {
+		ix.pieceReadLock(p, ctx)
+		ids = ix.arr.AppendRowIDsWhere(ids, p.lo, p.hi, lo, hi)
+		np := p.next
+		ix.pieceReadUnlock(ctx, p)
+		p = np
+	}
+	return ids
+}
+
+// fallbackCollectColumn collects qualifying rowIDs under the column
+// read latch.
+func (ix *Index) fallbackCollectColumn(lo, hi int64, ctx *opCtx) []uint32 {
+	ix.columnReadLock(ctx)
+	defer ix.columnReadUnlock(ctx)
+	var ids []uint32
+	ix.structLock()
+	p := ix.findPieceLocked(lo)
+	ix.structUnlock()
+	for p != nil && p.loVal < hi {
+		ids = ix.arr.AppendRowIDsWhere(ids, p.lo, p.hi, lo, hi)
+		p = p.next
+	}
+	return ids
+}
+
+// Column-latch helpers (LatchColumn mode).
+
+func (ix *Index) columnWriteLock(bound int64, ctx *opCtx) {
+	ix.traceWant(ctx, nil, true, bound)
+	w := ix.colLatch.Lock(bound)
+	ctx.addWait(w)
+	if w > 0 {
+		ix.stats.Conflicts.Inc()
+		ix.stats.WaitTime.Add(w)
+	}
+	ix.traceAcquired(ctx, nil, true)
+}
+
+func (ix *Index) tryColumnWrite(ctx *opCtx) bool {
+	ix.traceWant(ctx, nil, true, 0)
+	if !ix.colLatch.TryLock() {
+		ctx.Conflicts++
+		ctx.Skipped = true
+		ix.stats.Conflicts.Inc()
+		ix.stats.Skipped.Inc()
+		return false
+	}
+	ix.traceAcquired(ctx, nil, true)
+	return true
+}
+
+func (ix *Index) columnWriteUnlock(ctx *opCtx) {
+	ix.traceRelease(ctx, nil, true)
+	ix.colLatch.Unlock()
+}
+
+func (ix *Index) columnReadLock(ctx *opCtx) {
+	ix.traceWant(ctx, nil, false, 0)
+	w := ix.colLatch.RLock()
+	ctx.addWait(w)
+	if w > 0 {
+		ix.stats.Conflicts.Inc()
+		ix.stats.WaitTime.Add(w)
+	}
+	ix.traceAcquired(ctx, nil, false)
+}
+
+func (ix *Index) columnReadUnlock(ctx *opCtx) {
+	ix.traceRelease(ctx, nil, false)
+	ix.colLatch.RUnlock()
+}

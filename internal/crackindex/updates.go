@@ -1,0 +1,121 @@
+package crackindex
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Differential updates.
+//
+// The paper's read-only experiments defer update algorithms to the
+// "Updating a cracked database" work [21] and note (§4.2) that
+// adaptive indexing "relies on a form of differential files [30] for
+// high update rates". This file implements exactly that: logical
+// inserts and deletes accumulate in small sorted pending arrays (the
+// differential file) and every query merges their effect into its
+// answer. The physical cracker array — the index *structure* — is
+// untouched, so all concurrency-control machinery for refinement keeps
+// working unchanged while contents change; pending updates are guarded
+// by their own short read-write latch, acquired only outside any piece
+// latch (no lock-order cycles by construction).
+//
+// A user transaction that wants classical isolation for its updates
+// takes an X lock on the column through the lock manager; the
+// refinement LockProbe then makes concurrent queries forgo structural
+// changes while the update is in flight (§3.3).
+
+// pendingUpdates is the differential file: sorted multisets of
+// inserted and deleted values.
+type pendingUpdates struct {
+	mu  sync.RWMutex
+	ins []int64
+	del []int64
+}
+
+// pendingTotal mirrors len(ins)+len(del) for a latch-free fast path.
+type pendingCounter struct {
+	n atomic.Int64
+}
+
+func insertSorted(s []int64, v int64) []int64 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// countRange counts values in [lo, hi) of a sorted slice.
+func countRange(s []int64, lo, hi int64) int64 {
+	a := sort.Search(len(s), func(i int) bool { return s[i] >= lo })
+	b := sort.Search(len(s), func(i int) bool { return s[i] >= hi })
+	return int64(b - a)
+}
+
+// sumRange sums values in [lo, hi) of a sorted slice.
+func sumRange(s []int64, lo, hi int64) int64 {
+	a := sort.Search(len(s), func(i int) bool { return s[i] >= lo })
+	b := sort.Search(len(s), func(i int) bool { return s[i] >= hi })
+	var t int64
+	for _, v := range s[a:b] {
+		t += v
+	}
+	return t
+}
+
+// Insert adds one logical instance of v to the column's contents.
+// The index structure is not touched: the value lands in the
+// differential file and is merged into every query answer.
+func (ix *Index) Insert(v int64) {
+	ix.pend.mu.Lock()
+	ix.pend.ins = insertSorted(ix.pend.ins, v)
+	ix.pend.mu.Unlock()
+	ix.pendN.n.Add(1)
+}
+
+// DeleteValue removes one logical instance of v, reporting whether
+// one existed. Deletion is also differential: a deletion marker
+// ("anti-matter" in the paper's §4.2 terminology) joins the pending
+// file and cancels one instance at query time.
+func (ix *Index) DeleteValue(v int64) bool {
+	// The base count cracks the column as a side effect — a single
+	// user operation both querying and optimizing the index (§3).
+	base, _ := ix.countBase("", v, v+1)
+	ix.pend.mu.Lock()
+	defer ix.pend.mu.Unlock()
+	logical := base + countRange(ix.pend.ins, v, v+1) - countRange(ix.pend.del, v, v+1)
+	if logical <= 0 {
+		return false
+	}
+	ix.pend.del = insertSorted(ix.pend.del, v)
+	ix.pendN.n.Add(1)
+	return true
+}
+
+// PendingUpdates returns the number of pending (inserts, deletes).
+func (ix *Index) PendingUpdates() (inserts, deletes int) {
+	ix.pend.mu.RLock()
+	defer ix.pend.mu.RUnlock()
+	return len(ix.pend.ins), len(ix.pend.del)
+}
+
+// pendingCountAdj returns the count adjustment for [lo, hi).
+func (ix *Index) pendingCountAdj(lo, hi int64) int64 {
+	if ix.pendN.n.Load() == 0 {
+		return 0
+	}
+	ix.pend.mu.RLock()
+	defer ix.pend.mu.RUnlock()
+	return countRange(ix.pend.ins, lo, hi) - countRange(ix.pend.del, lo, hi)
+}
+
+// pendingSumAdj returns the sum adjustment for [lo, hi).
+func (ix *Index) pendingSumAdj(lo, hi int64) int64 {
+	if ix.pendN.n.Load() == 0 {
+		return 0
+	}
+	ix.pend.mu.RLock()
+	defer ix.pend.mu.RUnlock()
+	return sumRange(ix.pend.ins, lo, hi) - sumRange(ix.pend.del, lo, hi)
+}

@@ -1,0 +1,85 @@
+// Package engine defines the common query-engine interface shared by
+// the three approaches compared throughout the paper's §6 — plain
+// scans, full indexing (sort once, then binary search), and adaptive
+// indexing (database cracking) — plus adapters over the concrete
+// implementations. The harness drives any Engine with the same
+// deterministic query streams.
+package engine
+
+import (
+	"time"
+
+	"adaptix/internal/crackindex"
+)
+
+// Result is the outcome of one query against an engine, with the cost
+// breakdown the experiments plot (Figures 13 and 15).
+type Result struct {
+	// Value is the count or sum.
+	Value int64
+	// Wait is time spent blocked on latches.
+	Wait time.Duration
+	// Refine is time spent refining the index (cracking, sorting runs,
+	// merging) as a side effect of the query.
+	Refine time.Duration
+	// Conflicts counts latch acquisitions that were not immediate.
+	Conflicts int64
+	// Skipped reports that an optional refinement was forgone.
+	Skipped bool
+}
+
+// Engine answers the paper's two query templates over one column.
+// Implementations must be safe for concurrent use.
+type Engine interface {
+	// Name identifies the engine in experiment output.
+	Name() string
+	// Count evaluates Q1: select count(*) where lo <= A < hi.
+	Count(lo, hi int64) Result
+	// Sum evaluates Q2: select sum(A) where lo <= A < hi.
+	Sum(lo, hi int64) Result
+}
+
+// Crack adapts a cracked-column index to the Engine interface.
+type Crack struct {
+	ix   *crackindex.Index
+	name string
+}
+
+// NewCrack wraps ix; name defaults to "crack".
+func NewCrack(ix *crackindex.Index) *Crack {
+	return &Crack{ix: ix, name: "crack"}
+}
+
+// NewCrackNamed wraps ix with an explicit display name (used by the
+// ablation benchmarks to distinguish configurations).
+func NewCrackNamed(ix *crackindex.Index, name string) *Crack {
+	return &Crack{ix: ix, name: name}
+}
+
+// Name implements Engine.
+func (c *Crack) Name() string { return c.name }
+
+// Index returns the wrapped cracked-column index.
+func (c *Crack) Index() *crackindex.Index { return c.ix }
+
+// Count implements Engine.
+func (c *Crack) Count(lo, hi int64) Result {
+	v, st := c.ix.Count(lo, hi)
+	return fromOpStats(v, st)
+}
+
+// Sum implements Engine.
+func (c *Crack) Sum(lo, hi int64) Result {
+	v, st := c.ix.Sum(lo, hi)
+	return fromOpStats(v, st)
+}
+
+func fromOpStats(v int64, st crackindex.OpStats) Result {
+	return Result{
+		Value:     v,
+		Wait:      st.Wait,
+		Refine:    st.Crack,
+		Conflicts: st.Conflicts,
+		Skipped:   st.Skipped,
+	}
+}

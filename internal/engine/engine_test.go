@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"testing"
+
+	"adaptix/internal/crackindex"
+	"adaptix/internal/workload"
+)
+
+func TestCrackAdapter(t *testing.T) {
+	d := workload.NewUniqueUniform(5000, 3)
+	ix := crackindex.New(d.Values, crackindex.Options{Latching: crackindex.LatchPiece})
+	e := NewCrack(ix)
+	if e.Name() != "crack" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	if e.Index() != ix {
+		t.Fatal("Index accessor lost the index")
+	}
+	r := e.Count(100, 600)
+	if r.Value != 500 {
+		t.Fatalf("Count = %d", r.Value)
+	}
+	if r.Refine == 0 {
+		t.Fatal("first query should report refinement time")
+	}
+	r = e.Sum(100, 600)
+	if want := int64((100 + 599) * 500 / 2); r.Value != want {
+		t.Fatalf("Sum = %d, want %d", r.Value, want)
+	}
+}
+
+func TestNamedAdapter(t *testing.T) {
+	d := workload.NewUniqueUniform(100, 5)
+	ix := crackindex.New(d.Values, crackindex.Options{})
+	e := NewCrackNamed(ix, "crack-fifo")
+	if e.Name() != "crack-fifo" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+}
+
+func TestResultCarriesBreakdown(t *testing.T) {
+	d := workload.NewUniqueUniform(1000, 7)
+	ix := crackindex.New(d.Values, crackindex.Options{
+		Latching:   crackindex.LatchPiece,
+		OnConflict: crackindex.Skip,
+	})
+	e := NewCrack(ix)
+	// Without contention nothing is skipped and conflicts are zero.
+	r := e.Count(10, 500)
+	if r.Skipped || r.Conflicts != 0 {
+		t.Fatalf("unexpected contention markers: %+v", r)
+	}
+}

@@ -1,0 +1,127 @@
+// Package harness drives engines with concurrent client streams and
+// collects the per-query measurements the paper's experiments plot.
+//
+// The set-up mirrors §6.2: a fixed sequence of queries is divided
+// among N clients that start at the same time; "for every run we use
+// exactly the same queries and in the same order". Each client is a
+// goroutine issuing its share of the sequence back-to-back with no
+// think time.
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptix/internal/engine"
+	"adaptix/internal/metrics"
+	"adaptix/internal/workload"
+)
+
+// Run is the outcome of one experiment run.
+type Run struct {
+	// Engine is the engine name.
+	Engine string
+	// Clients is the number of concurrent clients used.
+	Clients int
+	// Elapsed is the wall-clock time until the last client finished
+	// (the paper's "time perceived by the last client to receive all
+	// answers for all its queries").
+	Elapsed time.Duration
+	// Series holds one cost record per query, ordered by completion.
+	Series metrics.Series
+	// Checksum folds all query results together, letting callers
+	// verify that every engine computed identical answers.
+	Checksum int64
+}
+
+// Throughput returns queries per second over the whole run.
+func (r *Run) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(len(r.Series.Costs)) / r.Elapsed.Seconds()
+}
+
+// Execute runs the query sequence against e with the given number of
+// concurrent clients. The sequence is split into contiguous
+// per-client streams (client c fires queries [c*k, (c+1)*k)). Queries
+// beyond clients*k (remainder) go to the last client.
+func Execute(e engine.Engine, queries []workload.Query, clients int) *Run {
+	if clients < 1 {
+		clients = 1
+	}
+	if clients > len(queries) {
+		clients = len(queries)
+	}
+	per := len(queries) / clients
+
+	costs := make([][]metrics.QueryCost, clients)
+	sums := make([]int64, clients)
+	var seq atomic.Int64
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		lo := c * per
+		hi := lo + per
+		if c == clients-1 {
+			hi = len(queries)
+		}
+		wg.Add(1)
+		go func(c int, qs []workload.Query) {
+			defer wg.Done()
+			local := make([]metrics.QueryCost, 0, len(qs))
+			var checksum int64
+			for _, q := range qs {
+				t0 := time.Now()
+				var res engine.Result
+				if q.Kind == workload.Count {
+					res = e.Count(q.Lo, q.Hi)
+				} else {
+					res = e.Sum(q.Lo, q.Hi)
+				}
+				local = append(local, metrics.QueryCost{
+					Seq:       int(seq.Add(1) - 1),
+					Client:    c,
+					Response:  time.Since(t0),
+					Wait:      res.Wait,
+					Crack:     res.Refine,
+					Conflicts: res.Conflicts,
+					Skipped:   res.Skipped,
+				})
+				checksum += res.Value
+			}
+			costs[c] = local
+			sums[c] = checksum
+		}(c, queries[lo:hi])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	run := &Run{Engine: e.Name(), Clients: clients, Elapsed: elapsed}
+	for c := range costs {
+		run.Series.Costs = append(run.Series.Costs, costs[c]...)
+		run.Checksum += sums[c]
+	}
+	run.Series.SortBySeq()
+	return run
+}
+
+// Sequential runs the whole sequence on a single client.
+func Sequential(e engine.Engine, queries []workload.Query) *Run {
+	return Execute(e, queries, 1)
+}
+
+// Sweep runs the same query sequence for each client count and
+// returns one Run per entry, e.g. the 1..32 client sweep of
+// Figures 12 and 14. The engine factory is invoked fresh for every
+// client count so each run starts from an unrefined index, exactly
+// like the paper repeating the experiment per configuration.
+func Sweep(factory func() engine.Engine, queries []workload.Query, clientCounts []int) []*Run {
+	runs := make([]*Run, 0, len(clientCounts))
+	for _, c := range clientCounts {
+		runs = append(runs, Execute(factory(), queries, c))
+	}
+	return runs
+}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"testing"
+
+	"adaptix/internal/baseline"
+	"adaptix/internal/crackindex"
+	"adaptix/internal/engine"
+	"adaptix/internal/workload"
+)
+
+func engines(d *workload.Dataset) []engine.Engine {
+	return []engine.Engine{
+		baseline.NewScan(d.Values),
+		baseline.NewFullSort(d.Values),
+		engine.NewCrack(crackindex.New(d.Values, crackindex.Options{Latching: crackindex.LatchPiece})),
+	}
+}
+
+func TestAllEnginesAgreeSequential(t *testing.T) {
+	d := workload.NewUniqueUniform(20000, 77)
+	qs := workload.Fixed(workload.NewUniform(workload.Sum, d.Domain, 0.01, 5), 64)
+	var checksums []int64
+	for _, e := range engines(d) {
+		run := Sequential(e, qs)
+		if len(run.Series.Costs) != len(qs) {
+			t.Fatalf("%s: %d cost records, want %d", e.Name(), len(run.Series.Costs), len(qs))
+		}
+		checksums = append(checksums, run.Checksum)
+	}
+	if checksums[0] != checksums[1] || checksums[1] != checksums[2] {
+		t.Fatalf("engines disagree: %v", checksums)
+	}
+}
+
+func TestAllEnginesAgreeConcurrent(t *testing.T) {
+	d := workload.NewUniqueUniform(50000, 13)
+	qs := workload.Fixed(workload.NewUniform(workload.Sum, d.Domain, 0.005, 21), 128)
+	for _, clients := range []int{2, 4, 8} {
+		want := Sequential(baseline.NewScan(d.Values), qs).Checksum
+		for _, e := range engines(d) {
+			run := Execute(e, qs, clients)
+			if run.Checksum != want {
+				t.Fatalf("%s with %d clients: checksum %d, want %d",
+					e.Name(), clients, run.Checksum, want)
+			}
+			if run.Clients != clients || run.Elapsed <= 0 {
+				t.Fatalf("%s: bad run metadata %+v", e.Name(), run)
+			}
+		}
+	}
+}
+
+func TestExecuteSplitsQueriesAcrossClients(t *testing.T) {
+	d := workload.NewUniqueUniform(1000, 1)
+	qs := workload.Fixed(workload.NewUniform(workload.Count, d.Domain, 0.1, 2), 10)
+	run := Execute(baseline.NewScan(d.Values), qs, 3)
+	// 10 queries, 3 clients: 3+3+4.
+	perClient := map[int]int{}
+	for _, c := range run.Series.Costs {
+		perClient[c.Client]++
+	}
+	if perClient[0] != 3 || perClient[1] != 3 || perClient[2] != 4 {
+		t.Fatalf("bad split: %v", perClient)
+	}
+	// Seq must be a permutation of 0..9.
+	seen := map[int]bool{}
+	for _, c := range run.Series.Costs {
+		if c.Seq < 0 || c.Seq >= 10 || seen[c.Seq] {
+			t.Fatalf("bad Seq %d", c.Seq)
+		}
+		seen[c.Seq] = true
+	}
+}
+
+func TestExecuteClampsClientCount(t *testing.T) {
+	d := workload.NewUniqueUniform(100, 1)
+	qs := workload.Fixed(workload.NewUniform(workload.Count, d.Domain, 0.5, 3), 4)
+	run := Execute(baseline.NewScan(d.Values), qs, 100)
+	if run.Clients != 4 {
+		t.Fatalf("clients = %d, want clamped to 4", run.Clients)
+	}
+	run = Execute(baseline.NewScan(d.Values), qs, 0)
+	if run.Clients != 1 {
+		t.Fatalf("clients = %d, want 1", run.Clients)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	d := workload.NewUniqueUniform(5000, 4)
+	qs := workload.Fixed(workload.NewUniform(workload.Count, d.Domain, 0.1, 9), 32)
+	run := Sequential(baseline.NewScan(d.Values), qs)
+	if run.Throughput() <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+	empty := &Run{}
+	if empty.Throughput() != 0 {
+		t.Fatal("empty run throughput should be 0")
+	}
+}
+
+func TestSweepFreshEnginePerRun(t *testing.T) {
+	d := workload.NewUniqueUniform(20000, 6)
+	qs := workload.Fixed(workload.NewUniform(workload.Sum, d.Domain, 0.01, 31), 64)
+	var made int
+	runs := Sweep(func() engine.Engine {
+		made++
+		return engine.NewCrack(crackindex.New(d.Values, crackindex.Options{Latching: crackindex.LatchPiece}))
+	}, qs, []int{1, 2, 4})
+	if made != 3 || len(runs) != 3 {
+		t.Fatalf("made %d engines, %d runs", made, len(runs))
+	}
+	if runs[0].Checksum != runs[1].Checksum || runs[1].Checksum != runs[2].Checksum {
+		t.Fatal("sweep runs disagree on results")
+	}
+}
+
+func TestCrackAdapterExposesBreakdown(t *testing.T) {
+	d := workload.NewUniqueUniform(50000, 15)
+	ix := crackindex.New(d.Values, crackindex.Options{Latching: crackindex.LatchPiece})
+	e := engine.NewCrack(ix)
+	qs := workload.Fixed(workload.NewUniform(workload.Sum, d.Domain, 0.05, 8), 32)
+	run := Execute(e, qs, 4)
+	if run.Series.TotalCrack() == 0 {
+		t.Fatal("no crack time recorded via the adapter")
+	}
+	if e.Index() != ix {
+		t.Fatal("adapter lost the index")
+	}
+	if engine.NewCrackNamed(ix, "crack-fifo").Name() != "crack-fifo" {
+		t.Fatal("bad named adapter")
+	}
+}

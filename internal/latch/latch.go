@@ -1,0 +1,254 @@
+// Package latch implements the short-term latches that protect the
+// physical index structures of adaptive indexing (paper §3.1, Table 1).
+//
+// Latches differ from transactional locks: they separate threads rather
+// than transactions, they protect in-memory data structures rather than
+// logical database contents, they are held for critical sections rather
+// than whole transactions, and deadlocks are avoided by coding
+// discipline rather than detected. In this codebase the discipline is
+// that a query holds at most one piece latch at a time.
+//
+// The Latch type adds two features over a plain sync.RWMutex, both
+// required by the paper's experiments:
+//
+//  1. Wait-time accounting. Acquisition methods return the time the
+//     caller spent blocked, which the harness aggregates into the
+//     Figure 15 wait-time series and the conflict counters.
+//
+//  2. Scheduled hand-off for waiting crack operations. Writers register
+//     the crack bound they intend to apply; waiters are kept sorted by
+//     bound and, on release, the *middle-most* waiter is granted first.
+//     Splitting the remaining domain in half maximizes the chance that
+//     the remaining waiters can then proceed in parallel (paper §5.3,
+//     "Optimizations": insertion sort on bounds, wake the middle).
+package latch
+
+import (
+	"sync"
+	"time"
+)
+
+// Policy selects the order in which queued writers are granted the latch.
+type Policy int
+
+const (
+	// MiddleFirst grants the queued writer whose crack bound is the
+	// median of all waiting bounds (the paper's scheduling optimization).
+	MiddleFirst Policy = iota
+	// FIFO grants writers in arrival order; used by the scheduling
+	// ablation benchmark.
+	FIFO
+)
+
+func (p Policy) String() string {
+	if p == MiddleFirst {
+		return "middle-first"
+	}
+	return "fifo"
+}
+
+type waiter struct {
+	bound int64
+	seq   uint64 // arrival order, for FIFO and for stable middle picks
+	ready chan struct{}
+}
+
+// Latch is a read/write latch with wait accounting and scheduled
+// hand-off. The zero value is a usable latch with MiddleFirst policy.
+//
+// Grant rules (reader preference, matching the Figure 8 timelines):
+//   - a reader is granted whenever no writer is active;
+//   - a writer is granted when the latch is entirely free and no other
+//     writer is queued ahead of it per the policy;
+//   - on writer release, all queued readers are granted together; if
+//     none, the policy-chosen writer is granted;
+//   - on last-reader release, the policy-chosen writer is granted.
+type Latch struct {
+	mu      sync.Mutex
+	readers int  // active shared holders
+	writer  bool // active exclusive holder
+	writeQ  []waiter
+	readQ   []chan struct{}
+	seq     uint64
+	policy  Policy
+}
+
+// New returns a latch with the given writer-scheduling policy.
+func New(p Policy) *Latch { return &Latch{policy: p} }
+
+// Lock acquires the latch exclusively, for a crack at the given bound.
+// The bound is only used to order waiting writers; callers that latch a
+// whole column may pass any value. It returns the time spent blocked
+// (zero when granted immediately).
+func (l *Latch) Lock(bound int64) time.Duration {
+	l.mu.Lock()
+	if !l.writer && l.readers == 0 && len(l.writeQ) == 0 {
+		l.writer = true
+		l.mu.Unlock()
+		return 0
+	}
+	w := waiter{bound: bound, seq: l.seq, ready: make(chan struct{})}
+	l.seq++
+	l.enqueueWriter(w)
+	l.mu.Unlock()
+	start := time.Now()
+	<-w.ready // ownership transferred by releaser
+	return time.Since(start)
+}
+
+// TryLock attempts to acquire the latch exclusively without blocking.
+// It reports whether the latch was acquired. Used for conflict
+// avoidance: refinement is optional, so on failure the caller may
+// simply forgo cracking (paper §3.3).
+func (l *Latch) TryLock() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.writer || l.readers > 0 || len(l.writeQ) > 0 {
+		return false
+	}
+	l.writer = true
+	return true
+}
+
+// Unlock releases exclusive ownership and hands the latch to waiting
+// readers (all of them) or, if none, to the policy-chosen writer.
+func (l *Latch) Unlock() {
+	l.mu.Lock()
+	if !l.writer {
+		l.mu.Unlock()
+		panic("latch: Unlock of non-write-held latch")
+	}
+	l.writer = false
+	l.grantLocked()
+	l.mu.Unlock()
+}
+
+// Downgrade converts an exclusive hold into a shared hold without
+// releasing, and admits all queued readers alongside. The paper's early
+// termination discussion (§3.3) allows a refining system transaction to
+// "downgrade [its latches] to shared latches, permitting the concurrent
+// user query to proceed" — and the crack-then-aggregate path uses it to
+// scan the piece it just refined without a release/re-acquire window.
+func (l *Latch) Downgrade() {
+	l.mu.Lock()
+	if !l.writer {
+		l.mu.Unlock()
+		panic("latch: Downgrade of non-write-held latch")
+	}
+	l.writer = false
+	l.readers = 1 + len(l.readQ)
+	for _, ch := range l.readQ {
+		close(ch)
+	}
+	l.readQ = l.readQ[:0]
+	l.mu.Unlock()
+}
+
+// RLock acquires the latch shared. It returns the time spent blocked.
+func (l *Latch) RLock() time.Duration {
+	l.mu.Lock()
+	if !l.writer {
+		// Reader preference: admit even if writers are queued.
+		l.readers++
+		l.mu.Unlock()
+		return 0
+	}
+	ch := make(chan struct{})
+	l.readQ = append(l.readQ, ch)
+	l.mu.Unlock()
+	start := time.Now()
+	<-ch
+	return time.Since(start)
+}
+
+// TryRLock attempts to acquire the latch shared without blocking and
+// reports whether it succeeded.
+func (l *Latch) TryRLock() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.writer {
+		return false
+	}
+	l.readers++
+	return true
+}
+
+// RUnlock releases a shared hold; the last reader out hands the latch
+// to the policy-chosen waiting writer.
+func (l *Latch) RUnlock() {
+	l.mu.Lock()
+	if l.readers <= 0 {
+		l.mu.Unlock()
+		panic("latch: RUnlock of non-read-held latch")
+	}
+	l.readers--
+	if l.readers == 0 {
+		l.grantLocked()
+	}
+	l.mu.Unlock()
+}
+
+// enqueueWriter inserts w keeping writeQ sorted by bound (insertion
+// sort, as in the paper). Under FIFO the queue is kept in seq order.
+func (l *Latch) enqueueWriter(w waiter) {
+	if l.policy == FIFO {
+		l.writeQ = append(l.writeQ, w)
+		return
+	}
+	i := len(l.writeQ)
+	for i > 0 && l.writeQ[i-1].bound > w.bound {
+		i--
+	}
+	l.writeQ = append(l.writeQ, waiter{})
+	copy(l.writeQ[i+1:], l.writeQ[i:])
+	l.writeQ[i] = w
+}
+
+// grantLocked transfers ownership after a release. Caller holds l.mu.
+func (l *Latch) grantLocked() {
+	if l.writer || l.readers > 0 {
+		return
+	}
+	if len(l.readQ) > 0 {
+		l.readers = len(l.readQ)
+		for _, ch := range l.readQ {
+			close(ch)
+		}
+		l.readQ = l.readQ[:0]
+		return
+	}
+	if len(l.writeQ) == 0 {
+		return
+	}
+	var i int
+	if l.policy == MiddleFirst {
+		i = len(l.writeQ) / 2
+	}
+	w := l.writeQ[i]
+	l.writeQ = append(l.writeQ[:i], l.writeQ[i+1:]...)
+	l.writer = true
+	close(w.ready)
+}
+
+// QueuedWriters returns the number of writers currently waiting;
+// exposed for tests and for the scheduling example.
+func (l *Latch) QueuedWriters() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.writeQ)
+}
+
+// WaiterBounds returns a snapshot of the crack bounds of all queued
+// writers. The current latch holder uses it for group cracking (the
+// paper's §7 "dynamic algorithms"): refine the index for every waiting
+// request in one step, so the waiters find their boundary already in
+// place when they are granted the latch.
+func (l *Latch) WaiterBounds() []int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]int64, len(l.writeQ))
+	for i, w := range l.writeQ {
+		out[i] = w.bound
+	}
+	return out
+}

@@ -1,0 +1,340 @@
+package latch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestExclusiveMutualExclusion(t *testing.T) {
+	l := New(MiddleFirst)
+	var counter, max int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				l.Lock(int64(j))
+				c := atomic.AddInt64(&counter, 1)
+				if c > atomic.LoadInt64(&max) {
+					atomic.StoreInt64(&max, c)
+				}
+				atomic.AddInt64(&counter, -1)
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if max != 1 {
+		t.Fatalf("max concurrent writers = %d", max)
+	}
+}
+
+func TestReadersShareWritersExclude(t *testing.T) {
+	l := New(MiddleFirst)
+	var readers, writers int64
+	var violation atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.RLock()
+				atomic.AddInt64(&readers, 1)
+				if atomic.LoadInt64(&writers) != 0 {
+					violation.Store(true)
+				}
+				atomic.AddInt64(&readers, -1)
+				l.RUnlock()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.Lock(0)
+				atomic.AddInt64(&writers, 1)
+				if atomic.LoadInt64(&readers) != 0 || atomic.LoadInt64(&writers) != 1 {
+					violation.Store(true)
+				}
+				atomic.AddInt64(&writers, -1)
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if violation.Load() {
+		t.Fatal("reader/writer exclusion violated")
+	}
+}
+
+func TestMultipleReadersConcurrent(t *testing.T) {
+	l := New(MiddleFirst)
+	var active, peak int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			l.RLock()
+			c := atomic.AddInt64(&active, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if c <= p || atomic.CompareAndSwapInt64(&peak, p, c) {
+					break
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+			atomic.AddInt64(&active, -1)
+			l.RUnlock()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if peak < 2 {
+		t.Fatalf("readers never overlapped (peak=%d)", peak)
+	}
+}
+
+func TestWaitTimeReported(t *testing.T) {
+	l := New(MiddleFirst)
+	l.Lock(0)
+	done := make(chan time.Duration, 1)
+	go func() {
+		done <- l.Lock(1)
+	}()
+	time.Sleep(30 * time.Millisecond)
+	l.Unlock()
+	w := <-done
+	if w < 10*time.Millisecond {
+		t.Fatalf("wait time %v, expected >= ~30ms", w)
+	}
+	l.Unlock()
+	// Uncontended acquisition reports zero wait.
+	if w := l.Lock(0); w != 0 {
+		t.Fatalf("uncontended Lock waited %v", w)
+	}
+	l.Unlock()
+	if w := l.RLock(); w != 0 {
+		t.Fatalf("uncontended RLock waited %v", w)
+	}
+	l.RUnlock()
+}
+
+func TestTryLock(t *testing.T) {
+	l := New(MiddleFirst)
+	if !l.TryLock() {
+		t.Fatal("TryLock on free latch failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held latch succeeded")
+	}
+	if l.TryRLock() {
+		t.Fatal("TryRLock under writer succeeded")
+	}
+	l.Unlock()
+	if !l.TryRLock() {
+		t.Fatal("TryRLock on free latch failed")
+	}
+	if !l.TryRLock() {
+		t.Fatal("second TryRLock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock under readers succeeded")
+	}
+	l.RUnlock()
+	l.RUnlock()
+}
+
+func TestDowngrade(t *testing.T) {
+	l := New(MiddleFirst)
+	l.Lock(0)
+	// A reader queued during the write hold must be admitted by the
+	// downgrade.
+	got := make(chan struct{})
+	go func() {
+		l.RLock()
+		close(got)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	l.Downgrade()
+	select {
+	case <-got:
+	case <-time.After(time.Second):
+		t.Fatal("queued reader not admitted by Downgrade")
+	}
+	// We still hold a read latch: writers must be excluded.
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded during downgraded hold")
+	}
+	l.RUnlock() // the queued reader's
+	l.RUnlock() // ours
+	if !l.TryLock() {
+		t.Fatal("latch not free after downgrade releases")
+	}
+	l.Unlock()
+}
+
+// TestMiddleFirstScheduling verifies the paper's §5.3 queue
+// optimization: with waiters at bounds 20,30,50,70,90 the middle one
+// (50) must be granted first.
+func TestMiddleFirstScheduling(t *testing.T) {
+	l := New(MiddleFirst)
+	l.Lock(0)
+	var order []int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	bounds := []int64{20, 30, 50, 70, 90}
+	for _, b := range bounds {
+		wg.Add(1)
+		go func(b int64) {
+			defer wg.Done()
+			l.Lock(b)
+			mu.Lock()
+			order = append(order, b)
+			mu.Unlock()
+			l.Unlock()
+		}(b)
+	}
+	// Wait until all five are queued.
+	for l.QueuedWriters() != 5 {
+		time.Sleep(time.Millisecond)
+	}
+	l.Unlock()
+	wg.Wait()
+	if order[0] != 50 {
+		t.Fatalf("first granted bound = %d, want 50 (middle); order %v", order[0], order)
+	}
+	// Every waiter must eventually run.
+	if len(order) != 5 {
+		t.Fatalf("only %d waiters ran", len(order))
+	}
+}
+
+func TestFIFOScheduling(t *testing.T) {
+	l := New(FIFO)
+	l.Lock(0)
+	var order []int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	bounds := []int64{90, 20, 50}
+	for i, b := range bounds {
+		wg.Add(1)
+		go func(b int64) {
+			defer wg.Done()
+			l.Lock(b)
+			mu.Lock()
+			order = append(order, b)
+			mu.Unlock()
+			l.Unlock()
+		}(b)
+		// Serialize arrival so FIFO order is deterministic.
+		for l.QueuedWriters() != i+1 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	l.Unlock()
+	wg.Wait()
+	if order[0] != 90 || order[1] != 20 || order[2] != 50 {
+		t.Fatalf("FIFO order violated: %v", order)
+	}
+}
+
+func TestWriterReleaseWakesAllReaders(t *testing.T) {
+	l := New(MiddleFirst)
+	l.Lock(0)
+	const n = 6
+	var admitted int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.RLock()
+			atomic.AddInt64(&admitted, 1)
+		}()
+	}
+	time.Sleep(30 * time.Millisecond)
+	l.Unlock()
+	wg.Wait()
+	if admitted != n {
+		t.Fatalf("admitted %d readers, want %d", admitted, n)
+	}
+	// All still hold read latches: a writer must block.
+	if l.TryLock() {
+		t.Fatal("writer admitted alongside readers")
+	}
+	for i := 0; i < n; i++ {
+		l.RUnlock()
+	}
+}
+
+func TestLastReaderHandsOffToWriter(t *testing.T) {
+	l := New(MiddleFirst)
+	l.RLock()
+	l.RLock()
+	acquired := make(chan struct{})
+	go func() {
+		l.Lock(0)
+		close(acquired)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	l.RUnlock()
+	select {
+	case <-acquired:
+		t.Fatal("writer admitted while a reader remains")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.RUnlock()
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("writer not granted after last reader left")
+	}
+	l.Unlock()
+}
+
+func TestUnlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of free latch did not panic")
+		}
+	}()
+	New(MiddleFirst).Unlock()
+}
+
+func TestRUnlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RUnlock of free latch did not panic")
+		}
+	}()
+	New(MiddleFirst).RUnlock()
+}
+
+func TestDowngradePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Downgrade of free latch did not panic")
+		}
+	}()
+	New(MiddleFirst).Downgrade()
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var l Latch
+	l.Lock(5)
+	l.Unlock()
+	l.RLock()
+	l.RUnlock()
+}
+
+func TestPolicyString(t *testing.T) {
+	if MiddleFirst.String() != "middle-first" || FIFO.String() != "fifo" {
+		t.Fatal("bad Policy strings")
+	}
+}

@@ -1,0 +1,502 @@
+// Package lockmgr implements the transactional lock manager of the
+// paper's Table 1: locks (as opposed to latches) separate user
+// transactions, protect logical database contents, are held for whole
+// transactions, come in the rich mode set (shared, exclusive, update,
+// intention, ...), are kept in a lock manager's hash table, and handle
+// deadlocks by detection and resolution over a waits-for graph.
+//
+// Adaptive indexing's system transactions never acquire these locks:
+// they only *verify* that no conflicting user lock exists (the
+// HasConflicting probe) and otherwise forgo their optional refinement
+// (paper §3.3, "Concurrency Control by Latching" / "Conflict
+// Avoidance"). User transactions in turn use hierarchical locking:
+// locking a key requires intention locks along the containment
+// hierarchy (§3.2).
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mode is a transactional lock mode.
+type Mode int
+
+const (
+	// IS is intention-shared: intent to take S locks below.
+	IS Mode = iota
+	// IX is intention-exclusive: intent to take X locks below.
+	IX
+	// S is shared.
+	S
+	// SIX is shared plus intention-exclusive.
+	SIX
+	// U is update: read now, possibly convert to X later; compatible
+	// with readers but not with other U/X.
+	U
+	// X is exclusive.
+	X
+	numModes
+)
+
+func (m Mode) String() string {
+	switch m {
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case SIX:
+		return "SIX"
+	case U:
+		return "U"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// compat[a][b] reports whether a granted lock in mode a is compatible
+// with a request in mode b (standard multi-granularity matrix).
+var compat = [numModes][numModes]bool{
+	IS:  {IS: true, IX: true, S: true, SIX: true, U: true},
+	IX:  {IS: true, IX: true},
+	S:   {IS: true, S: true, U: true},
+	SIX: {IS: true},
+	U:   {IS: true, S: true},
+	X:   {},
+}
+
+// Compatible reports whether modes a and b can be held simultaneously
+// by different transactions.
+func Compatible(a, b Mode) bool { return compat[a][b] }
+
+// sup[a][b] is the weakest mode at least as strong as both a and b,
+// used for lock conversions (upgrades).
+var sup = [numModes][numModes]Mode{
+	IS:  {IS: IS, IX: IX, S: S, SIX: SIX, U: U, X: X},
+	IX:  {IS: IX, IX: IX, S: SIX, SIX: SIX, U: X, X: X},
+	S:   {IS: S, IX: SIX, S: S, SIX: SIX, U: U, X: X},
+	SIX: {IS: SIX, IX: SIX, S: SIX, SIX: SIX, U: SIX, X: X},
+	U:   {IS: U, IX: X, S: U, SIX: SIX, U: U, X: X},
+	X:   {IS: X, IX: X, S: X, SIX: X, U: X, X: X},
+}
+
+// Supremum returns the weakest mode covering both a and b.
+func Supremum(a, b Mode) Mode { return sup[a][b] }
+
+// intentionFor returns the intention mode required on ancestors when
+// locking a descendant in leaf mode.
+func intentionFor(leaf Mode) Mode {
+	switch leaf {
+	case S, IS:
+		return IS
+	case U:
+		return IS
+	default:
+		return IX
+	}
+}
+
+// TxnID identifies a transaction.
+type TxnID uint64
+
+// ErrDeadlock is returned to the victim of a deadlock; the caller is
+// expected to abort (or partially roll back) the transaction.
+var ErrDeadlock = errors.New("lockmgr: deadlock detected")
+
+type request struct {
+	txn     TxnID
+	mode    Mode
+	granted bool
+	convert bool // conversion request (queued at the front)
+	ready   chan error
+}
+
+type lockHead struct {
+	queue []*request // granted requests first, then waiters in order
+}
+
+// Manager is the lock manager: a hash table of lock queues plus a
+// waits-for graph for deadlock detection.
+type Manager struct {
+	mu    sync.Mutex
+	table map[string]*lockHead
+	// held tracks, per transaction, the resources it has requests on.
+	held map[TxnID]map[string]bool
+	// order tracks, per transaction, the resources in first-request
+	// order; it drives partial rollback (Table 1 lists "partial
+	// rollback" among the lock-deadlock resolution mechanisms).
+	order map[TxnID][]string
+	// Stats.
+	acquired  int64
+	waited    int64
+	deadlocks int64
+}
+
+// New creates an empty lock manager.
+func New() *Manager {
+	return &Manager{
+		table: make(map[string]*lockHead),
+		held:  make(map[TxnID]map[string]bool),
+		order: make(map[TxnID][]string),
+	}
+}
+
+// Lock acquires res in mode for txn, blocking while incompatible locks
+// are held. If the transaction already holds the resource, the request
+// is treated as a conversion to Supremum(held, mode). Returns
+// ErrDeadlock if waiting would close a cycle in the waits-for graph;
+// the requester is the victim and acquires nothing.
+func (m *Manager) Lock(txn TxnID, res string, mode Mode) error {
+	m.mu.Lock()
+	h := m.table[res]
+	if h == nil {
+		h = &lockHead{}
+		m.table[res] = h
+	}
+
+	// Conversion: the txn already has a request on this resource.
+	for _, r := range h.queue {
+		if r.txn == txn {
+			return m.convertLocked(h, r, res, mode)
+		}
+	}
+
+	req := &request{txn: txn, mode: mode, ready: make(chan error, 1)}
+	if m.grantableLocked(h, req) {
+		req.granted = true
+		h.queue = append(h.queue, req)
+		m.noteHeld(txn, res)
+		m.acquired++
+		m.mu.Unlock()
+		return nil
+	}
+	// Must wait: deadlock check first.
+	if m.wouldDeadlockLocked(h, req) {
+		m.deadlocks++
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	h.queue = append(h.queue, req)
+	m.noteHeld(txn, res)
+	m.waited++
+	m.mu.Unlock()
+	return <-req.ready
+}
+
+// convertLocked handles a lock conversion; m.mu is held on entry and
+// released before any blocking.
+func (m *Manager) convertLocked(h *lockHead, r *request, res string, mode Mode) error {
+	target := Supremum(r.mode, mode)
+	if target == r.mode {
+		m.mu.Unlock()
+		return nil
+	}
+	if !r.granted {
+		// Still waiting: just strengthen the pending request.
+		r.mode = target
+		m.mu.Unlock()
+		return errors.New("lockmgr: conversion requested while original request still waiting")
+	}
+	// Compatible with all OTHER granted requests?
+	ok := true
+	for _, o := range h.queue {
+		if o != r && o.granted && !Compatible(o.mode, target) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		r.mode = target
+		m.acquired++
+		m.mu.Unlock()
+		return nil
+	}
+	// Queue the conversion with priority: insert right after the
+	// granted prefix.
+	conv := &request{txn: r.txn, mode: target, convert: true, ready: make(chan error, 1)}
+	if m.wouldDeadlockLocked(h, conv) {
+		m.deadlocks++
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	i := 0
+	for i < len(h.queue) && h.queue[i].granted {
+		i++
+	}
+	h.queue = append(h.queue, nil)
+	copy(h.queue[i+1:], h.queue[i:])
+	h.queue[i] = conv
+	m.waited++
+	m.mu.Unlock()
+	return <-conv.ready
+}
+
+// grantableLocked reports whether req can be granted now: compatible
+// with every granted request and no earlier waiter (FIFO, to avoid
+// starvation).
+func (m *Manager) grantableLocked(h *lockHead, req *request) bool {
+	for _, o := range h.queue {
+		if o.txn == req.txn {
+			continue
+		}
+		if o.granted {
+			if !Compatible(o.mode, req.mode) {
+				return false
+			}
+		} else {
+			// An earlier waiter exists; FIFO fairness says queue behind.
+			return false
+		}
+	}
+	return true
+}
+
+// wouldDeadlockLocked checks whether txn waiting on the holders of h
+// would close a cycle. Edges: waiter -> every incompatible granted
+// holder, plus existing wait edges derived from all queues.
+func (m *Manager) wouldDeadlockLocked(h *lockHead, req *request) bool {
+	// Build the waits-for graph.
+	edges := make(map[TxnID][]TxnID)
+	addEdges := func(head *lockHead) {
+		for i, r := range head.queue {
+			if r.granted {
+				continue
+			}
+			// A waiter waits for every granted incompatible request and
+			// every earlier incompatible waiter.
+			for j := 0; j < i; j++ {
+				o := head.queue[j]
+				if o.txn != r.txn && !Compatible(o.mode, r.mode) {
+					edges[r.txn] = append(edges[r.txn], o.txn)
+				}
+			}
+			for _, o := range head.queue {
+				if o.granted && o.txn != r.txn && !Compatible(o.mode, r.mode) {
+					edges[r.txn] = append(edges[r.txn], o.txn)
+				}
+			}
+		}
+	}
+	for _, head := range m.table {
+		addEdges(head)
+	}
+	// Add the hypothetical edges for req.
+	for _, o := range h.queue {
+		if o.txn != req.txn && (o.granted || !req.convert) && !Compatible(o.mode, req.mode) {
+			edges[req.txn] = append(edges[req.txn], o.txn)
+		}
+	}
+	// DFS from req.txn looking for a cycle back to req.txn.
+	seen := make(map[TxnID]bool)
+	var dfs func(t TxnID) bool
+	dfs = func(t TxnID) bool {
+		for _, next := range edges[t] {
+			if next == req.txn {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(req.txn)
+}
+
+func (m *Manager) noteHeld(txn TxnID, res string) {
+	set := m.held[txn]
+	if set == nil {
+		set = make(map[string]bool)
+		m.held[txn] = set
+	}
+	if !set[res] {
+		m.order[txn] = append(m.order[txn], res)
+	}
+	set[res] = true
+}
+
+// ReleaseAll releases every lock and pending request of txn (commit or
+// abort), granting any newly compatible waiters.
+func (m *Manager) ReleaseAll(txn TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for res := range m.held[txn] {
+		m.releaseOneLocked(txn, res)
+	}
+	delete(m.held, txn)
+	delete(m.order, txn)
+}
+
+// releaseOneLocked removes txn's requests on res; caller holds m.mu.
+func (m *Manager) releaseOneLocked(txn TxnID, res string) {
+	h := m.table[res]
+	if h == nil {
+		return
+	}
+	kept := h.queue[:0]
+	for _, r := range h.queue {
+		if r.txn == txn {
+			if !r.granted {
+				r.ready <- errors.New("lockmgr: request cancelled by release")
+			}
+			continue
+		}
+		kept = append(kept, r)
+	}
+	h.queue = kept
+	m.grantWaitersLocked(h)
+	if len(h.queue) == 0 {
+		delete(m.table, res)
+	}
+}
+
+// Savepoint returns a marker identifying how many distinct resources
+// txn has locked so far; pass it to ReleaseAfter for partial rollback.
+func (m *Manager) Savepoint(txn TxnID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.order[txn])
+}
+
+// ReleaseAfter releases every lock txn acquired after the given
+// savepoint, in reverse acquisition order — the lock-side effect of a
+// partial rollback (Table 1). Locks held at the savepoint are kept;
+// conversions performed after the savepoint on pre-savepoint resources
+// are NOT downgraded (the common, conservative implementation choice).
+func (m *Manager) ReleaseAfter(txn TxnID, savepoint int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ord := m.order[txn]
+	if savepoint < 0 {
+		savepoint = 0
+	}
+	if savepoint >= len(ord) {
+		return
+	}
+	for i := len(ord) - 1; i >= savepoint; i-- {
+		res := ord[i]
+		m.releaseOneLocked(txn, res)
+		delete(m.held[txn], res)
+	}
+	m.order[txn] = ord[:savepoint]
+}
+
+// grantWaitersLocked promotes waiters that are now compatible,
+// honouring conversion priority and FIFO order.
+func (m *Manager) grantWaitersLocked(h *lockHead) {
+	for {
+		progressed := false
+		for _, r := range h.queue {
+			if r.granted {
+				continue
+			}
+			ok := true
+			for _, o := range h.queue {
+				if o != r && o.granted && o.txn != r.txn && !Compatible(o.mode, r.mode) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break // FIFO: do not grant later waiters past a blocked one
+			}
+			if r.convert {
+				// Merge the conversion into the original granted request.
+				for _, o := range h.queue {
+					if o != r && o.txn == r.txn && o.granted {
+						o.mode = r.mode
+						break
+					}
+				}
+				// Remove the conversion placeholder.
+				for i, o := range h.queue {
+					if o == r {
+						h.queue = append(h.queue[:i], h.queue[i+1:]...)
+						break
+					}
+				}
+			} else {
+				r.granted = true
+			}
+			m.acquired++
+			r.ready <- nil
+			progressed = true
+			break
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// HasConflicting reports whether any transaction other than except
+// holds (has been granted) a lock on res incompatible with mode. This
+// is the verification probe used by adaptive indexing's system
+// transactions: they never acquire locks, they only check for
+// conflicts and skip the optional refinement if one exists (§3.3).
+func (m *Manager) HasConflicting(res string, mode Mode, except TxnID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.table[res]
+	if h == nil {
+		return false
+	}
+	for _, r := range h.queue {
+		if r.granted && r.txn != except && !Compatible(r.mode, mode) {
+			return true
+		}
+	}
+	return false
+}
+
+// LockHierarchy acquires intention locks along path[0:len-1] and the
+// leaf mode on the last element, implementing hierarchical locking
+// (§3.2): "database objects must be locked according to their
+// containment hierarchies". On any failure the transaction keeps the
+// locks it acquired so far (caller aborts via ReleaseAll).
+func (m *Manager) LockHierarchy(txn TxnID, path []string, leaf Mode) error {
+	if len(path) == 0 {
+		return errors.New("lockmgr: empty hierarchy path")
+	}
+	intent := intentionFor(leaf)
+	for _, res := range path[:len(path)-1] {
+		if err := m.Lock(txn, res, intent); err != nil {
+			return err
+		}
+	}
+	return m.Lock(txn, path[len(path)-1], leaf)
+}
+
+// HeldModes returns the modes txn currently holds, keyed by resource.
+func (m *Manager) HeldModes(txn TxnID) map[string]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]Mode)
+	for res := range m.held[txn] {
+		h := m.table[res]
+		if h == nil {
+			continue
+		}
+		for _, r := range h.queue {
+			if r.txn == txn && r.granted {
+				out[res] = r.mode
+			}
+		}
+	}
+	return out
+}
+
+// Stats returns (granted, waited, deadlocks) counters.
+func (m *Manager) Stats() (acquired, waited, deadlocks int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.acquired, m.waited, m.deadlocks
+}

@@ -1,0 +1,384 @@
+package lockmgr
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	// Spot-check the classic multi-granularity matrix.
+	cases := []struct {
+		a, b Mode
+		want bool
+	}{
+		{IS, IS, true}, {IS, IX, true}, {IS, S, true}, {IS, SIX, true}, {IS, X, false},
+		{IX, IX, true}, {IX, S, false}, {IX, SIX, false},
+		{S, S, true}, {S, U, true}, {S, X, false},
+		{SIX, IS, true}, {SIX, S, false},
+		{U, S, true}, {U, U, false}, {U, X, false},
+		{X, IS, false}, {X, X, false},
+	}
+	for _, c := range cases {
+		if got := Compatible(c.a, c.b); got != c.want {
+			t.Fatalf("Compatible(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSupremum(t *testing.T) {
+	cases := []struct {
+		a, b, want Mode
+	}{
+		{S, IX, SIX}, {IX, S, SIX}, {IS, S, S}, {S, X, X},
+		{U, S, U}, {U, IX, X}, {SIX, U, SIX}, {IS, IX, IX},
+	}
+	for _, c := range cases {
+		if got := Supremum(c.a, c.b); got != c.want {
+			t.Fatalf("Supremum(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	// Supremum must be symmetric and idempotent.
+	for a := Mode(0); a < numModes; a++ {
+		for b := Mode(0); b < numModes; b++ {
+			if Supremum(a, b) != Supremum(b, a) {
+				t.Fatalf("Supremum(%v,%v) asymmetric", a, b)
+			}
+		}
+		if Supremum(a, a) != a {
+			t.Fatalf("Supremum(%v,%v) != %v", a, a, a)
+		}
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "R.A", S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "R.A", S); err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasConflicting("R.A", X, 0) {
+		t.Fatal("S holders should conflict with X")
+	}
+	if m.HasConflicting("R.A", S, 0) {
+		t.Fatal("S holders should not conflict with S")
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+	if m.HasConflicting("R.A", X, 0) {
+		t.Fatal("conflicts remain after release")
+	}
+}
+
+func TestExclusiveBlocksAndHandsOff(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "r", X); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(2, "r", X) }()
+	select {
+	case err := <-got:
+		t.Fatalf("second X granted while first held: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not granted after release")
+	}
+	m.ReleaseAll(2)
+}
+
+func TestFIFOFairnessNoStarvation(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "r", S); err != nil {
+		t.Fatal(err)
+	}
+	// Writer queues first, then another reader: the reader must NOT
+	// jump the queued writer (FIFO), preventing writer starvation.
+	wGot := make(chan struct{})
+	go func() {
+		if err := m.Lock(2, "r", X); err == nil {
+			close(wGot)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	rGot := make(chan struct{})
+	go func() {
+		if err := m.Lock(3, "r", S); err == nil {
+			close(rGot)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-rGot:
+		t.Fatal("reader jumped ahead of queued writer")
+	default:
+	}
+	m.ReleaseAll(1)
+	<-wGot // writer granted first
+	m.ReleaseAll(2)
+	<-rGot
+	m.ReleaseAll(3)
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "a", X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "b", X); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(1, "b", X) }() // 1 waits for 2
+	time.Sleep(30 * time.Millisecond)
+	// 2 requesting a closes the cycle: must be refused immediately.
+	err := m.Lock(2, "a", X)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected ErrDeadlock, got %v", err)
+	}
+	// Victim aborts; waiter 1 gets b.
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+}
+
+func TestConversionUpgrade(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "r", S); err != nil {
+		t.Fatal(err)
+	}
+	// Solo S -> X upgrade succeeds immediately.
+	if err := m.Lock(1, "r", X); err != nil {
+		t.Fatal(err)
+	}
+	if m.HeldModes(1)["r"] != X {
+		t.Fatalf("mode after upgrade = %v", m.HeldModes(1)["r"])
+	}
+	// Another reader must now block.
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(2, "r", S) }()
+	select {
+	case <-got:
+		t.Fatal("S granted alongside X")
+	case <-time.After(30 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+}
+
+func TestConversionDeadlock(t *testing.T) {
+	// Two S holders both upgrading to X is the classic conversion
+	// deadlock; the second must be refused.
+	m := New()
+	if err := m.Lock(1, "r", S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "r", S); err != nil {
+		t.Fatal(err)
+	}
+	first := make(chan error, 1)
+	go func() { first <- m.Lock(1, "r", X) }()
+	time.Sleep(30 * time.Millisecond)
+	if err := m.Lock(2, "r", X); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected conversion deadlock, got %v", err)
+	}
+	m.ReleaseAll(2) // victim aborts
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+}
+
+func TestHierarchicalLocking(t *testing.T) {
+	m := New()
+	path := []string{"db", "db/R", "db/R/A", "db/R/A/key42"}
+	if err := m.LockHierarchy(1, path, X); err != nil {
+		t.Fatal(err)
+	}
+	held := m.HeldModes(1)
+	if held["db"] != IX || held["db/R"] != IX || held["db/R/A"] != IX || held["db/R/A/key42"] != X {
+		t.Fatalf("bad hierarchy modes: %v", held)
+	}
+	// A second txn can lock a sibling key (IX is compatible with IX).
+	if err := m.LockHierarchy(2, []string{"db", "db/R", "db/R/A", "db/R/A/key7"}, X); err != nil {
+		t.Fatal(err)
+	}
+	// But a table-level S lock must block behind the IX holders.
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(3, "db/R", S) }()
+	select {
+	case <-got:
+		t.Fatal("table S granted alongside IX")
+	case <-time.After(30 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+	if err := m.LockHierarchy(4, nil, S); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}
+
+func TestHasConflictingExcept(t *testing.T) {
+	m := New()
+	if err := m.Lock(7, "col", X); err != nil {
+		t.Fatal(err)
+	}
+	if m.HasConflicting("col", X, 7) {
+		t.Fatal("own lock reported as conflict")
+	}
+	if !m.HasConflicting("col", X, 8) {
+		t.Fatal("other txn's X not reported")
+	}
+	if m.HasConflicting("unlocked", X, 0) {
+		t.Fatal("conflict on unlocked resource")
+	}
+	m.ReleaseAll(7)
+}
+
+func TestReleaseAllCancelsWaiters(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "r", X); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(2, "r", X) }()
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(2) // abort the waiter itself
+	if err := <-got; err == nil {
+		t.Fatal("cancelled waiter got the lock")
+	}
+	m.ReleaseAll(1)
+}
+
+func TestConcurrentStress(t *testing.T) {
+	m := New()
+	const txns = 16
+	var wg sync.WaitGroup
+	var deadlocks, commits int64
+	var mu sync.Mutex
+	for i := 0; i < txns; i++ {
+		wg.Add(1)
+		go func(id TxnID) {
+			defer wg.Done()
+			resources := []string{"a", "b", "c", "d"}
+			ok := true
+			for j, r := range resources {
+				mode := S
+				if (int(id)+j)%3 == 0 {
+					mode = X
+				}
+				if err := m.Lock(id, r, mode); err != nil {
+					ok = false
+					break
+				}
+			}
+			m.ReleaseAll(id)
+			mu.Lock()
+			if ok {
+				commits++
+			} else {
+				deadlocks++
+			}
+			mu.Unlock()
+		}(TxnID(i + 1))
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("lock manager stress hung (undetected deadlock)")
+	}
+	if commits == 0 {
+		t.Fatal("no transaction committed")
+	}
+	a, w, d := m.Stats()
+	if a == 0 {
+		t.Fatal("no acquisitions counted")
+	}
+	t.Logf("acquired=%d waited=%d deadlocks=%d commits=%d victims=%d", a, w, d, commits, deadlocks)
+}
+
+func TestSavepointPartialRollback(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "a", X); err != nil {
+		t.Fatal(err)
+	}
+	sp := m.Savepoint(1)
+	if sp != 1 {
+		t.Fatalf("savepoint = %d", sp)
+	}
+	if err := m.Lock(1, "b", X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(1, "c", S); err != nil {
+		t.Fatal(err)
+	}
+	// A waiter on b is unblocked by the partial rollback; a remains
+	// locked.
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(2, "b", X) }()
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAfter(1, sp)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasConflicting("a", S, 2) {
+		t.Fatal("pre-savepoint lock released by partial rollback")
+	}
+	if m.HasConflicting("c", X, 2) {
+		t.Fatal("post-savepoint lock survived partial rollback")
+	}
+	held := m.HeldModes(1)
+	if len(held) != 1 || held["a"] != X {
+		t.Fatalf("held after rollback: %v", held)
+	}
+	// Re-acquiring after rollback works.
+	m.ReleaseAll(2)
+	if err := m.Lock(1, "b", X); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+}
+
+func TestReleaseAfterBounds(t *testing.T) {
+	m := New()
+	m.Lock(1, "a", S)
+	m.ReleaseAfter(1, 5) // beyond acquisitions: no-op
+	if len(m.HeldModes(1)) != 1 {
+		t.Fatal("no-op rollback changed locks")
+	}
+	m.ReleaseAfter(1, -1) // clamped to 0: releases everything
+	if len(m.HeldModes(1)) != 0 {
+		t.Fatal("rollback to 0 kept locks")
+	}
+	m.ReleaseAll(1)
+}
+
+func TestModeString(t *testing.T) {
+	names := map[Mode]string{IS: "IS", IX: "IX", S: "S", SIX: "SIX", U: "U", X: "X"}
+	for m, want := range names {
+		if m.String() != want {
+			t.Fatalf("%v.String() = %q", want, m.String())
+		}
+	}
+}

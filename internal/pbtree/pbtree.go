@@ -1,0 +1,434 @@
+// Package pbtree implements the partitioned B-tree of the paper's
+// §4.1: a single B-tree index whose entries carry an artificial
+// leading key field — the partition identifier. Partitions "appear and
+// disappear simply by insertion and deletion of records with
+// appropriate values in the artificial leading key field"; no catalog
+// updates or metadata locks are involved.
+//
+// It is an in-memory B+ tree: all entries live in leaves, internal
+// nodes hold fence keys, and leaves are chained for range scans.
+// Deletion uses the ghost/free-at-empty policy the paper alludes to in
+// §3.1: entries are removed from leaves, leaves may underflow or
+// become empty, fence keys remain valid as search guides, and a
+// Compact rebuild reclaims the structure. This keeps every
+// intermediate state a valid, searchable B-tree — the property
+// adaptive merging's instantly-committed merge steps rely on (§4.3).
+//
+// The tree itself is synchronized with a single read-write mutex;
+// higher-level concurrency (per merge step, conflict avoidance, early
+// termination) is coordinated by package amerge with latches, matching
+// the paper's layering of short critical sections over a proven index
+// structure.
+package pbtree
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Entry is one index record: (partition, key, rowID), ordered
+// lexicographically. The partition id is the artificial leading key
+// field.
+type Entry struct {
+	// Part is the partition identifier (artificial leading key field).
+	Part int32
+	// Key is the indexed column value.
+	Key int64
+	// Row is the base-table row id.
+	Row uint32
+}
+
+// Less orders entries by (Part, Key, Row).
+func (e Entry) Less(o Entry) bool {
+	if e.Part != o.Part {
+		return e.Part < o.Part
+	}
+	if e.Key != o.Key {
+		return e.Key < o.Key
+	}
+	return e.Row < o.Row
+}
+
+// maxLeaf and maxFanout size the nodes. Small enough to exercise
+// splits heavily in tests, large enough to keep trees shallow.
+const (
+	maxLeaf   = 64
+	maxFanout = 64
+)
+
+type node struct {
+	leaf     bool
+	entries  []Entry // leaf payload
+	next     *node   // leaf chain
+	fences   []Entry // internal: fences[i] = smallest entry of children[i+1] at split time
+	children []*node
+}
+
+// Tree is a partitioned B-tree. Create with New.
+type Tree struct {
+	mu     sync.RWMutex
+	root   *node
+	height int
+	size   int
+	counts map[int32]int // live entries per partition
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{
+		root:   &node{leaf: true},
+		height: 1,
+		counts: make(map[int32]int),
+	}
+}
+
+// Len returns the number of live entries.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Height returns the tree height (1 = root is a leaf).
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
+
+// PartitionCount returns the number of live entries in partition p.
+func (t *Tree) PartitionCount(p int32) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.counts[p]
+}
+
+// Partitions returns the ids of partitions with live entries, sorted.
+func (t *Tree) Partitions() []int32 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]int32, 0, len(t.counts))
+	for p, n := range t.counts {
+		if n > 0 {
+			out = append(out, p)
+		}
+	}
+	for i := 1; i < len(out); i++ { // insertion sort, tiny slice
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Insert adds e to the tree.
+func (t *Tree) Insert(e Entry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.insertLocked(e)
+}
+
+// InsertBatch adds all entries (not necessarily sorted).
+func (t *Tree) InsertBatch(es []Entry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range es {
+		t.insertLocked(e)
+	}
+}
+
+func (t *Tree) insertLocked(e Entry) {
+	sep, right := insertRec(t.root, e)
+	if right != nil {
+		t.root = &node{
+			fences:   []Entry{sep},
+			children: []*node{t.root, right},
+		}
+		t.height++
+	}
+	t.size++
+	t.counts[e.Part]++
+}
+
+// insertRec inserts into n; on split it returns the separator (first
+// entry of the new right sibling) and the sibling.
+func insertRec(n *node, e Entry) (Entry, *node) {
+	if n.leaf {
+		i := lowerBound(n.entries, e)
+		n.entries = append(n.entries, Entry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = e
+		if len(n.entries) <= maxLeaf {
+			return Entry{}, nil
+		}
+		mid := len(n.entries) / 2
+		right := &node{leaf: true, next: n.next}
+		right.entries = append(right.entries, n.entries[mid:]...)
+		n.entries = n.entries[:mid:mid]
+		n.next = right
+		return right.entries[0], right
+	}
+	ci := childIndex(n.fences, e)
+	sep, right := insertRec(n.children[ci], e)
+	if right == nil {
+		return Entry{}, nil
+	}
+	n.fences = append(n.fences, Entry{})
+	copy(n.fences[ci+1:], n.fences[ci:])
+	n.fences[ci] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = right
+	if len(n.children) <= maxFanout {
+		return Entry{}, nil
+	}
+	// Split internal node.
+	midF := len(n.fences) / 2
+	up := n.fences[midF]
+	rightN := &node{
+		fences:   append([]Entry(nil), n.fences[midF+1:]...),
+		children: append([]*node(nil), n.children[midF+1:]...),
+	}
+	n.fences = n.fences[:midF:midF]
+	n.children = n.children[: midF+1 : midF+1]
+	return up, rightN
+}
+
+// lowerBound returns the first index i with e <= entries[i].
+func lowerBound(entries []Entry, e Entry) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if entries[mid].Less(e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex picks the child subtree for e given the fence keys.
+func childIndex(fences []Entry, e Entry) int {
+	lo, hi := 0, len(fences)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if fences[mid].Less(e) || fences[mid] == e {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// seekLeaf descends to the leaf that would contain e.
+func (t *Tree) seekLeaf(e Entry) *node {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.fences, e)]
+	}
+	return n
+}
+
+// ScanRange invokes fn for every live entry of partition part with
+// key in [lo, hi), in key order, until fn returns false.
+func (t *Tree) ScanRange(part int32, lo, hi int64, fn func(Entry) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	start := Entry{Part: part, Key: lo}
+	n := t.seekLeaf(start)
+	for n != nil {
+		for _, e := range n.entries {
+			if e.Less(start) {
+				continue
+			}
+			if e.Part > part || (e.Part == part && e.Key >= hi) {
+				return
+			}
+			if !fn(e) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// AggregateRange returns (count, sum of keys) over live entries of
+// partition part with key in [lo, hi).
+func (t *Tree) AggregateRange(part int32, lo, hi int64) (count, sum int64) {
+	t.ScanRange(part, lo, hi, func(e Entry) bool {
+		count++
+		sum += e.Key
+		return true
+	})
+	return count, sum
+}
+
+// ExtractRange removes up to max live entries of partition part with
+// key in [lo, hi) (max <= 0 means no limit) and returns them in key
+// order. Leaves may underflow or empty out (ghost leaves); fence keys
+// remain valid search guides, so the tree stays consistent and
+// searchable at every step — the "early termination" property (§3.3):
+// stopping after any prefix still leaves a correct index.
+func (t *Tree) ExtractRange(part int32, lo, hi int64, max int) []Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Entry
+	start := Entry{Part: part, Key: lo}
+	n := t.seekLeaf(start)
+	for n != nil {
+		kept := n.entries[:0]
+		done := false
+		for _, e := range n.entries {
+			take := !e.Less(start) &&
+				e.Part == part && e.Key < hi &&
+				(max <= 0 || len(out) < max)
+			if e.Part > part || (e.Part == part && e.Key >= hi) {
+				done = true
+			}
+			if take && !done {
+				out = append(out, e)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		n.entries = kept
+		if done || (max > 0 && len(out) >= max) {
+			break
+		}
+		n = n.next
+	}
+	t.size -= len(out)
+	t.counts[part] -= len(out)
+	return out
+}
+
+// BulkLoad builds a tree from entries that MUST already be sorted by
+// (Part, Key, Row). It constructs leaves bottom-up, which is how the
+// first query of adaptive merging turns its freshly sorted runs into
+// B-tree partitions cheaply.
+func BulkLoad(entries []Entry) *Tree {
+	t := New()
+	if len(entries) == 0 {
+		return t
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Less(entries[i-1]) {
+			panic(fmt.Sprintf("pbtree: BulkLoad input not sorted at %d", i))
+		}
+	}
+	// Build leaves.
+	var leaves []*node
+	const fill = maxLeaf * 3 / 4 // leave headroom for future inserts
+	for i := 0; i < len(entries); i += fill {
+		j := i + fill
+		if j > len(entries) {
+			j = len(entries)
+		}
+		leaves = append(leaves, &node{leaf: true, entries: append([]Entry(nil), entries[i:j]...)})
+	}
+	for i := 0; i+1 < len(leaves); i++ {
+		leaves[i].next = leaves[i+1]
+	}
+	// Build internal levels.
+	level := leaves
+	height := 1
+	for len(level) > 1 {
+		var up []*node
+		const fan = maxFanout * 3 / 4
+		for i := 0; i < len(level); i += fan {
+			j := i + fan
+			if j > len(level) {
+				j = len(level)
+			}
+			in := &node{children: append([]*node(nil), level[i:j]...)}
+			for k := i + 1; k < j; k++ {
+				in.fences = append(in.fences, firstEntry(level[k]))
+			}
+			up = append(up, in)
+		}
+		level = up
+		height++
+	}
+	t.root = level[0]
+	t.height = height
+	t.size = len(entries)
+	for _, e := range entries {
+		t.counts[e.Part]++
+	}
+	return t
+}
+
+func firstEntry(n *node) Entry {
+	for !n.leaf {
+		n = n.children[0]
+	}
+	return n.entries[0]
+}
+
+// Compact rebuilds the tree from its live entries, reclaiming ghost
+// leaves left behind by ExtractRange.
+func (t *Tree) Compact() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var all []Entry
+	n := t.leftmostLeafLocked()
+	for n != nil {
+		all = append(all, n.entries...)
+		n = n.next
+	}
+	nt := BulkLoad(all)
+	t.root, t.height, t.size, t.counts = nt.root, nt.height, nt.size, nt.counts
+}
+
+func (t *Tree) leftmostLeafLocked() *node {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	return n
+}
+
+// Validate checks structural invariants (entry order along the leaf
+// chain, size consistency, fence-guided search reaching every entry)
+// and returns an error describing the first violation. Used by tests.
+func (t *Tree) Validate() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var prev *Entry
+	count := 0
+	counts := make(map[int32]int)
+	n := t.leftmostLeafLocked()
+	for n != nil {
+		for i := range n.entries {
+			e := n.entries[i]
+			if prev != nil && e.Less(*prev) {
+				return fmt.Errorf("pbtree: order violation: %+v after %+v", e, *prev)
+			}
+			prev = &n.entries[i]
+			count++
+			counts[e.Part]++
+		}
+		n = n.next
+	}
+	if count != t.size {
+		return fmt.Errorf("pbtree: size %d but %d entries on leaf chain", t.size, count)
+	}
+	for p, c := range counts {
+		if t.counts[p] != c {
+			return fmt.Errorf("pbtree: partition %d count %d, chain has %d", p, t.counts[p], c)
+		}
+	}
+	// Every entry must be findable via fence-guided descent.
+	n = t.leftmostLeafLocked()
+	for n != nil {
+		for _, e := range n.entries {
+			if l := t.seekLeaf(e); l != n {
+				return fmt.Errorf("pbtree: search for %+v lands on wrong leaf", e)
+			}
+		}
+		n = n.next
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package pbtree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"adaptix/internal/workload"
+)
+
+func TestEntryLess(t *testing.T) {
+	cases := []struct {
+		a, b Entry
+		want bool
+	}{
+		{Entry{1, 5, 0}, Entry{2, 1, 0}, true},  // partition dominates
+		{Entry{1, 5, 0}, Entry{1, 6, 0}, true},  // then key
+		{Entry{1, 5, 1}, Entry{1, 5, 2}, true},  // then row
+		{Entry{1, 5, 2}, Entry{1, 5, 2}, false}, // equal
+		{Entry{2, 0, 0}, Entry{1, 9, 9}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Fatalf("%v.Less(%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestInsertAndScan(t *testing.T) {
+	tr := New()
+	d := workload.NewUniqueUniform(5000, 3)
+	for i, v := range d.Values {
+		tr.Insert(Entry{Part: int32(i % 4), Key: v, Row: uint32(i)})
+	}
+	if tr.Len() != 5000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each partition got every 4th insert.
+	total := 0
+	for _, p := range tr.Partitions() {
+		total += tr.PartitionCount(p)
+	}
+	if total != 5000 {
+		t.Fatalf("partition counts sum to %d", total)
+	}
+	// Range scan of partition 2 must return sorted keys in range.
+	var keys []int64
+	tr.ScanRange(2, 1000, 3000, func(e Entry) bool {
+		if e.Part != 2 {
+			t.Fatalf("scan leaked partition %d", e.Part)
+		}
+		keys = append(keys, e.Key)
+		return true
+	})
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("scan not in key order")
+	}
+	for _, k := range keys {
+		if k < 1000 || k >= 3000 {
+			t.Fatalf("key %d outside range", k)
+		}
+	}
+	// Cross-check count with brute force.
+	var want int
+	for i, v := range d.Values {
+		if i%4 == 2 && v >= 1000 && v < 3000 {
+			want++
+		}
+	}
+	if len(keys) != want {
+		t.Fatalf("scan returned %d keys, want %d", len(keys), want)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(Entry{Part: 1, Key: int64(i), Row: uint32(i)})
+	}
+	n := 0
+	tr.ScanRange(1, 0, 100, func(Entry) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestAggregateRange(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 1000; i++ {
+		tr.Insert(Entry{Part: 7, Key: i, Row: uint32(i)})
+	}
+	c, s := tr.AggregateRange(7, 100, 200)
+	if c != 100 || s != (100+199)*100/2 {
+		t.Fatalf("AggregateRange = (%d, %d)", c, s)
+	}
+	c, _ = tr.AggregateRange(8, 0, 1000)
+	if c != 0 {
+		t.Fatal("empty partition aggregated non-zero")
+	}
+}
+
+func TestExtractRangeMovesRecords(t *testing.T) {
+	tr := New()
+	d := workload.NewUniqueUniform(3000, 5)
+	for i, v := range d.Values {
+		tr.Insert(Entry{Part: 1, Key: v, Row: uint32(i)})
+	}
+	got := tr.ExtractRange(1, 500, 1500, 0)
+	if len(got) != 1000 {
+		t.Fatalf("extracted %d, want 1000", len(got))
+	}
+	for i, e := range got {
+		if e.Key < 500 || e.Key >= 1500 {
+			t.Fatalf("extracted key %d outside range", e.Key)
+		}
+		if i > 0 && e.Less(got[i-1]) {
+			t.Fatal("extraction not in order")
+		}
+	}
+	if tr.Len() != 2000 || tr.PartitionCount(1) != 2000 {
+		t.Fatalf("size after extract: %d / %d", tr.Len(), tr.PartitionCount(1))
+	}
+	// The extracted range is now empty.
+	if c, _ := tr.AggregateRange(1, 500, 1500); c != 0 {
+		t.Fatalf("range still has %d entries", c)
+	}
+	// The tree remains valid and searchable (ghost leaves ok).
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Move into partition 0, as a merge step would.
+	for i := range got {
+		got[i].Part = 0
+	}
+	tr.InsertBatch(got)
+	if tr.PartitionCount(0) != 1000 || tr.Len() != 3000 {
+		t.Fatal("re-insert into final failed")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, s := tr.AggregateRange(0, 0, 3000)
+	if c != 1000 || s != (500+1499)*1000/2 {
+		t.Fatalf("final partition aggregate = (%d,%d)", c, s)
+	}
+}
+
+func TestExtractRangeBudget(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(Entry{Part: 1, Key: i, Row: uint32(i)})
+	}
+	got := tr.ExtractRange(1, 0, 100, 30)
+	if len(got) != 30 {
+		t.Fatalf("budget ignored: got %d", len(got))
+	}
+	// Early termination leaves a consistent index: the remaining 70
+	// are still found.
+	if c, _ := tr.AggregateRange(1, 0, 100); c != 70 {
+		t.Fatalf("leftovers = %d", c)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractEmptyRange(t *testing.T) {
+	tr := New()
+	tr.Insert(Entry{Part: 1, Key: 5, Row: 0})
+	if got := tr.ExtractRange(1, 10, 20, 0); len(got) != 0 {
+		t.Fatalf("extracted from empty range: %v", got)
+	}
+	if got := tr.ExtractRange(9, 0, 100, 0); len(got) != 0 {
+		t.Fatalf("extracted from missing partition: %v", got)
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	var entries []Entry
+	for p := int32(1); p <= 3; p++ {
+		for k := int64(0); k < 1000; k++ {
+			entries = append(entries, Entry{Part: p, Key: k, Row: uint32(k)})
+		}
+	}
+	tr := BulkLoad(entries)
+	if tr.Len() != 3000 || tr.PartitionCount(2) != 1000 {
+		t.Fatalf("bulk load shape: %d / %d", tr.Len(), tr.PartitionCount(2))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height %d for 3000 entries", tr.Height())
+	}
+	// Inserts after bulk load must work.
+	tr.Insert(Entry{Part: 2, Key: 500, Row: 9999})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	empty := BulkLoad(nil)
+	if empty.Len() != 0 {
+		t.Fatal("empty bulk load")
+	}
+}
+
+func TestBulkLoadPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bulk load accepted")
+		}
+	}()
+	BulkLoad([]Entry{{Part: 2}, {Part: 1}})
+}
+
+func TestCompactReclaimsGhosts(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 5000; i++ {
+		tr.Insert(Entry{Part: 1, Key: i, Row: uint32(i)})
+	}
+	tr.ExtractRange(1, 0, 4000, 0)
+	hBefore := tr.Height()
+	tr.Compact()
+	if tr.Len() != 1000 {
+		t.Fatalf("Len after compact = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() > hBefore {
+		t.Fatalf("compact grew the tree: %d -> %d", hBefore, tr.Height())
+	}
+	if c, _ := tr.AggregateRange(1, 0, 5000); c != 1000 {
+		t.Fatalf("entries after compact = %d", c)
+	}
+}
+
+func TestQuickInsertExtractInvariants(t *testing.T) {
+	f := func(keys []int64, loRaw, hiRaw int64) bool {
+		if len(keys) > 300 {
+			keys = keys[:300]
+		}
+		tr := New()
+		for i, k := range keys {
+			tr.Insert(Entry{Part: int32(i % 3), Key: k % 1000, Row: uint32(i)})
+		}
+		lo, hi := loRaw%1000, hiRaw%1000
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var wantCount int64
+		for i, k := range keys {
+			if i%3 == 1 && k%1000 >= lo && k%1000 < hi {
+				wantCount++
+			}
+		}
+		c, _ := tr.AggregateRange(1, lo, hi)
+		if c != wantCount {
+			return false
+		}
+		got := tr.ExtractRange(1, lo, hi, 0)
+		if int64(len(got)) != wantCount {
+			return false
+		}
+		c, _ = tr.AggregateRange(1, lo, hi)
+		return c == 0 && tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionsListing(t *testing.T) {
+	tr := New()
+	tr.Insert(Entry{Part: 5, Key: 1})
+	tr.Insert(Entry{Part: 2, Key: 1})
+	tr.Insert(Entry{Part: 9, Key: 1})
+	ps := tr.Partitions()
+	if len(ps) != 3 || ps[0] != 2 || ps[1] != 5 || ps[2] != 9 {
+		t.Fatalf("Partitions = %v", ps)
+	}
+	tr.ExtractRange(5, 0, 10, 0)
+	ps = tr.Partitions()
+	if len(ps) != 2 {
+		t.Fatalf("empty partition still listed: %v", ps)
+	}
+}

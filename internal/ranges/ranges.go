@@ -1,0 +1,101 @@
+// Package ranges implements an interval set over int64 key ranges.
+//
+// Adaptive merging and the hybrid algorithms need to know which key
+// ranges have already been fully moved into the final partition: "once
+// a given range of data has moved out of initial partitions and into
+// final partitions, the initial partitions will never be accessed
+// again for data in that range" (paper §2, Hybrid Adaptive Indexing).
+// The Set tracks those merged ranges; Covers answers whether a query
+// range can be served from the final partition alone.
+//
+// The Set is not internally synchronized; callers guard it with their
+// index latch.
+package ranges
+
+import "sort"
+
+// interval is a half-open range [Lo, Hi).
+type interval struct {
+	Lo, Hi int64
+}
+
+// Set is a union of disjoint, sorted half-open intervals.
+// The zero value is an empty set.
+type Set struct {
+	ivs []interval
+}
+
+// Add unions [lo, hi) into the set, coalescing adjacent and
+// overlapping intervals. Empty ranges are ignored.
+func (s *Set) Add(lo, hi int64) {
+	if lo >= hi {
+		return
+	}
+	// Find the first interval with Hi >= lo (possible neighbour/overlap).
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi >= lo })
+	j := i
+	for j < len(s.ivs) && s.ivs[j].Lo <= hi {
+		if s.ivs[j].Lo < lo {
+			lo = s.ivs[j].Lo
+		}
+		if s.ivs[j].Hi > hi {
+			hi = s.ivs[j].Hi
+		}
+		j++
+	}
+	merged := append(s.ivs[:i:i], interval{lo, hi})
+	s.ivs = append(merged, s.ivs[j:]...)
+}
+
+// Covers reports whether [lo, hi) is entirely contained in the set.
+// Empty ranges are trivially covered.
+func (s *Set) Covers(lo, hi int64) bool {
+	if lo >= hi {
+		return true
+	}
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi > lo })
+	return i < len(s.ivs) && s.ivs[i].Lo <= lo && hi <= s.ivs[i].Hi
+}
+
+// Gaps returns the sub-ranges of [lo, hi) NOT covered by the set, in
+// order. Used by hybrid adaptive indexing to extract only the data
+// that has not yet been moved into the final partition.
+func (s *Set) Gaps(lo, hi int64) [][2]int64 {
+	if lo >= hi {
+		return nil
+	}
+	var out [][2]int64
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi > lo })
+	cur := lo
+	for ; i < len(s.ivs) && s.ivs[i].Lo < hi; i++ {
+		if s.ivs[i].Lo > cur {
+			out = append(out, [2]int64{cur, s.ivs[i].Lo})
+		}
+		if s.ivs[i].Hi > cur {
+			cur = s.ivs[i].Hi
+		}
+	}
+	if cur < hi {
+		out = append(out, [2]int64{cur, hi})
+	}
+	return out
+}
+
+// Len returns the number of disjoint intervals.
+func (s *Set) Len() int { return len(s.ivs) }
+
+// Total returns the summed width of all intervals.
+func (s *Set) Total() int64 {
+	var t int64
+	for _, iv := range s.ivs {
+		t += iv.Hi - iv.Lo
+	}
+	return t
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{ivs: make([]interval, len(s.ivs))}
+	copy(c.ivs, s.ivs)
+	return c
+}

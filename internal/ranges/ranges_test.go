@@ -1,0 +1,162 @@
+package ranges
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndCovers(t *testing.T) {
+	var s Set
+	if !s.Covers(5, 5) {
+		t.Fatal("empty range not covered")
+	}
+	if s.Covers(0, 1) {
+		t.Fatal("empty set covers something")
+	}
+	s.Add(10, 20)
+	s.Add(30, 40)
+	cases := []struct {
+		lo, hi int64
+		want   bool
+	}{
+		{10, 20, true}, {12, 18, true}, {10, 11, true}, {19, 20, true},
+		{9, 20, false}, {10, 21, false}, {15, 35, false}, {20, 30, false},
+		{30, 40, true}, {25, 26, false},
+	}
+	for _, c := range cases {
+		if got := s.Covers(c.lo, c.hi); got != c.want {
+			t.Fatalf("Covers(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+	if s.Len() != 2 || s.Total() != 20 {
+		t.Fatalf("Len=%d Total=%d", s.Len(), s.Total())
+	}
+}
+
+func TestAddCoalesces(t *testing.T) {
+	var s Set
+	s.Add(10, 20)
+	s.Add(20, 30) // adjacent
+	if s.Len() != 1 || !s.Covers(10, 30) {
+		t.Fatalf("adjacent intervals not coalesced: len=%d", s.Len())
+	}
+	s.Add(5, 15) // overlapping left
+	if s.Len() != 1 || !s.Covers(5, 30) {
+		t.Fatal("left overlap not coalesced")
+	}
+	s.Add(50, 60)
+	s.Add(40, 70) // engulfing
+	if s.Len() != 2 || !s.Covers(40, 70) {
+		t.Fatal("engulfing add broken")
+	}
+	s.Add(0, 100) // engulf everything
+	if s.Len() != 1 || !s.Covers(0, 100) {
+		t.Fatal("total engulf broken")
+	}
+	s.Add(10, 5) // empty add ignored
+	if s.Len() != 1 {
+		t.Fatal("empty add changed the set")
+	}
+}
+
+func TestGaps(t *testing.T) {
+	var s Set
+	g := s.Gaps(0, 10)
+	if len(g) != 1 || g[0] != [2]int64{0, 10} {
+		t.Fatalf("gaps of empty set = %v", g)
+	}
+	s.Add(10, 20)
+	s.Add(30, 40)
+	cases := []struct {
+		lo, hi int64
+		want   [][2]int64
+	}{
+		{0, 50, [][2]int64{{0, 10}, {20, 30}, {40, 50}}},
+		{10, 20, nil},
+		{15, 35, [][2]int64{{20, 30}}},
+		{20, 30, [][2]int64{{20, 30}}},
+		{12, 18, nil},
+		{5, 5, nil},
+	}
+	for _, c := range cases {
+		got := s.Gaps(c.lo, c.hi)
+		if len(got) != len(c.want) {
+			t.Fatalf("Gaps(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Gaps(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+			}
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	var s Set
+	s.Add(1, 5)
+	c := s.Clone()
+	c.Add(10, 20)
+	if s.Covers(10, 20) {
+		t.Fatal("clone shares storage with original")
+	}
+	if !c.Covers(1, 5) {
+		t.Fatal("clone lost intervals")
+	}
+}
+
+// TestQuickAgainstBitmap cross-checks Add/Covers/Gaps against a naive
+// boolean-array implementation on a small domain.
+func TestQuickAgainstBitmap(t *testing.T) {
+	const domain = 64
+	f := func(ops []uint16, probes []uint16) bool {
+		var s Set
+		var bm [domain]bool
+		for _, op := range ops {
+			lo := int64(op % domain)
+			hi := int64((op >> 6) % domain)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			s.Add(lo, hi)
+			for i := lo; i < hi; i++ {
+				bm[i] = true
+			}
+		}
+		for _, pr := range probes {
+			lo := int64(pr % domain)
+			hi := int64((pr >> 6) % domain)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			want := true
+			for i := lo; i < hi; i++ {
+				if !bm[i] {
+					want = false
+					break
+				}
+			}
+			if s.Covers(lo, hi) != want {
+				return false
+			}
+			// Gaps must exactly complement the bitmap within [lo,hi).
+			gapped := make([]bool, domain)
+			for _, g := range s.Gaps(lo, hi) {
+				if g[0] >= g[1] {
+					return false
+				}
+				for i := g[0]; i < g[1]; i++ {
+					gapped[i] = true
+				}
+			}
+			for i := lo; i < hi; i++ {
+				if gapped[i] == bm[i] { // gap iff not covered
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package txn provides the transaction layer that separates *user
+// transactions* from the *system transactions* adaptive indexing uses
+// for its index refinements (paper §3).
+//
+// The key properties implemented here, from §3 and §3.4:
+//
+//   - User transactions acquire transactional locks through the lock
+//     manager and hold them to end-of-transaction (commit/abort
+//     releases all).
+//   - System transactions perform purely structural changes. They are
+//     "many small transactions with low overheads for invocation and
+//     commit processing": they never acquire locks, they only verify
+//     that no conflicting user locks exist, and they commit instantly.
+//   - Index refinement achieved by a system transaction is NOT undone
+//     when the enclosing user transaction rolls back, even if both ran
+//     in the same execution thread: structure is independent of
+//     contents.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"adaptix/internal/lockmgr"
+)
+
+// Kind distinguishes user from system transactions.
+type Kind int
+
+const (
+	// User transactions protect logical database contents with locks.
+	User Kind = iota
+	// System transactions protect physical structures with latches
+	// only; they verify user locks but never acquire any.
+	System
+)
+
+func (k Kind) String() string {
+	if k == System {
+		return "system"
+	}
+	return "user"
+}
+
+// State is the transaction lifecycle state.
+type State int
+
+const (
+	// Active transactions may lock and log.
+	Active State = iota
+	// Committed is terminal.
+	Committed
+	// Aborted is terminal.
+	Aborted
+)
+
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	default:
+		return "aborted"
+	}
+}
+
+// ErrNotActive is returned for operations on finished transactions.
+var ErrNotActive = errors.New("txn: transaction not active")
+
+// Txn is one transaction.
+type Txn struct {
+	id   lockmgr.TxnID
+	kind Kind
+
+	mu    sync.Mutex
+	state State
+
+	mgr *Manager
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() lockmgr.TxnID { return t.id }
+
+// Kind returns user or system.
+func (t *Txn) Kind() Kind { return t.kind }
+
+// State returns the current lifecycle state.
+func (t *Txn) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// Lock acquires a transactional lock. System transactions must not
+// lock (they rely on latches only); doing so is a programming error.
+func (t *Txn) Lock(res string, mode lockmgr.Mode) error {
+	if t.kind == System {
+		return errors.New("txn: system transactions must not acquire locks")
+	}
+	if t.State() != Active {
+		return ErrNotActive
+	}
+	return t.mgr.locks.Lock(t.id, res, mode)
+}
+
+// LockHierarchy acquires intention locks along the containment path
+// and the leaf mode on the final element (hierarchical locking, §3.2).
+func (t *Txn) LockHierarchy(path []string, leaf lockmgr.Mode) error {
+	if t.kind == System {
+		return errors.New("txn: system transactions must not acquire locks")
+	}
+	if t.State() != Active {
+		return ErrNotActive
+	}
+	return t.mgr.locks.LockHierarchy(t.id, path, leaf)
+}
+
+// Savepoint records the current lock-acquisition point; RollbackTo
+// releases every lock acquired after it (partial rollback, one of the
+// deadlock-resolution mechanisms of the paper's Table 1).
+func (t *Txn) Savepoint() (int, error) {
+	if t.kind == System {
+		return 0, errors.New("txn: system transactions hold no locks to save")
+	}
+	if t.State() != Active {
+		return 0, ErrNotActive
+	}
+	return t.mgr.locks.Savepoint(t.id), nil
+}
+
+// RollbackTo performs a partial rollback to a previous Savepoint,
+// releasing the locks acquired since. The transaction remains active.
+// Any index refinement that happened meanwhile is kept: it changed
+// structure, not contents (§3).
+func (t *Txn) RollbackTo(savepoint int) error {
+	if t.kind == System {
+		return errors.New("txn: system transactions hold no locks to roll back")
+	}
+	if t.State() != Active {
+		return ErrNotActive
+	}
+	t.mgr.locks.ReleaseAfter(t.id, savepoint)
+	return nil
+}
+
+// Commit finishes the transaction, releasing all its locks.
+func (t *Txn) Commit() error { return t.finish(Committed) }
+
+// Abort rolls the transaction back, releasing all its locks. Index
+// refinements done by system transactions on its behalf are kept:
+// they changed structure, not contents, so there is nothing to undo.
+func (t *Txn) Abort() error { return t.finish(Aborted) }
+
+func (t *Txn) finish(to State) error {
+	t.mu.Lock()
+	if t.state != Active {
+		t.mu.Unlock()
+		return ErrNotActive
+	}
+	t.state = to
+	t.mu.Unlock()
+	t.mgr.locks.ReleaseAll(t.id)
+	t.mgr.finished.Add(1)
+	return nil
+}
+
+// Manager creates transactions and owns the lock manager.
+type Manager struct {
+	locks    *lockmgr.Manager
+	nextID   atomic.Uint64
+	started  atomic.Int64
+	finished atomic.Int64
+}
+
+// NewManager returns a transaction manager with a fresh lock manager.
+func NewManager() *Manager {
+	return &Manager{locks: lockmgr.New()}
+}
+
+// Locks exposes the lock manager (for the refinement probe and tests).
+func (m *Manager) Locks() *lockmgr.Manager { return m.locks }
+
+// Begin starts a transaction of the given kind.
+func (m *Manager) Begin(kind Kind) *Txn {
+	m.started.Add(1)
+	return &Txn{id: lockmgr.TxnID(m.nextID.Add(1)), kind: kind, mgr: m}
+}
+
+// RunSystem executes fn as a system transaction: begin, run, instant
+// commit. If fn panics the transaction aborts and the panic resumes.
+// This models the paper's "many small [system] transactions with low
+// overheads for invocation and commit processing" (§3.4): there is no
+// lock acquisition and no content logging on this path.
+func (m *Manager) RunSystem(fn func(st *Txn) error) error {
+	st := m.Begin(System)
+	defer func() {
+		if r := recover(); r != nil {
+			_ = st.Abort()
+			panic(r)
+		}
+	}()
+	if err := fn(st); err != nil {
+		_ = st.Abort()
+		return err
+	}
+	return st.Commit()
+}
+
+// RefinementProbe returns a closure suitable for
+// crackindex.Options.LockProbe: it reports whether any user
+// transaction currently holds a lock on resource res that conflicts
+// with the exclusive access a structural refinement needs. System
+// transactions consult it and skip refinement on conflict instead of
+// blocking on locks (§3.3).
+func (m *Manager) RefinementProbe(res string) func() bool {
+	return func() bool {
+		return m.locks.HasConflicting(res, lockmgr.X, 0)
+	}
+}
+
+// Counts returns (started, finished) transaction counters.
+func (m *Manager) Counts() (started, finished int64) {
+	return m.started.Load(), m.finished.Load()
+}
+
+// String renders a short description of the transaction.
+func (t *Txn) String() string {
+	return fmt.Sprintf("txn{id=%d kind=%s state=%s}", t.id, t.kind, t.State())
+}

@@ -1,0 +1,248 @@
+package txn
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"adaptix/internal/crackindex"
+	"adaptix/internal/lockmgr"
+	"adaptix/internal/workload"
+)
+
+func TestLifecycle(t *testing.T) {
+	m := NewManager()
+	u := m.Begin(User)
+	if u.Kind() != User || u.State() != Active {
+		t.Fatalf("bad fresh txn: %v", u)
+	}
+	if err := u.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if u.State() != Committed {
+		t.Fatal("not committed")
+	}
+	if err := u.Commit(); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("double commit: %v", err)
+	}
+	if err := u.Lock("r", lockmgr.S); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("lock after commit: %v", err)
+	}
+	a := m.Begin(User)
+	if err := a.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if a.State() != Aborted {
+		t.Fatal("not aborted")
+	}
+	started, finished := m.Counts()
+	if started != 2 || finished != 2 {
+		t.Fatalf("counts = %d,%d", started, finished)
+	}
+}
+
+func TestUserLocksReleasedOnFinish(t *testing.T) {
+	m := NewManager()
+	u := m.Begin(User)
+	if err := u.Lock("R.A", lockmgr.X); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Locks().HasConflicting("R.A", lockmgr.S, 0) {
+		t.Fatal("lock not visible")
+	}
+	if err := u.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Locks().HasConflicting("R.A", lockmgr.S, 0) {
+		t.Fatal("lock survived abort")
+	}
+}
+
+func TestSystemTransactionsMustNotLock(t *testing.T) {
+	m := NewManager()
+	s := m.Begin(System)
+	if err := s.Lock("r", lockmgr.S); err == nil {
+		t.Fatal("system txn acquired a lock")
+	}
+	if err := s.LockHierarchy([]string{"a", "b"}, lockmgr.S); err == nil {
+		t.Fatal("system txn acquired hierarchy locks")
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSystemInstantCommit(t *testing.T) {
+	m := NewManager()
+	var inside State
+	err := m.RunSystem(func(st *Txn) error {
+		inside = st.State()
+		if st.Kind() != System {
+			t.Fatal("not a system txn")
+		}
+		return nil
+	})
+	if err != nil || inside != Active {
+		t.Fatalf("RunSystem: err=%v inside=%v", err, inside)
+	}
+	err = m.RunSystem(func(st *Txn) error { return errors.New("boom") })
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	started, finished := m.Counts()
+	if started != 2 || finished != 2 {
+		t.Fatalf("counts = %d,%d", started, finished)
+	}
+}
+
+func TestRunSystemPanicAborts(t *testing.T) {
+	m := NewManager()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic swallowed")
+			}
+		}()
+		_ = m.RunSystem(func(st *Txn) error { panic("kaboom") })
+	}()
+	_, finished := m.Counts()
+	if finished != 1 {
+		t.Fatal("panicking system txn not finished")
+	}
+}
+
+func TestHierarchicalLockingViaTxn(t *testing.T) {
+	m := NewManager()
+	u := m.Begin(User)
+	if err := u.LockHierarchy([]string{"db", "db/R", "db/R/A"}, lockmgr.X); err != nil {
+		t.Fatal(err)
+	}
+	held := m.Locks().HeldModes(u.ID())
+	if held["db"] != lockmgr.IX || held["db/R/A"] != lockmgr.X {
+		t.Fatalf("bad modes: %v", held)
+	}
+	u.Commit()
+}
+
+// TestRefinementProbeIntegration wires the probe into a cracked-column
+// index: while a user transaction holds X on the column, refinement is
+// skipped; after commit, refinement resumes. This is the paper's §3.3
+// verification step end-to-end.
+func TestRefinementProbeIntegration(t *testing.T) {
+	m := NewManager()
+	d := workload.NewUniqueUniform(10000, 3)
+	ix := crackindex.New(d.Values, crackindex.Options{
+		Latching:  crackindex.LatchPiece,
+		LockProbe: m.RefinementProbe("R.A"),
+	})
+
+	u := m.Begin(User)
+	if err := u.Lock("R.A", lockmgr.X); err != nil {
+		t.Fatal(err)
+	}
+	n, st := ix.Count(100, 900)
+	if n != 800 {
+		t.Fatalf("Count = %d", n)
+	}
+	if !st.Skipped || ix.Stats().Cracks.Load() != 0 {
+		t.Fatal("refinement not skipped under conflicting user lock")
+	}
+
+	if err := u.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	n, st = ix.Count(100, 900)
+	if n != 800 || st.Skipped {
+		t.Fatalf("post-commit query wrong: n=%d skipped=%v", n, st.Skipped)
+	}
+	if ix.Stats().Cracks.Load() == 0 {
+		t.Fatal("refinement did not resume after commit")
+	}
+}
+
+// TestRollbackKeepsRefinement: index optimization achieved inside an
+// (eventually aborted) user transaction's thread is NOT reversed —
+// structure is independent of contents (paper §3).
+func TestRollbackKeepsRefinement(t *testing.T) {
+	m := NewManager()
+	d := workload.NewUniqueUniform(10000, 4)
+	ix := crackindex.New(d.Values, crackindex.Options{
+		Latching:  crackindex.LatchPiece,
+		LockProbe: m.RefinementProbe("R.A"),
+	})
+	u := m.Begin(User) // holds no locks: queries at read-committed
+	var err error
+	_ = err
+	if n, _ := ix.Count(2000, 5000); n != 3000 {
+		t.Fatal("count wrong")
+	}
+	cracksBefore := ix.Stats().Cracks.Load()
+	if cracksBefore == 0 {
+		t.Fatal("no refinement happened")
+	}
+	if err := u.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Stats().Cracks.Load(); got != cracksBefore {
+		t.Fatal("abort changed the index")
+	}
+	if p := ix.NumPieces(); p < 2 {
+		t.Fatalf("pieces lost after abort: %d", p)
+	}
+	// And the index still answers correctly.
+	if n, _ := ix.Count(2000, 5000); n != 3000 {
+		t.Fatal("count wrong after abort")
+	}
+}
+
+func TestSavepointRollbackViaTxn(t *testing.T) {
+	m := NewManager()
+	u := m.Begin(User)
+	if err := u.Lock("a", lockmgr.X); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := u.Savepoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Lock("b", lockmgr.X); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.RollbackTo(sp); err != nil {
+		t.Fatal(err)
+	}
+	held := m.Locks().HeldModes(u.ID())
+	if len(held) != 1 || held["a"] != lockmgr.X {
+		t.Fatalf("held after partial rollback: %v", held)
+	}
+	// The transaction is still active and can continue.
+	if err := u.Lock("c", lockmgr.S); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// System transactions have no savepoints.
+	s := m.Begin(System)
+	if _, err := s.Savepoint(); err == nil {
+		t.Fatal("system savepoint accepted")
+	}
+	if err := s.RollbackTo(0); err == nil {
+		t.Fatal("system rollback accepted")
+	}
+	s.Commit()
+}
+
+func TestStrings(t *testing.T) {
+	if User.String() != "user" || System.String() != "system" {
+		t.Fatal("bad Kind strings")
+	}
+	if Active.String() != "active" || Committed.String() != "committed" || Aborted.String() != "aborted" {
+		t.Fatal("bad State strings")
+	}
+	m := NewManager()
+	u := m.Begin(User)
+	if s := u.String(); !strings.Contains(s, "user") || !strings.Contains(s, "active") {
+		t.Fatalf("txn String = %q", s)
+	}
+}

@@ -1,0 +1,275 @@
+// Package wal implements a write-ahead log for the *structural*
+// operations of adaptive indexing.
+//
+// The paper (§4.2) observes that a significant advantage of building
+// adaptive indexes over proven index structures is that "index
+// creation and reorganization don't require logging detailed index
+// contents": the logical contents are derivable from the base data,
+// so only small structural records (a crack boundary was added; a run
+// was created; a merge step committed) need to be durable for the
+// table of contents to be rebuilt after a crash. Losing them entirely
+// would also be correct — adaptive indexes are optional and
+// re-creatable — but replaying them preserves the knowledge gained
+// from earlier query execution ("the side effects of earlier queries
+// may be re-created in the new index even without merging").
+//
+// Records are encoded with a fixed little-endian binary layout and
+// protected by a simple XOR checksum; Replay stops at the first
+// corrupt or truncated record, mimicking standard log-recovery
+// behaviour.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind identifies the structural operation a record describes.
+type Kind uint8
+
+const (
+	// BeginSystem marks the start of a system transaction.
+	BeginSystem Kind = iota + 1
+	// CommitSystem marks its instant commit.
+	CommitSystem
+	// CrackBoundary records that a crack boundary was added to a column.
+	CrackBoundary
+	// RunCreated records that a sorted run (partition) was created.
+	RunCreated
+	// MergeStep records that a key range moved from source partitions
+	// into the final partition.
+	MergeStep
+	// Checkpoint records a consistent table-of-contents snapshot point.
+	Checkpoint
+)
+
+func (k Kind) String() string {
+	switch k {
+	case BeginSystem:
+		return "begin-system"
+	case CommitSystem:
+		return "commit-system"
+	case CrackBoundary:
+		return "crack-boundary"
+	case RunCreated:
+		return "run-created"
+	case MergeStep:
+		return "merge-step"
+	case Checkpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one structural log record. The three int64 payload fields
+// are interpreted per kind:
+//
+//	CrackBoundary: A = boundary value
+//	RunCreated:    A = partition id, B = record count
+//	MergeStep:     A = low key, B = high key, C = records moved
+type Record struct {
+	// LSN is the log sequence number, assigned by Append.
+	LSN uint64
+	// Txn is the system transaction id.
+	Txn uint64
+	// Kind is the operation.
+	Kind Kind
+	// Object names the index/column the record concerns.
+	Object string
+	// A, B, C are the per-kind payload values.
+	A, B, C int64
+}
+
+// Log is an append-only structural log. The zero value is not usable;
+// use New.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+	nextLSN uint64
+	sink    io.Writer // optional durable sink
+}
+
+// New creates a log. sink may be nil (in-memory only); when non-nil,
+// every appended record is encoded and written through.
+func New(sink io.Writer) *Log {
+	return &Log{nextLSN: 1, sink: sink}
+}
+
+// Append assigns the next LSN to r, stores it, and (if a sink is
+// configured) writes it durably. It returns the assigned LSN.
+func (l *Log) Append(r Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.LSN = l.nextLSN
+	l.nextLSN++
+	if l.sink != nil {
+		if _, err := l.sink.Write(Encode(r)); err != nil {
+			return 0, fmt.Errorf("wal: append: %w", err)
+		}
+	}
+	l.records = append(l.records, r)
+	return r.LSN, nil
+}
+
+// Len returns the number of records appended.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Records returns a copy of all appended records.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.records))
+	copy(out, l.records)
+	return out
+}
+
+// Encode serializes r: header(LSN, Txn, kind, lenObject) + object +
+// A,B,C + checksum byte.
+func Encode(r Record) []byte {
+	obj := []byte(r.Object)
+	buf := make([]byte, 0, 8+8+1+4+len(obj)+24+1)
+	var tmp [8]byte
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put64(r.LSN)
+	put64(r.Txn)
+	buf = append(buf, byte(r.Kind))
+	var l4 [4]byte
+	binary.LittleEndian.PutUint32(l4[:], uint32(len(obj)))
+	buf = append(buf, l4[:]...)
+	buf = append(buf, obj...)
+	put64(uint64(r.A))
+	put64(uint64(r.B))
+	put64(uint64(r.C))
+	var sum byte
+	for _, b := range buf {
+		sum ^= b
+	}
+	buf = append(buf, sum)
+	return buf
+}
+
+// ErrCorrupt reports a checksum mismatch during decode.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Decode parses one record from buf, returning the record and the
+// number of bytes consumed. io.ErrUnexpectedEOF means a truncated
+// record (normal at a crashed log tail).
+func Decode(buf []byte) (Record, int, error) {
+	const fixed = 8 + 8 + 1 + 4
+	if len(buf) < fixed {
+		return Record{}, 0, io.ErrUnexpectedEOF
+	}
+	var r Record
+	r.LSN = binary.LittleEndian.Uint64(buf[0:])
+	r.Txn = binary.LittleEndian.Uint64(buf[8:])
+	r.Kind = Kind(buf[16])
+	objLen := int(binary.LittleEndian.Uint32(buf[17:]))
+	total := fixed + objLen + 24 + 1
+	if objLen > 1<<20 {
+		return Record{}, 0, ErrCorrupt
+	}
+	if len(buf) < total {
+		return Record{}, 0, io.ErrUnexpectedEOF
+	}
+	r.Object = string(buf[fixed : fixed+objLen])
+	p := fixed + objLen
+	r.A = int64(binary.LittleEndian.Uint64(buf[p:]))
+	r.B = int64(binary.LittleEndian.Uint64(buf[p+8:]))
+	r.C = int64(binary.LittleEndian.Uint64(buf[p+16:]))
+	var sum byte
+	for _, b := range buf[:total-1] {
+		sum ^= b
+	}
+	if sum != buf[total-1] {
+		return Record{}, 0, ErrCorrupt
+	}
+	return r, total, nil
+}
+
+// Replay decodes records from raw until the bytes are exhausted or a
+// truncated/corrupt tail is found, invoking apply for each complete
+// record. It returns the number of records applied.
+func Replay(raw []byte, apply func(Record)) (int, error) {
+	n := 0
+	for len(raw) > 0 {
+		r, consumed, err := Decode(raw)
+		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, ErrCorrupt) {
+				return n, nil // normal crashed-tail stop
+			}
+			return n, err
+		}
+		apply(r)
+		raw = raw[consumed:]
+		n++
+	}
+	return n, nil
+}
+
+// Catalog is the structural table of contents rebuilt by recovery:
+// crack boundaries per column and partitions per index. It
+// demonstrates that structure (not contents) is all the log carries.
+type Catalog struct {
+	// Boundaries maps column name to crack boundary values in append
+	// order.
+	Boundaries map[string][]int64
+	// Partitions maps index name to live partition ids.
+	Partitions map[string][]int64
+}
+
+// Recover rebuilds the catalog from an encoded log image, honouring
+// only records of committed system transactions (a begin without a
+// commit is ignored, as an aborted refinement leaves no trace).
+func Recover(raw []byte) (*Catalog, error) {
+	type pending struct {
+		recs []Record
+	}
+	open := map[uint64]*pending{}
+	cat := &Catalog{
+		Boundaries: map[string][]int64{},
+		Partitions: map[string][]int64{},
+	}
+	applyRec := func(r Record) {
+		switch r.Kind {
+		case CrackBoundary:
+			cat.Boundaries[r.Object] = append(cat.Boundaries[r.Object], r.A)
+		case RunCreated:
+			cat.Partitions[r.Object] = append(cat.Partitions[r.Object], r.A)
+		}
+	}
+	_, err := Replay(raw, func(r Record) {
+		switch r.Kind {
+		case BeginSystem:
+			open[r.Txn] = &pending{}
+		case CommitSystem:
+			if p := open[r.Txn]; p != nil {
+				for _, pr := range p.recs {
+					applyRec(pr)
+				}
+				delete(open, r.Txn)
+			}
+		default:
+			if p := open[r.Txn]; p != nil {
+				p.recs = append(p.recs, r)
+			} else {
+				// Autonomous record outside a system txn: apply directly.
+				applyRec(r)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cat, nil
+}

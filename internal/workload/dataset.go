@@ -1,0 +1,58 @@
+package workload
+
+// Dataset is the base table column used by the experiments: n unique
+// integers 0..n-1 in random order, mirroring the paper's "table of
+// 100 million tuples populated with unique randomly distributed
+// integers" (§6). Because the values are exactly the integers 0..n-1,
+// expected counts and sums of any value range are known in closed form,
+// which the tests exploit for verification.
+type Dataset struct {
+	Values []int64
+	// Domain is the exclusive upper bound of the value domain; values
+	// are unique integers in [0, Domain).
+	Domain int64
+}
+
+// NewUniqueUniform builds a dataset of n unique values 0..n-1 in a
+// deterministic pseudo-random order derived from seed.
+func NewUniqueUniform(n int, seed uint64) *Dataset {
+	vals := make([]int64, n)
+	NewRNG(seed).Perm(vals)
+	return &Dataset{Values: vals, Domain: int64(n)}
+}
+
+// NewDuplicates builds a dataset of n values drawn uniformly at random
+// from [0, domain), i.e. with duplicates when domain < n. Used by edge
+// case tests; the paper's main experiments use unique values.
+func NewDuplicates(n int, domain int64, seed uint64) *Dataset {
+	r := NewRNG(seed)
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = r.Int64n(domain)
+	}
+	return &Dataset{Values: vals, Domain: domain}
+}
+
+// TrueCount returns the number of dataset values v with lo <= v < hi,
+// computed by brute force. Intended for test verification only.
+func (d *Dataset) TrueCount(lo, hi int64) int64 {
+	var c int64
+	for _, v := range d.Values {
+		if v >= lo && v < hi {
+			c++
+		}
+	}
+	return c
+}
+
+// TrueSum returns the sum of dataset values v with lo <= v < hi,
+// computed by brute force. Intended for test verification only.
+func (d *Dataset) TrueSum(lo, hi int64) int64 {
+	var s int64
+	for _, v := range d.Values {
+		if v >= lo && v < hi {
+			s += v
+		}
+	}
+	return s
+}

@@ -1,0 +1,282 @@
+package workload
+
+import "math"
+
+// QueryKind distinguishes the two query templates of the paper's §6:
+//
+//	Q1: select count(*) from R where v1 < A < v2
+//	Q2: select sum(A)   from R where v1 < A < v2
+type QueryKind int
+
+const (
+	// Count is query type Q1: only selection/cracking work.
+	Count QueryKind = iota
+	// Sum is query type Q2: selection/cracking plus an aggregation
+	// that must read every qualifying value.
+	Sum
+)
+
+func (k QueryKind) String() string {
+	switch k {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	default:
+		return "unknown"
+	}
+}
+
+// Query is one range query over the indexed column. Bounds are
+// half-open: the qualifying values v satisfy Lo <= v < Hi.
+type Query struct {
+	Kind QueryKind
+	Lo   int64
+	Hi   int64
+}
+
+// Generator produces a deterministic stream of range queries.
+type Generator interface {
+	// Next returns the next query in the stream.
+	Next() Query
+}
+
+// UniformGenerator produces random range queries of a fixed selectivity
+// over the whole domain, the workload of the paper's Figures 11-15:
+// "random range queries with a stable X% selectivity".
+type UniformGenerator struct {
+	rng    *RNG
+	kind   QueryKind
+	domain int64
+	width  int64
+}
+
+// NewUniform returns a generator of kind queries over [0, domain) whose
+// ranges each cover selectivity (in (0,1]) of the domain.
+func NewUniform(kind QueryKind, domain int64, selectivity float64, seed uint64) *UniformGenerator {
+	if selectivity <= 0 || selectivity > 1 {
+		panic("workload: selectivity must be in (0, 1]")
+	}
+	w := int64(selectivity * float64(domain))
+	if w < 1 {
+		w = 1
+	}
+	if w > domain {
+		w = domain
+	}
+	return &UniformGenerator{rng: NewRNG(seed), kind: kind, domain: domain, width: w}
+}
+
+// Next returns the next random range query.
+func (g *UniformGenerator) Next() Query {
+	maxLo := g.domain - g.width
+	var lo int64
+	if maxLo > 0 {
+		lo = g.rng.Int64n(maxLo + 1)
+	}
+	return Query{Kind: g.kind, Lo: lo, Hi: lo + g.width}
+}
+
+// SequentialGenerator sweeps the domain left to right with fixed-width
+// ranges, a worst case for adaptive indexing benchmarking [11] because
+// every query touches a previously uncracked region.
+type SequentialGenerator struct {
+	kind   QueryKind
+	domain int64
+	width  int64
+	next   int64
+}
+
+// NewSequential returns a sweeping generator with the given selectivity.
+func NewSequential(kind QueryKind, domain int64, selectivity float64) *SequentialGenerator {
+	w := int64(selectivity * float64(domain))
+	if w < 1 {
+		w = 1
+	}
+	return &SequentialGenerator{kind: kind, domain: domain, width: w}
+}
+
+// Next returns the next range in the sweep, wrapping at the domain end.
+func (g *SequentialGenerator) Next() Query {
+	lo := g.next
+	if lo+g.width > g.domain {
+		lo = 0
+	}
+	g.next = lo + g.width
+	return Query{Kind: g.kind, Lo: lo, Hi: lo + g.width}
+}
+
+// PeriodicGenerator alternates between W distinct focus windows,
+// spending burst queries in each before moving on, and cycling back —
+// the "periodic" pattern of the adaptive-indexing benchmark [11]. It
+// stresses how quickly the index re-converges when the workload focus
+// returns to a previously optimized region.
+type PeriodicGenerator struct {
+	rng     *RNG
+	kind    QueryKind
+	domain  int64
+	width   int64
+	windows int64
+	burst   int
+	issued  int
+	window  int64
+}
+
+// NewPeriodic returns a periodic generator with the given number of
+// focus windows and queries per burst.
+func NewPeriodic(kind QueryKind, domain int64, selectivity float64, windows int64, burst int, seed uint64) *PeriodicGenerator {
+	if windows < 1 {
+		windows = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	w := int64(selectivity * float64(domain))
+	if w < 1 {
+		w = 1
+	}
+	return &PeriodicGenerator{
+		rng: NewRNG(seed), kind: kind, domain: domain, width: w,
+		windows: windows, burst: burst,
+	}
+}
+
+// Next returns the next query, drawn uniformly inside the current
+// focus window.
+func (g *PeriodicGenerator) Next() Query {
+	if g.issued >= g.burst {
+		g.issued = 0
+		g.window = (g.window + 1) % g.windows
+	}
+	g.issued++
+	winSize := g.domain / g.windows
+	base := g.window * winSize
+	maxLo := winSize - g.width
+	var lo int64
+	if maxLo > 0 {
+		lo = g.rng.Int64n(maxLo + 1)
+	}
+	lo += base
+	if lo+g.width > g.domain {
+		lo = g.domain - g.width
+	}
+	return Query{Kind: g.kind, Lo: lo, Hi: lo + g.width}
+}
+
+// ShiftingGenerator draws random ranges from a focus window that
+// slowly slides across the domain — the benchmark's [11] drifting
+// workload, between fully random and strictly sequential.
+type ShiftingGenerator struct {
+	rng    *RNG
+	kind   QueryKind
+	domain int64
+	width  int64
+	win    int64
+	step   int64
+	start  int64
+}
+
+// NewShifting returns a generator whose window of winFrac of the
+// domain slides by step values per query.
+func NewShifting(kind QueryKind, domain int64, selectivity, winFrac float64, step int64, seed uint64) *ShiftingGenerator {
+	w := int64(selectivity * float64(domain))
+	if w < 1 {
+		w = 1
+	}
+	win := int64(winFrac * float64(domain))
+	if win < w {
+		win = w
+	}
+	return &ShiftingGenerator{
+		rng: NewRNG(seed), kind: kind, domain: domain, width: w, win: win, step: step,
+	}
+}
+
+// Next returns the next query from the sliding window.
+func (g *ShiftingGenerator) Next() Query {
+	maxLo := g.win - g.width
+	var off int64
+	if maxLo > 0 {
+		off = g.rng.Int64n(maxLo + 1)
+	}
+	lo := (g.start + off) % (g.domain - g.width + 1)
+	g.start = (g.start + g.step) % g.domain
+	return Query{Kind: g.kind, Lo: lo, Hi: lo + g.width}
+}
+
+// ZipfGenerator produces range queries whose low bounds cluster on a
+// hot region of the domain according to a zipf-like distribution. Used
+// for the skewed-workload ablation: the more a key range is queried,
+// the more it is optimized (paper §1).
+type ZipfGenerator struct {
+	rng     *RNG
+	kind    QueryKind
+	domain  int64
+	width   int64
+	zipfExp float64
+	buckets int
+}
+
+// NewZipf returns a skewed generator; exponent ~1.0 gives classic zipf
+// weighting across 64 buckets of the domain.
+func NewZipf(kind QueryKind, domain int64, selectivity, exponent float64, seed uint64) *ZipfGenerator {
+	w := int64(selectivity * float64(domain))
+	if w < 1 {
+		w = 1
+	}
+	return &ZipfGenerator{
+		rng: NewRNG(seed), kind: kind, domain: domain, width: w,
+		zipfExp: exponent, buckets: 64,
+	}
+}
+
+// Next returns the next skewed range query.
+func (g *ZipfGenerator) Next() Query {
+	// Pick a bucket with probability proportional to 1/(rank^exp) using
+	// inverse-CDF over the precomputable harmonic weights; for 64 buckets
+	// a linear scan is cheap and allocation free.
+	var total float64
+	for i := 1; i <= g.buckets; i++ {
+		total += 1 / pow(float64(i), g.zipfExp)
+	}
+	u := g.rng.Float64() * total
+	bucket := 0
+	var acc float64
+	for i := 1; i <= g.buckets; i++ {
+		acc += 1 / pow(float64(i), g.zipfExp)
+		if u <= acc {
+			bucket = i - 1
+			break
+		}
+	}
+	bWidth := g.domain / int64(g.buckets)
+	lo := int64(bucket)*bWidth + g.rng.Int64n(maxi64(bWidth, 1))
+	if lo+g.width > g.domain {
+		lo = g.domain - g.width
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return Query{Kind: g.kind, Lo: lo, Hi: lo + g.width}
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func pow(base, exp float64) float64 { return math.Pow(base, exp) }
+
+// Fixed returns a slice of n queries pre-drawn from g. Pre-drawing lets
+// concurrent clients share one deterministic sequence, mirroring the
+// paper's "for every run we use exactly the same queries and in the
+// same order".
+func Fixed(g Generator, n int) []Query {
+	qs := make([]Query, n)
+	for i := range qs {
+		qs[i] = g.Next()
+	}
+	return qs
+}

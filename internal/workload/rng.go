@@ -1,0 +1,122 @@
+// Package workload provides deterministic random number generation,
+// data-set construction, and range-query stream generators for the
+// adaptive-indexing experiments.
+//
+// The paper's set-up (§6) uses a table of unique, randomly distributed
+// integers and streams of random range queries with a fixed selectivity.
+// Everything here is deterministic given a seed so that experiment runs
+// are reproducible and so that every engine in a comparison sees exactly
+// the same query sequence, as in the paper ("for every run we use exactly
+// the same queries and in the same order").
+package workload
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (xoshiro256** seeded via splitmix64). It is NOT safe for concurrent
+// use; give each client its own RNG.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 advances x and returns the next splitmix64 output.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	// Avoid the all-zero state, which is a fixed point for xoshiro.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Int63 returns a non-negative pseudo-random int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Intn returns a uniform pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn called with n <= 0")
+	}
+	return int(r.Int64n(int64(n)))
+}
+
+// Int64n returns a uniform pseudo-random int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int64n(n int64) int64 {
+	if n <= 0 {
+		panic("workload: Int64n called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation, with rejection to
+	// remove modulo bias.
+	un := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, un)
+		if lo >= un || lo >= (-un)%un {
+			return int64(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aLo * bLo
+	lo = t & mask32
+	c := t >> 32
+	t = aHi*bLo + c
+	tLo, tHi := t&mask32, t>>32
+	t = aLo*bHi + tLo
+	lo |= (t & mask32) << 32
+	hi = aHi*bHi + tHi + t>>32
+	return hi, lo
+}
+
+// Float64 returns a uniform pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm fills out with a pseudo-random permutation of [0, len(out)).
+func (r *RNG) Perm(out []int64) {
+	for i := range out {
+		out[i] = int64(i)
+	}
+	r.Shuffle(out)
+}
+
+// Shuffle permutes vals in place (Fisher-Yates).
+func (r *RNG) Shuffle(vals []int64) {
+	for i := len(vals) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+}

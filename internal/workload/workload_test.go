@@ -1,0 +1,302 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/1000 identical outputs", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	var allZero = true
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("zero seed produced all-zero stream")
+	}
+}
+
+func TestInt64nBounds(t *testing.T) {
+	f := func(seed uint64, n int64) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Int64n(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64nRoughUniformity(t *testing.T) {
+	r := NewRNG(7)
+	const n, buckets, draws = 1000, 10, 100000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Int64n(n)/(n/buckets)]++
+	}
+	want := draws / buckets
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("bucket %d count %d outside 20%% of expected %d", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	out := make([]int64, 1000)
+	NewRNG(11).Perm(out)
+	seen := make(map[int64]bool, len(out))
+	for _, v := range out {
+		if v < 0 || v >= int64(len(out)) || seen[v] {
+			t.Fatalf("value %d out of range or duplicated", v)
+		}
+		seen[v] = true
+	}
+	// Sanity: the permutation should not be identity.
+	identity := true
+	for i, v := range out {
+		if int64(i) != v {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		t.Fatal("Perm returned the identity permutation")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestDatasetUniqueUniform(t *testing.T) {
+	d := NewUniqueUniform(5000, 3)
+	if d.Domain != 5000 || len(d.Values) != 5000 {
+		t.Fatalf("bad dataset shape: domain=%d len=%d", d.Domain, len(d.Values))
+	}
+	seen := make(map[int64]bool)
+	for _, v := range d.Values {
+		if seen[v] {
+			t.Fatalf("duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDatasetClosedFormAggregates(t *testing.T) {
+	// Unique 0..n-1 values: count and sum over [lo, hi) have closed forms.
+	d := NewUniqueUniform(1000, 9)
+	lo, hi := int64(100), int64(350)
+	if got, want := d.TrueCount(lo, hi), hi-lo; got != want {
+		t.Fatalf("TrueCount = %d, want %d", got, want)
+	}
+	want := (hi - 1 + lo) * (hi - lo) / 2
+	if got := d.TrueSum(lo, hi); got != want {
+		t.Fatalf("TrueSum = %d, want %d", got, want)
+	}
+}
+
+func TestDuplicatesDataset(t *testing.T) {
+	d := NewDuplicates(10000, 100, 1)
+	if len(d.Values) != 10000 {
+		t.Fatal("bad length")
+	}
+	for _, v := range d.Values {
+		if v < 0 || v >= 100 {
+			t.Fatalf("value %d outside domain", v)
+		}
+	}
+	// With 10000 draws over 100 values duplicates are certain.
+	if d.TrueCount(0, 100) != 10000 {
+		t.Fatal("TrueCount over whole domain must equal n")
+	}
+}
+
+func TestUniformGeneratorSelectivity(t *testing.T) {
+	const domain = 1 << 20
+	for _, sel := range []float64{0.0001, 0.01, 0.1, 0.5, 0.9} {
+		g := NewUniform(Count, domain, sel, 17)
+		want := int64(sel * domain)
+		for i := 0; i < 200; i++ {
+			q := g.Next()
+			if q.Hi-q.Lo != want {
+				t.Fatalf("sel %v: width %d, want %d", sel, q.Hi-q.Lo, want)
+			}
+			if q.Lo < 0 || q.Hi > domain {
+				t.Fatalf("sel %v: range [%d,%d) outside domain", sel, q.Lo, q.Hi)
+			}
+		}
+	}
+}
+
+func TestUniformGeneratorFullSelectivity(t *testing.T) {
+	g := NewUniform(Sum, 1000, 1.0, 2)
+	q := g.Next()
+	if q.Lo != 0 || q.Hi != 1000 {
+		t.Fatalf("100%% selectivity should cover the domain, got [%d,%d)", q.Lo, q.Hi)
+	}
+}
+
+func TestUniformGeneratorPanicsOnBadSelectivity(t *testing.T) {
+	for _, sel := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("selectivity %v did not panic", sel)
+				}
+			}()
+			NewUniform(Count, 1000, sel, 1)
+		}()
+	}
+}
+
+func TestSequentialGeneratorSweeps(t *testing.T) {
+	g := NewSequential(Count, 100, 0.1)
+	for rep := 0; rep < 3; rep++ {
+		for i := int64(0); i < 10; i++ {
+			q := g.Next()
+			if q.Lo != i*10 || q.Hi != (i+1)*10 {
+				t.Fatalf("rep %d step %d: got [%d,%d)", rep, i, q.Lo, q.Hi)
+			}
+		}
+	}
+}
+
+func TestZipfGeneratorBoundsAndSkew(t *testing.T) {
+	const domain = 1 << 16
+	g := NewZipf(Sum, domain, 0.01, 1.0, 23)
+	firstBucket := 0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		q := g.Next()
+		if q.Lo < 0 || q.Hi > domain || q.Hi-q.Lo <= 0 {
+			t.Fatalf("bad range [%d,%d)", q.Lo, q.Hi)
+		}
+		if q.Lo < domain/64 {
+			firstBucket++
+		}
+	}
+	// Bucket 0 has weight 1/H(64) ~ 21%; uniform would give ~1.6%.
+	if firstBucket < draws/10 {
+		t.Fatalf("zipf skew too weak: %d/%d draws in the hottest bucket", firstBucket, draws)
+	}
+}
+
+func TestFixedReplaysDeterministically(t *testing.T) {
+	a := Fixed(NewUniform(Sum, 1<<20, 0.01, 99), 256)
+	b := Fixed(NewUniform(Sum, 1<<20, 0.01, 99), 256)
+	if len(a) != 256 {
+		t.Fatal("wrong length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPeriodicGeneratorCycles(t *testing.T) {
+	const domain = 1000
+	g := NewPeriodic(Count, domain, 0.01, 4, 5, 3)
+	winSize := int64(domain / 4)
+	// First burst stays in window 0, second in window 1, etc.
+	for burst := 0; burst < 8; burst++ {
+		wantWin := int64(burst % 4)
+		for i := 0; i < 5; i++ {
+			q := g.Next()
+			if q.Lo < wantWin*winSize || q.Lo >= (wantWin+1)*winSize {
+				t.Fatalf("burst %d query %d: lo %d outside window %d", burst, i, q.Lo, wantWin)
+			}
+			if q.Hi > domain || q.Hi <= q.Lo {
+				t.Fatalf("bad range [%d,%d)", q.Lo, q.Hi)
+			}
+		}
+	}
+}
+
+func TestPeriodicGeneratorClamps(t *testing.T) {
+	g := NewPeriodic(Sum, 100, 0.5, 0, 0, 1) // degenerate params clamped
+	for i := 0; i < 10; i++ {
+		q := g.Next()
+		if q.Lo < 0 || q.Hi > 100 || q.Lo >= q.Hi {
+			t.Fatalf("bad range [%d,%d)", q.Lo, q.Hi)
+		}
+	}
+}
+
+func TestShiftingGeneratorDrifts(t *testing.T) {
+	const domain = 100000
+	g := NewShifting(Count, domain, 0.001, 0.05, 500, 7)
+	var first, last int64
+	const n = 100
+	for i := 0; i < n; i++ {
+		q := g.Next()
+		if q.Lo < 0 || q.Hi > domain {
+			t.Fatalf("range [%d,%d) outside domain", q.Lo, q.Hi)
+		}
+		if i < 10 {
+			first += q.Lo
+		}
+		if i >= n-10 {
+			last += q.Lo
+		}
+	}
+	// The window slid right: late los are larger on average.
+	if last <= first {
+		t.Fatalf("window did not drift: first-10 sum %d, last-10 sum %d", first, last)
+	}
+}
+
+func TestQueryKindString(t *testing.T) {
+	if Count.String() != "count" || Sum.String() != "sum" {
+		t.Fatal("bad QueryKind strings")
+	}
+	if QueryKind(99).String() != "unknown" {
+		t.Fatal("bad unknown QueryKind string")
+	}
+}
