@@ -38,6 +38,7 @@ import (
 	"adaptix/internal/hybrid"
 	"adaptix/internal/latch"
 	"adaptix/internal/lockmgr"
+	"adaptix/internal/shard"
 	"adaptix/internal/sideways"
 	"adaptix/internal/txn"
 	"adaptix/internal/wal"
@@ -117,6 +118,33 @@ func NewFullSortEngine(values []int64) Engine { return baseline.NewFullSort(valu
 
 // NewCrackEngine wraps a CrackedColumn as an Engine.
 func NewCrackEngine(ix *CrackedColumn) Engine { return engine.NewCrack(ix) }
+
+// Sharded parallel adaptive indexing (internal/shard): the column is
+// range-partitioned into independently-latched shards, each backed by
+// its own cracked index, and range queries fan out to the overlapping
+// shards in parallel.
+type (
+	// ShardedColumn is a range-partitioned column of cracked shards
+	// with a parallel fan-out query executor.
+	ShardedColumn = shard.Column
+	// ShardOptions configures shard count, worker-pool size, boundary
+	// sampling, and the per-shard index options.
+	ShardOptions = shard.Options
+	// ShardStat is a per-shard refinement-state snapshot (pieces,
+	// cracks, conflicts, depth).
+	ShardStat = shard.ShardStat
+)
+
+// NewShardedColumn range-partitions values into opts.Shards shards
+// (default runtime.GOMAXPROCS) with boundaries drawn from a seeded
+// sample of the input.
+func NewShardedColumn(values []int64, opts ShardOptions) *ShardedColumn {
+	return shard.New(values, opts)
+}
+
+// NewShardedEngine wraps a ShardedColumn as an Engine, so the harness
+// and experiments drive it like any other engine.
+func NewShardedEngine(col *ShardedColumn) Engine { return engine.NewSharded(col) }
 
 // Adaptive merging (paper §2/§4) over a partitioned B-tree.
 type (

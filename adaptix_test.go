@@ -32,6 +32,7 @@ func TestPublicAPIEngines(t *testing.T) {
 		adaptix.NewCrackEngine(adaptix.NewCrackedColumn(d.Values, adaptix.CrackOptions{})),
 		adaptix.NewMergeIndex(d.Values, adaptix.MergeOptions{RunSize: 1 << 10}),
 		adaptix.NewHybridIndex(d.Values, adaptix.HybridOptions{PartitionSize: 1 << 10}),
+		adaptix.NewShardedEngine(adaptix.NewShardedColumn(d.Values, adaptix.ShardOptions{Shards: 4})),
 	}
 	var checksums []int64
 	for _, e := range engines {
@@ -42,6 +43,26 @@ func TestPublicAPIEngines(t *testing.T) {
 		if checksums[i] != checksums[0] {
 			t.Fatalf("engine %d disagrees: %d vs %d", i, checksums[i], checksums[0])
 		}
+	}
+}
+
+func TestPublicAPISharded(t *testing.T) {
+	d := adaptix.NewUniqueDataset(20000, 6)
+	col := adaptix.NewShardedColumn(d.Values, adaptix.ShardOptions{Shards: 4, Seed: 3})
+	n, _ := col.Count(1000, 4000)
+	if n != 3000 {
+		t.Fatalf("Count = %d", n)
+	}
+	s, _ := col.Sum(1000, 4000)
+	if want := int64((1000 + 3999) * 3000 / 2); s != want {
+		t.Fatalf("Sum = %d, want %d", s, want)
+	}
+	stats := col.Snapshot()
+	if len(stats) != col.NumShards() {
+		t.Fatalf("Snapshot has %d entries for %d shards", len(stats), col.NumShards())
+	}
+	if err := col.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 

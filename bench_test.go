@@ -22,6 +22,7 @@ import (
 	"adaptix/internal/hybrid"
 	"adaptix/internal/latch"
 	"adaptix/internal/pbtree"
+	"adaptix/internal/shard"
 	"adaptix/internal/sideways"
 	"adaptix/internal/workload"
 )
@@ -304,6 +305,43 @@ func benchTwoColumnPlan(b *testing.B, useSideways bool) {
 
 func BenchmarkPlan_SelectFetchSum(b *testing.B) { benchTwoColumnPlan(b, false) }
 func BenchmarkPlan_Sideways(b *testing.B)       { benchTwoColumnPlan(b, true) }
+
+// --- Sharded parallel cracking: multi-core scaling sweep ---
+//
+// Shard counts {1, 2, 4, 8} x clients {1, 4, 16} chart the scaling
+// curve of the internal/shard fan-out executor against the
+// single-column crack engine (the Shards1 rows, which pay only the
+// routing overhead).
+
+func benchShardedEngine(shards int) func() engine.Engine {
+	return func() engine.Engine {
+		return engine.NewSharded(shard.New(benchData().Values, shard.Options{
+			Shards: shards, Seed: 77,
+			Index: crackindex.Options{Latching: crackindex.LatchPiece},
+		}))
+	}
+}
+
+func benchShardSweep(b *testing.B, shards int) {
+	qs := benchQuerySet(workload.Sum, 0.001)
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "Clients1", 4: "Clients4", 16: "Clients16"}[clients], func(b *testing.B) {
+			runEngine(b, benchShardedEngine(shards), qs, clients)
+		})
+	}
+}
+
+func BenchmarkSharded_Shards1(b *testing.B) { benchShardSweep(b, 1) }
+func BenchmarkSharded_Shards2(b *testing.B) { benchShardSweep(b, 2) }
+func BenchmarkSharded_Shards4(b *testing.B) { benchShardSweep(b, 4) }
+func BenchmarkSharded_Shards8(b *testing.B) { benchShardSweep(b, 8) }
+
+// BenchmarkSharded_WideRanges stresses the fan-out path itself: 10%
+// selectivity ranges overlap several shards per query, so partial
+// results and OpStats merge on every call.
+func BenchmarkSharded_WideRanges(b *testing.B) {
+	runEngine(b, benchShardedEngine(8), benchQuerySet(workload.Sum, 0.10), 4)
+}
 
 // --- Microbenchmarks of the substrates ---
 

@@ -1,0 +1,3 @@
+module adaptix
+
+go 1.24

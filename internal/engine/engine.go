@@ -41,38 +41,23 @@ type Engine interface {
 
 // Crack adapts a cracked-column index to the Engine interface.
 type Crack struct {
-	ix   *crackindex.Index
-	name string
+	adapter
+	ix *crackindex.Index
 }
 
 // NewCrack wraps ix; name defaults to "crack".
 func NewCrack(ix *crackindex.Index) *Crack {
-	return &Crack{ix: ix, name: "crack"}
+	return &Crack{adapter: adapter{src: ix, name: "crack"}, ix: ix}
 }
 
 // NewCrackNamed wraps ix with an explicit display name (used by the
 // ablation benchmarks to distinguish configurations).
 func NewCrackNamed(ix *crackindex.Index, name string) *Crack {
-	return &Crack{ix: ix, name: name}
+	return &Crack{adapter: adapter{src: ix, name: name}, ix: ix}
 }
-
-// Name implements Engine.
-func (c *Crack) Name() string { return c.name }
 
 // Index returns the wrapped cracked-column index.
 func (c *Crack) Index() *crackindex.Index { return c.ix }
-
-// Count implements Engine.
-func (c *Crack) Count(lo, hi int64) Result {
-	v, st := c.ix.Count(lo, hi)
-	return fromOpStats(v, st)
-}
-
-// Sum implements Engine.
-func (c *Crack) Sum(lo, hi int64) Result {
-	v, st := c.ix.Sum(lo, hi)
-	return fromOpStats(v, st)
-}
 
 func fromOpStats(v int64, st crackindex.OpStats) Result {
 	return Result{

@@ -1,0 +1,54 @@
+package engine
+
+import "adaptix/internal/crackindex"
+
+// AggregateSource is the cost-reporting query surface shared by the
+// cracked column (crackindex.Index) and the sharded column
+// (shard.Column): Count/Sum with a merged per-operation cost
+// breakdown. Declared as an interface here so the engine package does
+// not depend on the shard package (which sits above crackindex).
+type AggregateSource interface {
+	// Count evaluates Q1: select count(*) where lo <= A < hi.
+	Count(lo, hi int64) (int64, crackindex.OpStats)
+	// Sum evaluates Q2: select sum(A) where lo <= A < hi.
+	Sum(lo, hi int64) (int64, crackindex.OpStats)
+}
+
+// adapter implements Engine over any AggregateSource; Crack and
+// Sharded share it.
+type adapter struct {
+	src  AggregateSource
+	name string
+}
+
+// Name implements Engine.
+func (a *adapter) Name() string { return a.name }
+
+// Count implements Engine.
+func (a *adapter) Count(lo, hi int64) Result {
+	v, st := a.src.Count(lo, hi)
+	return fromOpStats(v, st)
+}
+
+// Sum implements Engine.
+func (a *adapter) Sum(lo, hi int64) Result {
+	v, st := a.src.Sum(lo, hi)
+	return fromOpStats(v, st)
+}
+
+// Sharded adapts a sharded column to the Engine interface, so the
+// harness, metrics, and experiments drive it unchanged.
+type Sharded struct {
+	adapter
+}
+
+// NewSharded wraps src; name defaults to "sharded".
+func NewSharded(src AggregateSource) *Sharded {
+	return &Sharded{adapter{src: src, name: "sharded"}}
+}
+
+// NewShardedNamed wraps src with an explicit display name (used by the
+// ablation benchmarks to distinguish shard counts).
+func NewShardedNamed(src AggregateSource, name string) *Sharded {
+	return &Sharded{adapter{src: src, name: name}}
+}

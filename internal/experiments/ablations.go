@@ -13,6 +13,7 @@ import (
 	"adaptix/internal/hybrid"
 	"adaptix/internal/latch"
 	"adaptix/internal/metrics"
+	"adaptix/internal/shard"
 	"adaptix/internal/workload"
 )
 
@@ -29,10 +30,22 @@ type AblationReport struct {
 	Order []string
 }
 
+// shardedVariant builds a sharded-cracking engine factory with P
+// range partitions over the dataset (piece latches inside each shard).
+func shardedVariant(d *workload.Dataset, p int, seed uint64) func() engine.Engine {
+	return func() engine.Engine {
+		return engine.NewShardedNamed(shard.New(d.Values, shard.Options{
+			Shards: p, Seed: seed,
+			Index: crackindex.Options{Latching: crackindex.LatchPiece},
+		}), fmt.Sprintf("sharded/P=%d", p))
+	}
+}
+
 // Ablations compares: middle-first vs FIFO crack scheduling, parallel
 // vs serial two-bound cracking, pairs vs split array layout, wait vs
-// skip conflict policy, and the adaptive methods (crack vs amerge vs
-// hybrid) under identical concurrent load (Q2 queries).
+// skip conflict policy, the adaptive methods (crack vs amerge vs
+// hybrid), and range-sharded cracking at increasing shard counts,
+// all under identical concurrent load (Q2 queries).
 func Ablations(cfg Config, clients int, w io.Writer) *AblationReport {
 	cfg = cfg.Defaults()
 	d := cfg.dataset()
@@ -91,6 +104,9 @@ func Ablations(cfg Config, clients int, w io.Writer) *AblationReport {
 		{"hybrid", func() engine.Engine {
 			return hybrid.New(d.Values, hybrid.Options{})
 		}},
+		{"sharded/P=2", shardedVariant(d, 2, cfg.Seed)},
+		{"sharded/P=4", shardedVariant(d, 4, cfg.Seed)},
+		{"sharded/P=8", shardedVariant(d, 8, cfg.Seed)},
 	}
 	for _, v := range variants {
 		run := harness.Execute(v.mk(), qs, clients)

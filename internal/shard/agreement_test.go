@@ -1,0 +1,74 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"adaptix/internal/baseline"
+	"adaptix/internal/crackindex"
+	"adaptix/internal/engine"
+	"adaptix/internal/harness"
+	"adaptix/internal/shard"
+	"adaptix/internal/workload"
+)
+
+// TestCrossEngineChecksumAgreement runs the same seeded query stream
+// through the scan baseline, the single-column crack engine, and the
+// sharded engine at several client counts and asserts that every run
+// folds to the identical checksum: concurrency, partitioning, and
+// fan-out merging must never change an answer. Run under -race by CI.
+func TestCrossEngineChecksumAgreement(t *testing.T) {
+	const rows = 1 << 14
+	d := workload.NewUniqueUniform(rows, 11)
+	streams := []struct {
+		name string
+		gen  workload.Generator
+	}{
+		{"uniform-sum", workload.NewUniform(workload.Sum, d.Domain, 0.01, 31)},
+		{"uniform-count", workload.NewUniform(workload.Count, d.Domain, 0.001, 37)},
+		{"skewed-zipf", workload.NewZipf(workload.Sum, d.Domain, 0.005, 1.0, 41)},
+		{"sequential", workload.NewSequential(workload.Count, d.Domain, 0.02)},
+	}
+	for _, s := range streams {
+		qs := workload.Fixed(s.gen, 192)
+		for _, clients := range []int{1, 4, 8} {
+			t.Run(fmt.Sprintf("%s/clients=%d", s.name, clients), func(t *testing.T) {
+				engines := []engine.Engine{
+					baseline.NewScan(d.Values),
+					engine.NewCrack(crackindex.New(d.Values, crackindex.Options{
+						Latching: crackindex.LatchPiece,
+					})),
+					engine.NewSharded(shard.New(d.Values, shard.Options{
+						Shards: 4, Seed: 5,
+						Index: crackindex.Options{Latching: crackindex.LatchPiece},
+					})),
+				}
+				want := harness.Execute(engines[0], qs, clients).Checksum
+				for _, e := range engines[1:] {
+					run := harness.Execute(e, qs, clients)
+					if run.Checksum != want {
+						t.Errorf("%s checksum %d, scan baseline %d", e.Name(), run.Checksum, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedEngineAgainstDuplicates repeats the agreement check on a
+// duplicate-heavy dataset, where quantile cuts collapse and shards are
+// unbalanced.
+func TestShardedEngineAgainstDuplicates(t *testing.T) {
+	d := workload.NewDuplicates(1<<13, 256, 13)
+	qs := workload.Fixed(workload.NewUniform(workload.Sum, d.Domain, 0.05, 17), 128)
+	for _, clients := range []int{1, 4} {
+		scan := harness.Execute(baseline.NewScan(d.Values), qs, clients)
+		sharded := harness.Execute(engine.NewSharded(shard.New(d.Values, shard.Options{
+			Shards: 8,
+			Index:  crackindex.Options{Latching: crackindex.LatchPiece},
+		})), qs, clients)
+		if sharded.Checksum != scan.Checksum {
+			t.Errorf("clients=%d: sharded checksum %d, scan %d", clients, sharded.Checksum, scan.Checksum)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Fan-out query execution: a range query is routed to the shards whose
+// assigned ranges overlap the predicate, the per-shard sub-queries run
+// in parallel on a bounded worker pool, and the partial answers and
+// cost breakdowns merge into one result.
+package shard
+
+import (
+	"sort"
+	"sync"
+
+	"adaptix/internal/crackindex"
+)
+
+// Count evaluates Q1 — select count(*) where lo <= A < hi — fanning
+// out to the overlapping shards and cracking each as a side effect.
+// The returned OpStats sums the sub-queries' wait/crack time and
+// conflicts (total work across cores, not critical-path time).
+func (c *Column) Count(lo, hi int64) (int64, crackindex.OpStats) {
+	return c.query(false, lo, hi)
+}
+
+// Sum evaluates Q2 — select sum(A) where lo <= A < hi — fanning out to
+// the overlapping shards and cracking each as a side effect.
+func (c *Column) Sum(lo, hi int64) (int64, crackindex.OpStats) {
+	return c.query(true, lo, hi)
+}
+
+type subResult struct {
+	val int64
+	st  crackindex.OpStats
+}
+
+func (c *Column) query(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
+	var merged crackindex.OpStats
+	if lo >= hi {
+		return 0, merged
+	}
+
+	// Route: the shards whose assigned ranges overlap [lo, hi). Shards
+	// the predicate fully covers are answered from the precomputed
+	// per-shard aggregates — no latch, no index touch — so a broad
+	// query only pays index work in its two fringe shards.
+	var total int64
+	var targets []*part
+	// First shard whose upper bound exceeds lo: the first shard that
+	// can contain values >= lo.
+	start := sort.Search(len(c.bounds), func(i int) bool { return c.bounds[i] > lo })
+	for i := start; i < len(c.shards) && c.shards[i].loVal < hi; i++ {
+		s := c.shards[i]
+		if s.rows == 0 || s.maxVal < lo || s.minVal >= hi {
+			continue // no qualifying values in this shard
+		}
+		if lo <= s.minVal && hi > s.maxVal {
+			if wantSum {
+				total += s.total
+			} else {
+				total += int64(s.rows)
+			}
+			continue
+		}
+		targets = append(targets, s)
+	}
+
+	switch len(targets) {
+	case 0:
+		return total, merged
+	case 1:
+		v, st := targets[0].sub(wantSum, lo, hi)
+		return total + v, st
+	}
+
+	// Fan out: the caller's goroutine executes the first sub-query
+	// itself; the rest run on pool workers. Workers acquire a slot
+	// before touching their shard and release it when done, bounding
+	// the fan-out amplification across all concurrent queries without
+	// ever throttling the clients themselves (deadlock-free: a caller
+	// waiting in wg.Wait holds no slot).
+	res := make([]subResult, len(targets))
+	var wg sync.WaitGroup
+	for i := 1; i < len(targets); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.sem <- struct{}{}
+			defer func() { <-c.sem }()
+			v, st := targets[i].sub(wantSum, lo, hi)
+			res[i] = subResult{val: v, st: st}
+		}(i)
+	}
+	v, st := targets[0].sub(wantSum, lo, hi)
+	res[0] = subResult{val: v, st: st}
+	wg.Wait()
+
+	for _, r := range res {
+		total += r.val
+		merged.Wait += r.st.Wait
+		merged.Crack += r.st.Crack
+		merged.Conflicts += r.st.Conflicts
+		merged.Skipped = merged.Skipped || r.st.Skipped
+	}
+	return total, merged
+}
+
+// sub runs one per-shard sub-query with the predicate clamped to the
+// shard's assigned range, so crack boundaries always land inside the
+// shard's own value domain.
+func (s *part) sub(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
+	if lo < s.loVal {
+		lo = s.loVal
+	}
+	if hi > s.hiVal {
+		hi = s.hiVal
+	}
+	if wantSum {
+		return s.ix.Sum(lo, hi)
+	}
+	return s.ix.Count(lo, hi)
+}

@@ -1,0 +1,291 @@
+// Package shard implements a range-partitioned, sharded adaptive
+// index: the base column is split into P contiguous value ranges, each
+// backed by its own cracked-column index (internal/crackindex) with
+// independent piece latches, and range queries fan out to the
+// overlapping shards in parallel.
+//
+// The paper's concurrency-control techniques let many clients refine
+// one cracked column safely, but that column remains a single latch
+// domain and a single memory region; on a multi-core machine the
+// structure latch and the hot head pieces serialize early refinement
+// ("Main Memory Adaptive Indexing for Multi-core Systems", Alvarez et
+// al., 2014, makes the same observation). Range partitioning removes
+// the shared bottleneck at its root: queries whose ranges fall into
+// different shards never touch a common latch, and a single broad
+// query recruits several cores through the fan-out executor
+// (executor.go). Within each shard the full per-piece protocol of the
+// paper still applies, so per-shard refinement stays robust under
+// skewed ranges (compare "Stochastic Database Cracking", Halim et al.,
+// 2012 — stochastic cracking can be enabled per shard through
+// Options.Index).
+//
+// Shard boundaries are chosen from a seeded sample of the input
+// (quantile cuts), so shards are balanced for any input distribution
+// without a full sort. Boundaries are fixed for the lifetime of the
+// Column; rebalancing and update routing are future work (see ROADMAP
+// "Open items").
+package shard
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sort"
+
+	"adaptix/internal/crackindex"
+	"adaptix/internal/workload"
+)
+
+// Sentinel value bounds of the first and last shards.
+const (
+	minKey = math.MinInt64
+	maxKey = math.MaxInt64
+)
+
+// Options configures a sharded column.
+type Options struct {
+	// Shards is the number of range partitions P. Default
+	// runtime.GOMAXPROCS(0). Duplicate quantile cuts (heavily skewed or
+	// tiny inputs) can reduce the effective count below P.
+	Shards int
+	// Workers bounds the number of fan-out sub-queries executing
+	// concurrently across ALL queries on this column (the caller's own
+	// goroutine runs one sub-query per query without a slot, so client
+	// concurrency itself is never throttled). Default Shards.
+	Workers int
+	// SampleSize is the number of seeded sample points used to choose
+	// the shard boundaries. Default 1024.
+	SampleSize int
+	// Seed drives the boundary sample. Default 1.
+	Seed uint64
+	// Index configures every per-shard cracked index (latching mode,
+	// layout, scheduling, conflict policy, stochastic cracking, ...).
+	Index crackindex.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers <= 0 {
+		o.Workers = o.Shards
+	}
+	if o.SampleSize <= 0 {
+		o.SampleSize = 1024
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// part is one shard: a contiguous value range [loVal, hiVal) backed by
+// its own cracked index. All fields are immutable after construction;
+// concurrency control lives inside ix.
+type part struct {
+	id           int
+	loVal, hiVal int64 // assigned range [loVal, hiVal); sentinels at the ends
+	minVal       int64 // smallest value actually present (rows > 0)
+	maxVal       int64 // largest value actually present (rows > 0)
+	rows         int
+	total        int64 // precomputed sum of all values in the shard
+	ix           *crackindex.Index
+}
+
+// Column is a range-partitioned adaptive index over one column.
+// It is safe for concurrent use.
+type Column struct {
+	opts   Options
+	bounds []int64 // len(shards)-1 strictly increasing cut values
+	shards []*part
+	sem    chan struct{} // bounds extra fan-out workers (see Options.Workers)
+}
+
+// New builds a sharded column over values. Boundary selection samples
+// the input (O(SampleSize log SampleSize)) and partitioning copies each
+// value into its shard's slice (O(n log P)); the per-shard cracker
+// arrays themselves are built lazily by the first query touching each
+// shard, preserving the paper's "index initialization is a query side
+// effect" discipline per shard.
+func New(values []int64, opts Options) *Column {
+	opts = opts.withDefaults()
+	bounds := chooseBounds(values, opts.Shards, opts.SampleSize, opts.Seed)
+	n := len(bounds) + 1
+
+	// Two passes: exact per-shard counts, then fill.
+	route := func(v int64) int {
+		return sort.Search(len(bounds), func(i int) bool { return bounds[i] > v })
+	}
+	counts := make([]int, n)
+	for _, v := range values {
+		counts[route(v)]++
+	}
+	slices := make([][]int64, n)
+	for i := range slices {
+		slices[i] = make([]int64, 0, counts[i])
+	}
+	for _, v := range values {
+		i := route(v)
+		slices[i] = append(slices[i], v)
+	}
+
+	c := &Column{
+		opts:   opts,
+		bounds: bounds,
+		shards: make([]*part, n),
+		sem:    make(chan struct{}, opts.Workers),
+	}
+	for i := range c.shards {
+		s := &part{id: i, loVal: minKey, hiVal: maxKey}
+		if i > 0 {
+			s.loVal = bounds[i-1]
+		}
+		if i < len(bounds) {
+			s.hiVal = bounds[i]
+		}
+		s.rows = len(slices[i])
+		if s.rows > 0 {
+			s.minVal, s.maxVal = slices[i][0], slices[i][0]
+			for _, v := range slices[i] {
+				s.total += v
+				if v < s.minVal {
+					s.minVal = v
+				}
+				if v > s.maxVal {
+					s.maxVal = v
+				}
+			}
+		}
+		s.ix = crackindex.New(slices[i], opts.Index)
+		c.shards[i] = s
+	}
+	return c
+}
+
+// chooseBounds picks up to shards-1 strictly increasing cut values
+// from a seeded sample of values (equi-depth quantiles of the sample).
+// Duplicate quantiles — skewed data, tiny inputs — are dropped, so the
+// effective shard count can be smaller than requested but every range
+// is non-degenerate.
+func chooseBounds(values []int64, shards, sampleSize int, seed uint64) []int64 {
+	if shards <= 1 || len(values) == 0 {
+		return nil
+	}
+	var sample []int64
+	if len(values) <= sampleSize {
+		sample = append([]int64(nil), values...)
+	} else {
+		r := workload.NewRNG(seed)
+		sample = make([]int64, sampleSize)
+		for i := range sample {
+			sample[i] = values[r.Intn(len(values))]
+		}
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	cuts := make([]int64, 0, shards-1)
+	for i := 1; i < shards; i++ {
+		cut := sample[i*len(sample)/shards]
+		// A cut at the sample minimum would leave the first shard
+		// empty; duplicate cuts would leave middle shards empty.
+		if cut > sample[0] && (len(cuts) == 0 || cut > cuts[len(cuts)-1]) {
+			cuts = append(cuts, cut)
+		}
+	}
+	return cuts
+}
+
+// NumShards returns the effective number of shards (may be smaller
+// than Options.Shards when quantile cuts collapsed on skewed input).
+func (c *Column) NumShards() int { return len(c.shards) }
+
+// Bounds returns a copy of the strictly increasing shard cut values;
+// shard i holds values in [Bounds()[i-1], Bounds()[i]) with sentinels
+// at the ends.
+func (c *Column) Bounds() []int64 { return append([]int64(nil), c.bounds...) }
+
+// Rows returns the total number of rows across all shards.
+func (c *Column) Rows() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.rows
+	}
+	return n
+}
+
+// Options returns the column configuration (with defaults applied).
+func (c *Column) Options() Options { return c.opts }
+
+// ShardStat is an observability snapshot of one shard's refinement
+// state.
+type ShardStat struct {
+	// Shard is the shard's ordinal (0-based, in value order).
+	Shard int
+	// LoVal and HiVal are the assigned value range [LoVal, HiVal);
+	// the first and last shards carry math.MinInt64 / math.MaxInt64
+	// sentinels.
+	LoVal, HiVal int64
+	// Rows is the number of values stored in the shard.
+	Rows int
+	// Pieces is the current piece count of the shard's cracked index
+	// (0 until the first query initializes it).
+	Pieces int
+	// Cracks counts the shard's physical reorganization actions.
+	Cracks int64
+	// Boundaries counts crack boundaries inserted into the shard's TOC.
+	Boundaries int64
+	// Conflicts counts latch acquisitions that blocked or failed.
+	Conflicts int64
+	// Skipped counts refinements forgone under conflict avoidance.
+	Skipped int64
+	// Depth is the refinement depth: the height of the binary
+	// partitioning tree that would produce the current piece count
+	// (ceil(log2(Pieces)); 0 for an unrefined shard).
+	Depth int
+}
+
+// Snapshot returns a per-shard statistics snapshot, in shard order.
+func (c *Column) Snapshot() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
+	for i, s := range c.shards {
+		st := s.ix.Stats()
+		pieces := s.ix.NumPieces()
+		depth := 0
+		if pieces > 1 {
+			depth = bits.Len(uint(pieces - 1))
+		}
+		out[i] = ShardStat{
+			Shard: i, LoVal: s.loVal, HiVal: s.hiVal, Rows: s.rows,
+			Pieces:     pieces,
+			Cracks:     st.Cracks.Load(),
+			Boundaries: st.Boundaries.Load(),
+			Conflicts:  st.Conflicts.Load(),
+			Skipped:    st.Skipped.Load(),
+			Depth:      depth,
+		}
+	}
+	return out
+}
+
+// Validate checks the partitioning invariants and every shard's index
+// invariants; it must be called while no queries are in flight.
+func (c *Column) Validate() error {
+	if len(c.shards) != len(c.bounds)+1 {
+		return fmt.Errorf("shard: %d shards for %d bounds", len(c.shards), len(c.bounds))
+	}
+	for i := 1; i < len(c.bounds); i++ {
+		if c.bounds[i] <= c.bounds[i-1] {
+			return fmt.Errorf("shard: bounds not strictly increasing at %d", i)
+		}
+	}
+	for i, s := range c.shards {
+		if s.rows > 0 && (s.minVal < s.loVal || s.maxVal >= s.hiVal) {
+			return fmt.Errorf("shard %d: data [%d,%d] outside assigned range [%d,%d)",
+				i, s.minVal, s.maxVal, s.loVal, s.hiVal)
+		}
+		if err := s.ix.Validate(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package shard
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"adaptix/internal/crackindex"
+	"adaptix/internal/workload"
+)
+
+func pieceOpts() crackindex.Options {
+	return crackindex.Options{Latching: crackindex.LatchPiece}
+}
+
+func TestDefaults(t *testing.T) {
+	c := New([]int64{3, 1, 2}, Options{})
+	if got, want := c.Options().Shards, runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("default Shards = %d, want GOMAXPROCS = %d", got, want)
+	}
+	if c.Options().Workers != c.Options().Shards {
+		t.Errorf("default Workers = %d, want Shards = %d", c.Options().Workers, c.Options().Shards)
+	}
+	if c.Rows() != 3 {
+		t.Errorf("Rows = %d, want 3", c.Rows())
+	}
+}
+
+func TestPartitioningInvariants(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<14, 3)
+	for _, p := range []int{1, 2, 3, 4, 8, 16} {
+		c := New(d.Values, Options{Shards: p, Seed: 9, Index: pieceOpts()})
+		if c.NumShards() > p {
+			t.Errorf("P=%d: NumShards = %d exceeds requested", p, c.NumShards())
+		}
+		if c.Rows() != len(d.Values) {
+			t.Errorf("P=%d: Rows = %d, want %d", p, c.Rows(), len(d.Values))
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("P=%d: %v", p, err)
+		}
+		b := c.Bounds()
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				t.Errorf("P=%d: bounds not strictly increasing: %v", p, b)
+			}
+		}
+	}
+}
+
+func TestCountSumMatchBruteForce(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<13, 5)
+	c := New(d.Values, Options{Shards: 4, Seed: 7, Index: pieceOpts()})
+	r := workload.NewRNG(21)
+	for i := 0; i < 300; i++ {
+		lo := r.Int64n(d.Domain)
+		hi := lo + 1 + r.Int64n(d.Domain-lo)
+		if n, _ := c.Count(lo, hi); n != d.TrueCount(lo, hi) {
+			t.Fatalf("Count[%d,%d) = %d, want %d", lo, hi, n, d.TrueCount(lo, hi))
+		}
+		if s, _ := c.Sum(lo, hi); s != d.TrueSum(lo, hi) {
+			t.Fatalf("Sum[%d,%d) = %d, want %d", lo, hi, s, d.TrueSum(lo, hi))
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeCaseRanges(t *testing.T) {
+	d := workload.NewUniqueUniform(4096, 8)
+	c := New(d.Values, Options{Shards: 4, Index: pieceOpts()})
+	cases := []struct{ lo, hi int64 }{
+		{0, d.Domain},             // whole domain
+		{10, 10},                  // empty range
+		{50, 10},                  // inverted range
+		{-100, 0},                 // entirely below the domain
+		{d.Domain, d.Domain + 50}, // entirely above the domain
+		{-100, d.Domain + 100},    // superset of the domain
+		{minKey, maxKey},          // sentinel-wide range
+		{0, 1},                    // single value at the low edge
+		{d.Domain - 1, d.Domain},  // single value at the high edge
+	}
+	for _, tc := range cases {
+		if n, _ := c.Count(tc.lo, tc.hi); n != d.TrueCount(tc.lo, tc.hi) {
+			t.Errorf("Count[%d,%d) = %d, want %d", tc.lo, tc.hi, n, d.TrueCount(tc.lo, tc.hi))
+		}
+		if s, _ := c.Sum(tc.lo, tc.hi); s != d.TrueSum(tc.lo, tc.hi) {
+			t.Errorf("Sum[%d,%d) = %d, want %d", tc.lo, tc.hi, s, d.TrueSum(tc.lo, tc.hi))
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullyCoveredShardsAnswerWithoutIndexWork(t *testing.T) {
+	d := workload.NewUniqueUniform(4096, 2)
+	c := New(d.Values, Options{Shards: 4, Index: pieceOpts()})
+	// The whole domain covers every shard: the precomputed aggregates
+	// answer, and no shard index is ever initialized.
+	if n, _ := c.Count(minKey, maxKey); n != int64(len(d.Values)) {
+		t.Fatalf("Count = %d, want %d", n, len(d.Values))
+	}
+	if s, _ := c.Sum(minKey, maxKey); s != d.TrueSum(0, d.Domain) {
+		t.Fatalf("Sum mismatch")
+	}
+	for _, st := range c.Snapshot() {
+		if st.Pieces != 0 || st.Cracks != 0 {
+			t.Errorf("shard %d refined (pieces=%d cracks=%d) by a fully-covering query",
+				st.Shard, st.Pieces, st.Cracks)
+		}
+	}
+}
+
+func TestDuplicatesAndSkew(t *testing.T) {
+	// Heavy duplication: a tiny domain collapses most quantile cuts.
+	d := workload.NewDuplicates(1<<12, 8, 4)
+	c := New(d.Values, Options{Shards: 8, Index: pieceOpts()})
+	if c.NumShards() > 8 {
+		t.Fatalf("NumShards = %d", c.NumShards())
+	}
+	r := workload.NewRNG(6)
+	for i := 0; i < 200; i++ {
+		lo := r.Int64n(d.Domain)
+		hi := lo + 1 + r.Int64n(d.Domain-lo)
+		if n, _ := c.Count(lo, hi); n != d.TrueCount(lo, hi) {
+			t.Fatalf("Count[%d,%d) = %d, want %d", lo, hi, n, d.TrueCount(lo, hi))
+		}
+		if s, _ := c.Sum(lo, hi); s != d.TrueSum(lo, hi) {
+			t.Fatalf("Sum[%d,%d) = %d, want %d", lo, hi, s, d.TrueSum(lo, hi))
+		}
+	}
+	// Constant column: one shard, still correct.
+	same := make([]int64, 1000)
+	for i := range same {
+		same[i] = 7
+	}
+	c2 := New(same, Options{Shards: 4, Index: pieceOpts()})
+	if c2.NumShards() != 1 {
+		t.Errorf("constant column: NumShards = %d, want 1", c2.NumShards())
+	}
+	if n, _ := c2.Count(7, 8); n != 1000 {
+		t.Errorf("constant column: Count = %d, want 1000", n)
+	}
+}
+
+func TestEmptyAndTinyColumns(t *testing.T) {
+	empty := New(nil, Options{Shards: 4, Index: pieceOpts()})
+	if n, _ := empty.Count(0, 100); n != 0 {
+		t.Errorf("empty Count = %d", n)
+	}
+	if s, _ := empty.Sum(minKey, maxKey); s != 0 {
+		t.Errorf("empty Sum = %d", s)
+	}
+	one := New([]int64{42}, Options{Shards: 8, Index: pieceOpts()})
+	if n, _ := one.Count(0, 100); n != 1 {
+		t.Errorf("singleton Count = %d", n)
+	}
+	if s, _ := one.Sum(42, 43); s != 42 {
+		t.Errorf("singleton Sum = %d", s)
+	}
+}
+
+func TestSnapshotReflectsRefinement(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<13, 12)
+	c := New(d.Values, Options{Shards: 4, Index: pieceOpts()})
+	qs := workload.Fixed(workload.NewUniform(workload.Sum, d.Domain, 0.01, 13), 64)
+	for _, q := range qs {
+		c.Sum(q.Lo, q.Hi)
+	}
+	var pieces, cracks int64
+	for _, st := range c.Snapshot() {
+		pieces += int64(st.Pieces)
+		cracks += st.Cracks
+		if st.Pieces > 1 && st.Depth <= 0 {
+			t.Errorf("shard %d: pieces=%d but depth=%d", st.Shard, st.Pieces, st.Depth)
+		}
+		if st.Rows > 0 && st.Pieces > st.Rows {
+			t.Errorf("shard %d: pieces=%d exceeds rows=%d", st.Shard, st.Pieces, st.Rows)
+		}
+	}
+	if pieces == 0 || cracks == 0 {
+		t.Errorf("no refinement recorded: pieces=%d cracks=%d", pieces, cracks)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<14, 17)
+	c := New(d.Values, Options{Shards: 4, Workers: 4, Index: pieceOpts()})
+	qs := workload.Fixed(workload.NewUniform(workload.Sum, d.Domain, 0.02, 19), 256)
+	want := make([]int64, len(qs))
+	for i, q := range qs {
+		want[i] = d.TrueSum(q.Lo, q.Hi)
+	}
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, clients)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, q := range qs {
+				if s, _ := c.Sum(q.Lo, q.Hi); s != want[i] {
+					errs <- "sum mismatch under concurrency"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerPoolBounded(t *testing.T) {
+	// A worker pool of 1 still completes wide fan-outs (no deadlock),
+	// because the caller's goroutine always executes one sub-query.
+	d := workload.NewUniqueUniform(1<<12, 23)
+	c := New(d.Values, Options{Shards: 8, Workers: 1, Index: pieceOpts()})
+	r := workload.NewRNG(29)
+	for i := 0; i < 100; i++ {
+		lo := r.Int64n(d.Domain / 2)
+		hi := lo + d.Domain/2 // wide ranges spanning many shards
+		if n, _ := c.Count(lo, hi); n != d.TrueCount(lo, hi) {
+			t.Fatalf("Count[%d,%d) = %d, want %d", lo, hi, n, d.TrueCount(lo, hi))
+		}
+	}
+}
+
+func TestNegativeValues(t *testing.T) {
+	vals := []int64{-5, -1, 0, 3, math.MinInt64 + 1, math.MaxInt64 - 1, -100, 100}
+	c := New(vals, Options{Shards: 3, Index: pieceOpts()})
+	count := func(lo, hi int64) int64 {
+		var n int64
+		for _, v := range vals {
+			if v >= lo && v < hi {
+				n++
+			}
+		}
+		return n
+	}
+	for _, tc := range [][2]int64{{-200, 0}, {-1, 4}, {minKey, maxKey}, {0, math.MaxInt64}} {
+		if n, _ := c.Count(tc[0], tc[1]); n != count(tc[0], tc[1]) {
+			t.Errorf("Count[%d,%d) = %d, want %d", tc[0], tc[1], n, count(tc[0], tc[1]))
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
