@@ -36,6 +36,7 @@ import (
 	"adaptix/internal/engine"
 	"adaptix/internal/harness"
 	"adaptix/internal/hybrid"
+	"adaptix/internal/ingest"
 	"adaptix/internal/latch"
 	"adaptix/internal/lockmgr"
 	"adaptix/internal/shard"
@@ -137,14 +138,48 @@ type (
 
 // NewShardedColumn range-partitions values into opts.Shards shards
 // (default runtime.GOMAXPROCS) with boundaries drawn from a seeded
-// sample of the input.
+// sample of the input. The column is mutable: Insert and DeleteValue
+// route to the owning shard's differential file (see NewIngestor for
+// the batched write path with group-apply merges and rebalancing).
 func NewShardedColumn(values []int64, opts ShardOptions) *ShardedColumn {
 	return shard.New(values, opts)
+}
+
+// NewShardedColumnWithBounds rebuilds a sharded column with an
+// explicit shard map — the recovery path for a map recovered from the
+// structural WAL (wal.Recover's ShardBounds).
+func NewShardedColumnWithBounds(values []int64, bounds []int64, opts ShardOptions) *ShardedColumn {
+	return shard.NewWithBounds(values, bounds, opts)
 }
 
 // NewShardedEngine wraps a ShardedColumn as an Engine, so the harness
 // and experiments drive it like any other engine.
 func NewShardedEngine(col *ShardedColumn) Engine { return engine.NewSharded(col) }
+
+// Concurrent write path (internal/ingest): routed updates, group-apply
+// differential merges, and online shard rebalancing over a
+// ShardedColumn.
+type (
+	// Ingestor coordinates the write path of one sharded column: it
+	// routes Insert/DeleteValue/Apply calls, group-applies per-shard
+	// differential files inside system transactions, and splits/merges
+	// shards whose population drifts.
+	Ingestor = ingest.Coordinator
+	// IngestOptions configures thresholds, rebalancing factors, the
+	// structural WAL, and the transaction manager of an Ingestor.
+	IngestOptions = ingest.Options
+	// IngestOp is one batched write operation (Ingestor.Apply).
+	IngestOp = ingest.Op
+	// IngestStats counts an Ingestor's routed writes and structural
+	// operations.
+	IngestStats = ingest.Stats
+)
+
+// NewIngestor creates the write-path coordinator for col. Start runs
+// background maintenance; Maintain runs one synchronous pass.
+func NewIngestor(col *ShardedColumn, opts IngestOptions) *Ingestor {
+	return ingest.New(col, opts)
+}
 
 // Adaptive merging (paper §2/§4) over a partitioned B-tree.
 type (

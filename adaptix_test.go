@@ -150,3 +150,42 @@ func TestPublicAPIStructuralLog(t *testing.T) {
 		t.Fatal("nothing logged")
 	}
 }
+
+func TestPublicAPIIngest(t *testing.T) {
+	d := adaptix.NewUniqueDataset(1<<13, 13)
+	log := adaptix.NewStructuralLog()
+	col := adaptix.NewShardedColumn(d.Values, adaptix.ShardOptions{Shards: 4, Seed: 5})
+	ing := adaptix.NewIngestor(col, adaptix.IngestOptions{
+		Name: "R.A", Log: log, ApplyThreshold: 64, MinShardRows: 256, SplitFactor: 1.5,
+	})
+	before, _ := col.Count(0, d.Domain)
+	for i := 0; i < 2000; i++ {
+		if err := ing.Insert(int64(i % 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ing.Apply([]adaptix.IngestOp{
+		{Value: 1}, {Delete: true, Value: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ing.Maintain()
+	after, _ := col.Count(0, d.Domain)
+	if after != before+2000 {
+		t.Fatalf("Count = %d after storm, want %d", after, before+2000)
+	}
+	st := ing.Stats()
+	if st.Applied == 0 || st.Splits == 0 {
+		t.Fatalf("expected group applies and splits, got %+v", st)
+	}
+	if log.Len() == 0 {
+		t.Fatal("nothing logged")
+	}
+	rebuilt := adaptix.NewShardedColumnWithBounds(d.Values, col.Bounds(), adaptix.ShardOptions{})
+	if rebuilt.NumShards() != col.NumShards() {
+		t.Fatalf("rebuilt shards %d, live %d", rebuilt.NumShards(), col.NumShards())
+	}
+	if err := col.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"adaptix/internal/engine"
 	"adaptix/internal/harness"
 	"adaptix/internal/hybrid"
+	"adaptix/internal/ingest"
 	"adaptix/internal/latch"
 	"adaptix/internal/pbtree"
 	"adaptix/internal/shard"
@@ -342,6 +343,60 @@ func BenchmarkSharded_Shards8(b *testing.B) { benchShardSweep(b, 8) }
 func BenchmarkSharded_WideRanges(b *testing.B) {
 	runEngine(b, benchShardedEngine(8), benchQuerySet(workload.Sum, 0.10), 4)
 }
+
+// --- Mixed read/write workload through internal/ingest ---
+//
+// Write fractions {0, 10%, 50%} x clients {1, 4, 16} over the sharded
+// column with an active write-path coordinator: the write side routes
+// into per-shard differential files and the background worker
+// group-applies and rebalances while the read side keeps cracking.
+
+func benchIngestMix(b *testing.B, writeFrac float64) {
+	d := benchData()
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "Clients1", 4: "Clients4", 16: "Clients16"}[clients], func(b *testing.B) {
+			b.ReportAllocs()
+			const opsPerClient = 256
+			for i := 0; i < b.N; i++ {
+				col := shard.New(d.Values, shard.Options{
+					Shards: 8, Seed: 77,
+					Index: crackindex.Options{Latching: crackindex.LatchPiece},
+				})
+				g := ingest.New(col, ingest.Options{ApplyThreshold: 512})
+				g.Start()
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						r := workload.NewRNG(uint64(1000 + c))
+						gen := workload.NewUniform(workload.Sum, int64(benchRows), 0.001, uint64(50+c))
+						inserts := 0
+						for j := 0; j < opsPerClient; j++ {
+							if float64(r.Intn(1000))/1000 < writeFrac {
+								if j%2 == 0 {
+									_ = g.Insert(int64(benchRows + c*opsPerClient + inserts))
+									inserts++
+								} else {
+									_, _ = g.DeleteValue(r.Int64n(int64(benchRows)))
+								}
+								continue
+							}
+							q := gen.Next()
+							col.Sum(q.Lo, q.Hi)
+						}
+					}(c)
+				}
+				wg.Wait()
+				g.Close()
+			}
+		})
+	}
+}
+
+func BenchmarkIngest_Write0pct(b *testing.B)  { benchIngestMix(b, 0) }
+func BenchmarkIngest_Write10pct(b *testing.B) { benchIngestMix(b, 0.10) }
+func BenchmarkIngest_Write50pct(b *testing.B) { benchIngestMix(b, 0.50) }
 
 // --- Microbenchmarks of the substrates ---
 

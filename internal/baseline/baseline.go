@@ -55,6 +55,70 @@ func (s *Scan) Sum(lo, hi int64) engine.Result {
 	return engine.Result{Value: sum}
 }
 
+// Mutable is a scan engine whose contents can change: one mutex, one
+// slice, full predicate scans. It is deliberately the dumbest possible
+// implementation — the trivially correct comparison point the write-path
+// agreement tests measure every adaptive engine against.
+type Mutable struct {
+	mu   sync.RWMutex
+	vals []int64
+}
+
+// NewMutable returns a mutable scan engine over a copy of vals.
+func NewMutable(vals []int64) *Mutable {
+	return &Mutable{vals: append([]int64(nil), vals...)}
+}
+
+// Name implements engine.Engine.
+func (m *Mutable) Name() string { return "scan-mutable" }
+
+// Insert adds one instance of v.
+func (m *Mutable) Insert(v int64) {
+	m.mu.Lock()
+	m.vals = append(m.vals, v)
+	m.mu.Unlock()
+}
+
+// DeleteValue removes one instance of v, reporting whether one existed.
+func (m *Mutable) DeleteValue(v int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, x := range m.vals {
+		if x == v {
+			m.vals[i] = m.vals[len(m.vals)-1]
+			m.vals = m.vals[:len(m.vals)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// Count implements engine.Engine by a locked full scan.
+func (m *Mutable) Count(lo, hi int64) engine.Result {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var n int64
+	for _, v := range m.vals {
+		if v >= lo && v < hi {
+			n++
+		}
+	}
+	return engine.Result{Value: n}
+}
+
+// Sum implements engine.Engine by a locked full scan.
+func (m *Mutable) Sum(lo, hi int64) engine.Result {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var sum int64
+	for _, v := range m.vals {
+		if v >= lo && v < hi {
+			sum += v
+		}
+	}
+	return engine.Result{Value: sum}
+}
+
 // FullSort sorts a copy of the column on first access, then answers
 // queries by binary search over the sorted array.
 type FullSort struct {

@@ -27,6 +27,13 @@ type opCtx struct {
 // ok is false only when refinement was forgone (conflict avoidance or
 // a conflicting user-transaction lock).
 func (ix *Index) crackBound(v int64, ctx *opCtx) (pos int, ok bool) {
+	// The maxKey sentinel is the tail piece's open upper bound: the
+	// "boundary" is the array end, and no piece can ever contain it
+	// strictly (a query like DeleteValue(maxKey-1) probes [v, v+1) =
+	// [maxKey-1, maxKey) and reaches here).
+	if v == maxKey {
+		return ix.arr.Len(), true
+	}
 	if ix.opts.Latching != LatchPiece {
 		return ix.crackBoundExclusive(v, ctx), true
 	}
@@ -240,6 +247,9 @@ func (ix *Index) pieceReadUnlock(ctx *opCtx, p *piece) {
 // TOC updates in LatchColumn mode so that concurrent read-side piece
 // walks observe consistent links.
 func (ix *Index) crackBoundExclusive(v int64, ctx *opCtx) int {
+	if v == maxKey { // sentinel: the array end (see crackBound)
+		return ix.arr.Len()
+	}
 	ix.structLock()
 	p := ix.findPieceLocked(v)
 	ix.structUnlock()

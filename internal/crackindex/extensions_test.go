@@ -1,6 +1,7 @@
 package crackindex
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -261,6 +262,69 @@ func TestUpdatesWithGroupCrackingAndSkip(t *testing.T) {
 		}
 		if n, _ := ix.Count(0, 200); n != want {
 			t.Fatalf("%v: total = %d, want %d", opts.Latching, n, want)
+		}
+	}
+}
+
+// --- Write-path primitives used by internal/shard rebuilds ---
+
+func TestPendingSnapshotDoesNotDrain(t *testing.T) {
+	ix := New([]int64{5, 1, 9, 3}, Options{Latching: LatchPiece})
+	ix.Insert(7)
+	ix.Insert(2)
+	if !ix.DeleteValue(9) {
+		t.Fatal("DeleteValue(9) = false, want true")
+	}
+	ins, del := ix.PendingSnapshot()
+	if len(ins) != 2 || ins[0] != 2 || ins[1] != 7 {
+		t.Fatalf("snapshot ins = %v, want [2 7]", ins)
+	}
+	if len(del) != 1 || del[0] != 9 {
+		t.Fatalf("snapshot del = %v, want [9]", del)
+	}
+	// The differential stays in place: answers are unchanged.
+	if n, _ := ix.Count(0, 100); n != 5 {
+		t.Fatalf("Count after snapshot = %d, want 5", n)
+	}
+	if nIns, nDel := ix.PendingUpdates(); nIns != 2 || nDel != 1 {
+		t.Fatalf("pending drained by snapshot: %d/%d", nIns, nDel)
+	}
+}
+
+func TestCrackAtReplaysBoundaries(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<12, 61)
+	for _, mode := range []LatchMode{LatchPiece, LatchColumn, LatchNone} {
+		ix := New(d.Values, Options{Latching: mode})
+		for _, b := range []int64{100, 500, 900, 100} { // duplicate is a no-op
+			ix.CrackAt(b)
+		}
+		bs := ix.Boundaries()
+		if len(bs) != 3 {
+			t.Fatalf("mode %v: %d boundaries, want 3 (%v)", mode, len(bs), bs)
+		}
+		if err := ix.Validate(); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if n, _ := ix.Count(100, 900); n != 800 {
+			t.Fatalf("mode %v: Count = %d, want 800", mode, n)
+		}
+	}
+}
+
+func TestDeleteValueNearSentinel(t *testing.T) {
+	// DeleteValue(v) probes [v, v+1); for v = maxKey-1 the upper bound
+	// is the maxKey sentinel, which must resolve to the array end
+	// instead of looping in bound re-determination.
+	for _, mode := range []LatchMode{LatchPiece, LatchColumn, LatchNone} {
+		ix := New([]int64{math.MaxInt64 - 1, 5, -3}, Options{Latching: mode})
+		if !ix.DeleteValue(math.MaxInt64 - 1) {
+			t.Fatalf("mode %v: DeleteValue(maxKey-1) = false, want true", mode)
+		}
+		if ix.DeleteValue(math.MaxInt64 - 1) {
+			t.Fatalf("mode %v: second delete found a ghost instance", mode)
+		}
+		if n, _ := ix.Count(math.MaxInt64-2, math.MaxInt64); n != 0 {
+			t.Fatalf("mode %v: Count near sentinel = %d, want 0", mode, n)
 		}
 	}
 }

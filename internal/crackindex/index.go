@@ -184,6 +184,11 @@ type OpStats struct {
 	Wait time.Duration
 	// Crack is time spent physically refining the index.
 	Crack time.Duration
+	// Critical is the critical-path time of a fan-out execution: the
+	// slowest sub-query's elapsed time (shard.Column sets it; Wait and
+	// Crack sum total work across all sub-queries instead). Zero for
+	// single-domain operations.
+	Critical time.Duration
 	// Conflicts counts latch acquisitions that were not granted
 	// immediately.
 	Conflicts int64

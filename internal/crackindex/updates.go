@@ -100,6 +100,33 @@ func (ix *Index) PendingUpdates() (inserts, deletes int) {
 	return len(ix.pend.ins), len(ix.pend.del)
 }
 
+// PendingSnapshot returns copies of the sorted pending insert and
+// delete multisets. The differential file is not cleared: a group
+// merge (internal/ingest) snapshots the pending updates of a
+// write-sealed index, builds a replacement index with them applied,
+// and atomically swaps it in, so the old index keeps answering
+// correctly for readers that still hold it.
+func (ix *Index) PendingSnapshot() (ins, del []int64) {
+	ix.pend.mu.RLock()
+	defer ix.pend.mu.RUnlock()
+	return append([]int64(nil), ix.pend.ins...), append([]int64(nil), ix.pend.del...)
+}
+
+// CrackAt ensures a crack boundary exists at value v, refining the
+// index without answering a query. It is the replay primitive for
+// boundary knowledge: recovery and shard rebuilds re-crack a fresh
+// index at the boundaries an earlier index had earned, so the side
+// effects of earlier queries survive a rebuild (paper §4.2).
+func (ix *Index) CrackAt(v int64) {
+	ctx := opCtx{}
+	ix.ensureInit(&ctx)
+	if ix.opts.Latching != LatchPiece {
+		ix.crackBoundExclusive(v, &ctx)
+		return
+	}
+	ix.crackBound(v, &ctx)
+}
+
 // pendingCountAdj returns the count adjustment for [lo, hi).
 func (ix *Index) pendingCountAdj(lo, hi int64) int64 {
 	if ix.pendN.n.Load() == 0 {

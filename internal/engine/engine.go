@@ -22,6 +22,10 @@ type Result struct {
 	// Refine is time spent refining the index (cracking, sorting runs,
 	// merging) as a side effect of the query.
 	Refine time.Duration
+	// Critical is the critical-path time of a fan-out execution — the
+	// slowest per-shard sub-query — as opposed to Wait+Refine, which
+	// sum total work across cores. Zero for single-domain engines.
+	Critical time.Duration
 	// Conflicts counts latch acquisitions that were not immediate.
 	Conflicts int64
 	// Skipped reports that an optional refinement was forgone.
@@ -64,6 +68,7 @@ func fromOpStats(v int64, st crackindex.OpStats) Result {
 		Value:     v,
 		Wait:      st.Wait,
 		Refine:    st.Crack,
+		Critical:  st.Critical,
 		Conflicts: st.Conflicts,
 		Skipped:   st.Skipped,
 	}

@@ -52,3 +52,31 @@ func NewSharded(src AggregateSource) *Sharded {
 func NewShardedNamed(src AggregateSource, name string) *Sharded {
 	return &Sharded{adapter{src: src, name: name}}
 }
+
+// engineSource inverts adapter: it presents any Engine as an
+// AggregateSource.
+type engineSource struct{ e Engine }
+
+// SourceFromEngine adapts an Engine to the AggregateSource surface, so
+// the sharded column can build its per-shard indexes from engines that
+// only implement Engine — adaptive merging, hybrid crack-sort — via
+// shard.Options.Source.
+func SourceFromEngine(e Engine) AggregateSource { return engineSource{e} }
+
+func (s engineSource) Count(lo, hi int64) (int64, crackindex.OpStats) {
+	return toOpStats(s.e.Count(lo, hi))
+}
+
+func (s engineSource) Sum(lo, hi int64) (int64, crackindex.OpStats) {
+	return toOpStats(s.e.Sum(lo, hi))
+}
+
+func toOpStats(r Result) (int64, crackindex.OpStats) {
+	return r.Value, crackindex.OpStats{
+		Wait:      r.Wait,
+		Crack:     r.Refine,
+		Critical:  r.Critical,
+		Conflicts: r.Conflicts,
+		Skipped:   r.Skipped,
+	}
+}

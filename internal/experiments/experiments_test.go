@@ -193,3 +193,25 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatal("defaults overwrote explicit values")
 	}
 }
+
+func TestReadWriteMixRuns(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testCfg()
+	cfg.Rows = 1 << 14
+	cfg.Queries = 96
+	rep := ReadWriteMix(cfg, &buf)
+	if len(rep.Cells) != 9 {
+		t.Fatalf("%d cells, want 9 (3 write fractions x 3 client counts)", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Elapsed <= 0 || c.Throughput <= 0 {
+			t.Fatalf("cell %+v: non-positive timing", c)
+		}
+		if c.WriteFraction == 0 && (c.Applied != 0 || c.Splits != 0) {
+			t.Fatalf("read-only cell performed structural ops: %+v", c)
+		}
+	}
+	if !strings.Contains(buf.String(), "Read/write mix") {
+		t.Fatal("missing output header")
+	}
+}

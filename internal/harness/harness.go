@@ -87,6 +87,7 @@ func Execute(e engine.Engine, queries []workload.Query, clients int) *Run {
 					Response:  time.Since(t0),
 					Wait:      res.Wait,
 					Crack:     res.Refine,
+					Critical:  res.Critical,
 					Conflicts: res.Conflicts,
 					Skipped:   res.Skipped,
 				})

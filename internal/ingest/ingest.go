@@ -1,0 +1,381 @@
+// Package ingest is the concurrent write-path subsystem for the
+// sharded adaptive index (internal/shard). It turns the sharded column
+// into a live, self-balancing structure under a mixed read/write
+// workload, following the paper's update architecture (§4.2): logical
+// updates land in per-shard differential files, and all *structural*
+// work — merging differentials into the cracker arrays, splitting and
+// merging shards — runs in small system transactions (internal/txn)
+// that log structural records to the WAL (internal/wal) and respect
+// user-transaction locks without ever acquiring their own.
+//
+// Three cooperating pieces:
+//
+//   - The router (Insert / DeleteValue / Apply) forwards writes to the
+//     owning shard's differential file through shard.Column and counts
+//     write traffic so maintenance runs at the right cadence.
+//   - The group-apply worker batches pending updates per shard: once a
+//     shard's differential file exceeds Options.ApplyThreshold, the
+//     shard is rebuilt with the differential merged into its cracker
+//     array — one system transaction, one wal.ShardInsert record —
+//     with the old index's crack boundaries replayed so refinement
+//     knowledge earned by earlier queries survives (the group-apply
+//     analogue of the paper's §7 group cracking: many queued updates,
+//     one structural pass).
+//   - The rebalancer watches per-shard row counts and splits shards
+//     that drifted above SplitFactor times the mean (wal.ShardSplit)
+//     or merges adjacent dwarf shards (wal.ShardMerge), so a skewed
+//     insert storm cannot concentrate all future work in one latch
+//     domain. Readers never block on any of this: structural
+//     operations publish a new shard map while queries in flight keep
+//     their own consistent snapshot (see internal/shard/update.go).
+//
+// Recovery: wal.Recover folds the committed ShardSplit/ShardMerge
+// records into the final cut list; shard.NewWithBounds rebuilds the
+// shard map with that boundary knowledge (New bootstrap-logs the
+// initial map so the recovered list is complete).
+package ingest
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"adaptix/internal/shard"
+	"adaptix/internal/txn"
+	"adaptix/internal/wal"
+)
+
+// Op is one batched write operation (Apply).
+type Op struct {
+	// Delete selects deletion of one instance of Value; otherwise the
+	// op inserts Value.
+	Delete bool
+	// Value is the column value inserted or deleted.
+	Value int64
+}
+
+// Options configures a Coordinator.
+type Options struct {
+	// Name identifies the column in WAL records and user-lock probes.
+	// Default "sharded".
+	Name string
+	// ApplyThreshold is the number of pending differential updates in
+	// one shard that triggers a group-apply merge. Default 512.
+	ApplyThreshold int
+	// SplitFactor triggers a shard split when a shard's row count
+	// exceeds SplitFactor times the mean. Default 2.
+	SplitFactor float64
+	// MergeFraction triggers a merge of two adjacent shards when their
+	// combined row count falls below MergeFraction times the mean.
+	// Default 0.5.
+	MergeFraction float64
+	// MinShardRows is the smallest shard the rebalancer will split.
+	// Default 2048.
+	MinShardRows int
+	// MaxShards caps the shard count growth. Default 64.
+	MaxShards int
+	// CheckEvery is the number of routed writes between background
+	// maintenance wake-ups. Default ApplyThreshold/2.
+	CheckEvery int
+	// Log, when non-nil, receives structural records (group applies,
+	// splits, merges, and the bootstrap shard map) bracketed in system
+	// transactions.
+	Log *wal.Log
+	// Txns supplies the transaction manager whose system transactions
+	// wrap structural operations and whose user locks maintenance must
+	// respect. Default: a fresh private manager.
+	Txns *txn.Manager
+}
+
+func (o Options) withDefaults() Options {
+	if o.Name == "" {
+		o.Name = "sharded"
+	}
+	if o.ApplyThreshold <= 0 {
+		o.ApplyThreshold = 512
+	}
+	if o.SplitFactor <= 1 {
+		o.SplitFactor = 2
+	}
+	if o.MergeFraction <= 0 || o.MergeFraction >= 1 {
+		o.MergeFraction = 0.5
+	}
+	if o.MinShardRows <= 0 {
+		o.MinShardRows = 2048
+	}
+	if o.MaxShards <= 0 {
+		o.MaxShards = 64
+	}
+	if o.CheckEvery <= 0 {
+		o.CheckEvery = o.ApplyThreshold / 2
+		if o.CheckEvery == 0 {
+			o.CheckEvery = 1
+		}
+	}
+	if o.Txns == nil {
+		o.Txns = txn.NewManager()
+	}
+	return o
+}
+
+// Stats counts the coordinator's activity.
+type Stats struct {
+	// Writes is the number of routed updates (inserts + deletes,
+	// including failed deletes).
+	Writes int64
+	// Applied counts group-apply merges.
+	Applied int64
+	// Splits and Merges count rebalancing operations.
+	Splits, Merges int64
+	// SkippedMaintenance counts maintenance passes forgone because a
+	// user transaction held a conflicting lock on the column.
+	SkippedMaintenance int64
+}
+
+// Coordinator owns the write path of one sharded column: it routes
+// updates, group-applies differential files, and rebalances the shard
+// map. All methods are safe for concurrent use; reads go directly to
+// the column and are never routed through the Coordinator.
+type Coordinator struct {
+	col  *shard.Column
+	opts Options
+	// probe reports a conflicting user-transaction lock on the column:
+	// maintenance, being optional structural work done by system
+	// transactions, is skipped while one exists (paper §3.3).
+	probe func() bool
+
+	writes  atomic.Int64
+	applied atomic.Int64
+	splits  atomic.Int64
+	merges  atomic.Int64
+	skipped atomic.Int64
+
+	maintMu sync.Mutex // one maintenance pass at a time
+
+	startMu sync.Mutex
+	notify  chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// New creates a coordinator over col. When opts.Log is set, the
+// current shard map is bootstrap-logged (one ShardSplit record per
+// existing cut, inside a system transaction) so that recovery rebuilds
+// the complete map, not only the cuts added later.
+func New(col *shard.Column, opts Options) *Coordinator {
+	opts = opts.withDefaults()
+	g := &Coordinator{
+		col:    col,
+		opts:   opts,
+		probe:  opts.Txns.RefinementProbe(opts.Name),
+		notify: make(chan struct{}, 1),
+	}
+	if opts.Log != nil {
+		g.structural(func() ([]wal.Record, bool) {
+			recs := make([]wal.Record, 0, len(col.Bounds()))
+			for _, cut := range col.Bounds() {
+				recs = append(recs, wal.Record{Kind: wal.ShardSplit, A: cut})
+			}
+			return recs, len(recs) > 0
+		})
+	}
+	return g
+}
+
+// Column returns the underlying sharded column (the read surface).
+func (g *Coordinator) Column() *shard.Column { return g.col }
+
+// Stats returns a snapshot of the coordinator's activity counters.
+func (g *Coordinator) Stats() Stats {
+	return Stats{
+		Writes:             g.writes.Load(),
+		Applied:            g.applied.Load(),
+		Splits:             g.splits.Load(),
+		Merges:             g.merges.Load(),
+		SkippedMaintenance: g.skipped.Load(),
+	}
+}
+
+// Insert routes one insert to the owning shard's differential file.
+func (g *Coordinator) Insert(v int64) error {
+	if err := g.col.Insert(v); err != nil {
+		return err
+	}
+	g.wrote(1)
+	return nil
+}
+
+// DeleteValue routes one delete, reporting whether an instance existed.
+func (g *Coordinator) DeleteValue(v int64) (bool, error) {
+	deleted, err := g.col.DeleteValue(v)
+	if err != nil {
+		return false, err
+	}
+	g.wrote(1)
+	return deleted, nil
+}
+
+// Apply routes a batch of write operations and returns the number of
+// deletes that found an instance. The batch is routed op-by-op (each
+// shard's differential file has its own short latch); batching pays
+// off at the structural level, where one group-apply merges the whole
+// accumulated differential in a single pass.
+func (g *Coordinator) Apply(batch []Op) (deleted int, err error) {
+	for _, op := range batch {
+		if op.Delete {
+			ok, err := g.col.DeleteValue(op.Value)
+			if err != nil {
+				return deleted, err
+			}
+			if ok {
+				deleted++
+			}
+		} else if err := g.col.Insert(op.Value); err != nil {
+			return deleted, err
+		}
+	}
+	g.wrote(int64(len(batch)))
+	return deleted, nil
+}
+
+// wrote counts routed writes and wakes the background worker every
+// CheckEvery writes (non-blocking; a pending wake-up is enough).
+func (g *Coordinator) wrote(n int64) {
+	before := g.writes.Add(n) - n
+	if before/int64(g.opts.CheckEvery) == (before+n)/int64(g.opts.CheckEvery) {
+		return
+	}
+	select {
+	case g.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Start launches the background maintenance worker (idempotent). The
+// worker wakes every CheckEvery routed writes and runs one Maintain
+// pass.
+func (g *Coordinator) Start() {
+	g.startMu.Lock()
+	defer g.startMu.Unlock()
+	if g.stop != nil {
+		return
+	}
+	g.stop = make(chan struct{})
+	g.done = make(chan struct{})
+	go g.loop(g.stop, g.done)
+}
+
+// Close stops the background worker (idempotent; a no-op when Start
+// was never called) and runs one final Maintain pass so the column is
+// left merged and balanced.
+func (g *Coordinator) Close() {
+	g.startMu.Lock()
+	stop, done := g.stop, g.done
+	g.stop, g.done = nil, nil
+	g.startMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+	g.Maintain()
+}
+
+func (g *Coordinator) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-g.notify:
+			g.Maintain()
+		}
+	}
+}
+
+// Maintain runs one synchronous maintenance pass: group-apply every
+// shard whose differential file exceeds ApplyThreshold, then one
+// rebalance pass. It returns the number of structural operations
+// performed. Maintenance is optional structural work: it is skipped
+// entirely while a user transaction holds a conflicting lock on the
+// column (system transactions verify user locks, never acquire any).
+func (g *Coordinator) Maintain() int {
+	g.maintMu.Lock()
+	defer g.maintMu.Unlock()
+	if g.probe() {
+		g.skipped.Add(1)
+		return 0
+	}
+	ops := 0
+	// Descending ordinals: a structural change at shard i never moves
+	// the ordinals of shards below i.
+	stats := g.col.Snapshot()
+	for i := len(stats) - 1; i >= 0; i-- {
+		if stats[i].PendingInserts+stats[i].PendingDeletes >= g.opts.ApplyThreshold {
+			if g.applyShard(i) {
+				ops++
+			}
+		}
+	}
+	splits, merges := g.Rebalance()
+	return ops + splits + merges
+}
+
+// applyShard group-applies shard i inside a system transaction,
+// logging a wal.ShardInsert record.
+func (g *Coordinator) applyShard(i int) bool {
+	return g.structural(func() ([]wal.Record, bool) {
+		ap, ok := g.col.ApplyShard(i)
+		if !ok {
+			return nil, false
+		}
+		g.applied.Add(1)
+		return []wal.Record{{
+			Kind: wal.ShardInsert,
+			A:    int64(ap.Shard), B: int64(ap.Inserts), C: int64(ap.Deletes),
+		}}, true
+	})
+}
+
+// structural runs op as one system transaction, bracketing its
+// structural records between BeginSystem and CommitSystem. Records are
+// appended only after op succeeds — the in-memory structure is the
+// source of truth and the log is re-creatable knowledge (§4.2), so an
+// attempt that found nothing to do aborts the transaction and leaves
+// no trace in the log at all.
+func (g *Coordinator) structural(op func() ([]wal.Record, bool)) bool {
+	var ok bool
+	_ = g.opts.Txns.RunSystem(func(st *txn.Txn) error {
+		var recs []wal.Record
+		recs, ok = op()
+		if !ok {
+			return errNothingToDo
+		}
+		id := uint64(st.ID())
+		g.append(wal.Record{Kind: wal.BeginSystem, Txn: id})
+		for _, r := range recs {
+			r.Txn = id
+			g.append(r)
+		}
+		g.append(wal.Record{Kind: wal.CommitSystem, Txn: id})
+		return nil
+	})
+	return ok
+}
+
+// errNothingToDo aborts a system transaction whose structural
+// operation found no work; the abort is bookkeeping, not a failure.
+var errNothingToDo = errNothing{}
+
+type errNothing struct{}
+
+func (errNothing) Error() string { return "ingest: nothing to do" }
+
+func (g *Coordinator) append(r wal.Record) {
+	if g.opts.Log == nil {
+		return
+	}
+	if r.Object == "" {
+		r.Object = g.opts.Name
+	}
+	_, _ = g.opts.Log.Append(r)
+}

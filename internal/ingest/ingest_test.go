@@ -1,0 +1,355 @@
+package ingest
+
+import (
+	"testing"
+
+	"adaptix/internal/crackindex"
+	"adaptix/internal/lockmgr"
+	"adaptix/internal/shard"
+	"adaptix/internal/txn"
+	"adaptix/internal/wal"
+	"adaptix/internal/workload"
+)
+
+func pieceOpts() shard.Options {
+	return shard.Options{
+		Shards: 4, Seed: 9,
+		Index: crackindex.Options{Latching: crackindex.LatchPiece},
+	}
+}
+
+// model is a brute-force multiset mirror of the column's contents.
+type model struct{ vals map[int64]int64 }
+
+func newModel(vals []int64) *model {
+	m := &model{vals: map[int64]int64{}}
+	for _, v := range vals {
+		m.vals[v]++
+	}
+	return m
+}
+
+func (m *model) insert(v int64) { m.vals[v]++ }
+
+func (m *model) delete(v int64) bool {
+	if m.vals[v] > 0 {
+		m.vals[v]--
+		return true
+	}
+	return false
+}
+
+func (m *model) count(lo, hi int64) int64 {
+	var n int64
+	for v, c := range m.vals {
+		if v >= lo && v < hi {
+			n += c
+		}
+	}
+	return n
+}
+
+func (m *model) sum(lo, hi int64) int64 {
+	var s int64
+	for v, c := range m.vals {
+		if v >= lo && v < hi {
+			s += v * c
+		}
+	}
+	return s
+}
+
+func checkAgainstModel(t *testing.T, col *shard.Column, m *model, domain int64) {
+	t.Helper()
+	r := workload.NewRNG(77)
+	for i := 0; i < 200; i++ {
+		lo := r.Int64n(domain)
+		hi := lo + 1 + r.Int64n(domain-lo)
+		if got, _ := col.Count(lo, hi); got != m.count(lo, hi) {
+			t.Fatalf("Count[%d,%d) = %d, want %d", lo, hi, got, m.count(lo, hi))
+		}
+		if got, _ := col.Sum(lo, hi); got != m.sum(lo, hi) {
+			t.Fatalf("Sum[%d,%d) = %d, want %d", lo, hi, got, m.sum(lo, hi))
+		}
+	}
+}
+
+func TestRoutedUpdatesMatchModel(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<12, 3)
+	col := shard.New(d.Values, pieceOpts())
+	g := New(col, Options{ApplyThreshold: 1 << 30}) // no maintenance: raw routing
+	m := newModel(d.Values)
+
+	r := workload.NewRNG(5)
+	domain := d.Domain * 2
+	for i := 0; i < 2000; i++ {
+		v := r.Int64n(domain)
+		switch i % 3 {
+		case 0, 1:
+			if err := g.Insert(v); err != nil {
+				t.Fatalf("Insert(%d): %v", v, err)
+			}
+			m.insert(v)
+		default:
+			got, err := g.DeleteValue(v)
+			if err != nil {
+				t.Fatalf("DeleteValue(%d): %v", v, err)
+			}
+			if want := m.delete(v); got != want {
+				t.Fatalf("DeleteValue(%d) = %v, want %v", v, got, want)
+			}
+		}
+	}
+	checkAgainstModel(t, col, m, domain)
+	if err := col.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyBatchesAndGroupApplyPreserveAnswers(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<12, 7)
+	col := shard.New(d.Values, pieceOpts())
+	log := wal.New(nil)
+	g := New(col, Options{Name: "R.A", ApplyThreshold: 64, Log: log})
+	m := newModel(d.Values)
+
+	// Warm some refinement so group-apply has boundaries to replay.
+	for i := int64(0); i < 8; i++ {
+		col.Count(i*(d.Domain/8), i*(d.Domain/8)+d.Domain/16)
+	}
+
+	batch := make([]Op, 0, 512)
+	r := workload.NewRNG(11)
+	for i := 0; i < 512; i++ {
+		batch = append(batch, Op{Delete: i%4 == 3, Value: r.Int64n(d.Domain)})
+	}
+	if _, err := g.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range batch {
+		if op.Delete {
+			m.delete(op.Value)
+		} else {
+			m.insert(op.Value)
+		}
+	}
+
+	pendingBefore := 0
+	for _, s := range col.Snapshot() {
+		pendingBefore += s.PendingInserts + s.PendingDeletes
+	}
+	if pendingBefore == 0 {
+		t.Fatal("expected pending differential updates before Maintain")
+	}
+
+	if ops := g.Maintain(); ops == 0 {
+		t.Fatal("Maintain performed no structural operations")
+	}
+	for _, s := range col.Snapshot() {
+		if s.PendingInserts+s.PendingDeletes >= 64 {
+			t.Errorf("shard %d still has %d+%d pending after Maintain",
+				s.Shard, s.PendingInserts, s.PendingDeletes)
+		}
+	}
+	checkAgainstModel(t, col, m, d.Domain)
+	if err := col.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().Applied == 0 {
+		t.Error("Stats().Applied = 0 after group applies")
+	}
+
+	// The structural WAL must bracket every ShardInsert in a committed
+	// system transaction.
+	recs := log.Records()
+	byTxn := map[uint64][]wal.Kind{}
+	for _, r := range recs {
+		byTxn[r.Txn] = append(byTxn[r.Txn], r.Kind)
+	}
+	applies := 0
+	for id, kinds := range byTxn {
+		var begin, commit bool
+		for _, k := range kinds {
+			switch k {
+			case wal.BeginSystem:
+				begin = true
+			case wal.CommitSystem:
+				commit = true
+			case wal.ShardInsert:
+				applies++
+			}
+		}
+		if !begin || !commit {
+			t.Errorf("txn %d: records not bracketed (begin=%v commit=%v)", id, begin, commit)
+		}
+	}
+	if applies == 0 {
+		t.Error("no ShardInsert records logged")
+	}
+}
+
+func TestGroupApplyReplaysBoundaryKnowledge(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<13, 13)
+	col := shard.New(d.Values, pieceOpts())
+	g := New(col, Options{ApplyThreshold: 8})
+
+	// Refine shard 0's range heavily, then flood it with inserts.
+	for i := 0; i < 32; i++ {
+		col.Count(int64(i*8), int64(i*8+4))
+	}
+	boundariesBefore := 0
+	for _, s := range col.Snapshot() {
+		boundariesBefore += s.Pieces
+	}
+	for i := int64(0); i < 64; i++ {
+		if err := g.Insert(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Maintain()
+	boundariesAfter := 0
+	for _, s := range col.Snapshot() {
+		boundariesAfter += s.Pieces
+	}
+	// The rebuilt shard must keep (most of) its piece structure: a
+	// group apply replays crack boundaries instead of resetting the
+	// index to a single piece.
+	if boundariesAfter < boundariesBefore/2 {
+		t.Errorf("pieces after group apply = %d, before = %d: boundary knowledge lost",
+			boundariesAfter, boundariesBefore)
+	}
+}
+
+func TestRebalanceSplitsAndMerges(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<13, 17)
+	col := shard.New(d.Values, pieceOpts())
+	g := New(col, Options{
+		ApplyThreshold: 128, MinShardRows: 256, SplitFactor: 1.5, MaxShards: 32,
+	})
+	before := col.NumShards()
+
+	// Skewed storm: all inserts land in one narrow range.
+	for i := 0; i < 6000; i++ {
+		if err := g.Insert(int64(i % 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Maintain()
+	if g.Stats().Splits == 0 {
+		t.Fatalf("no splits after skewed storm (shards %d -> %d)", before, col.NumShards())
+	}
+	if col.NumShards() <= before {
+		t.Errorf("shard count %d did not grow from %d", col.NumShards(), before)
+	}
+	if err := col.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete the storm back out; rebalance should merge dwarf shards.
+	for i := 0; i < 6000; i++ {
+		if _, err := g.DeleteValue(int64(i % 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Maintain()
+	g.Rebalance()
+	if g.Stats().Merges == 0 {
+		t.Logf("shards after delete storm: %d (no merge triggered)", col.NumShards())
+	}
+	if err := col.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryRebuildsShardMap(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<13, 19)
+	log := wal.New(nil)
+	col := shard.New(d.Values, pieceOpts())
+	g := New(col, Options{
+		Name: "R.A", Log: log,
+		ApplyThreshold: 64, MinShardRows: 256, SplitFactor: 1.5,
+	})
+	for i := 0; i < 4000; i++ {
+		if err := g.Insert(int64(i % 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Maintain()
+	if g.Stats().Splits == 0 {
+		t.Fatal("expected at least one split for the recovery test")
+	}
+
+	// Recover the shard map from the encoded log image and rebuild.
+	var raw []byte
+	for _, r := range log.Records() {
+		raw = append(raw, wal.Encode(r)...)
+	}
+	cat, err := wal.Recover(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cat.ShardBounds["R.A"]
+	want := col.Bounds()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d cuts %v, live map has %d %v", len(got), got, len(want), want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("recovered cut[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if cat.ShardApplies["R.A"] != g.Stats().Applied {
+		t.Errorf("recovered %d group applies, coordinator did %d",
+			cat.ShardApplies["R.A"], g.Stats().Applied)
+	}
+
+	// A column rebuilt from the recovered bounds answers identically
+	// after replaying the same write stream.
+	rebuilt := shard.NewWithBounds(d.Values, got, pieceOpts())
+	for i := 0; i < 4000; i++ {
+		if err := rebuilt.Insert(int64(i % 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := workload.NewRNG(23)
+	for i := 0; i < 100; i++ {
+		lo := r.Int64n(d.Domain)
+		hi := lo + 1 + r.Int64n(d.Domain-lo)
+		a, _ := col.Sum(lo, hi)
+		b, _ := rebuilt.Sum(lo, hi)
+		if a != b {
+			t.Fatalf("Sum[%d,%d): live %d, rebuilt %d", lo, hi, a, b)
+		}
+	}
+}
+
+func TestMaintenanceRespectsUserLocks(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<12, 29)
+	col := shard.New(d.Values, pieceOpts())
+	tm := txn.NewManager()
+	g := New(col, Options{Name: "R.A", ApplyThreshold: 4, Txns: tm})
+	for i := int64(0); i < 64; i++ {
+		if err := g.Insert(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A user transaction holding an X lock on the column blocks
+	// maintenance (system transactions verify user locks).
+	ut := tm.Begin(txn.User)
+	if err := ut.Lock("R.A", lockmgr.X); err != nil {
+		t.Fatal(err)
+	}
+	if ops := g.Maintain(); ops != 0 {
+		t.Errorf("Maintain did %d structural ops under a user X lock", ops)
+	}
+	if g.Stats().SkippedMaintenance == 0 {
+		t.Error("SkippedMaintenance not counted")
+	}
+	if err := ut.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if ops := g.Maintain(); ops == 0 {
+		t.Error("Maintain still idle after the user lock was released")
+	}
+}

@@ -1,0 +1,96 @@
+// Online shard rebalancing: the rebalancer watches per-shard row
+// counts and repairs population drift with split and merge operations
+// that readers never block on (the shard map swap reuses the
+// piece-latch discipline one level up — see internal/shard/update.go).
+package ingest
+
+import "adaptix/internal/wal"
+
+// Rebalance runs one split/merge pass over the current shard map and
+// returns the number of splits and merges performed.
+//
+// A shard whose row count exceeds SplitFactor times the mean (and
+// MinShardRows) is split at its median; two adjacent shards whose
+// combined rows fall below MergeFraction times the mean are merged.
+// The thresholds are hysteretic by construction — a fresh split yields
+// halves of roughly mean size, far above the merge threshold — so the
+// rebalancer cannot oscillate. Each operation is one system
+// transaction with one wal.ShardSplit / wal.ShardMerge record.
+func (g *Coordinator) Rebalance() (splits, merges int) {
+	stats := g.col.Snapshot()
+	if len(stats) == 0 {
+		return 0, 0
+	}
+	var rows int64
+	for _, s := range stats {
+		rows += int64(s.Rows)
+	}
+	mean := float64(rows) / float64(len(stats))
+	if mean < 1 {
+		return 0, 0
+	}
+
+	// Splits, descending so earlier ordinals stay valid.
+	shards := len(stats)
+	for i := len(stats) - 1; i >= 0; i-- {
+		if shards >= g.opts.MaxShards {
+			break
+		}
+		r := stats[i].Rows
+		if r < g.opts.MinShardRows || float64(r) <= g.opts.SplitFactor*mean {
+			continue
+		}
+		if g.splitShard(i) {
+			splits++
+			shards++
+		}
+	}
+
+	// Merges, on a fresh snapshot (splits shifted ordinals). After a
+	// merge at i the pair (i-1, i) is re-examined next iteration with
+	// a stale row count for the merged shard; skipping one extra
+	// ordinal keeps the pass conservative.
+	stats = g.col.Snapshot()
+	for i := len(stats) - 2; i >= 0 && len(stats)-merges > 1; i-- {
+		if float64(stats[i].Rows+stats[i+1].Rows) >= g.opts.MergeFraction*mean {
+			continue
+		}
+		if g.mergeShards(i) {
+			merges++
+			i--
+		}
+	}
+	return splits, merges
+}
+
+// splitShard splits shard i inside a system transaction, logging a
+// wal.ShardSplit record with the new cut.
+func (g *Coordinator) splitShard(i int) bool {
+	return g.structural(func() ([]wal.Record, bool) {
+		sp, ok := g.col.SplitShard(i)
+		if !ok {
+			return nil, false
+		}
+		g.splits.Add(1)
+		return []wal.Record{{
+			Kind: wal.ShardSplit,
+			A:    sp.Cut, B: int64(sp.LeftRows), C: int64(sp.RightRows),
+		}}, true
+	})
+}
+
+// mergeShards merges shards i and i+1 inside a system transaction,
+// logging a wal.ShardMerge record with the removed cut.
+func (g *Coordinator) mergeShards(i int) bool {
+	return g.structural(func() ([]wal.Record, bool) {
+		mg, ok := g.col.MergeShards(i)
+		if !ok {
+			return nil, false
+		}
+		g.merges.Add(1)
+		return []wal.Record{{
+			Kind: wal.ShardMerge,
+			A:    mg.RemovedBound, B: int64(mg.Rows),
+		}}, true
+	})
+}

@@ -57,6 +57,11 @@ type QueryCost struct {
 	// Crack is the time spent physically refining the index (in-place
 	// partitioning plus table-of-contents updates), under write latches.
 	Crack time.Duration
+	// Critical is the fan-out critical path: the slowest per-shard
+	// sub-query's elapsed time (zero for single-domain engines). Wait
+	// and Crack sum total work across cores; Critical is what a
+	// latency-oriented experiment should plot instead.
+	Critical time.Duration
 	// Conflicts is the number of latch acquisitions that could not be
 	// granted immediately.
 	Conflicts int64
@@ -111,6 +116,17 @@ func (s *Series) TotalCrack() time.Duration {
 	var t time.Duration
 	for _, c := range s.Costs {
 		t += c.Crack
+	}
+	return t
+}
+
+// TotalCritical returns the summed fan-out critical-path time across
+// all queries (the latency-oriented counterpart of TotalWait +
+// TotalCrack, which measure total work).
+func (s *Series) TotalCritical() time.Duration {
+	var t time.Duration
+	for _, c := range s.Costs {
+		t += c.Critical
 	}
 	return t
 }

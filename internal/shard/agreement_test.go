@@ -3,6 +3,10 @@ package shard_test
 import (
 	"fmt"
 	"testing"
+	"time"
+
+	"adaptix/internal/amerge"
+	"adaptix/internal/hybrid"
 
 	"adaptix/internal/baseline"
 	"adaptix/internal/crackindex"
@@ -70,5 +74,74 @@ func TestShardedEngineAgainstDuplicates(t *testing.T) {
 		if sharded.Checksum != scan.Checksum {
 			t.Errorf("clients=%d: sharded checksum %d, scan %d", clients, sharded.Checksum, scan.Checksum)
 		}
+	}
+}
+
+// TestCustomSourceShards builds the sharded column over adaptive-merge
+// and hybrid per-shard indexes through Options.Source +
+// engine.SourceFromEngine, and checks answers and the read-only write
+// path contract.
+func TestCustomSourceShards(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<13, 51)
+	qs := workload.Fixed(workload.NewUniform(workload.Sum, d.Domain, 0.02, 53), 96)
+	want := harness.Execute(baseline.NewScan(d.Values), qs, 1).Checksum
+
+	sources := []struct {
+		name string
+		mk   func(values []int64) engine.AggregateSource
+	}{
+		{"amerge", func(values []int64) engine.AggregateSource {
+			return engine.SourceFromEngine(amerge.New(values, amerge.Options{}))
+		}},
+		{"hybrid", func(values []int64) engine.AggregateSource {
+			return engine.SourceFromEngine(hybrid.New(values, hybrid.Options{}))
+		}},
+	}
+	for _, src := range sources {
+		for _, clients := range []int{1, 4} {
+			col := shard.New(d.Values, shard.Options{Shards: 4, Seed: 5, Source: src.mk})
+			run := harness.Execute(engine.NewShardedNamed(col, "sharded/"+src.name), qs, clients)
+			if run.Checksum != want {
+				t.Errorf("%s clients=%d: checksum %d, scan %d", src.name, clients, run.Checksum, want)
+			}
+			if err := col.Insert(1); err != shard.ErrReadOnlyShard {
+				t.Errorf("%s: Insert err = %v, want ErrReadOnlyShard", src.name, err)
+			}
+			if _, err := col.DeleteValue(1); err != shard.ErrReadOnlyShard {
+				t.Errorf("%s: DeleteValue err = %v, want ErrReadOnlyShard", src.name, err)
+			}
+			if _, ok := col.ApplyShard(0); ok {
+				t.Errorf("%s: ApplyShard succeeded on a custom-source shard", src.name)
+			}
+			if _, ok := col.SplitShard(0); ok {
+				t.Errorf("%s: SplitShard succeeded on a custom-source shard", src.name)
+			}
+		}
+	}
+}
+
+// TestCriticalPathStat checks the fan-out critical-path metric: for a
+// query spanning several shards, Critical must be positive and no
+// larger than the total work (Wait + Crack) ... it can legitimately
+// exceed pure refinement time since it includes scan time, but it must
+// never exceed the query's end-to-end response time.
+func TestCriticalPathStat(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<14, 57)
+	col := shard.New(d.Values, shard.Options{
+		Shards: 8, Seed: 5,
+		Index: crackindex.Options{Latching: crackindex.LatchPiece},
+	})
+	e := engine.NewSharded(col)
+	start := time.Now()
+	// Clip one value off each end: the fringe shards are only partially
+	// covered, so the query must fan out to real sub-queries instead of
+	// being answered purely from the precomputed aggregates.
+	res := e.Sum(1, d.Domain-1)
+	elapsed := time.Since(start)
+	if res.Critical <= 0 {
+		t.Fatalf("Critical = %v for a fan-out query, want > 0", res.Critical)
+	}
+	if res.Critical > elapsed {
+		t.Errorf("Critical %v exceeds end-to-end response %v", res.Critical, elapsed)
 	}
 }

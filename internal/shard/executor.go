@@ -7,6 +7,7 @@ package shard
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"adaptix/internal/crackindex"
 )
@@ -14,7 +15,8 @@ import (
 // Count evaluates Q1 — select count(*) where lo <= A < hi — fanning
 // out to the overlapping shards and cracking each as a side effect.
 // The returned OpStats sums the sub-queries' wait/crack time and
-// conflicts (total work across cores, not critical-path time).
+// conflicts (total work across cores) and reports the slowest
+// sub-query's elapsed time as Critical (the fan-out critical path).
 func (c *Column) Count(lo, hi int64) (int64, crackindex.OpStats) {
 	return c.query(false, lo, hi)
 }
@@ -26,8 +28,9 @@ func (c *Column) Sum(lo, hi int64) (int64, crackindex.OpStats) {
 }
 
 type subResult struct {
-	val int64
-	st  crackindex.OpStats
+	val     int64
+	st      crackindex.OpStats
+	elapsed time.Duration
 }
 
 func (c *Column) query(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
@@ -35,26 +38,36 @@ func (c *Column) query(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
 	if lo >= hi {
 		return 0, merged
 	}
+	// One immutable shard-map snapshot per query: a concurrent
+	// structural change publishes a successor map, but the parts of
+	// this snapshot stay intact and correct, so the query never blocks
+	// on a rebalance.
+	m := c.m.Load()
 
 	// Route: the shards whose assigned ranges overlap [lo, hi). Shards
 	// the predicate fully covers are answered from the precomputed
 	// per-shard aggregates — no latch, no index touch — so a broad
-	// query only pays index work in its two fringe shards.
+	// query only pays index work in its two fringe shards. The load
+	// order (rows/total before min/max) is the reader half of the
+	// ordering contract in update.go.
 	var total int64
 	var targets []*part
 	// First shard whose upper bound exceeds lo: the first shard that
 	// can contain values >= lo.
-	start := sort.Search(len(c.bounds), func(i int) bool { return c.bounds[i] > lo })
-	for i := start; i < len(c.shards) && c.shards[i].loVal < hi; i++ {
-		s := c.shards[i]
-		if s.rows == 0 || s.maxVal < lo || s.minVal >= hi {
+	start := sort.Search(len(m.bounds), func(i int) bool { return m.bounds[i] > lo })
+	for i := start; i < len(m.shards) && m.shards[i].loVal < hi; i++ {
+		s := m.shards[i]
+		rows := s.rows.Load()
+		tot := s.total.Load()
+		mn, mx := s.minA.Load(), s.maxA.Load()
+		if rows == 0 || mx < lo || mn >= hi {
 			continue // no qualifying values in this shard
 		}
-		if lo <= s.minVal && hi > s.maxVal {
+		if lo <= mn && hi > mx {
 			if wantSum {
-				total += s.total
+				total += tot
 			} else {
-				total += int64(s.rows)
+				total += rows
 			}
 			continue
 		}
@@ -65,7 +78,9 @@ func (c *Column) query(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
 	case 0:
 		return total, merged
 	case 1:
+		t0 := time.Now()
 		v, st := targets[0].sub(wantSum, lo, hi)
+		st.Critical = time.Since(t0)
 		return total + v, st
 	}
 
@@ -83,12 +98,14 @@ func (c *Column) query(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
 			defer wg.Done()
 			c.sem <- struct{}{}
 			defer func() { <-c.sem }()
+			t0 := time.Now()
 			v, st := targets[i].sub(wantSum, lo, hi)
-			res[i] = subResult{val: v, st: st}
+			res[i] = subResult{val: v, st: st, elapsed: time.Since(t0)}
 		}(i)
 	}
+	t0 := time.Now()
 	v, st := targets[0].sub(wantSum, lo, hi)
-	res[0] = subResult{val: v, st: st}
+	res[0] = subResult{val: v, st: st, elapsed: time.Since(t0)}
 	wg.Wait()
 
 	for _, r := range res {
@@ -97,6 +114,9 @@ func (c *Column) query(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
 		merged.Crack += r.st.Crack
 		merged.Conflicts += r.st.Conflicts
 		merged.Skipped = merged.Skipped || r.st.Skipped
+		if r.elapsed > merged.Critical {
+			merged.Critical = r.elapsed
+		}
 	}
 	return total, merged
 }
@@ -112,7 +132,7 @@ func (s *part) sub(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
 		hi = s.hiVal
 	}
 	if wantSum {
-		return s.ix.Sum(lo, hi)
+		return s.src.Sum(lo, hi)
 	}
-	return s.ix.Count(lo, hi)
+	return s.src.Count(lo, hi)
 }

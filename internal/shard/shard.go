@@ -21,9 +21,16 @@
 //
 // Shard boundaries are chosen from a seeded sample of the input
 // (quantile cuts), so shards are balanced for any input distribution
-// without a full sort. Boundaries are fixed for the lifetime of the
-// Column; rebalancing and update routing are future work (see ROADMAP
-// "Open items").
+// without a full sort. The column is mutable and self-adjusting: the
+// write path (update.go) routes inserts and deletes to the owning
+// shard's differential file, and structural operations — group-apply
+// merges of the differential into the cracker array, online shard
+// splits and merges — swap parts of the shard map atomically, reusing
+// the piece-latch discipline one level up: readers navigate an
+// immutable map snapshot and never block on a structural change, the
+// same way piece readers never block on a crack of another piece.
+// Orchestration of those structural operations (thresholds, system
+// transactions, WAL records) lives in internal/ingest.
 package shard
 
 import (
@@ -32,8 +39,11 @@ import (
 	"math/bits"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"adaptix/internal/crackindex"
+	"adaptix/internal/engine"
 	"adaptix/internal/workload"
 )
 
@@ -61,7 +71,16 @@ type Options struct {
 	Seed uint64
 	// Index configures every per-shard cracked index (latching mode,
 	// layout, scheduling, conflict policy, stochastic cracking, ...).
+	// Ignored when Source is set.
 	Index crackindex.Options
+	// Source, when non-nil, builds each per-shard index from the
+	// shard's value slice instead of the default cracked index, so the
+	// fan-out executor can drive any engine.AggregateSource — sharded
+	// adaptive merging, sharded hybrid crack-sort (adapt an Engine with
+	// engine.SourceFromEngine). Custom-source shards are read-only:
+	// Insert and DeleteValue return ErrReadOnlyShard and structural
+	// operations skip them.
+	Source func(values []int64) engine.AggregateSource
 }
 
 func (o Options) withDefaults() Options {
@@ -81,25 +100,61 @@ func (o Options) withDefaults() Options {
 }
 
 // part is one shard: a contiguous value range [loVal, hiVal) backed by
-// its own cracked index. All fields are immutable after construction;
-// concurrency control lives inside ix.
+// its own index. The assigned range, the base slice and the index
+// identity are immutable after the part is published in a shard map;
+// contents change only through the differential write path, and the
+// precomputed aggregates track them atomically (see update.go for the
+// ordering contract readers rely on).
 type part struct {
-	id           int
-	loVal, hiVal int64 // assigned range [loVal, hiVal); sentinels at the ends
-	minVal       int64 // smallest value actually present (rows > 0)
-	maxVal       int64 // largest value actually present (rows > 0)
-	rows         int
-	total        int64 // precomputed sum of all values in the shard
-	ix           *crackindex.Index
+	loVal, hiVal int64                  // assigned range [loVal, hiVal); sentinels at the ends
+	base         []int64                // slice the index was built over (immutable)
+	ix           *crackindex.Index      // nil for custom-source shards
+	src          engine.AggregateSource // query surface (== ix for cracked shards)
+
+	// Mutable aggregates. rows and total are exact logical values
+	// (base plus net differential); minA/maxA only ever widen, which
+	// keeps pruning and the fully-covered fast path conservative but
+	// correct (a deleted extremum leaves them stale-wide).
+	rows  atomic.Int64
+	total atomic.Int64
+	minA  atomic.Int64 // maxKey while the shard is empty
+	maxA  atomic.Int64 // minKey while the shard is empty
+
+	// Write gate. Writers hold wmu.RLock around a routed update and
+	// re-check sealed; a structural operation seals the part (blocking
+	// until in-flight writers drain), rebuilds a successor, publishes
+	// the new shard map, and closes replaced to wake parked writers.
+	wmu      sync.RWMutex
+	sealed   bool
+	replaced chan struct{}
+}
+
+// shardMap is one immutable snapshot of the shard layout: shard i
+// holds values in [bounds[i-1], bounds[i]) with sentinels at the ends.
+// Structural operations build a new snapshot and swap the Column's
+// pointer; readers load it once per query and keep a consistent view.
+type shardMap struct {
+	bounds []int64 // len(shards)-1 strictly increasing cut values
+	shards []*part
+}
+
+// route returns the ordinal of the shard owning value v.
+func (m *shardMap) route(v int64) int {
+	return sort.Search(len(m.bounds), func(i int) bool { return m.bounds[i] > v })
 }
 
 // Column is a range-partitioned adaptive index over one column.
-// It is safe for concurrent use.
+// It is safe for concurrent use, including concurrent updates and
+// structural reorganization.
 type Column struct {
-	opts   Options
-	bounds []int64 // len(shards)-1 strictly increasing cut values
-	shards []*part
-	sem    chan struct{} // bounds extra fan-out workers (see Options.Workers)
+	opts Options
+	m    atomic.Pointer[shardMap]
+	sem  chan struct{} // bounds extra fan-out workers (see Options.Workers)
+
+	// structMu serializes structural operations (ApplyShard,
+	// SplitShard, MergeShards). Queries and routed updates never take
+	// it.
+	structMu sync.Mutex
 }
 
 // New builds a sharded column over values. Boundary selection samples
@@ -110,7 +165,29 @@ type Column struct {
 // effect" discipline per shard.
 func New(values []int64, opts Options) *Column {
 	opts = opts.withDefaults()
-	bounds := chooseBounds(values, opts.Shards, opts.SampleSize, opts.Seed)
+	return build(values, chooseBounds(values, opts.Shards, opts.SampleSize, opts.Seed), opts)
+}
+
+// NewWithBounds builds a sharded column with an explicit shard map:
+// shard i holds values in [bounds[i-1], bounds[i]). This is the
+// recovery path — a shard map recovered from the structural WAL
+// (wal.Recover) rebuilds the column with the boundary knowledge
+// earlier splits and merges earned. Bounds are sanitized (sorted,
+// deduplicated) first.
+func NewWithBounds(values []int64, bounds []int64, opts Options) *Column {
+	opts = opts.withDefaults()
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	dedup := b[:0]
+	for _, v := range b {
+		if len(dedup) == 0 || v > dedup[len(dedup)-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return build(values, dedup, opts)
+}
+
+func build(values []int64, bounds []int64, opts Options) *Column {
 	n := len(bounds) + 1
 
 	// Two passes: exact per-shard counts, then fill.
@@ -131,36 +208,67 @@ func New(values []int64, opts Options) *Column {
 	}
 
 	c := &Column{
-		opts:   opts,
-		bounds: bounds,
-		shards: make([]*part, n),
-		sem:    make(chan struct{}, opts.Workers),
+		opts: opts,
+		sem:  make(chan struct{}, opts.Workers),
 	}
-	for i := range c.shards {
-		s := &part{id: i, loVal: minKey, hiVal: maxKey}
+	shards := make([]*part, n)
+	for i := range shards {
+		lo, hi := int64(minKey), int64(maxKey)
 		if i > 0 {
-			s.loVal = bounds[i-1]
+			lo = bounds[i-1]
 		}
 		if i < len(bounds) {
-			s.hiVal = bounds[i]
+			hi = bounds[i]
 		}
-		s.rows = len(slices[i])
-		if s.rows > 0 {
-			s.minVal, s.maxVal = slices[i][0], slices[i][0]
-			for _, v := range slices[i] {
-				s.total += v
-				if v < s.minVal {
-					s.minVal = v
-				}
-				if v > s.maxVal {
-					s.maxVal = v
-				}
+		shards[i] = c.newPart(lo, hi, slices[i], nil)
+	}
+	c.m.Store(&shardMap{bounds: bounds, shards: shards})
+	return c
+}
+
+// newPart builds one shard over vals with assigned range [loVal,
+// hiVal), computing exact aggregates. warm, when non-empty, is a list
+// of crack-boundary values replayed into the fresh index so the
+// refinement knowledge of a predecessor part survives a rebuild
+// (paper §4.2: "the side effects of earlier queries may be re-created
+// in the new index").
+func (c *Column) newPart(loVal, hiVal int64, vals []int64, warm []int64) *part {
+	p := &part{
+		loVal: loVal, hiVal: hiVal,
+		base:     vals,
+		replaced: make(chan struct{}),
+	}
+	p.minA.Store(maxKey)
+	p.maxA.Store(minKey)
+	if len(vals) > 0 {
+		mn, mx := vals[0], vals[0]
+		var total int64
+		for _, v := range vals {
+			total += v
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
 			}
 		}
-		s.ix = crackindex.New(slices[i], opts.Index)
-		c.shards[i] = s
+		p.rows.Store(int64(len(vals)))
+		p.total.Store(total)
+		p.minA.Store(mn)
+		p.maxA.Store(mx)
 	}
-	return c
+	if c.opts.Source != nil {
+		p.src = c.opts.Source(vals)
+		return p
+	}
+	p.ix = crackindex.New(vals, c.opts.Index)
+	p.src = p.ix
+	for _, b := range warm {
+		if b > loVal && b < hiVal {
+			p.ix.CrackAt(b)
+		}
+	}
+	return p
 }
 
 // chooseBounds picks up to shards-1 strictly increasing cut values
@@ -195,22 +303,25 @@ func chooseBounds(values []int64, shards, sampleSize int, seed uint64) []int64 {
 	return cuts
 }
 
-// NumShards returns the effective number of shards (may be smaller
-// than Options.Shards when quantile cuts collapsed on skewed input).
-func (c *Column) NumShards() int { return len(c.shards) }
+// NumShards returns the current number of shards (smaller than
+// Options.Shards when quantile cuts collapsed; changes over time under
+// rebalancing).
+func (c *Column) NumShards() int { return len(c.m.Load().shards) }
 
 // Bounds returns a copy of the strictly increasing shard cut values;
 // shard i holds values in [Bounds()[i-1], Bounds()[i]) with sentinels
 // at the ends.
-func (c *Column) Bounds() []int64 { return append([]int64(nil), c.bounds...) }
+func (c *Column) Bounds() []int64 {
+	return append([]int64(nil), c.m.Load().bounds...)
+}
 
-// Rows returns the total number of rows across all shards.
+// Rows returns the total number of logical rows across all shards.
 func (c *Column) Rows() int {
-	n := 0
-	for _, s := range c.shards {
-		n += s.rows
+	var n int64
+	for _, s := range c.m.Load().shards {
+		n += s.rows.Load()
 	}
-	return n
+	return int(n)
 }
 
 // Options returns the column configuration (with defaults applied).
@@ -225,10 +336,15 @@ type ShardStat struct {
 	// the first and last shards carry math.MinInt64 / math.MaxInt64
 	// sentinels.
 	LoVal, HiVal int64
-	// Rows is the number of values stored in the shard.
+	// Rows is the number of logical rows in the shard (base plus net
+	// differential updates).
 	Rows int
+	// PendingInserts and PendingDeletes count differential updates not
+	// yet group-applied into the shard's cracker array.
+	PendingInserts, PendingDeletes int
 	// Pieces is the current piece count of the shard's cracked index
-	// (0 until the first query initializes it).
+	// (0 until the first query initializes it, and for custom-source
+	// shards).
 	Pieces int
 	// Cracks counts the shard's physical reorganization actions.
 	Cracks int64
@@ -246,45 +362,68 @@ type ShardStat struct {
 
 // Snapshot returns a per-shard statistics snapshot, in shard order.
 func (c *Column) Snapshot() []ShardStat {
-	out := make([]ShardStat, len(c.shards))
-	for i, s := range c.shards {
-		st := s.ix.Stats()
-		pieces := s.ix.NumPieces()
-		depth := 0
-		if pieces > 1 {
-			depth = bits.Len(uint(pieces - 1))
+	m := c.m.Load()
+	out := make([]ShardStat, len(m.shards))
+	for i, s := range m.shards {
+		st := ShardStat{
+			Shard: i, LoVal: s.loVal, HiVal: s.hiVal,
+			Rows: int(s.rows.Load()),
 		}
-		out[i] = ShardStat{
-			Shard: i, LoVal: s.loVal, HiVal: s.hiVal, Rows: s.rows,
-			Pieces:     pieces,
-			Cracks:     st.Cracks.Load(),
-			Boundaries: st.Boundaries.Load(),
-			Conflicts:  st.Conflicts.Load(),
-			Skipped:    st.Skipped.Load(),
-			Depth:      depth,
+		if s.ix != nil {
+			ixStats := s.ix.Stats()
+			st.PendingInserts, st.PendingDeletes = s.ix.PendingUpdates()
+			st.Pieces = s.ix.NumPieces()
+			st.Cracks = ixStats.Cracks.Load()
+			st.Boundaries = ixStats.Boundaries.Load()
+			st.Conflicts = ixStats.Conflicts.Load()
+			st.Skipped = ixStats.Skipped.Load()
+			if st.Pieces > 1 {
+				st.Depth = bits.Len(uint(st.Pieces - 1))
+			}
 		}
+		out[i] = st
 	}
 	return out
 }
 
 // Validate checks the partitioning invariants and every shard's index
-// invariants; it must be called while no queries are in flight.
+// invariants; it must be called while no queries, updates, or
+// structural operations are in flight.
 func (c *Column) Validate() error {
-	if len(c.shards) != len(c.bounds)+1 {
-		return fmt.Errorf("shard: %d shards for %d bounds", len(c.shards), len(c.bounds))
+	m := c.m.Load()
+	if len(m.shards) != len(m.bounds)+1 {
+		return fmt.Errorf("shard: %d shards for %d bounds", len(m.shards), len(m.bounds))
 	}
-	for i := 1; i < len(c.bounds); i++ {
-		if c.bounds[i] <= c.bounds[i-1] {
+	for i := 1; i < len(m.bounds); i++ {
+		if m.bounds[i] <= m.bounds[i-1] {
 			return fmt.Errorf("shard: bounds not strictly increasing at %d", i)
 		}
 	}
-	for i, s := range c.shards {
-		if s.rows > 0 && (s.minVal < s.loVal || s.maxVal >= s.hiVal) {
-			return fmt.Errorf("shard %d: data [%d,%d] outside assigned range [%d,%d)",
-				i, s.minVal, s.maxVal, s.loVal, s.hiVal)
+	for i, s := range m.shards {
+		wantLo, wantHi := int64(minKey), int64(maxKey)
+		if i > 0 {
+			wantLo = m.bounds[i-1]
 		}
-		if err := s.ix.Validate(); err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
+		if i < len(m.bounds) {
+			wantHi = m.bounds[i]
+		}
+		if s.loVal != wantLo || s.hiVal != wantHi {
+			return fmt.Errorf("shard %d: range [%d,%d) disagrees with bounds [%d,%d)",
+				i, s.loVal, s.hiVal, wantLo, wantHi)
+		}
+		if s.rows.Load() > 0 && (s.minA.Load() < s.loVal || s.maxA.Load() >= s.hiVal) {
+			return fmt.Errorf("shard %d: data [%d,%d] outside assigned range [%d,%d)",
+				i, s.minA.Load(), s.maxA.Load(), s.loVal, s.hiVal)
+		}
+		if s.ix != nil {
+			nIns, nDel := s.ix.PendingUpdates()
+			if want := int64(len(s.base) + nIns - nDel); s.rows.Load() != want {
+				return fmt.Errorf("shard %d: rows %d, base %d + %d pending inserts - %d pending deletes = %d",
+					i, s.rows.Load(), len(s.base), nIns, nDel, want)
+			}
+			if err := s.ix.Validate(); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
 		}
 	}
 	return nil

@@ -258,3 +258,175 @@ func TestNegativeValues(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- Write path and structural operations (update.go) ---
+
+func TestRoutedInsertDeleteSerial(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<12, 31)
+	c := New(d.Values, Options{Shards: 4, Seed: 3, Index: pieceOpts()})
+	for i := int64(0); i < 256; i++ {
+		if err := c.Insert(i * 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deleted := 0
+	for i := int64(0); i < 256; i++ {
+		ok, err := c.DeleteValue(i * 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			deleted++
+		}
+	}
+	if deleted == 0 {
+		t.Fatal("no deletes found existing values")
+	}
+	count := func(lo, hi int64) int64 {
+		var n int64
+		for _, v := range d.Values {
+			if v >= lo && v < hi {
+				n++
+			}
+		}
+		for i := int64(0); i < 256; i++ {
+			if v := i * 3; v >= lo && v < hi {
+				n++
+			}
+		}
+		for i := int64(0); i < 256; i++ {
+			v := i * 5
+			// Deleted iff logically present at delete time: initial
+			// uniques [0,n) plus inserted multiples of 3.
+			present := v < d.Domain || (v%3 == 0 && v/3 < 256)
+			if present && v >= lo && v < hi {
+				n--
+			}
+		}
+		return n
+	}
+	r := workload.NewRNG(37)
+	for i := 0; i < 200; i++ {
+		lo := r.Int64n(d.Domain)
+		hi := lo + 1 + r.Int64n(d.Domain-lo)
+		if n, _ := c.Count(lo, hi); n != count(lo, hi) {
+			t.Fatalf("Count[%d,%d) = %d, want %d", lo, hi, n, count(lo, hi))
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyShardMergesDifferential(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<12, 41)
+	c := New(d.Values, Options{Shards: 4, Seed: 3, Index: pieceOpts()})
+	c.Sum(10, d.Domain/8) // earn some refinement to replay
+	for i := int64(0); i < 128; i++ {
+		if err := c.Insert(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	totalBefore, _ := c.Sum(minKey, maxKey)
+	st := c.Snapshot()[0]
+	if st.PendingInserts == 0 {
+		t.Fatal("expected pending inserts in shard 0")
+	}
+	ap, ok := c.ApplyShard(0)
+	if !ok {
+		t.Fatal("ApplyShard(0) found nothing to do")
+	}
+	if ap.Inserts != st.PendingInserts {
+		t.Errorf("Applied.Inserts = %d, want %d", ap.Inserts, st.PendingInserts)
+	}
+	after := c.Snapshot()[0]
+	if after.PendingInserts != 0 || after.PendingDeletes != 0 {
+		t.Errorf("pending not cleared: %d/%d", after.PendingInserts, after.PendingDeletes)
+	}
+	if after.Rows != st.Rows {
+		t.Errorf("rows changed across merge: %d -> %d", st.Rows, after.Rows)
+	}
+	if totalAfter, _ := c.Sum(minKey, maxKey); totalAfter != totalBefore {
+		t.Errorf("Sum changed across merge: %d -> %d", totalBefore, totalAfter)
+	}
+	if _, ok := c.ApplyShard(0); ok {
+		t.Error("second ApplyShard(0) reported work with an empty differential")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitAndMergeShards(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<12, 43)
+	c := New(d.Values, Options{Shards: 2, Seed: 3, Index: pieceOpts()})
+	n0 := c.NumShards()
+	totalBefore, _ := c.Sum(minKey, maxKey)
+
+	sp, ok := c.SplitShard(0)
+	if !ok {
+		t.Fatal("SplitShard(0) failed")
+	}
+	if c.NumShards() != n0+1 {
+		t.Fatalf("NumShards = %d after split, want %d", c.NumShards(), n0+1)
+	}
+	if sp.LeftRows == 0 || sp.RightRows == 0 {
+		t.Fatalf("degenerate split: %+v", sp)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Sum(minKey, maxKey); got != totalBefore {
+		t.Errorf("Sum changed across split: %d -> %d", totalBefore, got)
+	}
+
+	mg, ok := c.MergeShards(0)
+	if !ok {
+		t.Fatal("MergeShards(0) failed")
+	}
+	if mg.RemovedBound != sp.Cut {
+		t.Errorf("merge removed bound %d, split had added %d", mg.RemovedBound, sp.Cut)
+	}
+	if c.NumShards() != n0 {
+		t.Fatalf("NumShards = %d after merge, want %d", c.NumShards(), n0)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Sum(minKey, maxKey); got != totalBefore {
+		t.Errorf("Sum changed across merge: %d -> %d", totalBefore, got)
+	}
+}
+
+func TestSplitShardDegenerate(t *testing.T) {
+	vals := make([]int64, 64) // all zero: no valid cut
+	c := New(vals, Options{Shards: 1, Index: pieceOpts()})
+	if _, ok := c.SplitShard(0); ok {
+		t.Fatal("split of a single-value shard succeeded")
+	}
+	// The shard must have been unsealed: writes still proceed.
+	if err := c.Insert(0); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := c.Count(0, 1); n != 65 {
+		t.Fatalf("Count = %d after post-split-failure insert, want 65", n)
+	}
+}
+
+func TestNewWithBoundsRoundTrip(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<12, 47)
+	c := New(d.Values, Options{Shards: 8, Seed: 5, Index: pieceOpts()})
+	c2 := NewWithBounds(d.Values, c.Bounds(), Options{Index: pieceOpts()})
+	if c2.NumShards() != c.NumShards() {
+		t.Fatalf("rebuilt NumShards = %d, want %d", c2.NumShards(), c.NumShards())
+	}
+	b1, b2 := c.Bounds(), c2.Bounds()
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatalf("bounds diverge at %d: %d vs %d", i, b1[i], b2[i])
+		}
+	}
+	if err := c2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

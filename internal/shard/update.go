@@ -1,0 +1,392 @@
+// The concurrent write path and the structural operations of the
+// sharded column.
+//
+// Routed updates: Insert and DeleteValue navigate the current shard
+// map snapshot to the owning shard and land in that shard's
+// differential file (crackindex updates.go), so queries see them
+// immediately; the per-shard aggregates are maintained atomically
+// alongside.
+//
+// Ordering contract between writers and the executor's aggregate fast
+// path (executor.go reads rows/total BEFORE minA/maxA):
+//
+//	writer:  differential update  ->  widen minA/maxA  ->  rows/total
+//	reader:  rows/total           ->  minA/maxA
+//
+// If a reader's rows (or total) load observes a writer's increment,
+// the happens-before chain through the atomics guarantees it also
+// observes that writer's widened min/max, so the fully-covered fast
+// path can never count a value that lies outside the predicate. If the
+// load misses the increment, the answer is simply serialized before
+// that write.
+//
+// Structural operations (group-apply merge, split, merge) follow a
+// seal-rebuild-publish protocol: seal the part (drain in-flight
+// writers; parked writers wait on the part's replaced channel),
+// snapshot its logical contents from the immutable base slice plus the
+// stable differential file, build replacement part(s) — replaying the
+// old index's crack boundaries so refinement knowledge survives — and
+// atomically publish a new shard map. Readers never block: a query
+// holding the old map keeps using the old parts, which stay intact and
+// correct (their differential file is snapshotted, never cleared).
+package shard
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrReadOnlyShard is returned for updates routed to a shard built
+// from a custom Options.Source (only cracked shards have a
+// differential file).
+var ErrReadOnlyShard = errors.New("shard: custom-source shard is read-only")
+
+// Insert adds one logical instance of v to the column, routing it to
+// the owning shard's differential file. Safe for concurrent use; an
+// insert racing with a structural operation on the owning shard parks
+// until the successor shard map is published, then re-routes.
+func (c *Column) Insert(v int64) error {
+	for {
+		m := c.m.Load()
+		p := m.shards[m.route(v)]
+		if p.ix == nil {
+			return ErrReadOnlyShard
+		}
+		ok, wait := p.tryInsert(v)
+		if ok {
+			return nil
+		}
+		<-wait
+	}
+}
+
+// DeleteValue removes one logical instance of v, reporting whether one
+// existed. Deletion is differential: an anti-matter record joins the
+// owning shard's pending file and cancels one instance at query time.
+func (c *Column) DeleteValue(v int64) (bool, error) {
+	for {
+		m := c.m.Load()
+		p := m.shards[m.route(v)]
+		if p.ix == nil {
+			return false, ErrReadOnlyShard
+		}
+		deleted, ok, wait := p.tryDelete(v)
+		if ok {
+			return deleted, nil
+		}
+		<-wait
+	}
+}
+
+// tryInsert applies the insert unless the part is sealed; when sealed
+// it returns the channel the caller must wait on before re-routing.
+func (p *part) tryInsert(v int64) (bool, <-chan struct{}) {
+	p.wmu.RLock()
+	if p.sealed {
+		ch := p.replaced
+		p.wmu.RUnlock()
+		return false, ch
+	}
+	p.ix.Insert(v)
+	p.widen(v)
+	p.rows.Add(1)
+	p.total.Add(v)
+	p.wmu.RUnlock()
+	return true, nil
+}
+
+func (p *part) tryDelete(v int64) (deleted, ok bool, wait <-chan struct{}) {
+	p.wmu.RLock()
+	if p.sealed {
+		ch := p.replaced
+		p.wmu.RUnlock()
+		return false, false, ch
+	}
+	// The existence check inside DeleteValue cracks the shard's index
+	// as a side effect — one user operation both querying and
+	// optimizing (paper §3).
+	if p.ix.DeleteValue(v) {
+		p.rows.Add(-1)
+		p.total.Add(-v)
+		deleted = true
+	}
+	p.wmu.RUnlock()
+	return deleted, true, nil
+}
+
+// widen extends the min/max envelope to cover v (CAS loops; the
+// envelope only ever widens, see the part field docs).
+func (p *part) widen(v int64) {
+	for {
+		cur := p.minA.Load()
+		if v >= cur || p.minA.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := p.maxA.Load()
+		if v <= cur || p.maxA.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// seal blocks new writers and drains in-flight ones. Caller must hold
+// c.structMu and must eventually either retire or unseal the part.
+func (p *part) seal() {
+	p.wmu.Lock()
+	p.sealed = true
+	p.wmu.Unlock()
+}
+
+// unseal reopens a sealed part (a structural operation that found
+// nothing to do). The replaced channel is rotated so parked writers
+// wake, re-route, and find the same part writable again.
+func (p *part) unseal() {
+	p.wmu.Lock()
+	p.sealed = false
+	old := p.replaced
+	p.replaced = make(chan struct{})
+	p.wmu.Unlock()
+	close(old)
+}
+
+// retire wakes writers parked on a sealed part after its successor map
+// is published. The part itself stays intact for readers still holding
+// the old map.
+func (p *part) retire() {
+	close(p.replaced)
+}
+
+// logicalValues materializes the shard's logical contents: the
+// immutable base slice with the differential file applied (deletes
+// cancel base instances first, then pending inserts). Caller must have
+// sealed the part so the differential is stable.
+func (p *part) logicalValues() []int64 {
+	ins, del := p.ix.PendingSnapshot()
+	return p.mergedValues(ins, del)
+}
+
+// mergedValues is logicalValues over an already-taken differential
+// snapshot (ApplyShard needs the snapshot itself and avoids copying
+// it twice).
+func (p *part) mergedValues(ins, del []int64) []int64 {
+	if len(ins) == 0 && len(del) == 0 {
+		return append([]int64(nil), p.base...)
+	}
+	cancel := make(map[int64]int, len(del))
+	for _, v := range del {
+		cancel[v]++
+	}
+	out := make([]int64, 0, len(p.base)+len(ins)-len(del))
+	for _, v := range p.base {
+		if cancel[v] > 0 {
+			cancel[v]--
+			continue
+		}
+		out = append(out, v)
+	}
+	for _, v := range ins {
+		if cancel[v] > 0 {
+			cancel[v]--
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// publish swaps old.shards[i:i+n] for repl under the given bounds and
+// makes the new map visible to readers and writers atomically.
+func (c *Column) publish(old *shardMap, i, n int, repl []*part, bounds []int64) {
+	shards := make([]*part, 0, len(old.shards)-n+len(repl))
+	shards = append(shards, old.shards[:i]...)
+	shards = append(shards, repl...)
+	shards = append(shards, old.shards[i+n:]...)
+	c.m.Store(&shardMap{bounds: bounds, shards: shards})
+}
+
+// Applied describes one group-apply merge (ApplyShard).
+type Applied struct {
+	// Shard is the ordinal of the merged shard at the time of the merge.
+	Shard int
+	// Inserts and Deletes count the differential updates merged into
+	// the rebuilt cracker array.
+	Inserts, Deletes int
+	// Rows is the shard's row count after the merge.
+	Rows int
+	// Boundaries is the number of crack boundaries replayed into the
+	// rebuilt index.
+	Boundaries int
+}
+
+// ApplyShard group-applies shard i's pending differential updates into
+// its cracker array: the shard is rebuilt over its merged logical
+// contents, the old index's crack boundaries are replayed into the
+// fresh index, and the shard map is republished. Reports false when
+// the shard has no pending updates (or is a custom-source shard).
+//
+// Readers never block: the old part keeps answering for queries that
+// hold the previous map. Writers routed to the shard park until the
+// rebuilt part is published. Callers that need durability wrap this in
+// a system transaction and log a wal.ShardInsert record
+// (internal/ingest does both).
+func (c *Column) ApplyShard(i int) (Applied, bool) {
+	c.structMu.Lock()
+	defer c.structMu.Unlock()
+	m := c.m.Load()
+	if i < 0 || i >= len(m.shards) || m.shards[i].ix == nil {
+		return Applied{}, false
+	}
+	p := m.shards[i]
+	if nIns, nDel := p.ix.PendingUpdates(); nIns == 0 && nDel == 0 {
+		return Applied{}, false
+	}
+	p.seal()
+	ins, del := p.ix.PendingSnapshot()
+	vals := p.mergedValues(ins, del)
+	warm := p.ix.Boundaries()
+	q := c.newPart(p.loVal, p.hiVal, vals, warm)
+	c.publish(m, i, 1, []*part{q}, m.bounds)
+	p.retire()
+	return Applied{Shard: i, Inserts: len(ins), Deletes: len(del), Rows: len(vals), Boundaries: len(warm)}, true
+}
+
+// Split describes one shard split (SplitShard).
+type Split struct {
+	// Shard is the ordinal of the split shard at the time of the split.
+	Shard int
+	// Cut is the new shard-map boundary: the left part keeps values
+	// < Cut, the right part takes values >= Cut.
+	Cut int64
+	// LeftRows and RightRows are the resulting row counts.
+	LeftRows, RightRows int
+}
+
+// SplitShard splits shard i at the median of its logical contents,
+// publishing a shard map with one more shard. Pending differential
+// updates are group-applied as part of the rebuild, and the old
+// index's crack boundaries are replayed into whichever side owns them.
+// Reports false when the shard cannot be split (custom source, or
+// fewer than two distinct values).
+func (c *Column) SplitShard(i int) (Split, bool) {
+	c.structMu.Lock()
+	defer c.structMu.Unlock()
+	m := c.m.Load()
+	if i < 0 || i >= len(m.shards) || m.shards[i].ix == nil {
+		return Split{}, false
+	}
+	p := m.shards[i]
+	// Cheap pre-check: a shard whose value envelope has collapsed to a
+	// single value (a storm of one repeated key) can never be split.
+	// Rejecting here keeps the rebalancer from sealing the hot shard
+	// and sorting its full contents on every maintenance pass.
+	if p.minA.Load() >= p.maxA.Load() {
+		return Split{}, false
+	}
+	p.seal()
+	vals := p.logicalValues()
+	cut, ok := chooseCut(vals)
+	if !ok {
+		// All remaining values are equal but the widen-only envelope
+		// was stale (deletes removed the extrema). The part is sealed
+		// — contents are stable — so tightening the envelope to the
+		// actual min/max is safe and lets the pre-check above reject
+		// the next attempt in O(1).
+		if len(vals) > 0 {
+			mn, mx := vals[0], vals[0]
+			for _, v := range vals {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			p.minA.Store(mn)
+			p.maxA.Store(mx)
+		}
+		p.unseal()
+		return Split{}, false
+	}
+	left := make([]int64, 0, len(vals)/2)
+	right := make([]int64, 0, len(vals)/2)
+	for _, v := range vals {
+		if v < cut {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	warm := p.ix.Boundaries()
+	lp := c.newPart(p.loVal, cut, left, warm)
+	rp := c.newPart(cut, p.hiVal, right, warm)
+	bounds := make([]int64, 0, len(m.bounds)+1)
+	bounds = append(bounds, m.bounds[:i]...)
+	bounds = append(bounds, cut)
+	bounds = append(bounds, m.bounds[i:]...)
+	c.publish(m, i, 1, []*part{lp, rp}, bounds)
+	p.retire()
+	return Split{Shard: i, Cut: cut, LeftRows: len(left), RightRows: len(right)}, true
+}
+
+// chooseCut picks the median value of vals as a split cut, adjusted so
+// both sides are non-empty. Reports false when vals holds fewer than
+// two distinct values. O(n log n); splits are rare structural events.
+func chooseCut(vals []int64) (int64, bool) {
+	if len(vals) < 2 {
+		return 0, false
+	}
+	s := append([]int64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	cut := s[len(s)/2]
+	if cut > s[0] {
+		return cut, true
+	}
+	// Degenerate lower half (duplicates of the minimum): cut at the
+	// first larger value so the left side keeps the minimum run.
+	for _, v := range s[len(s)/2:] {
+		if v > cut {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Merged describes one merge of two adjacent shards (MergeShards).
+type Merged struct {
+	// Shard is the ordinal of the left shard at the time of the merge.
+	Shard int
+	// RemovedBound is the shard-map cut value the merge removed.
+	RemovedBound int64
+	// Rows is the merged shard's row count.
+	Rows int
+}
+
+// MergeShards merges adjacent shards i and i+1 into one, publishing a
+// shard map with one fewer shard. The removed cut value and both old
+// indexes' crack boundaries are replayed into the merged index, so no
+// refinement knowledge is lost. Reports false when either shard is a
+// custom-source shard or i is out of range.
+func (c *Column) MergeShards(i int) (Merged, bool) {
+	c.structMu.Lock()
+	defer c.structMu.Unlock()
+	m := c.m.Load()
+	if i < 0 || i+1 >= len(m.shards) || m.shards[i].ix == nil || m.shards[i+1].ix == nil {
+		return Merged{}, false
+	}
+	l, r := m.shards[i], m.shards[i+1]
+	l.seal()
+	r.seal()
+	vals := append(l.logicalValues(), r.logicalValues()...)
+	warm := append(l.ix.Boundaries(), r.ix.Boundaries()...)
+	warm = append(warm, m.bounds[i]) // keep the removed cut as a crack boundary
+	q := c.newPart(l.loVal, r.hiVal, vals, warm)
+	bounds := make([]int64, 0, len(m.bounds)-1)
+	bounds = append(bounds, m.bounds[:i]...)
+	bounds = append(bounds, m.bounds[i+1:]...)
+	c.publish(m, i, 2, []*part{q}, bounds)
+	l.retire()
+	r.retire()
+	return Merged{Shard: i, RemovedBound: m.bounds[i], Rows: len(vals)}, true
+}

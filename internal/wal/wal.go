@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 )
 
@@ -44,6 +45,16 @@ const (
 	MergeStep
 	// Checkpoint records a consistent table-of-contents snapshot point.
 	Checkpoint
+	// ShardInsert records that a batch of differential updates was
+	// group-applied (merged) into one shard's cracker array.
+	ShardInsert
+	// ShardSplit records that a shard-map cut was added: a shard was
+	// split at the cut value (also used to bootstrap-log the initial
+	// shard map, so recovery rebuilds the full map).
+	ShardSplit
+	// ShardMerge records that a shard-map cut was removed: the two
+	// shards adjacent to it were merged.
+	ShardMerge
 )
 
 func (k Kind) String() string {
@@ -60,6 +71,12 @@ func (k Kind) String() string {
 		return "merge-step"
 	case Checkpoint:
 		return "checkpoint"
+	case ShardInsert:
+		return "shard-insert"
+	case ShardSplit:
+		return "shard-split"
+	case ShardMerge:
+		return "shard-merge"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -71,6 +88,9 @@ func (k Kind) String() string {
 //	CrackBoundary: A = boundary value
 //	RunCreated:    A = partition id, B = record count
 //	MergeStep:     A = low key, B = high key, C = records moved
+//	ShardInsert:   A = shard ordinal, B = inserts merged, C = deletes merged
+//	ShardSplit:    A = cut value, B = left rows, C = right rows
+//	ShardMerge:    A = removed cut value, B = merged rows
 type Record struct {
 	// LSN is the log sequence number, assigned by Append.
 	LSN uint64
@@ -226,6 +246,14 @@ type Catalog struct {
 	Boundaries map[string][]int64
 	// Partitions maps index name to live partition ids.
 	Partitions map[string][]int64
+	// ShardBounds maps sharded-column name to its recovered shard-map
+	// cut values, in increasing order (ShardSplit adds a cut,
+	// ShardMerge removes one). shard.NewWithBounds rebuilds the shard
+	// map from this.
+	ShardBounds map[string][]int64
+	// ShardApplies maps sharded-column name to the number of committed
+	// group-apply merges (ShardInsert records).
+	ShardApplies map[string]int64
 }
 
 // Recover rebuilds the catalog from an encoded log image, honouring
@@ -237,8 +265,10 @@ func Recover(raw []byte) (*Catalog, error) {
 	}
 	open := map[uint64]*pending{}
 	cat := &Catalog{
-		Boundaries: map[string][]int64{},
-		Partitions: map[string][]int64{},
+		Boundaries:   map[string][]int64{},
+		Partitions:   map[string][]int64{},
+		ShardBounds:  map[string][]int64{},
+		ShardApplies: map[string]int64{},
 	}
 	applyRec := func(r Record) {
 		switch r.Kind {
@@ -246,6 +276,12 @@ func Recover(raw []byte) (*Catalog, error) {
 			cat.Boundaries[r.Object] = append(cat.Boundaries[r.Object], r.A)
 		case RunCreated:
 			cat.Partitions[r.Object] = append(cat.Partitions[r.Object], r.A)
+		case ShardInsert:
+			cat.ShardApplies[r.Object]++
+		case ShardSplit:
+			cat.ShardBounds[r.Object] = insertCut(cat.ShardBounds[r.Object], r.A)
+		case ShardMerge:
+			cat.ShardBounds[r.Object] = removeCut(cat.ShardBounds[r.Object], r.A)
 		}
 	}
 	_, err := Replay(raw, func(r Record) {
@@ -272,4 +308,25 @@ func Recover(raw []byte) (*Catalog, error) {
 		return nil, err
 	}
 	return cat, nil
+}
+
+// insertCut inserts v into the sorted cut list (idempotent).
+func insertCut(cuts []int64, v int64) []int64 {
+	i := sort.Search(len(cuts), func(i int) bool { return cuts[i] >= v })
+	if i < len(cuts) && cuts[i] == v {
+		return cuts
+	}
+	cuts = append(cuts, 0)
+	copy(cuts[i+1:], cuts[i:])
+	cuts[i] = v
+	return cuts
+}
+
+// removeCut removes v from the sorted cut list if present.
+func removeCut(cuts []int64, v int64) []int64 {
+	i := sort.Search(len(cuts), func(i int) bool { return cuts[i] >= v })
+	if i < len(cuts) && cuts[i] == v {
+		return append(cuts[:i], cuts[i+1:]...)
+	}
+	return cuts
 }

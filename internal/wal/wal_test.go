@@ -123,3 +123,139 @@ func TestStructuralOnlyNoContents(t *testing.T) {
 		t.Fatalf("structural record is %d bytes; contents are being logged?", len(enc))
 	}
 }
+
+// --- Shard-map structural records (internal/ingest) ---
+
+func encodeAll(recs []Record) []byte {
+	var raw []byte
+	for _, r := range recs {
+		raw = append(raw, Encode(r)...)
+	}
+	return raw
+}
+
+func TestRecoverShardMap(t *testing.T) {
+	raw := encodeAll([]Record{
+		// Bootstrap map {100, 200} in one committed system txn.
+		{Txn: 1, Kind: BeginSystem, Object: "R.A"},
+		{Txn: 1, Kind: ShardSplit, Object: "R.A", A: 100},
+		{Txn: 1, Kind: ShardSplit, Object: "R.A", A: 200},
+		{Txn: 1, Kind: CommitSystem, Object: "R.A"},
+		// A committed group apply.
+		{Txn: 2, Kind: BeginSystem, Object: "R.A"},
+		{Txn: 2, Kind: ShardInsert, Object: "R.A", A: 1, B: 64, C: 8},
+		{Txn: 2, Kind: CommitSystem, Object: "R.A"},
+		// A committed split at 150 then a committed merge removing 200.
+		{Txn: 3, Kind: BeginSystem, Object: "R.A"},
+		{Txn: 3, Kind: ShardSplit, Object: "R.A", A: 150, B: 500, C: 480},
+		{Txn: 3, Kind: CommitSystem, Object: "R.A"},
+		{Txn: 4, Kind: BeginSystem, Object: "R.A"},
+		{Txn: 4, Kind: ShardMerge, Object: "R.A", A: 200, B: 900},
+		{Txn: 4, Kind: CommitSystem, Object: "R.A"},
+	})
+	cat, err := Recover(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{100, 150}
+	got := cat.ShardBounds["R.A"]
+	if len(got) != len(want) {
+		t.Fatalf("ShardBounds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ShardBounds = %v, want %v", got, want)
+		}
+	}
+	if cat.ShardApplies["R.A"] != 1 {
+		t.Errorf("ShardApplies = %d, want 1", cat.ShardApplies["R.A"])
+	}
+}
+
+func TestRecoverIgnoresUncommittedRebalance(t *testing.T) {
+	// A crash mid-rebalance: the split's system transaction began and
+	// logged its record, but never committed. Recovery must not apply
+	// it — an aborted structural operation leaves no trace.
+	raw := encodeAll([]Record{
+		{Txn: 1, Kind: BeginSystem, Object: "R.A"},
+		{Txn: 1, Kind: ShardSplit, Object: "R.A", A: 100},
+		{Txn: 1, Kind: CommitSystem, Object: "R.A"},
+		{Txn: 2, Kind: BeginSystem, Object: "R.A"},
+		{Txn: 2, Kind: ShardSplit, Object: "R.A", A: 300},
+		// no CommitSystem: crashed mid-rebalance
+	})
+	cat, err := Recover(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cat.ShardBounds["R.A"]; len(got) != 1 || got[0] != 100 {
+		t.Fatalf("ShardBounds = %v, want [100]", got)
+	}
+}
+
+func TestRecoverTruncatedMidRebalance(t *testing.T) {
+	full := encodeAll([]Record{
+		{Txn: 1, Kind: BeginSystem, Object: "R.A"},
+		{Txn: 1, Kind: ShardSplit, Object: "R.A", A: 100},
+		{Txn: 1, Kind: CommitSystem, Object: "R.A"},
+	})
+	commitRec := Encode(Record{Txn: 2, Kind: CommitSystem, Object: "R.A"})
+	raw := append(append([]byte{}, full...),
+		Encode(Record{Txn: 2, Kind: BeginSystem, Object: "R.A"})...)
+	raw = append(raw, Encode(Record{Txn: 2, Kind: ShardSplit, Object: "R.A", A: 300})...)
+	raw = append(raw, commitRec[:len(commitRec)-5]...) // torn commit record
+
+	n, err := Replay(raw, func(Record) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("Replay applied %d records, want 5 (torn tail dropped)", n)
+	}
+	cat, err := Recover(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second split's commit was torn off: only the first cut
+	// survives recovery.
+	if got := cat.ShardBounds["R.A"]; len(got) != 1 || got[0] != 100 {
+		t.Fatalf("ShardBounds = %v, want [100]", got)
+	}
+}
+
+func TestRecoverCorruptMidRebalance(t *testing.T) {
+	prefix := encodeAll([]Record{
+		{Txn: 1, Kind: BeginSystem, Object: "R.A"},
+		{Txn: 1, Kind: ShardMerge, Object: "R.A", A: 100},
+		{Txn: 1, Kind: CommitSystem, Object: "R.A"},
+	})
+	tail := encodeAll([]Record{
+		{Txn: 2, Kind: BeginSystem, Object: "R.A"},
+		{Txn: 2, Kind: ShardSplit, Object: "R.A", A: 300},
+		{Txn: 2, Kind: CommitSystem, Object: "R.A"},
+	})
+	tail[3] ^= 0xFF // corrupt the tail's first record
+	raw := append(append([]byte{}, prefix...), tail...)
+
+	cat, err := Recover(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay stops at the corrupt record: the merge of cut 100 applies
+	// (removing nothing from an empty map), the split of 300 does not.
+	if got := cat.ShardBounds["R.A"]; len(got) != 0 {
+		t.Fatalf("ShardBounds = %v, want empty", got)
+	}
+}
+
+func TestShardKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		ShardInsert: "shard-insert",
+		ShardSplit:  "shard-split",
+		ShardMerge:  "shard-merge",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
