@@ -33,6 +33,7 @@ import (
 	"adaptix/internal/column"
 	"adaptix/internal/cracker"
 	"adaptix/internal/crackindex"
+	"adaptix/internal/durable"
 	"adaptix/internal/engine"
 	"adaptix/internal/harness"
 	"adaptix/internal/hybrid"
@@ -152,6 +153,14 @@ func NewShardedColumnWithBounds(values []int64, bounds []int64, opts ShardOption
 	return shard.NewWithBounds(values, bounds, opts)
 }
 
+// NewShardedColumnWithBoundsAndCracks rebuilds a sharded column with
+// an explicit shard map and pre-cracks each shard to the given crack
+// boundary sets — the checkpoint-recovery path (wal.Recover's
+// ShardBounds and ShardCracks). Open does this automatically.
+func NewShardedColumnWithBoundsAndCracks(values []int64, bounds []int64, cracks [][]int64, opts ShardOptions) *ShardedColumn {
+	return shard.NewWithBoundsAndCracks(values, bounds, cracks, opts)
+}
+
 // NewShardedEngine wraps a ShardedColumn as an Engine, so the harness
 // and experiments drive it like any other engine.
 func NewShardedEngine(col *ShardedColumn) Engine { return engine.NewSharded(col) }
@@ -179,6 +188,49 @@ type (
 // background maintenance; Maintain runs one synchronous pass.
 func NewIngestor(col *ShardedColumn, opts IngestOptions) *Ingestor {
 	return ingest.New(col, opts)
+}
+
+// Durable persistence (internal/durable): a directory-backed store
+// whose refinement knowledge — shard cuts and per-shard crack
+// boundaries — survives a crash through a file-backed WAL and periodic
+// crack-boundary checkpoints.
+type (
+	// DurableColumn is a crash-recoverable sharded adaptive index:
+	// reads hit the sharded column, writes route through the ingestor,
+	// and checkpoints persist data and refinement into the store
+	// directory. Close takes a final checkpoint.
+	DurableColumn = durable.Column
+	// DurableOptions configures Open (initial values, shard and ingest
+	// options, WAL segment size, checkpoint cadence).
+	DurableOptions = durable.Options
+	// WALFileSink is the durable segment-file sink of the structural
+	// WAL: CRC-framed records, fsync-on-commit, segment rotation, and
+	// checkpoint truncation. Open wires one up automatically; use
+	// NewWALFileSink with NewStructuralLogWithSink for custom setups.
+	WALFileSink = wal.FileSink
+	// WALSinkOptions configures a WALFileSink.
+	WALSinkOptions = wal.SinkOptions
+)
+
+// Open opens (or creates) the durable store in dir: recovery reads the
+// data snapshot, folds checkpoints and later committed structural
+// records into a catalog, and rebuilds the column pre-cracked to
+// everything the previous process had learned.
+func Open(dir string, opts DurableOptions) (*DurableColumn, error) {
+	return durable.Open(dir, opts)
+}
+
+// NewWALFileSink opens a segment-file sink over dir for a structural
+// log (see WALFileSink).
+func NewWALFileSink(dir string, opts WALSinkOptions) (*WALFileSink, error) {
+	return wal.NewFileSink(dir, opts)
+}
+
+// NewStructuralLogWithSink returns a structural WAL that writes every
+// record through sink, fsyncing on system-transaction commits when the
+// sink supports it.
+func NewStructuralLogWithSink(sink *WALFileSink) *StructuralLog {
+	return wal.New(sink)
 }
 
 // Adaptive merging (paper §2/§4) over a partitioned B-tree.

@@ -151,6 +151,43 @@ func TestPublicAPIStructuralLog(t *testing.T) {
 	}
 }
 
+func TestPublicAPIDurable(t *testing.T) {
+	dir := t.TempDir()
+	d := adaptix.NewUniqueDataset(1<<12, 29)
+	c, err := adaptix.Open(dir, adaptix.DurableOptions{
+		Values: d.Values,
+		Shard:  adaptix.ShardOptions{Shards: 4, Seed: 5},
+		NoSync: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, st := c.Count(100, 900); st.Skipped {
+		t.Fatal("unexpected skip")
+	}
+	if err := c.Insert(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := adaptix.Open(dir, adaptix.DurableOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !re.Recovered() {
+		t.Fatal("reopen did not recover")
+	}
+	if n, _ := re.Count(100, 900); n != d.TrueCount(100, 900) {
+		t.Fatalf("Count = %d, want %d", n, d.TrueCount(100, 900))
+	}
+	if n, _ := re.Count(1<<20, 1<<20+1); n != 1 {
+		t.Fatalf("checkpointed insert lost: Count = %d, want 1", n)
+	}
+}
+
 func TestPublicAPIIngest(t *testing.T) {
 	d := adaptix.NewUniqueDataset(1<<13, 13)
 	log := adaptix.NewStructuralLog()

@@ -1,0 +1,292 @@
+// Package durable is the crash-recoverable persistence layer over the
+// sharded adaptive index: a directory-backed store that survives
+// process death with its refinement knowledge intact.
+//
+// The paper's §4.2 insight is that adaptive-index logging is cheap
+// because the log carries *structure*, not contents: crack boundaries,
+// shard cuts, merge steps. This package completes that story end to
+// end. A store directory holds
+//
+//   - base.snap — the column's logical contents as of the newest
+//     checkpoint (written atomically: temp file + rename);
+//   - wal-*.seg — CRC-framed structural log segments (wal.FileSink),
+//     fsynced on every system-transaction commit.
+//
+// The ingest coordinator periodically checkpoints: it snapshots the
+// data, serializes the shard cuts and every shard's crack boundaries
+// into wal.Checkpoint records inside one committed system transaction,
+// and truncates the now-dead log prefix. Open recovers by reading the
+// snapshot, folding the checkpoint and all later committed structural
+// records into a wal.Catalog, and rebuilding the column with
+// shard.NewWithBoundsAndCracks — pre-cracked to everything the crashed
+// process had learned, so the first query after reopen pays
+// steady-state cost, not cold-start cost.
+//
+// Durability unit: the checkpoint. Structural operations are durable
+// as soon as they commit (fsync-on-commit); logical contents and crack
+// boundaries are durable as of the last checkpoint (Close always takes
+// a final one, so a clean shutdown loses nothing). Updates routed
+// after the last checkpoint are lost on a crash — in the paper's
+// architecture the base table has its own recovery log and the
+// adaptive index is re-creatable knowledge, so losing the index tail
+// is always safe and never affects correctness of what remains.
+//
+// A store directory must be owned by one process at a time; no lock
+// file is taken.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"adaptix/internal/crackindex"
+	"adaptix/internal/ingest"
+	"adaptix/internal/shard"
+	"adaptix/internal/wal"
+)
+
+// Options configures Open.
+type Options struct {
+	// Values is the column's initial contents when the directory holds
+	// no data snapshot yet (a fresh store, or one that crashed before
+	// its first checkpoint completed). Once a snapshot exists it wins
+	// and Values is ignored.
+	Values []int64
+	// Shard configures the sharded column (shard count, workers,
+	// per-shard index options, ...).
+	Shard shard.Options
+	// Ingest configures the write-path coordinator (thresholds,
+	// rebalancing factors, Name, Txns). Log, Sink, SnapshotWriter and
+	// CheckpointEvery are owned by the store and overwritten.
+	Ingest ingest.Options
+	// SegmentBytes is the WAL segment rotation threshold. Default 1 MiB.
+	SegmentBytes int64
+	// CheckpointEvery is the number of committed structural operations
+	// between automatic checkpoints. Default 8.
+	CheckpointEvery int
+	// NoSync disables fsync on the WAL and the snapshot (tests). A
+	// store written with NoSync is not crash-durable.
+	NoSync bool
+}
+
+// Column is a durable sharded adaptive index: a shard.Column plus its
+// ingest.Coordinator, wired to a file-backed WAL and checkpointed data
+// snapshots in one directory. Reads go straight to the column; writes
+// route through the coordinator. Safe for concurrent use.
+type Column struct {
+	dir       string
+	col       *shard.Column
+	ing       *ingest.Coordinator
+	sink      *wal.FileSink
+	recovered bool
+	closed    bool
+}
+
+// Open opens the store in dir, creating it (with opts.Values as
+// initial contents) when no store exists, or recovering it from the
+// snapshot and the structural log when one does. The returned column
+// has background maintenance started and an initial checkpoint taken,
+// so a freshly opened store is durable immediately.
+func Open(dir string, opts Options) (*Column, error) {
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 8
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	name := opts.Ingest.Name
+	if name == "" {
+		name = "sharded"
+	}
+
+	values, haveSnap, err := readSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := wal.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !haveSnap {
+		// No snapshot means creation never reached its first durable
+		// point (a crash can leave bootstrap WAL records behind before
+		// the initial checkpoint's snapshot rename): the authoritative
+		// contents are still the caller's. Any recovered structure is
+		// applied on top of them below.
+		values = opts.Values
+	}
+
+	var col *shard.Column
+	recovered := haveSnap
+	if len(raw) > 0 || haveSnap {
+		cat, err := wal.Recover(raw)
+		if err != nil {
+			return nil, fmt.Errorf("durable: recover: %w", err)
+		}
+		col = shard.NewWithBoundsAndCracks(values, cat.ShardBounds[name], cat.ShardCracks[name], opts.Shard)
+	} else {
+		col = shard.New(values, opts.Shard)
+	}
+
+	sink, err := wal.NewFileSink(dir, wal.SinkOptions{
+		SegmentBytes: opts.SegmentBytes,
+		NoSync:       opts.NoSync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	iopts := opts.Ingest
+	iopts.Name = name
+	iopts.Log = wal.New(sink)
+	iopts.Sink = sink
+	iopts.CheckpointEvery = opts.CheckpointEvery
+	iopts.SnapshotWriter = func(vals []int64) error {
+		return writeSnapshot(dir, vals, !opts.NoSync)
+	}
+	ing := ingest.New(col, iopts)
+	c := &Column{dir: dir, col: col, ing: ing, sink: sink, recovered: recovered}
+	// Checkpoint immediately: the fresh log is self-contained from its
+	// first segment, and recovered refinement is re-persisted into it.
+	if !ing.Checkpoint() {
+		sink.Close()
+		return nil, errors.New("durable: initial checkpoint failed")
+	}
+	ing.Start()
+	return c, nil
+}
+
+// Dir returns the store directory.
+func (c *Column) Dir() string { return c.dir }
+
+// Recovered reports whether Open found an existing store — a durable
+// data snapshot — in the directory (as opposed to creating a fresh
+// one from Options.Values).
+func (c *Column) Recovered() bool { return c.recovered }
+
+// Column returns the underlying sharded column (the read surface;
+// useful for Snapshot, Validate, or wrapping in an Engine).
+func (c *Column) Column() *shard.Column { return c.col }
+
+// Ingestor returns the underlying write-path coordinator (stats,
+// manual Maintain).
+func (c *Column) Ingestor() *ingest.Coordinator { return c.ing }
+
+// Count evaluates Q1: select count(*) where lo <= A < hi.
+func (c *Column) Count(lo, hi int64) (int64, crackindex.OpStats) {
+	return c.col.Count(lo, hi)
+}
+
+// Sum evaluates Q2: select sum(A) where lo <= A < hi.
+func (c *Column) Sum(lo, hi int64) (int64, crackindex.OpStats) {
+	return c.col.Sum(lo, hi)
+}
+
+// Insert routes one insert through the coordinator.
+func (c *Column) Insert(v int64) error { return c.ing.Insert(v) }
+
+// DeleteValue routes one delete, reporting whether an instance existed.
+func (c *Column) DeleteValue(v int64) (bool, error) { return c.ing.DeleteValue(v) }
+
+// Apply routes a batch of write operations (see ingest.Coordinator.Apply).
+func (c *Column) Apply(batch []ingest.Op) (int, error) { return c.ing.Apply(batch) }
+
+// Checkpoint forces a checkpoint now: data snapshot, crack-boundary
+// records, log-prefix truncation. Everything up to this call is
+// durable once it returns true.
+func (c *Column) Checkpoint() bool { return c.ing.Checkpoint() }
+
+// Close stops background maintenance, takes a final checkpoint, and
+// closes the log. A cleanly closed store reopens with zero loss.
+// Idempotent.
+func (c *Column) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.ing.Close() // final maintain + checkpoint
+	return c.sink.Close()
+}
+
+// Snapshot file format: magic, value count, values, CRC-32 of all
+// preceding bytes — one self-validating file, replaced atomically.
+const snapMagic = "ADXSNAP1"
+
+func snapPath(dir string) string { return filepath.Join(dir, "base.snap") }
+
+// writeSnapshot atomically replaces the store's data snapshot.
+func writeSnapshot(dir string, values []int64, sync bool) error {
+	buf := make([]byte, 0, len(snapMagic)+8+8*len(values)+4)
+	buf = append(buf, snapMagic...)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(len(values)))
+	buf = append(buf, tmp[:]...)
+	for _, v := range values {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+		buf = append(buf, tmp[:]...)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	buf = append(buf, crc[:]...)
+
+	tmpPath := snapPath(dir) + ".tmp"
+	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("durable: snapshot: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if err := os.Rename(tmpPath, snapPath(dir)); err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if sync {
+		if d, err := os.Open(dir); err == nil {
+			_ = d.Sync()
+			d.Close()
+		}
+	}
+	return nil
+}
+
+// readSnapshot loads and validates the data snapshot; ok is false when
+// none exists yet.
+func readSnapshot(dir string) (values []int64, ok bool, err error) {
+	buf, err := os.ReadFile(snapPath(dir))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if len(buf) < len(snapMagic)+8+4 || string(buf[:len(snapMagic)]) != snapMagic {
+		return nil, false, errors.New("durable: snapshot: bad header")
+	}
+	body, crc := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, false, errors.New("durable: snapshot: checksum mismatch")
+	}
+	n := binary.LittleEndian.Uint64(body[len(snapMagic):])
+	if uint64(len(body)-len(snapMagic)-8) != 8*n {
+		return nil, false, errors.New("durable: snapshot: length mismatch")
+	}
+	values = make([]int64, n)
+	p := len(snapMagic) + 8
+	for i := range values {
+		values[i] = int64(binary.LittleEndian.Uint64(body[p+8*i:]))
+	}
+	return values, true, nil
+}

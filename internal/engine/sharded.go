@@ -63,10 +63,12 @@ type engineSource struct{ e Engine }
 // shard.Options.Source.
 func SourceFromEngine(e Engine) AggregateSource { return engineSource{e} }
 
+// Count implements AggregateSource over the wrapped engine.
 func (s engineSource) Count(lo, hi int64) (int64, crackindex.OpStats) {
 	return toOpStats(s.e.Count(lo, hi))
 }
 
+// Sum implements AggregateSource over the wrapped engine.
 func (s engineSource) Sum(lo, hi int64) (int64, crackindex.OpStats) {
 	return toOpStats(s.e.Sum(lo, hi))
 }

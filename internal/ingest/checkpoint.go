@@ -1,0 +1,103 @@
+// Crack-boundary checkpoints: periodically serialize the column's
+// complete refinement knowledge — the shard-map cuts and every shard's
+// crack boundaries — into wal.Checkpoint records, so recovery restores
+// piece-level refinement instead of only the shard map. A checkpoint
+// is one system transaction (fsynced on commit like every structural
+// commit); once it is durable, the log prefix before it is dead and is
+// truncated through the sink (wal.SegmentTruncator).
+package ingest
+
+import "adaptix/internal/wal"
+
+// Checkpoint serializes the column's current shard cuts and per-shard
+// crack boundaries into one committed checkpoint transaction, and
+// truncates the dead log prefix when a truncating sink is configured.
+// When a SnapshotWriter is configured it receives the column's logical
+// contents first, so the data snapshot on disk is always at least as
+// new as the newest committed checkpoint. Reports whether a checkpoint
+// was written (false when no Log is configured or a step failed).
+//
+// Checkpoint serializes with Maintain: both hold the maintenance lock,
+// so no structural operation can commit between the snapshot and the
+// checkpoint records that describe it.
+func (g *Coordinator) Checkpoint() bool {
+	g.maintMu.Lock()
+	defer g.maintMu.Unlock()
+	return g.checkpointLocked()
+}
+
+// checkpointLocked is Checkpoint under an already-held maintenance
+// lock (Maintain's periodic trigger).
+func (g *Coordinator) checkpointLocked() bool {
+	if g.opts.Log == nil {
+		return false
+	}
+	if g.opts.SnapshotWriter != nil {
+		if err := g.opts.SnapshotWriter(g.col.Values()); err != nil {
+			return false
+		}
+	}
+	// Rotate first: the checkpoint records open a fresh segment, so
+	// every earlier segment is superseded once they commit.
+	seg := 0
+	if g.opts.Sink != nil {
+		var err error
+		if seg, err = g.opts.Sink.MarkCheckpoint(); err != nil {
+			return false
+		}
+	}
+	seq := g.ckpts.Load() + 1 // counted only once durably committed
+	bounds := g.col.Bounds()
+	cracks := g.col.CrackBoundaries()
+	ok := g.structural(func() ([]wal.Record, bool) {
+		n := 1 + len(bounds)
+		for _, set := range cracks {
+			n += len(set)
+		}
+		recs := make([]wal.Record, 0, n)
+		recs = append(recs, wal.Record{
+			Kind: wal.Checkpoint, C: wal.CkptHeader,
+			A: int64(len(cracks)), B: seq,
+		})
+		for _, cut := range bounds {
+			recs = append(recs, wal.Record{Kind: wal.Checkpoint, C: wal.CkptCut, A: cut})
+		}
+		for shardOrd, set := range cracks {
+			for _, b := range set {
+				recs = append(recs, wal.Record{
+					Kind: wal.Checkpoint, C: wal.CkptCrack,
+					A: int64(shardOrd), B: b,
+				})
+			}
+		}
+		return recs, true
+	})
+	if !ok {
+		// The checkpoint never durably committed (structural reports
+		// append/fsync failures): the previous checkpoint stands and
+		// its segments are untouched.
+		return false
+	}
+	g.ckpts.Store(seq)
+	if g.opts.Sink != nil {
+		// The checkpoint has durably committed (fsync-on-commit), so
+		// the prefix is dead; failure to delete it only wastes space —
+		// a stale segment cannot mask later ones (wal.ReadDir resumes
+		// at segment boundaries past damaged tails).
+		_ = g.opts.Sink.ReleaseBefore(seg)
+	}
+	g.sinceCkpt.Store(0)
+	return true
+}
+
+// maybeCheckpoint runs a checkpoint when CheckpointEvery structural
+// operations have accumulated since the last one. Caller must hold the
+// maintenance lock.
+func (g *Coordinator) maybeCheckpoint(structuralOps int) {
+	if g.opts.CheckpointEvery <= 0 || structuralOps == 0 {
+		return
+	}
+	if g.sinceCkpt.Add(int64(structuralOps)) >= int64(g.opts.CheckpointEvery) {
+		g.checkpointLocked()
+	}
+}

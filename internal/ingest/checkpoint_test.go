@@ -1,0 +1,140 @@
+package ingest
+
+import (
+	"testing"
+
+	"adaptix/internal/shard"
+	"adaptix/internal/wal"
+	"adaptix/internal/workload"
+)
+
+// warmQueries cracks the column with a deterministic query mix.
+func warmQueries(col *shard.Column, domain int64, n int) {
+	r := workload.NewRNG(123)
+	for i := 0; i < n; i++ {
+		lo := r.Int64n(domain)
+		hi := lo + 1 + r.Int64n(domain-lo)
+		col.Count(lo, hi)
+	}
+}
+
+func TestCheckpointPersistsCutsAndCracks(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<13, 3)
+	col := shard.New(d.Values, pieceOpts())
+	warmQueries(col, d.Domain, 100)
+
+	log := wal.New(nil)
+	g := New(col, Options{Log: log})
+	if !g.Checkpoint() {
+		t.Fatal("checkpoint failed")
+	}
+	if g.Stats().Checkpoints != 1 {
+		t.Fatalf("Checkpoints = %d, want 1", g.Stats().Checkpoints)
+	}
+
+	var raw []byte
+	for _, r := range log.Records() {
+		raw = append(raw, wal.Encode(r)...)
+	}
+	cat, err := wal.Recover(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := col.Bounds()
+	if got := cat.ShardBounds["sharded"]; len(got) != len(bounds) {
+		t.Fatalf("recovered %d cuts, want %d", len(got), len(bounds))
+	}
+	cracks := col.CrackBoundaries()
+	rec := cat.ShardCracks["sharded"]
+	if len(rec) != len(cracks) {
+		t.Fatalf("recovered %d shard crack sets, want %d", len(rec), len(cracks))
+	}
+	for i := range cracks {
+		if len(rec[i]) != len(cracks[i]) {
+			t.Fatalf("shard %d: recovered %d boundaries, want %d", i, len(rec[i]), len(cracks[i]))
+		}
+	}
+}
+
+func TestCheckpointTruncatesLogPrefix(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<13, 5)
+	col := shard.New(d.Values, pieceOpts())
+	sink, err := wal.NewFileSink(t.TempDir(), wal.SinkOptions{SegmentBytes: 256, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := wal.New(sink)
+	g := New(col, Options{Log: log, Sink: sink, ApplyThreshold: 64})
+
+	// Generate structural traffic, then checkpoint.
+	r := workload.NewRNG(9)
+	for i := 0; i < 500; i++ {
+		if err := g.Insert(r.Int64n(d.Domain)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Maintain()
+	before, err := sink.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Checkpoint() {
+		t.Fatal("checkpoint failed")
+	}
+	after, err := sink.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) > 1 && len(after) >= len(before) {
+		t.Fatalf("checkpoint did not truncate: %d segments before, %d after", len(before), len(after))
+	}
+
+	// The truncated log still recovers the full structural state.
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := wal.ReadDir(sink.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := wal.Recover(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := col.Bounds()
+	got := cat.ShardBounds["sharded"]
+	if len(got) != len(bounds) {
+		t.Fatalf("recovered cuts %v, want %v", got, bounds)
+	}
+	for i := range bounds {
+		if got[i] != bounds[i] {
+			t.Fatalf("recovered cuts %v, want %v", got, bounds)
+		}
+	}
+	re := shard.NewWithBoundsAndCracks(col.Values(), got, cat.ShardCracks["sharded"], pieceOpts())
+	if err := re.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstModel(t, re, newModel(col.Values()), d.Domain)
+}
+
+func TestAutomaticCheckpointCadence(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<13, 7)
+	col := shard.New(d.Values, pieceOpts())
+	log := wal.New(nil)
+	g := New(col, Options{Log: log, ApplyThreshold: 64, CheckpointEvery: 1})
+	r := workload.NewRNG(11)
+	for i := 0; i < 300; i++ {
+		if err := g.Insert(r.Int64n(d.Domain)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Maintain()
+	st := g.Stats()
+	if st.Applied == 0 {
+		t.Fatal("expected group-applies")
+	}
+	if st.Checkpoints == 0 {
+		t.Fatal("CheckpointEvery=1 Maintain pass took no checkpoint")
+	}
+}

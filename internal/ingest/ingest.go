@@ -29,10 +29,17 @@
 //     operations publish a new shard map while queries in flight keep
 //     their own consistent snapshot (see internal/shard/update.go).
 //
-// Recovery: wal.Recover folds the committed ShardSplit/ShardMerge
-// records into the final cut list; shard.NewWithBounds rebuilds the
-// shard map with that boundary knowledge (New bootstrap-logs the
-// initial map so the recovered list is complete).
+// Durability and recovery: structural records flow to the WAL, and
+// the checkpoint writer (checkpoint.go) periodically serializes the
+// complete refinement state — shard cuts plus every shard's crack
+// boundaries — into wal.Checkpoint records, truncating the dead log
+// prefix once the checkpoint commits. wal.Recover folds a checkpoint
+// and the committed records after it into the final cut list and
+// per-shard boundary sets; shard.NewWithBoundsAndCracks rebuilds the
+// column pre-cracked to that knowledge (New bootstrap-logs the
+// initial map so the recovered list is complete even before the first
+// checkpoint). internal/durable packages the whole lifecycle behind
+// Open/Close.
 package ingest
 
 import (
@@ -77,9 +84,23 @@ type Options struct {
 	// maintenance wake-ups. Default ApplyThreshold/2.
 	CheckEvery int
 	// Log, when non-nil, receives structural records (group applies,
-	// splits, merges, and the bootstrap shard map) bracketed in system
-	// transactions.
+	// splits, merges, checkpoints, and the bootstrap shard map)
+	// bracketed in system transactions.
 	Log *wal.Log
+	// CheckpointEvery is the number of committed structural operations
+	// between automatic crack-boundary checkpoints (see Checkpoint).
+	// Zero disables automatic checkpoints; Checkpoint can still be
+	// called manually and Close always takes a final one when a Log is
+	// configured.
+	CheckpointEvery int
+	// Sink, when non-nil, is the Log's segment sink; checkpoints rotate
+	// it and truncate the dead log prefix once they commit.
+	Sink wal.SegmentTruncator
+	// SnapshotWriter, when non-nil, persists the column's logical
+	// contents; Checkpoint invokes it before logging the checkpoint
+	// records, so the newest data snapshot is never older than the
+	// newest committed checkpoint. An error aborts the checkpoint.
+	SnapshotWriter func(values []int64) error
 	// Txns supplies the transaction manager whose system transactions
 	// wrap structural operations and whose user locks maintenance must
 	// respect. Default: a fresh private manager.
@@ -126,6 +147,8 @@ type Stats struct {
 	Applied int64
 	// Splits and Merges count rebalancing operations.
 	Splits, Merges int64
+	// Checkpoints counts committed crack-boundary checkpoints.
+	Checkpoints int64
 	// SkippedMaintenance counts maintenance passes forgone because a
 	// user transaction held a conflicting lock on the column.
 	SkippedMaintenance int64
@@ -143,11 +166,13 @@ type Coordinator struct {
 	// transactions, is skipped while one exists (paper §3.3).
 	probe func() bool
 
-	writes  atomic.Int64
-	applied atomic.Int64
-	splits  atomic.Int64
-	merges  atomic.Int64
-	skipped atomic.Int64
+	writes    atomic.Int64
+	applied   atomic.Int64
+	splits    atomic.Int64
+	merges    atomic.Int64
+	skipped   atomic.Int64
+	ckpts     atomic.Int64
+	sinceCkpt atomic.Int64 // structural ops since the last checkpoint
 
 	maintMu sync.Mutex // one maintenance pass at a time
 
@@ -191,6 +216,7 @@ func (g *Coordinator) Stats() Stats {
 		Applied:            g.applied.Load(),
 		Splits:             g.splits.Load(),
 		Merges:             g.merges.Load(),
+		Checkpoints:        g.ckpts.Load(),
 		SkippedMaintenance: g.skipped.Load(),
 	}
 }
@@ -266,7 +292,8 @@ func (g *Coordinator) Start() {
 
 // Close stops the background worker (idempotent; a no-op when Start
 // was never called) and runs one final Maintain pass so the column is
-// left merged and balanced.
+// left merged and balanced, followed by a final checkpoint when a Log
+// is configured, so a clean shutdown persists all refinement earned.
 func (g *Coordinator) Close() {
 	g.startMu.Lock()
 	stop, done := g.stop, g.done
@@ -278,6 +305,9 @@ func (g *Coordinator) Close() {
 	close(stop)
 	<-done
 	g.Maintain()
+	if g.opts.Log != nil {
+		g.Checkpoint()
+	}
 }
 
 func (g *Coordinator) loop(stop <-chan struct{}, done chan<- struct{}) {
@@ -317,7 +347,9 @@ func (g *Coordinator) Maintain() int {
 		}
 	}
 	splits, merges := g.Rebalance()
-	return ops + splits + merges
+	total := ops + splits + merges
+	g.maybeCheckpoint(total)
+	return total
 }
 
 // applyShard group-applies shard i inside a system transaction,
@@ -342,8 +374,18 @@ func (g *Coordinator) applyShard(i int) bool {
 // source of truth and the log is re-creatable knowledge (§4.2), so an
 // attempt that found nothing to do aborts the transaction and leaves
 // no trace in the log at all.
+//
+// structural reports true only when the operation happened AND its
+// records (including the commit's fsync) reached the log: a failed
+// append leaves the transaction uncommitted on disk, which recovery
+// ignores, and callers — the checkpoint writer above all — must not
+// treat the operation as durable (truncating the log prefix on the
+// strength of a checkpoint that never hit disk would lose the previous
+// checkpoint too). The in-memory operation itself is not rolled back;
+// it is re-creatable knowledge either way.
 func (g *Coordinator) structural(op func() ([]wal.Record, bool)) bool {
 	var ok bool
+	var logErr error
 	_ = g.opts.Txns.RunSystem(func(st *txn.Txn) error {
 		var recs []wal.Record
 		recs, ok = op()
@@ -351,15 +393,20 @@ func (g *Coordinator) structural(op func() ([]wal.Record, bool)) bool {
 			return errNothingToDo
 		}
 		id := uint64(st.ID())
-		g.append(wal.Record{Kind: wal.BeginSystem, Txn: id})
+		logErr = g.append(wal.Record{Kind: wal.BeginSystem, Txn: id})
 		for _, r := range recs {
+			if logErr != nil {
+				break
+			}
 			r.Txn = id
-			g.append(r)
+			logErr = g.append(r)
 		}
-		g.append(wal.Record{Kind: wal.CommitSystem, Txn: id})
+		if logErr == nil {
+			logErr = g.append(wal.Record{Kind: wal.CommitSystem, Txn: id})
+		}
 		return nil
 	})
-	return ok
+	return ok && logErr == nil
 }
 
 // errNothingToDo aborts a system transaction whose structural
@@ -368,14 +415,16 @@ var errNothingToDo = errNothing{}
 
 type errNothing struct{}
 
+// Error implements error.
 func (errNothing) Error() string { return "ingest: nothing to do" }
 
-func (g *Coordinator) append(r wal.Record) {
+func (g *Coordinator) append(r wal.Record) error {
 	if g.opts.Log == nil {
-		return
+		return nil
 	}
 	if r.Object == "" {
 		r.Object = g.opts.Name
 	}
-	_, _ = g.opts.Log.Append(r)
+	_, err := g.opts.Log.Append(r)
+	return err
 }

@@ -187,6 +187,40 @@ func NewWithBounds(values []int64, bounds []int64, opts Options) *Column {
 	return build(values, dedup, opts)
 }
 
+// NewWithBoundsAndCracks builds a sharded column with an explicit
+// shard map AND pre-cracks each shard to a set of crack boundaries —
+// the checkpoint-recovery path. cracks holds one boundary list per
+// shard in ordinal order (wal.Recover's Catalog.ShardCracks); each
+// boundary is routed to the shard whose recovered range contains it,
+// so a misaligned or flattened list still lands correctly. The first
+// query after reopen finds the refinement earned before the crash
+// already in place instead of starting from one monolithic piece per
+// shard (paper §4.2: "the side effects of earlier queries may be
+// re-created in the new index even without merging").
+func NewWithBoundsAndCracks(values []int64, bounds []int64, cracks [][]int64, opts Options) *Column {
+	c := NewWithBounds(values, bounds, opts)
+	if c.opts.Source != nil {
+		return c
+	}
+	m := c.m.Load()
+	for _, set := range cracks {
+		for _, b := range set {
+			i := m.route(b)
+			m.shards[i].ix.CrackAt(b)
+			// A boundary exactly at a shard cut is also the left
+			// neighbor's top edge (newPart's warm replay is inclusive
+			// of shard edges for the same reason): replaying it there
+			// spares that shard's first edge-clamped query a partition
+			// pass. CrackAt is idempotent, so a boundary both shards
+			// checkpointed costs only a second TOC lookup.
+			if i > 0 && b == m.shards[i].loVal {
+				m.shards[i-1].ix.CrackAt(b)
+			}
+		}
+	}
+	return c
+}
+
 func build(values []int64, bounds []int64, opts Options) *Column {
 	n := len(bounds) + 1
 
@@ -264,7 +298,11 @@ func (c *Column) newPart(loVal, hiVal int64, vals []int64, warm []int64) *part {
 	p.ix = crackindex.New(vals, c.opts.Index)
 	p.src = p.ix
 	for _, b := range warm {
-		if b > loVal && b < hiVal {
+		// Inclusive of the shard edges: queries clamped at loVal/hiVal
+		// crack exactly there (an empty edge piece), and replaying that
+		// boundary spares the successor a full partition pass on its
+		// first edge-clamped query.
+		if b >= loVal && b <= hiVal {
 			p.ix.CrackAt(b)
 		}
 	}
@@ -358,6 +396,45 @@ type ShardStat struct {
 	// partitioning tree that would produce the current piece count
 	// (ceil(log2(Pieces)); 0 for an unrefined shard).
 	Depth int
+}
+
+// CrackBoundaries returns every shard's current crack boundary values
+// in shard ordinal order (nil for uninitialized or custom-source
+// shards). This is the structure a checkpoint persists: together with
+// Bounds it captures the column's complete refinement knowledge, and
+// NewWithBoundsAndCracks rebuilds an equivalent column from the two.
+// Each shard's list is an atomic snapshot; concurrent queries may add
+// boundaries between shards.
+func (c *Column) CrackBoundaries() [][]int64 {
+	m := c.m.Load()
+	out := make([][]int64, len(m.shards))
+	for i, s := range m.shards {
+		if s.ix != nil {
+			out[i] = s.ix.Boundaries()
+		}
+	}
+	return out
+}
+
+// Values materializes the column's logical contents: every shard's
+// base slice with its differential file applied, concatenated in shard
+// order. Each shard's contribution is internally consistent (the
+// differential is snapshotted under its latch); a writer racing with
+// the dump is either fully included or fully excluded per shard. The
+// checkpoint writer persists this as the base snapshot accompanying a
+// checkpoint.
+func (c *Column) Values() []int64 {
+	m := c.m.Load()
+	out := make([]int64, 0, c.Rows())
+	for _, p := range m.shards {
+		if p.ix == nil {
+			out = append(out, p.base...)
+			continue
+		}
+		ins, del := p.ix.PendingSnapshot()
+		out = append(out, p.mergedValues(ins, del)...)
+	}
+	return out
 }
 
 // Snapshot returns a per-shard statistics snapshot, in shard order.

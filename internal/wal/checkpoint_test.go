@@ -1,0 +1,213 @@
+package wal
+
+import (
+	"reflect"
+	"testing"
+)
+
+// enc encodes a record sequence into a log image.
+func enc(recs ...Record) []byte {
+	var raw []byte
+	for i, r := range recs {
+		r.LSN = uint64(i + 1)
+		raw = append(raw, Encode(r)...)
+	}
+	return raw
+}
+
+// ckptTxn builds a committed checkpoint transaction for obj with the
+// given cuts and per-shard crack sets.
+func ckptTxn(txn uint64, obj string, cuts []int64, cracks [][]int64) []Record {
+	recs := []Record{
+		{Kind: BeginSystem, Txn: txn},
+		{Kind: Checkpoint, Txn: txn, Object: obj, C: CkptHeader, A: int64(len(cracks)), B: 1},
+	}
+	for _, c := range cuts {
+		recs = append(recs, Record{Kind: Checkpoint, Txn: txn, Object: obj, C: CkptCut, A: c})
+	}
+	for i, set := range cracks {
+		for _, b := range set {
+			recs = append(recs, Record{Kind: Checkpoint, Txn: txn, Object: obj, C: CkptCrack, A: int64(i), B: b})
+		}
+	}
+	return append(recs, Record{Kind: CommitSystem, Txn: txn})
+}
+
+func TestRecoverCheckpointRestoresCutsAndCracks(t *testing.T) {
+	// Pre-checkpoint noise that the checkpoint must supersede.
+	recs := []Record{
+		{Kind: BeginSystem, Txn: 1},
+		{Kind: ShardSplit, Txn: 1, Object: "col", A: 999},
+		{Kind: CommitSystem, Txn: 1},
+	}
+	recs = append(recs, ckptTxn(2, "col",
+		[]int64{100, 200},
+		[][]int64{{10, 50}, {150}, {250, 300, 350}})...)
+
+	cat, err := Recover(enc(recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cat.ShardBounds["col"], []int64{100, 200}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+	want := [][]int64{{10, 50}, {150}, {250, 300, 350}}
+	if got := cat.ShardCracks["col"]; !reflect.DeepEqual(got, want) {
+		t.Fatalf("cracks = %v, want %v", got, want)
+	}
+}
+
+func TestRecoverPostCheckpointSplitDividesCracks(t *testing.T) {
+	recs := ckptTxn(1, "col", []int64{100}, [][]int64{{10, 50}, {150, 180, 250}})
+	recs = append(recs,
+		Record{Kind: BeginSystem, Txn: 2},
+		// Split the second shard at 200: boundary 250 moves right,
+		// 150/180 stay left; a boundary equal to the cut would vanish.
+		Record{Kind: ShardSplit, Txn: 2, Object: "col", A: 200},
+		Record{Kind: CommitSystem, Txn: 2},
+	)
+	cat, err := Recover(enc(recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cat.ShardBounds["col"], []int64{100, 200}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+	want := [][]int64{{10, 50}, {150, 180}, {250}}
+	if got := cat.ShardCracks["col"]; !reflect.DeepEqual(got, want) {
+		t.Fatalf("cracks = %v, want %v", got, want)
+	}
+}
+
+func TestRecoverPostCheckpointMergeConcatenatesCracks(t *testing.T) {
+	recs := ckptTxn(1, "col", []int64{100, 200}, [][]int64{{10}, {150}, {250}})
+	recs = append(recs,
+		Record{Kind: BeginSystem, Txn: 2},
+		Record{Kind: ShardMerge, Txn: 2, Object: "col", A: 100},
+		Record{Kind: CommitSystem, Txn: 2},
+	)
+	cat, err := Recover(enc(recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cat.ShardBounds["col"], []int64{200}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+	// The removed cut survives as a crack boundary of the merged shard.
+	want := [][]int64{{10, 100, 150}, {250}}
+	if got := cat.ShardCracks["col"]; !reflect.DeepEqual(got, want) {
+		t.Fatalf("cracks = %v, want %v", got, want)
+	}
+}
+
+func TestRecoverPostCheckpointSplitKeepsCutEqualBoundary(t *testing.T) {
+	// Shard 1's checkpointed boundary 200 coincides with a later split
+	// cut: the live column replays it into BOTH halves (inclusive warm
+	// replay), so recovery must keep it on both sides too.
+	recs := ckptTxn(1, "col", []int64{100}, [][]int64{{10}, {150, 200, 250}})
+	recs = append(recs,
+		Record{Kind: BeginSystem, Txn: 2},
+		Record{Kind: ShardSplit, Txn: 2, Object: "col", A: 200},
+		Record{Kind: CommitSystem, Txn: 2},
+	)
+	cat, err := Recover(enc(recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int64{{10}, {150, 200}, {200, 250}}
+	if got := cat.ShardCracks["col"]; !reflect.DeepEqual(got, want) {
+		t.Fatalf("cracks = %v, want %v", got, want)
+	}
+}
+
+func TestRecoverLSNGapAbandonsOpenTxns(t *testing.T) {
+	// Records lost in a damaged middle segment leave transaction 2's
+	// begin behind a gap from its records and commit. Neither the
+	// stragglers nor the commit may apply — and the stragglers must
+	// not be mistaken for autonomous records.
+	recs := []Record{
+		{LSN: 1, Txn: 1, Kind: BeginSystem},
+		{LSN: 2, Txn: 1, Kind: ShardSplit, Object: "col", A: 100},
+		{LSN: 3, Txn: 1, Kind: CommitSystem},
+		{LSN: 4, Txn: 2, Kind: BeginSystem},
+		// LSNs 5..6 lost with a damaged segment tail.
+		{LSN: 7, Txn: 2, Kind: ShardSplit, Object: "col", A: 300},
+		{LSN: 8, Txn: 2, Kind: CommitSystem},
+	}
+	var raw []byte
+	for _, r := range recs {
+		raw = append(raw, Encode(r)...)
+	}
+	cat, err := Recover(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cat.ShardBounds["col"], []int64{100}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("bounds = %v, want %v (partial txn applied across LSN gap)", got, want)
+	}
+}
+
+func TestRecoverUncommittedCheckpointIgnored(t *testing.T) {
+	recs := ckptTxn(1, "col", []int64{100}, [][]int64{{10}, {150}})
+	// A second checkpoint whose commit never made it to disk: all of
+	// its records are ignored and the first checkpoint stands.
+	partial := ckptTxn(2, "col", []int64{500}, [][]int64{{400}, {600}})
+	recs = append(recs, partial[:len(partial)-1]...)
+
+	cat, err := Recover(enc(recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cat.ShardBounds["col"], []int64{100}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+	want := [][]int64{{10}, {150}}
+	if got := cat.ShardCracks["col"]; !reflect.DeepEqual(got, want) {
+		t.Fatalf("cracks = %v, want %v", got, want)
+	}
+}
+
+func TestRecoverTornCheckpointFallsBackToPrevious(t *testing.T) {
+	recs := ckptTxn(1, "col", []int64{100}, [][]int64{{10}, {150}})
+	second := ckptTxn(2, "col", []int64{500}, [][]int64{{400}, {600}})
+	raw := enc(append(append([]Record{}, recs...), second...)...)
+	// Tear the image inside the second checkpoint's commit record: the
+	// torn tail drops the commit, so recovery must fall back to the
+	// first checkpoint in full.
+	raw = raw[:len(raw)-10]
+
+	cat, err := Recover(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cat.ShardBounds["col"], []int64{100}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+	want := [][]int64{{10}, {150}}
+	if got := cat.ShardCracks["col"]; !reflect.DeepEqual(got, want) {
+		t.Fatalf("cracks = %v, want %v", got, want)
+	}
+}
+
+func TestRecoverCorruptCheckpointFrameFallsBack(t *testing.T) {
+	recs := ckptTxn(1, "col", []int64{100}, [][]int64{{10}, {150}})
+	second := ckptTxn(2, "col", []int64{500}, [][]int64{{400}, {600}})
+	raw := enc(append(append([]Record{}, recs...), second...)...)
+	// Corrupt a byte inside the second checkpoint's records (past the
+	// first checkpoint's bytes): replay stops at the corrupt record and
+	// the second checkpoint never commits.
+	firstLen := len(enc(recs...))
+	raw[firstLen+len(raw[firstLen:])/2] ^= 0x40
+
+	cat, err := Recover(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cat.ShardBounds["col"], []int64{100}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+	want := [][]int64{{10}, {150}}
+	if got := cat.ShardCracks["col"]; !reflect.DeepEqual(got, want) {
+		t.Fatalf("cracks = %v, want %v", got, want)
+	}
+}

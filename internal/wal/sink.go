@@ -1,0 +1,373 @@
+// The durable file sink of the structural log.
+//
+// A FileSink stores the log as a sequence of segment files
+// ("wal-00000001.seg", ...) in one directory. Each record written
+// through the sink is framed as
+//
+//	[length uint32][crc32(payload) uint32][payload]
+//
+// (little-endian, CRC-32/IEEE), so a reader can detect both a torn
+// tail — the process died mid-write — and silent corruption, and stop
+// replay exactly at the last intact frame, the standard log-recovery
+// contract (paper §4.2: losing the structural tail is always safe,
+// because adaptive-index structure is re-creatable knowledge).
+//
+// Segments rotate once they exceed SegmentBytes, which keeps any one
+// file small and — more importantly — gives checkpoint truncation a
+// unit of reclamation: a checkpoint rotates first (MarkCheckpoint), so
+// the checkpoint records open a fresh segment, and once the checkpoint
+// has committed and synced, every earlier segment describes state the
+// checkpoint supersedes and is deleted (ReleaseBefore).
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// frameHeaderSize is the per-record framing overhead: payload length
+// plus CRC-32 of the payload.
+const frameHeaderSize = 4 + 4
+
+// maxFramePayload bounds a single frame; larger lengths are treated as
+// corruption during reads.
+const maxFramePayload = 1 << 24
+
+// SinkOptions configures a FileSink.
+type SinkOptions struct {
+	// SegmentBytes is the rotation threshold: a record that would grow
+	// the current segment beyond it opens a new segment first. Default
+	// 1 MiB.
+	SegmentBytes int64
+	// NoSync disables fsync entirely (tests and benchmarks that
+	// simulate crashes by truncating files themselves). Durability
+	// guarantees obviously do not hold with NoSync set.
+	NoSync bool
+}
+
+func (o SinkOptions) withDefaults() SinkOptions {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	return o
+}
+
+// FileSink is a durable segment-file sink for a Log. It implements
+// io.Writer (one Write call per encoded record — exactly how
+// Log.Append uses its sink) and Syncer, so a Log configured with a
+// FileSink fsyncs on every system-transaction commit. Safe for
+// concurrent use.
+type FileSink struct {
+	dir  string
+	opts SinkOptions
+
+	mu     sync.Mutex
+	f      *os.File
+	seg    int   // index of the open segment
+	size   int64 // bytes written to the open segment
+	werr   bool  // a failed write left a partial frame in the segment
+	closed bool
+}
+
+// Syncer is implemented by sinks that can flush buffered writes to
+// stable storage. Log.Append calls Sync after writing a CommitSystem
+// record when its sink implements it (fsync-on-commit).
+type Syncer interface {
+	Sync() error
+}
+
+// SegmentTruncator is implemented by sinks that support checkpoint
+// truncation of the dead log prefix. The checkpoint writer
+// (internal/ingest) calls MarkCheckpoint before logging checkpoint
+// records and ReleaseBefore after they have committed and synced.
+type SegmentTruncator interface {
+	// MarkCheckpoint rotates to a fresh segment and returns its index;
+	// records written afterwards — the checkpoint itself first — land
+	// in that segment or later ones.
+	MarkCheckpoint() (int, error)
+	// ReleaseBefore deletes every segment with an index smaller than
+	// seg. Safe to call only after the checkpoint in segment seg has
+	// durably committed.
+	ReleaseBefore(seg int) error
+}
+
+// NewFileSink opens a sink over dir, creating the directory if needed.
+// Existing segments are never appended to (their tail may be torn from
+// a previous crash); writing starts in a fresh segment after the
+// highest existing index.
+func NewFileSink(dir string, opts SinkOptions) (*FileSink, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: sink: %w", err)
+	}
+	segs, err := segmentIndexes(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := 1
+	if len(segs) > 0 {
+		next = segs[len(segs)-1] + 1
+	}
+	s := &FileSink{dir: dir, opts: opts}
+	if err := s.openSegment(next); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the sink's directory.
+func (s *FileSink) Dir() string { return s.dir }
+
+// segmentName formats the file name of segment i.
+func segmentName(i int) string { return fmt.Sprintf("wal-%08d.seg", i) }
+
+// segmentIndexes lists the indexes of the segment files in dir, sorted
+// ascending. A missing directory yields an empty list.
+func segmentIndexes(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: sink: %w", err)
+	}
+	var out []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		var i int
+		if _, err := fmt.Sscanf(name, "wal-%08d.seg", &i); err == nil {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// openSegment creates segment i and makes it current, syncing the
+// outgoing segment first: a transaction's records may straddle a
+// rotation, and the commit's fsync only reaches the segment holding
+// the commit — without this, an acknowledged commit could lose its
+// earlier records to power failure. The directory is synced too so
+// the new segment's existence is durable. Caller must hold s.mu (or
+// be the constructor).
+func (s *FileSink) openSegment(i int) error {
+	f, err := os.OpenFile(filepath.Join(s.dir, segmentName(i)),
+		os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: sink: %w", err)
+	}
+	if s.f != nil {
+		if !s.opts.NoSync {
+			if err := s.f.Sync(); err != nil {
+				f.Close()
+				return fmt.Errorf("wal: sink: %w", err)
+			}
+		}
+		if err := s.f.Close(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: sink: %w", err)
+		}
+	}
+	s.f, s.seg, s.size, s.werr = f, i, 0, false
+	if !s.opts.NoSync {
+		s.syncDir()
+	}
+	return nil
+}
+
+// syncDir fsyncs the sink directory (segment creation and removal are
+// metadata operations; best-effort).
+func (s *FileSink) syncDir() {
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// Write frames one encoded record and appends it to the current
+// segment, rotating first when the segment is full — or when an
+// earlier write failed partway: the garbage frame it left would hide
+// everything appended after it in that segment (deframe stops at the
+// first damaged frame), so the segment is abandoned and the next
+// record starts a fresh one. Implements io.Writer for Log.
+func (s *FileSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("wal: sink: closed")
+	}
+	frame := int64(frameHeaderSize + len(p))
+	if s.werr || (s.size > 0 && s.size+frame > s.opts.SegmentBytes) {
+		if err := s.openSegment(s.seg + 1); err != nil {
+			return 0, err
+		}
+	}
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(p)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(p))
+	if _, err := s.f.Write(hdr[:]); err != nil {
+		s.werr = true
+		return 0, fmt.Errorf("wal: sink: %w", err)
+	}
+	if _, err := s.f.Write(p); err != nil {
+		s.werr = true
+		return 0, fmt.Errorf("wal: sink: %w", err)
+	}
+	s.size += frame
+	return len(p), nil
+}
+
+// Sync flushes the current segment to stable storage (a no-op under
+// NoSync).
+func (s *FileSink) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.opts.NoSync {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sink: %w", err)
+	}
+	return nil
+}
+
+// MarkCheckpoint rotates to a fresh segment and returns its index (see
+// SegmentTruncator).
+func (s *FileSink) MarkCheckpoint() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("wal: sink: closed")
+	}
+	if s.size == 0 && !s.werr {
+		return s.seg, nil
+	}
+	if err := s.openSegment(s.seg + 1); err != nil {
+		return 0, err
+	}
+	return s.seg, nil
+}
+
+// ReleaseBefore deletes every segment with an index smaller than seg
+// (see SegmentTruncator).
+func (s *FileSink) ReleaseBefore(seg int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	segs, err := segmentIndexes(s.dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, i := range segs {
+		if i >= seg || i == s.seg {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, segmentName(i))); err != nil {
+			return fmt.Errorf("wal: sink: %w", err)
+		}
+		removed = true
+	}
+	if removed && !s.opts.NoSync {
+		s.syncDir()
+	}
+	return nil
+}
+
+// Segments returns the indexes of the segment files currently on disk,
+// ascending.
+func (s *FileSink) Segments() ([]int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return segmentIndexes(s.dir)
+}
+
+// Close syncs and closes the current segment. Further writes fail.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if !s.opts.NoSync {
+		if err := s.f.Sync(); err != nil {
+			s.f.Close()
+			return fmt.Errorf("wal: sink: %w", err)
+		}
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("wal: sink: %w", err)
+	}
+	return nil
+}
+
+// ReadDir reads the framed segments in dir in index order and returns
+// the concatenated record payloads — the raw image Recover and Replay
+// consume. A torn or corrupt frame in the NEWEST segment is the normal
+// crashed tail and ends the image there. Damage in an older segment —
+// a torn pre-crash tail whose segment outlived a failed truncation, or
+// bit rot — drops only the rest of that segment: reading resumes at
+// the next segment boundary, where frames re-align. That is safe for
+// Recover because records of a transaction are contiguous within one
+// process incarnation, later incarnations restart the LSN sequence
+// (Recover discards transactions left open across an LSN
+// discontinuity), and a committed checkpoint supersedes everything
+// before it. A missing or empty directory yields nil.
+func ReadDir(dir string) ([]byte, error) {
+	segs, err := segmentIndexes(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	for k, i := range segs {
+		raw, err := os.ReadFile(filepath.Join(dir, segmentName(i)))
+		if err != nil {
+			return nil, fmt.Errorf("wal: sink: %w", err)
+		}
+		payloads, intact := deframe(raw)
+		out = append(out, payloads...)
+		if !intact && k == len(segs)-1 {
+			break // crashed tail of the newest segment
+		}
+	}
+	return out, nil
+}
+
+// deframe extracts the payloads of the intact frames at the front of
+// raw, reporting whether the whole buffer was consumed cleanly.
+func deframe(raw []byte) (payloads []byte, intact bool) {
+	for len(raw) > 0 {
+		if len(raw) < frameHeaderSize {
+			return payloads, false
+		}
+		n := binary.LittleEndian.Uint32(raw[0:])
+		sum := binary.LittleEndian.Uint32(raw[4:])
+		if n > maxFramePayload || len(raw) < frameHeaderSize+int(n) {
+			return payloads, false
+		}
+		payload := raw[frameHeaderSize : frameHeaderSize+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return payloads, false
+		}
+		payloads = append(payloads, payload...)
+		raw = raw[frameHeaderSize+int(n):]
+	}
+	return payloads, true
+}
+
+// Interface checks.
+var (
+	_ io.Writer        = (*FileSink)(nil)
+	_ Syncer           = (*FileSink)(nil)
+	_ SegmentTruncator = (*FileSink)(nil)
+)

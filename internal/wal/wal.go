@@ -17,6 +17,14 @@
 // protected by a simple XOR checksum; Replay stops at the first
 // corrupt or truncated record, mimicking standard log-recovery
 // behaviour.
+//
+// Durability is provided by the file sink (sink.go): CRC-framed
+// records in rotating segment files, fsynced on every system
+// transaction commit. Periodic Checkpoint records (written by
+// internal/ingest) serialize the complete refinement state — shard
+// cuts plus every shard's crack boundaries — so Recover folds a
+// checkpoint and the records after it into a full Catalog and the
+// dead log prefix can be deleted (SegmentTruncator).
 package wal
 
 import (
@@ -43,7 +51,14 @@ const (
 	// MergeStep records that a key range moved from source partitions
 	// into the final partition.
 	MergeStep
-	// Checkpoint records a consistent table-of-contents snapshot point.
+	// Checkpoint records one element of a consistent table-of-contents
+	// snapshot. A checkpoint is a system transaction containing a
+	// header record followed by the full shard-cut list and every
+	// shard's crack boundaries (the C payload field selects the element
+	// kind, see CkptHeader/CkptCut/CkptCrack). Recovery replaces the
+	// object's recovered state with the checkpointed snapshot and
+	// applies later records on top, so the log prefix before a durable
+	// checkpoint is dead and can be truncated.
 	Checkpoint
 	// ShardInsert records that a batch of differential updates was
 	// group-applied (merged) into one shard's cracker array.
@@ -57,6 +72,7 @@ const (
 	ShardMerge
 )
 
+// String returns the kind's log-friendly name.
 func (k Kind) String() string {
 	switch k {
 	case BeginSystem:
@@ -82,12 +98,28 @@ func (k Kind) String() string {
 	}
 }
 
+// Checkpoint element kinds, carried in the C payload field of a
+// Checkpoint record.
+const (
+	// CkptHeader opens a checkpoint: A = shard count, B = checkpoint
+	// sequence number. Recovery resets the object's shard cuts and
+	// crack boundary sets when the checkpoint's transaction commits.
+	CkptHeader int64 = iota
+	// CkptCut carries one shard-map cut value in A. Cuts are logged in
+	// increasing order; a checkpoint holds shard-count minus one.
+	CkptCut
+	// CkptCrack carries one crack boundary: A = shard ordinal, B =
+	// boundary value.
+	CkptCrack
+)
+
 // Record is one structural log record. The three int64 payload fields
 // are interpreted per kind:
 //
 //	CrackBoundary: A = boundary value
 //	RunCreated:    A = partition id, B = record count
 //	MergeStep:     A = low key, B = high key, C = records moved
+//	Checkpoint:    C = element kind (CkptHeader/CkptCut/CkptCrack), A/B per element
 //	ShardInsert:   A = shard ordinal, B = inserts merged, C = deletes merged
 //	ShardSplit:    A = cut value, B = left rows, C = right rows
 //	ShardMerge:    A = removed cut value, B = merged rows
@@ -120,7 +152,10 @@ func New(sink io.Writer) *Log {
 }
 
 // Append assigns the next LSN to r, stores it, and (if a sink is
-// configured) writes it durably. It returns the assigned LSN.
+// configured) writes it durably. When the sink implements Syncer, a
+// CommitSystem record additionally forces the sink to stable storage
+// before Append returns — fsync-on-commit, the write-ahead rule for
+// system transactions. It returns the assigned LSN.
 func (l *Log) Append(r Record) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -130,9 +165,26 @@ func (l *Log) Append(r Record) (uint64, error) {
 		if _, err := l.sink.Write(Encode(r)); err != nil {
 			return 0, fmt.Errorf("wal: append: %w", err)
 		}
+		if s, ok := l.sink.(Syncer); ok && r.Kind == CommitSystem {
+			if err := s.Sync(); err != nil {
+				return 0, fmt.Errorf("wal: append: %w", err)
+			}
+		}
 	}
 	l.records = append(l.records, r)
 	return r.LSN, nil
+}
+
+// Sync forces the sink (when it implements Syncer) to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if s, ok := l.sink.(Syncer); ok {
+		if err := s.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
 }
 
 // Len returns the number of records appended.
@@ -248,9 +300,16 @@ type Catalog struct {
 	Partitions map[string][]int64
 	// ShardBounds maps sharded-column name to its recovered shard-map
 	// cut values, in increasing order (ShardSplit adds a cut,
-	// ShardMerge removes one). shard.NewWithBounds rebuilds the shard
-	// map from this.
+	// ShardMerge removes one; a committed Checkpoint replaces the
+	// list). shard.NewWithBounds rebuilds the shard map from this.
 	ShardBounds map[string][]int64
+	// ShardCracks maps sharded-column name to the per-shard crack
+	// boundary sets of the last committed checkpoint, kept aligned
+	// with ShardBounds across later splits and merges
+	// (len == len(ShardBounds)+1; shard ordinal order). Nil until a
+	// checkpoint has committed. shard.NewWithBoundsAndCracks pre-cracks
+	// a reopened column to these boundaries.
+	ShardCracks map[string][][]int64
 	// ShardApplies maps sharded-column name to the number of committed
 	// group-apply merges (ShardInsert records).
 	ShardApplies map[string]int64
@@ -268,6 +327,7 @@ func Recover(raw []byte) (*Catalog, error) {
 		Boundaries:   map[string][]int64{},
 		Partitions:   map[string][]int64{},
 		ShardBounds:  map[string][]int64{},
+		ShardCracks:  map[string][][]int64{},
 		ShardApplies: map[string]int64{},
 	}
 	applyRec := func(r Record) {
@@ -276,15 +336,44 @@ func Recover(raw []byte) (*Catalog, error) {
 			cat.Boundaries[r.Object] = append(cat.Boundaries[r.Object], r.A)
 		case RunCreated:
 			cat.Partitions[r.Object] = append(cat.Partitions[r.Object], r.A)
+		case Checkpoint:
+			switch r.C {
+			case CkptHeader:
+				// A committed checkpoint supersedes everything recovered
+				// so far for this object.
+				cat.ShardBounds[r.Object] = nil
+				cat.ShardCracks[r.Object] = make([][]int64, r.A)
+			case CkptCut:
+				cat.ShardBounds[r.Object] = insertCut(cat.ShardBounds[r.Object], r.A)
+			case CkptCrack:
+				if cr := cat.ShardCracks[r.Object]; r.A >= 0 && r.A < int64(len(cr)) {
+					cr[r.A] = append(cr[r.A], r.B)
+				}
+			}
 		case ShardInsert:
 			cat.ShardApplies[r.Object]++
 		case ShardSplit:
-			cat.ShardBounds[r.Object] = insertCut(cat.ShardBounds[r.Object], r.A)
+			cat.splitShard(r.Object, r.A)
 		case ShardMerge:
-			cat.ShardBounds[r.Object] = removeCut(cat.ShardBounds[r.Object], r.A)
+			cat.mergeShard(r.Object, r.A)
 		}
 	}
+	var prevLSN uint64
 	_, err := Replay(raw, func(r Record) {
+		// An LSN discontinuity marks lost records: a process restart
+		// (the sequence resets to 1) or a damaged segment skipped by
+		// ReadDir. Transactions still open across the gap can never
+		// complete validly — their missing records are unrecoverable —
+		// so they are abandoned, and their later stragglers (records
+		// or a commit arriving after the gap) must not be mistaken for
+		// autonomous work. Hand-built images without LSNs (all zero)
+		// are unaffected.
+		if prevLSN != 0 && r.LSN != prevLSN+1 {
+			for k := range open {
+				delete(open, k)
+			}
+		}
+		prevLSN = r.LSN
 		switch r.Kind {
 		case BeginSystem:
 			open[r.Txn] = &pending{}
@@ -298,10 +387,13 @@ func Recover(raw []byte) (*Catalog, error) {
 		default:
 			if p := open[r.Txn]; p != nil {
 				p.recs = append(p.recs, r)
-			} else {
-				// Autonomous record outside a system txn: apply directly.
+			} else if r.Txn == 0 {
+				// Autonomous record outside any system txn: apply
+				// directly.
 				applyRec(r)
 			}
+			// A non-zero Txn with no open Begin is an orphan of an
+			// abandoned transaction: ignored.
 		}
 	})
 	if err != nil {
@@ -329,4 +421,55 @@ func removeCut(cuts []int64, v int64) []int64 {
 		return append(cuts[:i], cuts[i+1:]...)
 	}
 	return cuts
+}
+
+// splitShard applies a committed ShardSplit at cut to obj's recovered
+// state: the cut joins the cut list and, when a checkpointed crack set
+// exists, the owning shard's boundaries are divided between the two
+// halves. A boundary equal to the cut goes to BOTH halves — it becomes
+// the left shard's top edge and the right shard's bottom edge, exactly
+// what shard.SplitShard's inclusive warm replay produces in memory.
+func (cat *Catalog) splitShard(obj string, cut int64) {
+	cuts := cat.ShardBounds[obj]
+	i := sort.Search(len(cuts), func(i int) bool { return cuts[i] >= cut })
+	if i < len(cuts) && cuts[i] == cut {
+		return // idempotent: cut already present
+	}
+	if cr := cat.ShardCracks[obj]; len(cr) == len(cuts)+1 {
+		var left, right []int64
+		for _, b := range cr[i] {
+			if b <= cut {
+				left = append(left, b)
+			}
+			if b >= cut {
+				right = append(right, b)
+			}
+		}
+		next := make([][]int64, 0, len(cr)+1)
+		next = append(next, cr[:i]...)
+		next = append(next, left, right)
+		next = append(next, cr[i+1:]...)
+		cat.ShardCracks[obj] = next
+	}
+	cat.ShardBounds[obj] = insertCut(cuts, cut)
+}
+
+// mergeShard applies a committed ShardMerge that removed cut: the two
+// adjacent shards' crack sets are concatenated with the removed cut
+// kept as a crack boundary (mirroring shard.MergeShards' warm replay).
+func (cat *Catalog) mergeShard(obj string, cut int64) {
+	cuts := cat.ShardBounds[obj]
+	i := sort.Search(len(cuts), func(i int) bool { return cuts[i] >= cut })
+	if i >= len(cuts) || cuts[i] != cut {
+		return // unknown cut: nothing to merge
+	}
+	if cr := cat.ShardCracks[obj]; len(cr) == len(cuts)+1 {
+		merged := append(append(append([]int64(nil), cr[i]...), cut), cr[i+1]...)
+		next := make([][]int64, 0, len(cr)-1)
+		next = append(next, cr[:i]...)
+		next = append(next, merged)
+		next = append(next, cr[i+2:]...)
+		cat.ShardCracks[obj] = next
+	}
+	cat.ShardBounds[obj] = removeCut(cuts, cut)
 }
