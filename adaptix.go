@@ -35,6 +35,7 @@ import (
 	"adaptix/internal/crackindex"
 	"adaptix/internal/durable"
 	"adaptix/internal/engine"
+	"adaptix/internal/epoch"
 	"adaptix/internal/harness"
 	"adaptix/internal/hybrid"
 	"adaptix/internal/ingest"
@@ -166,17 +167,33 @@ func NewShardedColumnWithBoundsAndCracks(values []int64, bounds []int64, cracks 
 func NewShardedEngine(col *ShardedColumn) Engine { return engine.NewSharded(col) }
 
 // Concurrent write path (internal/ingest): routed updates, group-apply
-// differential merges, and online shard rebalancing over a
-// ShardedColumn.
+// epoch merges, and online shard rebalancing over a ShardedColumn.
+// Pending writes live in per-shard epoch chains (internal/epoch) —
+// versioned differential files — so a group-apply merge seals only the
+// current epoch and writers never park: they roll over to the next
+// epoch while the sealed prefix merges in the background, and readers
+// snapshot base + all visible epochs for exact answers mid-merge.
 type (
 	// Ingestor coordinates the write path of one sharded column: it
 	// routes Insert/DeleteValue/Apply calls, group-applies per-shard
-	// differential files inside system transactions, and splits/merges
-	// shards whose population drifts.
+	// epoch chains inside system transactions (EpochSeal + EpochApply
+	// WAL records), and splits/merges shards whose population — or,
+	// with IngestOptions.LoadWeight, observed refinement load — drifts.
 	Ingestor = ingest.Coordinator
-	// IngestOptions configures thresholds, rebalancing factors, the
-	// structural WAL, and the transaction manager of an Ingestor.
+	// IngestOptions configures thresholds, rebalancing factors (incl.
+	// load-aware LoadWeight), the structural WAL, data-tail durability
+	// (LogWrites), the legacy parked group-apply baseline
+	// (ParkOnApply), and the transaction manager of an Ingestor.
 	IngestOptions = ingest.Options
+	// EpochStat is an observability snapshot of one differential epoch
+	// file (id, pending counts, sealed).
+	EpochStat = epoch.Stat
+	// SealedEpochInfo describes one epoch sealed by
+	// ShardedColumn.SealEpoch (the first half of a group-apply).
+	SealedEpochInfo = shard.SealedEpoch
+	// AppliedInfo describes one group-apply merge
+	// (ShardedColumn.ApplyShard / ApplySealed).
+	AppliedInfo = shard.Applied
 	// IngestOp is one batched write operation (Ingestor.Apply).
 	IngestOp = ingest.Op
 	// IngestStats counts an Ingestor's routed writes and structural
@@ -198,10 +215,13 @@ type (
 	// DurableColumn is a crash-recoverable sharded adaptive index:
 	// reads hit the sharded column, writes route through the ingestor,
 	// and checkpoints persist data and refinement into the store
-	// directory. Close takes a final checkpoint.
+	// directory, each cut at an epoch watermark so recovery discards
+	// half-applied epochs. Close takes a final checkpoint.
 	DurableColumn = durable.Column
 	// DurableOptions configures Open (initial values, shard and ingest
-	// options, WAL segment size, checkpoint cadence).
+	// options, WAL segment size, checkpoint cadence, and LogWrites
+	// data-tail durability: logical records replayed past the
+	// checkpoint's epoch watermark on reopen).
 	DurableOptions = durable.Options
 	// WALFileSink is the durable segment-file sink of the structural
 	// WAL: CRC-framed records, fsync-on-commit, segment rotation, and

@@ -9,6 +9,7 @@ package adaptix_test
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"adaptix"
@@ -483,3 +484,61 @@ func BenchmarkPublicAPI_SumQueries(b *testing.B) {
 		}
 	}
 }
+
+// --- Epoch write path: writer latency during group-apply merges ---
+
+// benchWriteDuringMerge measures routed-write latency while a
+// background goroutine forces group-apply merges continuously — the
+// scenario the epoch chain exists for. With park=false a merge seals
+// only the current epoch and a writer pays an epoch append; with
+// park=true (the legacy sealed-differential baseline) a writer racing
+// a merge parks for the whole shard rebuild, which shows up as a heavy
+// latency tail.
+func benchWriteDuringMerge(b *testing.B, park bool) {
+	d := benchData()
+	col := shard.New(d.Values, shard.Options{
+		Shards: 4, Seed: 5,
+		Index: crackindex.Options{Latching: crackindex.LatchPiece},
+	})
+	g := ingest.New(col, ingest.Options{
+		ApplyThreshold: 1 << 30, MinShardRows: 1 << 30, ParkOnApply: park,
+	})
+	stop := make(chan struct{})
+	var merger sync.WaitGroup
+	merger.Add(1)
+	go func() {
+		defer merger.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for s := 0; s < col.NumShards(); s++ {
+				if park {
+					col.ApplyShardParked(s)
+				} else {
+					col.ApplyShard(s)
+				}
+			}
+		}
+	}()
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := g.Insert(int64(benchRows) + next.Add(1)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	merger.Wait()
+}
+
+func BenchmarkEpochWrite_DuringMerge(b *testing.B) { benchWriteDuringMerge(b, false) }
+
+func BenchmarkEpochWrite_DuringMerge_Parked(b *testing.B) { benchWriteDuringMerge(b, true) }

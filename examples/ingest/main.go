@@ -1,22 +1,26 @@
-// The concurrent write path: routed updates, group-applied
-// differential merges, and online shard rebalancing.
+// The concurrent write path: routed updates, group-applied epoch
+// merges, and online shard rebalancing.
 //
 // The paper's §4.2 argues adaptive indexes can absorb high update
 // rates through differential files while system transactions do the
 // structural work. This example makes that concrete on the sharded
-// column: 8 writers pour a heavily skewed insert storm into one narrow
-// value band while 4 readers keep querying — including a quiet range
-// whose answer must never waver. The ingest coordinator group-applies
-// each shard's differential file into its cracker array and splits the
-// shard the storm lands in, all behind the readers' backs; at the end
-// the structural WAL is replayed to rebuild the same shard map, the
-// recovery story for boundary knowledge.
+// column — twice. The same skewed insert storm (8 writers pouring into
+// one narrow value band while 4 readers keep querying a quiet range
+// whose answer must never waver) runs first with the legacy parked
+// group-apply, where a writer racing a merge parks for the whole shard
+// rebuild, and then with the epoch write path (internal/epoch), where
+// a merge seals only the current epoch and writers roll over without
+// parking. The per-insert latency histograms are the aha moment: the
+// stall tail collapses from ~rebuild latency to ~an epoch append. At
+// the end the structural WAL of the epoch run is replayed to rebuild
+// the same shard map, the recovery story for boundary knowledge.
 //
 // Run: go run ./examples/ingest
 package main
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -24,16 +28,29 @@ import (
 	"adaptix/internal/wal"
 )
 
-func main() {
-	const (
-		n       = 1 << 20
-		writers = 8
-		readers = 4
-		perW    = 40000
-	)
-	data := adaptix.NewUniqueDataset(n, 42)
-	log := adaptix.NewStructuralLog()
+const (
+	n       = 1 << 20
+	writers = 8
+	readers = 4
+	perW    = 40000
+)
 
+// stormResult is one run's outcome: per-insert latencies and the
+// coordinator's structural counters.
+type stormResult struct {
+	elapsed    time.Duration
+	lats       []time.Duration
+	stats      adaptix.IngestStats
+	shards     int
+	violations int
+	log        *adaptix.StructuralLog
+	col        *adaptix.ShardedColumn
+}
+
+// runStorm pours the skewed insert storm into a fresh column while
+// readers assert the quiet range, measuring every insert.
+func runStorm(data *adaptix.Dataset, park bool) stormResult {
+	log := adaptix.NewStructuralLog()
 	col := adaptix.NewShardedColumn(data.Values, adaptix.ShardOptions{
 		Shards: 4, Seed: 5,
 		Index: adaptix.CrackOptions{Latching: adaptix.LatchPiece},
@@ -41,12 +58,9 @@ func main() {
 	ing := adaptix.NewIngestor(col, adaptix.IngestOptions{
 		Name: "R.A", Log: log,
 		ApplyThreshold: 4096, MinShardRows: 1 << 14, SplitFactor: 1.5,
+		ParkOnApply: park,
 	})
 	ing.Start()
-
-	fmt.Printf("== ingest: skewed insert storm, %d writers x %d inserts, %d readers, %d rows ==\n",
-		writers, perW, readers, n)
-	fmt.Printf("before: %d shards\n", col.NumShards())
 
 	// The quiet range is never written: its sum is an invariant the
 	// readers assert on every pass, even mid-rebalance.
@@ -77,36 +91,107 @@ func main() {
 	}
 
 	start := time.Now()
+	latCh := make(chan []time.Duration, writers)
 	var ww sync.WaitGroup
 	for w := 0; w < writers; w++ {
 		ww.Add(1)
 		go func(w int) {
 			defer ww.Done()
+			lats := make([]time.Duration, 0, perW)
 			for i := 0; i < perW; i++ {
 				// Everything lands in [0, 1024): one shard takes it all.
+				t0 := time.Now()
 				_ = ing.Insert(int64((w*perW + i) % 1024))
+				lats = append(lats, time.Since(t0))
 			}
+			latCh <- lats
 		}(w)
 	}
 	ww.Wait()
-	storm := time.Since(start)
+	elapsed := time.Since(start)
+	close(latCh)
 	close(stop)
 	wg.Wait()
 	ing.Close()
 
-	st := ing.Stats()
-	fmt.Printf("storm:  %v for %d inserts (%0.f ins/s)\n",
-		storm.Round(time.Millisecond), writers*perW, float64(writers*perW)/storm.Seconds())
-	fmt.Printf("after:  %d shards | %d group applies, %d splits, %d merges | reader violations: %d\n",
-		col.NumShards(), st.Applied, st.Splits, st.Merges, violations)
-	for _, s := range col.Snapshot() {
-		fmt.Printf("  shard %d: [%d, %d) rows=%-8d pieces=%-5d pending=%d\n",
-			s.Shard, s.LoVal, s.HiVal, s.Rows, s.Pieces, s.PendingInserts+s.PendingDeletes)
+	var all []time.Duration
+	for lats := range latCh {
+		all = append(all, lats...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return stormResult{
+		elapsed: elapsed, lats: all, stats: ing.Stats(),
+		shards: col.NumShards(), violations: violations,
+		log: log, col: col,
+	}
+}
+
+func pct(lats []time.Duration, p float64) time.Duration {
+	return lats[int(p*float64(len(lats)-1))]
+}
+
+// histogram prints a coarse log-scale latency histogram.
+func histogram(lats []time.Duration) {
+	buckets := []time.Duration{
+		time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond,
+		time.Millisecond, 10 * time.Millisecond, time.Second,
+	}
+	labels := []string{"<1µs", "<10µs", "<100µs", "<1ms", "<10ms", ">=10ms"}
+	counts := make([]int, len(buckets))
+	for _, l := range lats {
+		for i, b := range buckets {
+			if l < b || i == len(buckets)-1 {
+				counts[i]++
+				break
+			}
+		}
+	}
+	for i, c := range counts {
+		bar := ""
+		for j := 0; j < 40*c/len(lats); j++ {
+			bar += "#"
+		}
+		fmt.Printf("    %-7s %8d %s\n", labels[i], c, bar)
+	}
+}
+
+func report(name string, r stormResult) {
+	fmt.Printf("-- %s --\n", name)
+	fmt.Printf("  storm:  %v for %d inserts (%.0f ins/s)\n",
+		r.elapsed.Round(time.Millisecond), writers*perW, float64(writers*perW)/r.elapsed.Seconds())
+	fmt.Printf("  stalls: p50=%v p99=%v max=%v\n",
+		pct(r.lats, 0.50), pct(r.lats, 0.99), pct(r.lats, 1.0))
+	histogram(r.lats)
+	fmt.Printf("  after:  %d shards | %d group applies (%d epoch seals), %d splits, %d merges | reader violations: %d\n",
+		r.shards, r.stats.Applied, r.stats.EpochSeals, r.stats.Splits, r.stats.Merges, r.violations)
+}
+
+func main() {
+	data := adaptix.NewUniqueDataset(n, 42)
+	fmt.Printf("== ingest: skewed insert storm, %d writers x %d inserts, %d readers, %d rows ==\n",
+		writers, perW, readers, n)
+
+	// Before: the legacy parked group-apply. A writer racing a merge
+	// parks for the full shard rebuild — watch the p99/max.
+	parked := runStorm(data, true)
+	report("parked apply (before epochs)", parked)
+
+	// After: the epoch write path. A merge seals only the current
+	// epoch; writers roll over and the stall tail collapses.
+	epoch := runStorm(data, false)
+	report("epoch chains (after)", epoch)
+
+	fmt.Printf("writer-stall p99: parked %v -> epochs %v\n",
+		pct(parked.lats, 0.99), pct(epoch.lats, 0.99))
+
+	for _, s := range epoch.col.Snapshot() {
+		fmt.Printf("  shard %d: [%d, %d) rows=%-8d pieces=%-5d pending=%d epochs=%d\n",
+			s.Shard, s.LoVal, s.HiVal, s.Rows, s.Pieces, s.PendingInserts+s.PendingDeletes, s.Epochs)
 	}
 
 	// Recovery: replay the structural WAL and rebuild the shard map.
 	var raw []byte
-	for _, r := range log.Records() {
+	for _, r := range epoch.log.Records() {
 		raw = append(raw, wal.Encode(r)...)
 	}
 	cat, err := wal.Recover(raw)
@@ -116,5 +201,5 @@ func main() {
 	rebuilt := adaptix.NewShardedColumnWithBounds(data.Values, cat.ShardBounds["R.A"],
 		adaptix.ShardOptions{Index: adaptix.CrackOptions{Latching: adaptix.LatchPiece}})
 	fmt.Printf("recovery: %d WAL records -> %d cuts -> rebuilt column with %d shards (live: %d)\n",
-		log.Len(), len(cat.ShardBounds["R.A"]), rebuilt.NumShards(), col.NumShards())
+		epoch.log.Len(), len(cat.ShardBounds["R.A"]), rebuilt.NumShards(), epoch.col.NumShards())
 }

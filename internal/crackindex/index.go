@@ -192,6 +192,11 @@ type OpStats struct {
 	// Conflicts counts latch acquisitions that were not granted
 	// immediately.
 	Conflicts int64
+	// Epochs is the number of differential epoch files consulted to
+	// assemble the answer (shard.Column sets it: the deepest per-shard
+	// chain the query's snapshot read traversed; see internal/epoch).
+	// Zero for a plain cracked column.
+	Epochs int
 	// Skipped reports that refinement was forgone due to contention.
 	Skipped bool
 }

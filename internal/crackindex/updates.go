@@ -1,9 +1,10 @@
 package crackindex
 
 import (
-	"sort"
 	"sync"
 	"sync/atomic"
+
+	"adaptix/internal/epoch"
 )
 
 // Differential updates.
@@ -38,38 +39,12 @@ type pendingCounter struct {
 	n atomic.Int64
 }
 
-func insertSorted(s []int64, v int64) []int64 {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
-	s = append(s, 0)
-	copy(s[i+1:], s[i:])
-	s[i] = v
-	return s
-}
-
-// countRange counts values in [lo, hi) of a sorted slice.
-func countRange(s []int64, lo, hi int64) int64 {
-	a := sort.Search(len(s), func(i int) bool { return s[i] >= lo })
-	b := sort.Search(len(s), func(i int) bool { return s[i] >= hi })
-	return int64(b - a)
-}
-
-// sumRange sums values in [lo, hi) of a sorted slice.
-func sumRange(s []int64, lo, hi int64) int64 {
-	a := sort.Search(len(s), func(i int) bool { return s[i] >= lo })
-	b := sort.Search(len(s), func(i int) bool { return s[i] >= hi })
-	var t int64
-	for _, v := range s[a:b] {
-		t += v
-	}
-	return t
-}
-
 // Insert adds one logical instance of v to the column's contents.
 // The index structure is not touched: the value lands in the
 // differential file and is merged into every query answer.
 func (ix *Index) Insert(v int64) {
 	ix.pend.mu.Lock()
-	ix.pend.ins = insertSorted(ix.pend.ins, v)
+	ix.pend.ins = epoch.InsertSorted(ix.pend.ins, v)
 	ix.pend.mu.Unlock()
 	ix.pendN.n.Add(1)
 }
@@ -84,11 +59,11 @@ func (ix *Index) DeleteValue(v int64) bool {
 	base, _ := ix.countBase("", v, v+1)
 	ix.pend.mu.Lock()
 	defer ix.pend.mu.Unlock()
-	logical := base + countRange(ix.pend.ins, v, v+1) - countRange(ix.pend.del, v, v+1)
+	logical := base + epoch.CountRange(ix.pend.ins, v, v+1) - epoch.CountRange(ix.pend.del, v, v+1)
 	if logical <= 0 {
 		return false
 	}
-	ix.pend.del = insertSorted(ix.pend.del, v)
+	ix.pend.del = epoch.InsertSorted(ix.pend.del, v)
 	ix.pendN.n.Add(1)
 	return true
 }
@@ -102,10 +77,11 @@ func (ix *Index) PendingUpdates() (inserts, deletes int) {
 
 // PendingSnapshot returns copies of the sorted pending insert and
 // delete multisets. The differential file is not cleared: a group
-// merge (internal/ingest) snapshots the pending updates of a
-// write-sealed index, builds a replacement index with them applied,
-// and atomically swaps it in, so the old index keeps answering
-// correctly for readers that still hold it.
+// merge snapshots the pending updates of a write-sealed index, builds
+// a replacement index with them applied, and atomically swaps it in,
+// so the old index keeps answering correctly for readers that still
+// hold it. (The sharded column versions its differential outside the
+// index — internal/epoch — and leaves this per-index file empty.)
 func (ix *Index) PendingSnapshot() (ins, del []int64) {
 	ix.pend.mu.RLock()
 	defer ix.pend.mu.RUnlock()
@@ -134,7 +110,7 @@ func (ix *Index) pendingCountAdj(lo, hi int64) int64 {
 	}
 	ix.pend.mu.RLock()
 	defer ix.pend.mu.RUnlock()
-	return countRange(ix.pend.ins, lo, hi) - countRange(ix.pend.del, lo, hi)
+	return epoch.CountRange(ix.pend.ins, lo, hi) - epoch.CountRange(ix.pend.del, lo, hi)
 }
 
 // pendingSumAdj returns the sum adjustment for [lo, hi).
@@ -144,5 +120,5 @@ func (ix *Index) pendingSumAdj(lo, hi int64) int64 {
 	}
 	ix.pend.mu.RLock()
 	defer ix.pend.mu.RUnlock()
-	return sumRange(ix.pend.ins, lo, hi) - sumRange(ix.pend.del, lo, hi)
+	return epoch.SumRange(ix.pend.ins, lo, hi) - epoch.SumRange(ix.pend.del, lo, hi)
 }

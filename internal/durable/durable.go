@@ -68,6 +68,12 @@ type Options struct {
 	// CheckpointEvery is the number of committed structural operations
 	// between automatic checkpoints. Default 8.
 	CheckpointEvery int
+	// LogWrites enables data-tail durability (ingest
+	// Options.LogWrites): routed writes are logged as logical records
+	// and replayed past the checkpoint's epoch watermark on reopen, so
+	// a crash loses at most the not-yet-fsynced log tail instead of
+	// everything since the last checkpoint.
+	LogWrites bool
 	// NoSync disables fsync on the WAL and the snapshot (tests). A
 	// store written with NoSync is not crash-durable.
 	NoSync bool
@@ -128,6 +134,13 @@ func Open(dir string, opts Options) (*Column, error) {
 			return nil, fmt.Errorf("durable: recover: %w", err)
 		}
 		col = shard.NewWithBoundsAndCracks(values, cat.ShardBounds[name], cat.ShardCracks[name], opts.Shard)
+		// Epoch ids must stay monotonic across incarnations: reissuing
+		// low ids would let old-incarnation records in stale segments
+		// (a failed post-checkpoint truncation) alias into the new
+		// epoch namespace and replay writes the snapshot already
+		// contains.
+		col.AdvanceEpoch(maxRecoveredEpoch(cat, name))
+		replayTail(col, cat.TailWrites[name])
 	} else {
 		col = shard.New(values, opts.Shard)
 	}
@@ -144,6 +157,7 @@ func Open(dir string, opts Options) (*Column, error) {
 	iopts.Log = wal.New(sink)
 	iopts.Sink = sink
 	iopts.CheckpointEvery = opts.CheckpointEvery
+	iopts.LogWrites = opts.LogWrites || iopts.LogWrites
 	iopts.SnapshotWriter = func(vals []int64) error {
 		return writeSnapshot(dir, vals, !opts.NoSync)
 	}
@@ -209,6 +223,71 @@ func (c *Column) Close() error {
 	c.closed = true
 	c.ing.Close() // final maintain + checkpoint
 	return c.sink.Close()
+}
+
+// maxRecoveredEpoch returns the highest epoch id the recovered log
+// mentions for name: the checkpoint watermark, sealed and applied
+// ids, and every tail write's tag.
+func maxRecoveredEpoch(cat *wal.Catalog, name string) int64 {
+	m := cat.EpochWatermark[name]
+	if v := cat.AppliedEpoch[name]; v > m {
+		m = v
+	}
+	for _, id := range cat.SealedEpochs[name] {
+		if id > m {
+			m = id
+		}
+	}
+	for _, tw := range cat.TailWrites[name] {
+		if tw.Epoch > m {
+			m = tw.Epoch
+		}
+	}
+	return m
+}
+
+// replayTail re-applies the recovered data tail (Options.LogWrites):
+// the snapshot holds the contents up to the checkpoint's epoch
+// watermark; the logical records beyond it — including those of any
+// half-applied epoch whose merge never committed — re-apply in log
+// order. Without logged writes the tail is simply absent, which is
+// the paper's model (the base table has its own log) and never
+// affects the correctness of what remains.
+//
+// Autonomous logical records can land in the log slightly out of
+// order relative to the in-memory interleaving (the routed write and
+// its record are not appended atomically), so a delete's record may
+// precede the record of the very insert whose instance it observed.
+// A delete that finds nothing to cancel is therefore paired with a
+// later insert of the same value when one exists in the tail — both
+// are skipped, reconstructing the pre-crash net effect — and only
+// dropped outright (the lost-witness case: the insert's record never
+// became durable) when no such insert follows.
+func replayTail(col *shard.Column, tail []wal.TailWrite) {
+	remainingIns := map[int64]int{}
+	for _, tw := range tail {
+		if !tw.Delete {
+			remainingIns[tw.Value]++
+		}
+	}
+	debt := map[int64]int{}
+	for _, tw := range tail {
+		if tw.Delete {
+			// Debt is capped by the inserts actually still ahead, so
+			// every debt is consumed and a delete beyond that cap is
+			// dropped as witness-less.
+			if deleted, _ := col.DeleteValue(tw.Value); !deleted && debt[tw.Value] < remainingIns[tw.Value] {
+				debt[tw.Value]++
+			}
+			continue
+		}
+		remainingIns[tw.Value]--
+		if debt[tw.Value] > 0 {
+			debt[tw.Value]--
+			continue
+		}
+		_ = col.Insert(tw.Value)
+	}
 }
 
 // Snapshot file format: magic, value count, values, CRC-32 of all

@@ -28,6 +28,10 @@ type Result struct {
 	Critical time.Duration
 	// Conflicts counts latch acquisitions that were not immediate.
 	Conflicts int64
+	// Epochs is the number of differential epoch files the answer's
+	// snapshot read consulted (deepest per-shard chain; zero for
+	// single-domain engines — see internal/epoch).
+	Epochs int
 	// Skipped reports that an optional refinement was forgone.
 	Skipped bool
 }
@@ -70,6 +74,7 @@ func fromOpStats(v int64, st crackindex.OpStats) Result {
 		Refine:    st.Crack,
 		Critical:  st.Critical,
 		Conflicts: st.Conflicts,
+		Epochs:    st.Epochs,
 		Skipped:   st.Skipped,
 	}
 }

@@ -79,6 +79,7 @@ func toOpStats(r Result) (int64, crackindex.OpStats) {
 		Crack:     r.Refine,
 		Critical:  r.Critical,
 		Conflicts: r.Conflicts,
+		Epochs:    r.Epochs,
 		Skipped:   r.Skipped,
 	}
 }

@@ -1,0 +1,390 @@
+// Package epoch implements versioned differential files: the
+// multi-version write path that keeps shard maintenance off the
+// critical path of concurrent writers.
+//
+// The paper (§4.2) relies on a differential file to absorb updates
+// while the adaptive index reorganizes itself; with a single
+// differential, a group-apply merge must seal the shard and park
+// writers for the whole rebuild ("Main Memory Adaptive Indexing for
+// Multi-core Systems", Alvarez et al., 2014, shows such stalls
+// dominate on many cores). This package versions the differential
+// instead: each shard's pending writes live in an append-only chain of
+// epoch files. A group-apply seals only the *current* epoch — writers
+// immediately append to the freshly opened successor — and the sealed
+// prefix merges into the cracker array in the background. Readers
+// snapshot the base part plus every visible epoch for exact answers
+// mid-merge, the optimistic/multi-version scheme the paper names as
+// the way to keep index maintenance out of transaction critical paths.
+//
+// Epoch lifecycle:
+//
+//		open ──Seal/Roll──▶ sealed ──apply──▶ applied ──Fork──▶ pruned
+//
+//	  - open: the chain's last file; writers append under the chain's
+//	    shared read latch.
+//	  - sealed: immutable; still consulted by readers, waiting for a
+//	    group-apply merge.
+//	  - applied: its contents are folded into a successor part's base
+//	    array; the successor's chain (Fork) no longer lists it.
+//	  - pruned: unreachable once the last reader of the old part
+//	    drops its shard-map snapshot; memory is reclaimed by GC.
+//
+// Epoch ids are allocated from one monotonic per-column counter, so a
+// single watermark W orders every epoch of every shard: "contents up
+// to W" is a well-defined cut that checkpoints persist (CkptEpoch) and
+// recovery uses to discard half-applied epochs and replay only the
+// logical records beyond it.
+//
+// Forked chains (the successor published by a group-apply) share the
+// lineage latch and the open epoch file with their ancestor, so a
+// writer still holding the pre-merge part appends to the same open
+// epoch and is never lost; a writer that finds its open epoch sealed
+// re-routes through the current shard map instead of parking.
+package epoch
+
+import (
+	"sort"
+	"sync"
+)
+
+// File is one epoch: a sorted multiset of pending inserts and
+// anti-matter deletes. Append-only while open, immutable once sealed.
+type File struct {
+	mu     sync.RWMutex
+	id     int64
+	ins    []int64 // sorted pending inserts
+	del    []int64 // sorted pending deletes (anti-matter)
+	sealed bool
+}
+
+func newFile(id int64) *File { return &File{id: id} }
+
+// insert appends v, reporting the epoch id it landed in; ok is false
+// when the file was sealed by a concurrent structural operation (the
+// caller must re-route through the current shard map).
+func (f *File) insert(v int64) (int64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.sealed {
+		return 0, false
+	}
+	f.ins = InsertSorted(f.ins, v)
+	return f.id, true
+}
+
+// countAdj returns the file's count adjustment for [lo, hi).
+func (f *File) countAdj(lo, hi int64) int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return CountRange(f.ins, lo, hi) - CountRange(f.del, lo, hi)
+}
+
+// sumAdj returns the file's sum adjustment for [lo, hi).
+func (f *File) sumAdj(lo, hi int64) int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return SumRange(f.ins, lo, hi) - SumRange(f.del, lo, hi)
+}
+
+// Stat is an observability snapshot of one epoch file.
+type Stat struct {
+	// ID is the epoch id (monotonic per column).
+	ID int64
+	// Ins and Del are the pending insert and delete counts.
+	Ins, Del int
+	// Sealed reports whether the epoch is immutable.
+	Sealed bool
+}
+
+func (f *File) stat() Stat {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return Stat{ID: f.id, Ins: len(f.ins), Del: len(f.del), Sealed: f.sealed}
+}
+
+// Sealed describes one epoch sealed by Chain.Seal.
+type Sealed struct {
+	// ID is the sealed epoch's id.
+	ID int64
+	// Ins and Del are the record counts it was sealed with.
+	Ins, Del int
+}
+
+// Chain is one shard's append-only chain of epoch files: zero or more
+// sealed (immutable, unapplied) epochs followed by exactly one open
+// epoch. All methods are safe for concurrent use.
+//
+// The latch is shared across every Fork of one lineage, so the
+// delete-existence check (Delete) is serialized against concurrent
+// deletes even when old and new parts briefly coexist around a
+// group-apply publish.
+type Chain struct {
+	mu   *sync.RWMutex // lineage latch, shared across forks
+	next func() int64  // epoch-id allocator (per-column monotonic counter)
+
+	// epochs is the chain in ascending id order; guarded by mu. All
+	// files are sealed except the last, which is open (Close, used
+	// under a part seal, temporarily breaks this until Reopen or the
+	// chain is discarded).
+	epochs []*File
+}
+
+// NewChain creates a chain with one open epoch. next must return
+// strictly increasing ids (one shared counter per column).
+func NewChain(next func() int64) *Chain {
+	return &Chain{mu: new(sync.RWMutex), next: next, epochs: []*File{newFile(next())}}
+}
+
+// Insert appends one pending insert of v to the open epoch, reporting
+// the epoch id it landed in. ok is false when the open epoch was
+// sealed by a structural operation — the caller re-routes through the
+// current shard map (it never parks).
+func (ch *Chain) Insert(v int64) (epochID int64, ok bool) {
+	ch.mu.RLock()
+	defer ch.mu.RUnlock()
+	return ch.epochs[len(ch.epochs)-1].insert(v)
+}
+
+// Delete appends an anti-matter record for v to the open epoch if a
+// logical instance exists: baseCount instances in the part's base
+// array (immutable, so the caller may count it outside the latch) plus
+// the chain's net adjustment. The check-and-append is atomic under the
+// lineage latch, so two racing deletes can never over-delete the last
+// instance. ok is false when the open epoch was sealed concurrently
+// (re-route, as with Insert).
+func (ch *Chain) Delete(v int64, baseCount int64) (epochID int64, deleted, ok bool) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	open := ch.epochs[len(ch.epochs)-1]
+	open.mu.Lock()
+	defer open.mu.Unlock()
+	if open.sealed {
+		return 0, false, false
+	}
+	logical := baseCount
+	for _, f := range ch.epochs[:len(ch.epochs)-1] {
+		logical += f.countAdj(v, v+1)
+	}
+	logical += CountRange(open.ins, v, v+1) - CountRange(open.del, v, v+1)
+	if logical <= 0 {
+		return 0, false, true
+	}
+	open.del = InsertSorted(open.del, v)
+	return open.id, true, true
+}
+
+// CountAdj returns the chain's net count adjustment for [lo, hi)
+// across every visible epoch, and the number of epochs consulted.
+func (ch *Chain) CountAdj(lo, hi int64) (adj int64, epochs int) {
+	ch.mu.RLock()
+	defer ch.mu.RUnlock()
+	for _, f := range ch.epochs {
+		adj += f.countAdj(lo, hi)
+	}
+	return adj, len(ch.epochs)
+}
+
+// SumAdj returns the chain's net sum adjustment for [lo, hi) across
+// every visible epoch, and the number of epochs consulted.
+func (ch *Chain) SumAdj(lo, hi int64) (adj int64, epochs int) {
+	ch.mu.RLock()
+	defer ch.mu.RUnlock()
+	for _, f := range ch.epochs {
+		adj += f.sumAdj(lo, hi)
+	}
+	return adj, len(ch.epochs)
+}
+
+// Pending returns the total pending insert and delete counts across
+// every epoch in the chain.
+func (ch *Chain) Pending() (ins, del int) {
+	ch.mu.RLock()
+	defer ch.mu.RUnlock()
+	for _, f := range ch.epochs {
+		st := f.stat()
+		ins += st.Ins
+		del += st.Del
+	}
+	return ins, del
+}
+
+// Stats returns a per-epoch snapshot in chain order.
+func (ch *Chain) Stats() []Stat {
+	ch.mu.RLock()
+	defer ch.mu.RUnlock()
+	out := make([]Stat, len(ch.epochs))
+	for i, f := range ch.epochs {
+		out[i] = f.stat()
+	}
+	return out
+}
+
+// Len returns the number of epoch files in the chain.
+func (ch *Chain) Len() int {
+	ch.mu.RLock()
+	defer ch.mu.RUnlock()
+	return len(ch.epochs)
+}
+
+// OpenID returns the open epoch's id.
+func (ch *Chain) OpenID() int64 {
+	ch.mu.RLock()
+	defer ch.mu.RUnlock()
+	f := ch.epochs[len(ch.epochs)-1]
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.id
+}
+
+// Seal seals the open epoch and opens a fresh successor, so writers
+// roll over without ever parking. Reports false (and seals nothing)
+// when the open epoch is empty.
+func (ch *Chain) Seal() (Sealed, bool) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	f := ch.epochs[len(ch.epochs)-1]
+	f.mu.Lock()
+	if len(f.ins) == 0 && len(f.del) == 0 {
+		f.mu.Unlock()
+		return Sealed{}, false
+	}
+	f.sealed = true
+	info := Sealed{ID: f.id, Ins: len(f.ins), Del: len(f.del)}
+	f.mu.Unlock()
+	ch.epochs = append(ch.epochs, newFile(ch.next()))
+	return info, true
+}
+
+// Roll is the checkpoint cut: after Roll, every record already written
+// lives in a sealed epoch and every future write lands in an epoch
+// with a later id. A non-empty open epoch is sealed (as Seal); an
+// empty one is simply renumbered past the cut, avoiding empty-file
+// churn on idle shards.
+func (ch *Chain) Roll() {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	f := ch.epochs[len(ch.epochs)-1]
+	f.mu.Lock()
+	if len(f.ins) == 0 && len(f.del) == 0 {
+		f.id = ch.next()
+		f.mu.Unlock()
+		return
+	}
+	f.sealed = true
+	f.mu.Unlock()
+	ch.epochs = append(ch.epochs, newFile(ch.next()))
+}
+
+// Close seals the open epoch WITHOUT opening a successor: the full
+// stop used under a part seal (split, merge, parked apply), cutting
+// off writers that still hold a stale pre-fork part. Callers must
+// eventually Reopen the chain or discard it for a fresh one.
+func (ch *Chain) Close() {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	f := ch.epochs[len(ch.epochs)-1]
+	f.mu.Lock()
+	f.sealed = true
+	f.mu.Unlock()
+}
+
+// Reopen appends a fresh open epoch after Close (a structural
+// operation that found nothing to do).
+func (ch *Chain) Reopen() {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	ch.epochs = append(ch.epochs, newFile(ch.next()))
+}
+
+// SealedSnapshot returns the merged contents of every sealed epoch —
+// the group-apply input — together with the highest sealed id (the
+// watermark the successor part's base will incorporate) and the number
+// of sealed epochs. The snapshot is stable: sealed epochs are
+// immutable.
+func (ch *Chain) SealedSnapshot() (ins, del []int64, watermark int64, epochs int) {
+	ch.mu.RLock()
+	defer ch.mu.RUnlock()
+	for _, f := range ch.epochs {
+		st := f.stat()
+		if !st.Sealed {
+			continue
+		}
+		f.mu.RLock()
+		ins = append(ins, f.ins...)
+		del = append(del, f.del...)
+		f.mu.RUnlock()
+		if st.ID > watermark {
+			watermark = st.ID
+		}
+		epochs++
+	}
+	return ins, del, watermark, epochs
+}
+
+// Collect returns the merged contents of every epoch with id <=
+// maxEpoch — the materialization input for snapshot-consistent reads
+// (ValuesAt). Epochs past the watermark are excluded even if sealed.
+func (ch *Chain) Collect(maxEpoch int64) (ins, del []int64) {
+	ch.mu.RLock()
+	defer ch.mu.RUnlock()
+	for _, f := range ch.epochs {
+		f.mu.RLock()
+		if f.id <= maxEpoch {
+			ins = append(ins, f.ins...)
+			del = append(del, f.del...)
+		}
+		f.mu.RUnlock()
+	}
+	return ins, del
+}
+
+// Fork returns the successor chain published with a group-applied
+// part: the epochs with id > after (whose contents the new base does
+// NOT yet incorporate), sharing the lineage latch and the file
+// pointers — above all the open epoch, so writers holding the old part
+// keep appending to the same file. The fresh chain gets a new open
+// epoch if everything was applied.
+func (ch *Chain) Fork(after int64) *Chain {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	nc := &Chain{mu: ch.mu, next: ch.next}
+	for _, f := range ch.epochs {
+		if f.id > after {
+			nc.epochs = append(nc.epochs, f)
+		}
+	}
+	if n := len(nc.epochs); n == 0 || nc.epochs[n-1].stat().Sealed {
+		nc.epochs = append(nc.epochs, newFile(ch.next()))
+	}
+	return nc
+}
+
+// InsertSorted inserts v into the sorted slice s, returning the
+// (possibly reallocated) slice. Shared sorted-multiset primitive of
+// every differential file (epoch files here, the per-index pending
+// file in internal/crackindex).
+func InsertSorted(s []int64, v int64) []int64 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// CountRange counts values in [lo, hi) of a sorted slice.
+func CountRange(s []int64, lo, hi int64) int64 {
+	a := sort.Search(len(s), func(i int) bool { return s[i] >= lo })
+	b := sort.Search(len(s), func(i int) bool { return s[i] >= hi })
+	return int64(b - a)
+}
+
+// SumRange sums values in [lo, hi) of a sorted slice.
+func SumRange(s []int64, lo, hi int64) int64 {
+	a := sort.Search(len(s), func(i int) bool { return s[i] >= lo })
+	b := sort.Search(len(s), func(i int) bool { return s[i] >= hi })
+	var t int64
+	for _, v := range s[a:b] {
+		t += v
+	}
+	return t
+}

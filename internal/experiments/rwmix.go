@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -35,6 +36,16 @@ type RWMixCell struct {
 	// Critical is the summed fan-out critical-path time of the read
 	// queries (the latency-oriented view; Wait/Crack sum total work).
 	Critical time.Duration
+	// WriterP99 is the 99th-percentile routed-write latency under the
+	// epoch write path: a group-apply seals only the current epoch, so
+	// writers roll over instead of parking and the tail collapses to
+	// the cost of an epoch append.
+	WriterP99 time.Duration
+	// WriterP99Parked is the same percentile under the legacy
+	// sealed-differential group-apply (ingest Options.ParkOnApply),
+	// where a writer unlucky enough to hit a merge parks for the whole
+	// shard rebuild. Zero for read-only cells (nothing to measure).
+	WriterP99Parked time.Duration
 }
 
 // RWMixReport is the outcome of the read/write mix ablation.
@@ -45,22 +56,30 @@ type RWMixReport struct {
 // ReadWriteMix measures the sharded column behind an active ingest
 // coordinator under mixed workloads: write fractions {0, 0.1, 0.5}
 // crossed with client counts {1, 4, 16}. Writes route through the
-// differential files; the coordinator group-applies and rebalances in
-// the background, so the cells quantify how much a live write path
-// costs the read side (the paper's §4.2 differential-file claim,
-// measured).
+// epoch chains; the coordinator group-applies and rebalances in the
+// background, so the cells quantify how much a live write path costs
+// the read side (the paper's §4.2 differential-file claim, measured).
+// Write cells run twice — once with the epoch write path, once with
+// the legacy parked group-apply — and report the writer-stall p99 of
+// both: the epoch path's whole point is that the p99 drops from
+// ~rebuild latency to ~an epoch append.
 func ReadWriteMix(cfg Config, w io.Writer) *RWMixReport {
 	cfg = cfg.Defaults()
 	d := cfg.dataset()
 	rep := &RWMixReport{}
 	for _, frac := range []float64{0, 0.1, 0.5} {
 		for _, clients := range []int{1, 4, 16} {
-			rep.Cells = append(rep.Cells, runRWMixCell(cfg, d, frac, clients))
+			cell := runRWMixCell(cfg, d, frac, clients, false)
+			if frac > 0 {
+				parked := runRWMixCell(cfg, d, frac, clients, true)
+				cell.WriterP99Parked = parked.WriterP99
+			}
+			rep.Cells = append(rep.Cells, cell)
 		}
 	}
 	if w != nil {
 		t := &metrics.Table{Header: []string{
-			"write%", "clients", "total time", "ops/s", "shards", "applies", "splits", "merges", "critical",
+			"write%", "clients", "total time", "ops/s", "shards", "applies", "splits", "merges", "critical", "stall p99", "p99 parked",
 		}}
 		for _, c := range rep.Cells {
 			t.Add(
@@ -73,21 +92,25 @@ func ReadWriteMix(cfg Config, w io.Writer) *RWMixReport {
 				fmt.Sprint(c.Splits),
 				fmt.Sprint(c.Merges),
 				metrics.FormatDuration(c.Critical),
+				metrics.FormatDuration(c.WriterP99),
+				metrics.FormatDuration(c.WriterP99Parked),
 			)
 		}
-		fmt.Fprintf(w, "Read/write mix: %d ops per client, %d rows, sharded+ingest\n%s\n",
+		fmt.Fprintf(w, "Read/write mix: %d ops per client, %d rows, sharded+ingest (epoch vs parked apply)\n%s\n",
 			cfg.Queries, cfg.Rows, t)
 	}
 	return rep
 }
 
-func runRWMixCell(cfg Config, d *workload.Dataset, frac float64, clients int) RWMixCell {
+func runRWMixCell(cfg Config, d *workload.Dataset, frac float64, clients int, park bool) RWMixCell {
 	col := shard.New(d.Values, shard.Options{
 		Shards: 8, Seed: cfg.Seed,
 		Index: crackindex.Options{Latching: crackindex.LatchPiece},
 	})
+	// A low apply threshold keeps group-apply merges colliding with the
+	// write stream — the stall scenario the WriterP99 columns measure.
 	g := ingest.New(col, ingest.Options{
-		ApplyThreshold: 512, MinShardRows: 1 << 12,
+		ApplyThreshold: 64, CheckEvery: 32, MinShardRows: 1 << 12, ParkOnApply: park,
 	})
 	g.Start()
 	cell := RWMixCell{
@@ -96,6 +119,7 @@ func runRWMixCell(cfg Config, d *workload.Dataset, frac float64, clients int) RW
 	}
 
 	var critical int64 // nanoseconds, accumulated across clients
+	var stalls []time.Duration
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -106,15 +130,19 @@ func runRWMixCell(cfg Config, d *workload.Dataset, frac float64, clients int) RW
 			r := workload.NewRNG(cfg.Seed + uint64(100+c))
 			gen := workload.NewUniform(workload.Sum, d.Domain, 0.001, cfg.Seed+uint64(200+c))
 			var localCrit time.Duration
-			inserts := 0
+			var localStalls []time.Duration
 			for i := 0; i < cfg.Queries; i++ {
 				if float64(r.Intn(1000))/1000 < frac {
+					// Inserts and deletes spread over the whole domain,
+					// so every shard's differential keeps crossing the
+					// apply threshold and merges collide with writers.
+					t0 := time.Now()
 					if i%2 == 0 {
-						_ = g.Insert(d.Domain + int64(c*cfg.Queries+inserts))
-						inserts++
+						_ = g.Insert(r.Int64n(d.Domain))
 					} else {
 						_, _ = g.DeleteValue(r.Int64n(d.Domain))
 					}
+					localStalls = append(localStalls, time.Since(t0))
 					continue
 				}
 				q := gen.Next()
@@ -123,6 +151,7 @@ func runRWMixCell(cfg Config, d *workload.Dataset, frac float64, clients int) RW
 			}
 			mu.Lock()
 			critical += int64(localCrit)
+			stalls = append(stalls, localStalls...)
 			mu.Unlock()
 		}(c)
 	}
@@ -138,5 +167,17 @@ func runRWMixCell(cfg Config, d *workload.Dataset, frac float64, clients int) RW
 	cell.ShardsAfter = col.NumShards()
 	cell.Applied, cell.Splits, cell.Merges = st.Applied, st.Splits, st.Merges
 	cell.Critical = time.Duration(critical)
+	cell.WriterP99 = percentile(stalls, 0.99)
 	return cell
+}
+
+// percentile returns the p-quantile of the given durations (0 when
+// none were collected). Sorts in place.
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	i := int(p * float64(len(ds)-1))
+	return ds[i]
 }

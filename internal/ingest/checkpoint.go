@@ -12,10 +12,15 @@ import "adaptix/internal/wal"
 // Checkpoint serializes the column's current shard cuts and per-shard
 // crack boundaries into one committed checkpoint transaction, and
 // truncates the dead log prefix when a truncating sink is configured.
-// When a SnapshotWriter is configured it receives the column's logical
-// contents first, so the data snapshot on disk is always at least as
-// new as the newest committed checkpoint. Reports whether a checkpoint
-// was written (false when no Log is configured or a step failed).
+// The checkpoint names the epoch it captured (wal.CkptEpoch): every
+// open epoch is sealed first, so the accompanying data snapshot is an
+// exact cut at the watermark and recovery can discard half-applied
+// epochs and replay only the logical records beyond it. When a
+// SnapshotWriter is configured it receives the column's logical
+// contents as of the watermark first, so the data snapshot on disk is
+// always at least as new as the newest committed checkpoint. Reports
+// whether a checkpoint was written (false when no Log is configured or
+// a step failed).
 //
 // Checkpoint serializes with Maintain: both hold the maintenance lock,
 // so no structural operation can commit between the snapshot and the
@@ -32,8 +37,15 @@ func (g *Coordinator) checkpointLocked() bool {
 	if g.opts.Log == nil {
 		return false
 	}
+	// Epoch cut first: roll every shard's open epoch so the snapshot
+	// has an exact watermark — contents up to epoch W, nothing beyond.
+	// Writers racing the checkpoint roll over to fresh epochs (they
+	// never park) and their writes, tagged with ids above W, stay out
+	// of the snapshot deterministically; with LogWrites they replay
+	// from their LogicalWrite records instead.
+	watermark := g.col.SealAllEpochs()
 	if g.opts.SnapshotWriter != nil {
-		if err := g.opts.SnapshotWriter(g.col.Values()); err != nil {
+		if err := g.opts.SnapshotWriter(g.col.ValuesAt(watermark)); err != nil {
 			return false
 		}
 	}
@@ -50,7 +62,7 @@ func (g *Coordinator) checkpointLocked() bool {
 	bounds := g.col.Bounds()
 	cracks := g.col.CrackBoundaries()
 	ok := g.structural(func() ([]wal.Record, bool) {
-		n := 1 + len(bounds)
+		n := 2 + len(bounds)
 		for _, set := range cracks {
 			n += len(set)
 		}
@@ -58,6 +70,9 @@ func (g *Coordinator) checkpointLocked() bool {
 		recs = append(recs, wal.Record{
 			Kind: wal.Checkpoint, C: wal.CkptHeader,
 			A: int64(len(cracks)), B: seq,
+		})
+		recs = append(recs, wal.Record{
+			Kind: wal.Checkpoint, C: wal.CkptEpoch, A: watermark,
 		})
 		for _, cut := range bounds {
 			recs = append(recs, wal.Record{Kind: wal.Checkpoint, C: wal.CkptCut, A: cut})

@@ -2,27 +2,35 @@
 // sharded adaptive index (internal/shard). It turns the sharded column
 // into a live, self-balancing structure under a mixed read/write
 // workload, following the paper's update architecture (§4.2): logical
-// updates land in per-shard differential files, and all *structural*
-// work — merging differentials into the cracker arrays, splitting and
-// merging shards — runs in small system transactions (internal/txn)
-// that log structural records to the WAL (internal/wal) and respect
-// user-transaction locks without ever acquiring their own.
+// updates land in per-shard epoch chains — versioned differential
+// files (internal/epoch) — and all *structural* work — merging sealed
+// epochs into the cracker arrays, splitting and merging shards — runs
+// in small system transactions (internal/txn) that log structural
+// records to the WAL (internal/wal) and respect user-transaction locks
+// without ever acquiring their own.
 //
 // Three cooperating pieces:
 //
 //   - The router (Insert / DeleteValue / Apply) forwards writes to the
-//     owning shard's differential file through shard.Column and counts
-//     write traffic so maintenance runs at the right cadence.
+//     owning shard's open epoch through shard.Column and counts write
+//     traffic so maintenance runs at the right cadence. With
+//     Options.LogWrites each write also leaves an autonomous
+//     wal.LogicalWrite record tagged with its epoch, closing the
+//     lose-writes-since-last-checkpoint window.
 //   - The group-apply worker batches pending updates per shard: once a
-//     shard's differential file exceeds Options.ApplyThreshold, the
-//     shard is rebuilt with the differential merged into its cracker
-//     array — one system transaction, one wal.ShardInsert record —
-//     with the old index's crack boundaries replayed so refinement
-//     knowledge earned by earlier queries survives (the group-apply
-//     analogue of the paper's §7 group cracking: many queued updates,
-//     one structural pass).
-//   - The rebalancer watches per-shard row counts and splits shards
-//     that drifted above SplitFactor times the mean (wal.ShardSplit)
+//     shard's chain exceeds Options.ApplyThreshold, the current epoch
+//     is sealed (one system transaction, wal.EpochSeal — writers roll
+//     over to the next epoch without parking) and the sealed prefix is
+//     merged into a rebuilt cracker array (a second system
+//     transaction, wal.EpochApply), with the old index's crack
+//     boundaries replayed so refinement knowledge earned by earlier
+//     queries survives (the group-apply analogue of the paper's §7
+//     group cracking: many queued updates, one structural pass).
+//     Options.ParkOnApply selects the legacy single-differential
+//     rebuild that parks writers — the measurement baseline.
+//   - The rebalancer watches per-shard row counts — and refinement
+//     traffic, with Options.LoadWeight — and splits shards that
+//     drifted above SplitFactor times the mean weight (wal.ShardSplit)
 //     or merges adjacent dwarf shards (wal.ShardMerge), so a skewed
 //     insert storm cannot concentrate all future work in one latch
 //     domain. Readers never block on any of this: structural
@@ -33,13 +41,18 @@
 // the checkpoint writer (checkpoint.go) periodically serializes the
 // complete refinement state — shard cuts plus every shard's crack
 // boundaries — into wal.Checkpoint records, truncating the dead log
-// prefix once the checkpoint commits. wal.Recover folds a checkpoint
-// and the committed records after it into the final cut list and
-// per-shard boundary sets; shard.NewWithBoundsAndCracks rebuilds the
-// column pre-cracked to that knowledge (New bootstrap-logs the
-// initial map so the recovered list is complete even before the first
-// checkpoint). internal/durable packages the whole lifecycle behind
-// Open/Close.
+// prefix once the checkpoint commits. Every checkpoint first rolls
+// every shard's open epoch and records the resulting watermark
+// (wal.CkptEpoch): the data snapshot is an exact cut at that epoch, so
+// recovery discards half-applied epochs (a committed EpochSeal with no
+// committed EpochApply) and replays exactly the LogicalWrite records
+// beyond the watermark. wal.Recover folds a checkpoint and the
+// committed records after it into the final cut list, per-shard
+// boundary sets, and the replayable data tail;
+// shard.NewWithBoundsAndCracks rebuilds the column pre-cracked to that
+// knowledge (New bootstrap-logs the initial map so the recovered list
+// is complete even before the first checkpoint). internal/durable
+// packages the whole lifecycle behind Open/Close.
 package ingest
 
 import (
@@ -83,10 +96,33 @@ type Options struct {
 	// CheckEvery is the number of routed writes between background
 	// maintenance wake-ups. Default ApplyThreshold/2.
 	CheckEvery int
-	// Log, when non-nil, receives structural records (group applies,
-	// splits, merges, checkpoints, and the bootstrap shard map)
-	// bracketed in system transactions.
+	// Log, when non-nil, receives structural records (epoch seals and
+	// applies, splits, merges, checkpoints, and the bootstrap shard
+	// map) bracketed in system transactions.
 	Log *wal.Log
+	// LogWrites enables data-tail durability: every routed insert and
+	// every delete that found an instance is additionally logged as an
+	// autonomous wal.LogicalWrite record (value + op + epoch id).
+	// Recovery replays the records past the last checkpoint's epoch
+	// watermark on top of the data snapshot, closing the
+	// lose-writes-since-last-checkpoint window for deployments where
+	// adaptix is the primary store. Logical records are fsynced with
+	// the next system-transaction commit (or an explicit Log.Sync),
+	// not per write.
+	LogWrites bool
+	// ParkOnApply selects the legacy sealed-differential group-apply:
+	// the shard parks its writers for the full rebuild instead of
+	// sealing only the current epoch. It exists as the measurement
+	// baseline for the epoch write path (experiments.ReadWriteMix
+	// reports the writer-stall p99 of both).
+	ParkOnApply bool
+	// LoadWeight enables load-aware rebalancing: split and merge
+	// decisions weigh each shard's observed refinement traffic (the
+	// Cracks and Conflicts counters in shard.ShardStat) on top of its
+	// row count, so a small-but-scorching shard splits and two hot
+	// dwarfs are not merged back together. Zero keeps pure
+	// row-count balancing; 1 is a reasonable starting weight.
+	LoadWeight float64
 	// CheckpointEvery is the number of committed structural operations
 	// between automatic crack-boundary checkpoints (see Checkpoint).
 	// Zero disables automatic checkpoints; Checkpoint can still be
@@ -145,6 +181,11 @@ type Stats struct {
 	Writes int64
 	// Applied counts group-apply merges.
 	Applied int64
+	// EpochSeals counts epochs sealed ahead of a group-apply merge.
+	EpochSeals int64
+	// LoggedWrites counts wal.LogicalWrite records appended
+	// (Options.LogWrites).
+	LoggedWrites int64
 	// Splits and Merges count rebalancing operations.
 	Splits, Merges int64
 	// Checkpoints counts committed crack-boundary checkpoints.
@@ -168,6 +209,8 @@ type Coordinator struct {
 
 	writes    atomic.Int64
 	applied   atomic.Int64
+	seals     atomic.Int64
+	logged    atomic.Int64
 	splits    atomic.Int64
 	merges    atomic.Int64
 	skipped   atomic.Int64
@@ -214,6 +257,8 @@ func (g *Coordinator) Stats() Stats {
 	return Stats{
 		Writes:             g.writes.Load(),
 		Applied:            g.applied.Load(),
+		EpochSeals:         g.seals.Load(),
+		LoggedWrites:       g.logged.Load(),
 		Splits:             g.splits.Load(),
 		Merges:             g.merges.Load(),
 		Checkpoints:        g.ckpts.Load(),
@@ -221,20 +266,25 @@ func (g *Coordinator) Stats() Stats {
 	}
 }
 
-// Insert routes one insert to the owning shard's differential file.
+// Insert routes one insert to the owning shard's open epoch.
 func (g *Coordinator) Insert(v int64) error {
-	if err := g.col.Insert(v); err != nil {
+	eid, err := g.col.InsertEpoch(v)
+	if err != nil {
 		return err
 	}
+	g.logWrite(v, eid, false)
 	g.wrote(1)
 	return nil
 }
 
 // DeleteValue routes one delete, reporting whether an instance existed.
 func (g *Coordinator) DeleteValue(v int64) (bool, error) {
-	deleted, err := g.col.DeleteValue(v)
+	deleted, eid, err := g.col.DeleteValueEpoch(v)
 	if err != nil {
 		return false, err
+	}
+	if deleted {
+		g.logWrite(v, eid, true)
 	}
 	g.wrote(1)
 	return deleted, nil
@@ -242,25 +292,48 @@ func (g *Coordinator) DeleteValue(v int64) (bool, error) {
 
 // Apply routes a batch of write operations and returns the number of
 // deletes that found an instance. The batch is routed op-by-op (each
-// shard's differential file has its own short latch); batching pays
-// off at the structural level, where one group-apply merges the whole
-// accumulated differential in a single pass.
+// shard's open epoch has its own short latch); batching pays off at
+// the structural level, where one group-apply merges the whole sealed
+// epoch prefix in a single pass.
 func (g *Coordinator) Apply(batch []Op) (deleted int, err error) {
 	for _, op := range batch {
 		if op.Delete {
-			ok, err := g.col.DeleteValue(op.Value)
+			ok, eid, err := g.col.DeleteValueEpoch(op.Value)
 			if err != nil {
 				return deleted, err
 			}
 			if ok {
 				deleted++
+				g.logWrite(op.Value, eid, true)
 			}
-		} else if err := g.col.Insert(op.Value); err != nil {
-			return deleted, err
+		} else {
+			eid, err := g.col.InsertEpoch(op.Value)
+			if err != nil {
+				return deleted, err
+			}
+			g.logWrite(op.Value, eid, false)
 		}
 	}
 	g.wrote(int64(len(batch)))
 	return deleted, nil
+}
+
+// logWrite appends one autonomous wal.LogicalWrite record when
+// Options.LogWrites is on: the data-tail durability path. The record
+// rides outside any system transaction (Txn 0) and is fsynced with the
+// next commit; its epoch tag — not its log position — decides during
+// recovery whether the checkpoint snapshot already contains it.
+func (g *Coordinator) logWrite(v, epochID int64, del bool) {
+	if !g.opts.LogWrites || g.opts.Log == nil {
+		return
+	}
+	var op int64
+	if del {
+		op = 1
+	}
+	if g.append(wal.Record{Kind: wal.LogicalWrite, A: v, B: epochID, C: op}) == nil {
+		g.logged.Add(1)
+	}
 }
 
 // wrote counts routed writes and wakes the background worker every
@@ -352,18 +425,52 @@ func (g *Coordinator) Maintain() int {
 	return total
 }
 
-// applyShard group-applies shard i inside a system transaction,
-// logging a wal.ShardInsert record.
+// applyShard group-applies shard i. The epoch write path (default)
+// runs it as two system transactions mirroring the two structural
+// steps: an EpochSeal (the open epoch rolls over; writers never park)
+// and, once the background merge has published the rebuilt part, an
+// EpochApply with the merged watermark. A crash between the two leaves
+// a sealed epoch with no committed apply — recovery sees exactly that
+// (wal.Catalog.SealedEpochs vs AppliedEpoch) and does not assume the
+// base incorporates it. With Options.ParkOnApply the legacy
+// single-transaction parked rebuild runs instead (wal.ShardInsert).
 func (g *Coordinator) applyShard(i int) bool {
+	if g.opts.ParkOnApply {
+		return g.structural(func() ([]wal.Record, bool) {
+			ap, ok := g.col.ApplyShardParked(i)
+			if !ok {
+				return nil, false
+			}
+			g.applied.Add(1)
+			return []wal.Record{{
+				Kind: wal.ShardInsert,
+				A:    int64(ap.Shard), B: int64(ap.Inserts), C: int64(ap.Deletes),
+			}}, true
+		})
+	}
+	g.structural(func() ([]wal.Record, bool) {
+		se, ok := g.col.SealEpoch(i)
+		if !ok {
+			// Nothing newly sealed; earlier sealed epochs (a checkpoint
+			// roll, or a previous pass whose merge step failed) may
+			// still be pending below.
+			return nil, false
+		}
+		g.seals.Add(1)
+		return []wal.Record{{
+			Kind: wal.EpochSeal,
+			A:    int64(se.Shard), B: se.Epoch, C: int64(se.Inserts + se.Deletes),
+		}}, true
+	})
 	return g.structural(func() ([]wal.Record, bool) {
-		ap, ok := g.col.ApplyShard(i)
+		ap, ok := g.col.ApplySealed(i)
 		if !ok {
 			return nil, false
 		}
 		g.applied.Add(1)
 		return []wal.Record{{
-			Kind: wal.ShardInsert,
-			A:    int64(ap.Shard), B: int64(ap.Inserts), C: int64(ap.Deletes),
+			Kind: wal.EpochApply,
+			A:    int64(ap.Shard), B: ap.Epoch, C: int64(ap.Inserts + ap.Deletes),
 		}}, true
 	})
 }

@@ -159,14 +159,14 @@ func TestApplyBatchesAndGroupApplyPreserveAnswers(t *testing.T) {
 		t.Error("Stats().Applied = 0 after group applies")
 	}
 
-	// The structural WAL must bracket every ShardInsert in a committed
-	// system transaction.
+	// The structural WAL must bracket every epoch seal and apply in a
+	// committed system transaction.
 	recs := log.Records()
 	byTxn := map[uint64][]wal.Kind{}
 	for _, r := range recs {
 		byTxn[r.Txn] = append(byTxn[r.Txn], r.Kind)
 	}
-	applies := 0
+	seals, applies := 0, 0
 	for id, kinds := range byTxn {
 		var begin, commit bool
 		for _, k := range kinds {
@@ -175,7 +175,9 @@ func TestApplyBatchesAndGroupApplyPreserveAnswers(t *testing.T) {
 				begin = true
 			case wal.CommitSystem:
 				commit = true
-			case wal.ShardInsert:
+			case wal.EpochSeal:
+				seals++
+			case wal.EpochApply:
 				applies++
 			}
 		}
@@ -183,8 +185,11 @@ func TestApplyBatchesAndGroupApplyPreserveAnswers(t *testing.T) {
 			t.Errorf("txn %d: records not bracketed (begin=%v commit=%v)", id, begin, commit)
 		}
 	}
+	if seals == 0 {
+		t.Error("no EpochSeal records logged")
+	}
 	if applies == 0 {
-		t.Error("no ShardInsert records logged")
+		t.Error("no EpochApply records logged")
 	}
 }
 

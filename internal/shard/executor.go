@@ -57,9 +57,9 @@ func (c *Column) query(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
 	start := sort.Search(len(m.bounds), func(i int) bool { return m.bounds[i] > lo })
 	for i := start; i < len(m.shards) && m.shards[i].loVal < hi; i++ {
 		s := m.shards[i]
-		rows := s.rows.Load()
-		tot := s.total.Load()
-		mn, mx := s.minA.Load(), s.maxA.Load()
+		rows := s.agg.rows.Load()
+		tot := s.agg.total.Load()
+		mn, mx := s.agg.minA.Load(), s.agg.maxA.Load()
 		if rows == 0 || mx < lo || mn >= hi {
 			continue // no qualifying values in this shard
 		}
@@ -114,6 +114,9 @@ func (c *Column) query(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
 		merged.Crack += r.st.Crack
 		merged.Conflicts += r.st.Conflicts
 		merged.Skipped = merged.Skipped || r.st.Skipped
+		if r.st.Epochs > merged.Epochs {
+			merged.Epochs = r.st.Epochs
+		}
 		if r.elapsed > merged.Critical {
 			merged.Critical = r.elapsed
 		}
@@ -123,7 +126,10 @@ func (c *Column) query(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
 
 // sub runs one per-shard sub-query with the predicate clamped to the
 // shard's assigned range, so crack boundaries always land inside the
-// shard's own value domain.
+// shard's own value domain. The base answer from the cracked index is
+// adjusted by the shard's epoch chain — the snapshot-read rule: base
+// part plus every visible epoch, exact even while a sealed prefix is
+// being merged in the background.
 func (s *part) sub(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
 	if lo < s.loVal {
 		lo = s.loVal
@@ -131,8 +137,21 @@ func (s *part) sub(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
 	if hi > s.hiVal {
 		hi = s.hiVal
 	}
+	var v int64
+	var st crackindex.OpStats
 	if wantSum {
-		return s.src.Sum(lo, hi)
+		v, st = s.src.Sum(lo, hi)
+	} else {
+		v, st = s.src.Count(lo, hi)
 	}
-	return s.src.Count(lo, hi)
+	if s.chain != nil {
+		var adj int64
+		if wantSum {
+			adj, st.Epochs = s.chain.SumAdj(lo, hi)
+		} else {
+			adj, st.Epochs = s.chain.CountAdj(lo, hi)
+		}
+		v += adj
+	}
+	return v, st
 }

@@ -23,12 +23,16 @@
 // (quantile cuts), so shards are balanced for any input distribution
 // without a full sort. The column is mutable and self-adjusting: the
 // write path (update.go) routes inserts and deletes to the owning
-// shard's differential file, and structural operations — group-apply
-// merges of the differential into the cracker array, online shard
-// splits and merges — swap parts of the shard map atomically, reusing
-// the piece-latch discipline one level up: readers navigate an
-// immutable map snapshot and never block on a structural change, the
-// same way piece readers never block on a crack of another piece.
+// shard's epoch chain (internal/epoch) — an append-only chain of
+// versioned differential files — and structural operations swap parts
+// of the shard map atomically, reusing the piece-latch discipline one
+// level up: readers navigate an immutable map snapshot and never block
+// on a structural change, the same way piece readers never block on a
+// crack of another piece. A group-apply merge seals only the shard's
+// current epoch, so writers never park either: they roll over to the
+// next epoch while the sealed prefix merges into the cracker array in
+// the background. Online shard splits and merges cut the epoch chains
+// consistently (every pending write folds into the successors' bases).
 // Orchestration of those structural operations (thresholds, system
 // transactions, WAL records) lives in internal/ingest.
 package shard
@@ -44,6 +48,7 @@ import (
 
 	"adaptix/internal/crackindex"
 	"adaptix/internal/engine"
+	"adaptix/internal/epoch"
 	"adaptix/internal/workload"
 )
 
@@ -99,10 +104,29 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// partAgg holds one shard lineage's mutable aggregates. rows and
+// total are exact logical values (base plus the net epoch chain);
+// minA/maxA only ever widen, which keeps pruning and the
+// fully-covered fast path conservative but correct (a deleted
+// extremum leaves them stale-wide).
+//
+// The struct is shared by pointer between a part and the successor a
+// group-apply publishes: the merge changes the physical layout, never
+// the logical contents, so the aggregates carry over exactly and a
+// writer racing the publish updates the same counters either way.
+// Split, merge, and the parked apply — which drain writers first —
+// compute fresh exact aggregates instead.
+type partAgg struct {
+	rows  atomic.Int64
+	total atomic.Int64
+	minA  atomic.Int64 // maxKey while the shard is empty
+	maxA  atomic.Int64 // minKey while the shard is empty
+}
+
 // part is one shard: a contiguous value range [loVal, hiVal) backed by
 // its own index. The assigned range, the base slice and the index
 // identity are immutable after the part is published in a shard map;
-// contents change only through the differential write path, and the
+// contents change only through the epoch-chain write path, and the
 // precomputed aggregates track them atomically (see update.go for the
 // ordering contract readers rely on).
 type part struct {
@@ -111,19 +135,23 @@ type part struct {
 	ix           *crackindex.Index      // nil for custom-source shards
 	src          engine.AggregateSource // query surface (== ix for cracked shards)
 
-	// Mutable aggregates. rows and total are exact logical values
-	// (base plus net differential); minA/maxA only ever widen, which
-	// keeps pruning and the fully-covered fast path conservative but
-	// correct (a deleted extremum leaves them stale-wide).
-	rows  atomic.Int64
-	total atomic.Int64
-	minA  atomic.Int64 // maxKey while the shard is empty
-	maxA  atomic.Int64 // minKey while the shard is empty
+	// chain is the shard's versioned differential: pending writes in
+	// an append-only chain of epoch files (nil for custom-source
+	// shards). baseEpoch is the epoch watermark the base slice
+	// incorporates: the chain holds exactly the epochs after it.
+	chain     *epoch.Chain
+	baseEpoch int64
+
+	// agg is shared with the successor across a group-apply (see
+	// partAgg).
+	agg *partAgg
 
 	// Write gate. Writers hold wmu.RLock around a routed update and
-	// re-check sealed; a structural operation seals the part (blocking
-	// until in-flight writers drain), rebuilds a successor, publishes
-	// the new shard map, and closes replaced to wake parked writers.
+	// re-check sealed; a structural operation that must reroute
+	// writers (split, merge, parked apply — NOT the epoch-chain
+	// group-apply) seals the part (blocking until in-flight writers
+	// drain), rebuilds a successor, publishes the new shard map, and
+	// closes replaced to wake parked writers.
 	wmu      sync.RWMutex
 	sealed   bool
 	replaced chan struct{}
@@ -151,10 +179,34 @@ type Column struct {
 	m    atomic.Pointer[shardMap]
 	sem  chan struct{} // bounds extra fan-out workers (see Options.Workers)
 
-	// structMu serializes structural operations (ApplyShard,
-	// SplitShard, MergeShards). Queries and routed updates never take
-	// it.
+	// epochSeq allocates epoch ids: one monotonic counter per column,
+	// so a single watermark orders every epoch of every shard (the
+	// checkpoint cut recovery relies on).
+	epochSeq atomic.Int64
+
+	// structMu serializes structural operations (SealEpoch, ApplyShard,
+	// SplitShard, MergeShards, SealAllEpochs). Queries and routed
+	// updates never take it.
 	structMu sync.Mutex
+}
+
+// nextEpochID allocates the next epoch id.
+func (c *Column) nextEpochID() int64 { return c.epochSeq.Add(1) }
+
+// AdvanceEpoch raises the epoch-id counter to at least seq. Recovery
+// calls this with the highest epoch id the recovered log mentions
+// (watermark, sealed/applied ids, logical-write tags), so ids stay
+// monotonic across process incarnations: without it, a reopened
+// column would reissue low ids, and stale log segments surviving a
+// failed truncation could alias old-incarnation records into the new
+// epoch namespace (re-admitting already-snapshotted writes).
+func (c *Column) AdvanceEpoch(seq int64) {
+	for {
+		cur := c.epochSeq.Load()
+		if cur >= seq || c.epochSeq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
 }
 
 // New builds a sharded column over values. Boundary selection samples
@@ -270,10 +322,11 @@ func (c *Column) newPart(loVal, hiVal int64, vals []int64, warm []int64) *part {
 	p := &part{
 		loVal: loVal, hiVal: hiVal,
 		base:     vals,
+		agg:      new(partAgg),
 		replaced: make(chan struct{}),
 	}
-	p.minA.Store(maxKey)
-	p.maxA.Store(minKey)
+	p.agg.minA.Store(maxKey)
+	p.agg.maxA.Store(minKey)
 	if len(vals) > 0 {
 		mn, mx := vals[0], vals[0]
 		var total int64
@@ -286,27 +339,35 @@ func (c *Column) newPart(loVal, hiVal int64, vals []int64, warm []int64) *part {
 				mx = v
 			}
 		}
-		p.rows.Store(int64(len(vals)))
-		p.total.Store(total)
-		p.minA.Store(mn)
-		p.maxA.Store(mx)
+		p.agg.rows.Store(int64(len(vals)))
+		p.agg.total.Store(total)
+		p.agg.minA.Store(mn)
+		p.agg.maxA.Store(mx)
 	}
 	if c.opts.Source != nil {
 		p.src = c.opts.Source(vals)
 		return p
 	}
-	p.ix = crackindex.New(vals, c.opts.Index)
+	p.chain = epoch.NewChain(c.nextEpochID)
+	p.baseEpoch = p.chain.OpenID() - 1
+	p.buildIndex(vals, warm, c.opts.Index)
+	return p
+}
+
+// buildIndex builds the part's cracked index over vals and warm-replays
+// the given crack boundaries into it.
+func (p *part) buildIndex(vals []int64, warm []int64, opts crackindex.Options) {
+	p.ix = crackindex.New(vals, opts)
 	p.src = p.ix
 	for _, b := range warm {
 		// Inclusive of the shard edges: queries clamped at loVal/hiVal
 		// crack exactly there (an empty edge piece), and replaying that
 		// boundary spares the successor a full partition pass on its
 		// first edge-clamped query.
-		if b >= loVal && b <= hiVal {
+		if b >= p.loVal && b <= p.hiVal {
 			p.ix.CrackAt(b)
 		}
 	}
-	return p
 }
 
 // chooseBounds picks up to shards-1 strictly increasing cut values
@@ -357,7 +418,7 @@ func (c *Column) Bounds() []int64 {
 func (c *Column) Rows() int {
 	var n int64
 	for _, s := range c.m.Load().shards {
-		n += s.rows.Load()
+		n += s.agg.rows.Load()
 	}
 	return int(n)
 }
@@ -378,8 +439,26 @@ type ShardStat struct {
 	// differential updates).
 	Rows int
 	// PendingInserts and PendingDeletes count differential updates not
-	// yet group-applied into the shard's cracker array.
+	// yet group-applied into the shard's cracker array, across every
+	// epoch of the shard's chain (sealed and open).
 	PendingInserts, PendingDeletes int
+	// Epochs is the number of live epoch files in the shard's
+	// differential chain (sealed-unapplied plus the open one); 0 for
+	// custom-source shards.
+	Epochs int
+	// SealedEpochs is the number of sealed epochs awaiting a
+	// group-apply merge.
+	SealedEpochs int
+	// OpenEpoch is the open epoch's id (monotonic per column; the last
+	// sealed epoch's id in the transient window where a structural
+	// operation has closed the chain).
+	OpenEpoch int64
+	// BaseEpoch is the epoch watermark the shard's base array
+	// incorporates: every epoch up to it has been applied.
+	BaseEpoch int64
+	// EpochStats is the per-epoch breakdown of the chain, in chain
+	// order (id, pending counts, sealed flag).
+	EpochStats []epoch.Stat
 	// Pieces is the current piece count of the shard's cracked index
 	// (0 until the first query initializes it, and for custom-source
 	// shards).
@@ -417,24 +496,53 @@ func (c *Column) CrackBoundaries() [][]int64 {
 }
 
 // Values materializes the column's logical contents: every shard's
-// base slice with its differential file applied, concatenated in shard
-// order. Each shard's contribution is internally consistent (the
-// differential is snapshotted under its latch); a writer racing with
-// the dump is either fully included or fully excluded per shard. The
-// checkpoint writer persists this as the base snapshot accompanying a
-// checkpoint.
+// base slice with its full epoch chain applied, concatenated in shard
+// order. Each shard's contribution is internally consistent (each
+// epoch file is snapshotted under its latch); a writer racing with the
+// dump is either fully included or fully excluded per shard.
 func (c *Column) Values() []int64 {
+	return c.ValuesAt(math.MaxInt64)
+}
+
+// ValuesAt materializes the column's logical contents as of the epoch
+// watermark: every shard's base slice plus only the epochs with id <=
+// maxEpoch. With maxEpoch from SealAllEpochs the cut is exact — every
+// epoch at or below the watermark is sealed (immutable), every write
+// beyond it is excluded deterministically — which is what makes the
+// checkpoint snapshot and the logical-record replay after it
+// (wal.Recover's TailWrites) partition the write history without gap
+// or overlap. The checkpoint writer persists this as the base snapshot
+// accompanying a checkpoint.
+func (c *Column) ValuesAt(maxEpoch int64) []int64 {
 	m := c.m.Load()
 	out := make([]int64, 0, c.Rows())
 	for _, p := range m.shards {
-		if p.ix == nil {
+		if p.chain == nil {
 			out = append(out, p.base...)
 			continue
 		}
-		ins, del := p.ix.PendingSnapshot()
+		ins, del := p.chain.Collect(maxEpoch)
 		out = append(out, p.mergedValues(ins, del)...)
 	}
 	return out
+}
+
+// SealAllEpochs rolls every shard's open epoch past a common cut and
+// returns the watermark: every write already routed lives in an epoch
+// at or below it, every future write lands above it. Writers never
+// park — they roll over to the fresh epochs — and empty open epochs
+// are renumbered rather than churned. The checkpoint writer calls this
+// before snapshotting (ValuesAt) so the persisted cut is exact.
+func (c *Column) SealAllEpochs() int64 {
+	c.structMu.Lock()
+	defer c.structMu.Unlock()
+	w := c.epochSeq.Load()
+	for _, p := range c.m.Load().shards {
+		if p.chain != nil {
+			p.chain.Roll()
+		}
+	}
+	return w
 }
 
 // Snapshot returns a per-shard statistics snapshot, in shard order.
@@ -444,11 +552,27 @@ func (c *Column) Snapshot() []ShardStat {
 	for i, s := range m.shards {
 		st := ShardStat{
 			Shard: i, LoVal: s.loVal, HiVal: s.hiVal,
-			Rows: int(s.rows.Load()),
+			Rows: int(s.agg.rows.Load()),
+		}
+		if s.chain != nil {
+			// One consistent pass over the chain: counts derive from
+			// the per-file sealed flags, so the stat stays truthful
+			// even in the transient window where a structural
+			// operation has closed the chain (no open epoch).
+			st.EpochStats = s.chain.Stats()
+			st.Epochs = len(st.EpochStats)
+			for _, es := range st.EpochStats {
+				st.PendingInserts += es.Ins
+				st.PendingDeletes += es.Del
+				if es.Sealed {
+					st.SealedEpochs++
+				}
+				st.OpenEpoch = es.ID
+			}
+			st.BaseEpoch = s.baseEpoch
 		}
 		if s.ix != nil {
 			ixStats := s.ix.Stats()
-			st.PendingInserts, st.PendingDeletes = s.ix.PendingUpdates()
 			st.Pieces = s.ix.NumPieces()
 			st.Cracks = ixStats.Cracks.Load()
 			st.Boundaries = ixStats.Boundaries.Load()
@@ -488,15 +612,15 @@ func (c *Column) Validate() error {
 			return fmt.Errorf("shard %d: range [%d,%d) disagrees with bounds [%d,%d)",
 				i, s.loVal, s.hiVal, wantLo, wantHi)
 		}
-		if s.rows.Load() > 0 && (s.minA.Load() < s.loVal || s.maxA.Load() >= s.hiVal) {
+		if s.agg.rows.Load() > 0 && (s.agg.minA.Load() < s.loVal || s.agg.maxA.Load() >= s.hiVal) {
 			return fmt.Errorf("shard %d: data [%d,%d] outside assigned range [%d,%d)",
-				i, s.minA.Load(), s.maxA.Load(), s.loVal, s.hiVal)
+				i, s.agg.minA.Load(), s.agg.maxA.Load(), s.loVal, s.hiVal)
 		}
 		if s.ix != nil {
-			nIns, nDel := s.ix.PendingUpdates()
-			if want := int64(len(s.base) + nIns - nDel); s.rows.Load() != want {
+			nIns, nDel := s.chain.Pending()
+			if want := int64(len(s.base) + nIns - nDel); s.agg.rows.Load() != want {
 				return fmt.Errorf("shard %d: rows %d, base %d + %d pending inserts - %d pending deletes = %d",
-					i, s.rows.Load(), len(s.base), nIns, nDel, want)
+					i, s.agg.rows.Load(), len(s.base), nIns, nDel, want)
 			}
 			if err := s.ix.Validate(); err != nil {
 				return fmt.Errorf("shard %d: %w", i, err)

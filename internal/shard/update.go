@@ -2,33 +2,53 @@
 // sharded column.
 //
 // Routed updates: Insert and DeleteValue navigate the current shard
-// map snapshot to the owning shard and land in that shard's
-// differential file (crackindex updates.go), so queries see them
-// immediately; the per-shard aggregates are maintained atomically
-// alongside.
+// map snapshot to the owning shard and land in that shard's epoch
+// chain (internal/epoch) — the versioned differential file — so
+// queries see them immediately; the per-shard aggregates are
+// maintained atomically alongside.
 //
 // Ordering contract between writers and the executor's aggregate fast
-// path (executor.go reads rows/total BEFORE minA/maxA):
+// path (executor.go reads rows/total BEFORE minA/maxA), extended
+// per-epoch — the epoch append happens before the aggregate update, so
+// an answer assembled from aggregates never counts a value the chain
+// does not yet carry:
 //
-//	writer:  differential update  ->  widen minA/maxA  ->  rows/total
-//	reader:  rows/total           ->  minA/maxA
+//	writer:  epoch-chain append  ->  widen minA/maxA  ->  rows/total
+//	reader:  rows/total          ->  minA/maxA
 //
 // If a reader's rows (or total) load observes a writer's increment,
 // the happens-before chain through the atomics guarantees it also
 // observes that writer's widened min/max, so the fully-covered fast
 // path can never count a value that lies outside the predicate. If the
 // load misses the increment, the answer is simply serialized before
-// that write.
+// that write. The aggregates live in a partAgg shared between a part
+// and the successor a group-apply publishes, so the contract holds
+// across the swap without draining writers.
 //
-// Structural operations (group-apply merge, split, merge) follow a
-// seal-rebuild-publish protocol: seal the part (drain in-flight
-// writers; parked writers wait on the part's replaced channel),
-// snapshot its logical contents from the immutable base slice plus the
-// stable differential file, build replacement part(s) — replaying the
-// old index's crack boundaries so refinement knowledge survives — and
-// atomically publish a new shard map. Readers never block: a query
-// holding the old map keeps using the old parts, which stay intact and
-// correct (their differential file is snapshotted, never cleared).
+// Structural operations come in two shapes:
+//
+//   - The epoch-chain group-apply (SealEpoch + ApplySealed, or the
+//     one-shot ApplyShard) seals only the shard's CURRENT epoch:
+//     writers immediately append to the freshly opened successor and
+//     never park, while the sealed prefix merges into a rebuilt
+//     cracker array in the background. The successor part shares the
+//     ancestor's aggregates and forks its chain past the applied
+//     watermark; a writer still holding the pre-publish part appends
+//     to the same (shared) open epoch file, so no write is ever lost
+//     to the swap.
+//
+//   - Rerouting operations (SplitShard, MergeShards, and the legacy
+//     ApplyShardParked) follow the full seal-rebuild-publish protocol:
+//     seal the part (drain in-flight writers; parked writers wait on
+//     the part's replaced channel), close the epoch chain so writers
+//     holding a stale pre-fork part cut over too, snapshot the logical
+//     contents, build replacement part(s) — replaying the old index's
+//     crack boundaries so refinement knowledge survives — and
+//     atomically publish a new shard map.
+//
+// Readers never block on either shape: a query holding the old map
+// keeps using the old parts, which stay intact and correct (sealed
+// epochs are immutable, the shared open epoch only grows).
 package shard
 
 import (
@@ -37,112 +57,158 @@ import (
 )
 
 // ErrReadOnlyShard is returned for updates routed to a shard built
-// from a custom Options.Source (only cracked shards have a
-// differential file).
+// from a custom Options.Source (only cracked shards have an epoch
+// chain).
 var ErrReadOnlyShard = errors.New("shard: custom-source shard is read-only")
 
 // Insert adds one logical instance of v to the column, routing it to
-// the owning shard's differential file. Safe for concurrent use; an
-// insert racing with a structural operation on the owning shard parks
-// until the successor shard map is published, then re-routes.
+// the owning shard's open epoch. Safe for concurrent use; an insert
+// racing with a group-apply merge never parks (it rolls over to the
+// next epoch), and one racing with a split or merge of the owning
+// shard parks until the successor shard map is published, then
+// re-routes.
 func (c *Column) Insert(v int64) error {
+	_, err := c.InsertEpoch(v)
+	return err
+}
+
+// InsertEpoch is Insert reporting the id of the epoch the value landed
+// in — the version tag a logical WAL record carries so recovery can
+// tell writes captured by a checkpoint snapshot (epoch <= watermark)
+// from writes that must be replayed.
+func (c *Column) InsertEpoch(v int64) (int64, error) {
 	for {
 		m := c.m.Load()
 		p := m.shards[m.route(v)]
-		if p.ix == nil {
-			return ErrReadOnlyShard
+		if p.chain == nil {
+			return 0, ErrReadOnlyShard
 		}
-		ok, wait := p.tryInsert(v)
+		eid, ok, wait := p.tryInsert(v)
 		if ok {
-			return nil
+			return eid, nil
 		}
-		<-wait
+		if wait != nil {
+			<-wait // parked: split/merge in progress
+		}
+		// else: the open epoch was sealed under a stale part reference;
+		// the successor map is already published — re-route.
 	}
 }
 
 // DeleteValue removes one logical instance of v, reporting whether one
 // existed. Deletion is differential: an anti-matter record joins the
-// owning shard's pending file and cancels one instance at query time.
+// owning shard's open epoch and cancels one instance at query time.
 func (c *Column) DeleteValue(v int64) (bool, error) {
+	deleted, _, err := c.DeleteValueEpoch(v)
+	return deleted, err
+}
+
+// DeleteValueEpoch is DeleteValue reporting the id of the epoch the
+// anti-matter record landed in (0 when no instance existed).
+func (c *Column) DeleteValueEpoch(v int64) (deleted bool, epochID int64, err error) {
 	for {
 		m := c.m.Load()
 		p := m.shards[m.route(v)]
-		if p.ix == nil {
-			return false, ErrReadOnlyShard
+		if p.chain == nil {
+			return false, 0, ErrReadOnlyShard
 		}
-		deleted, ok, wait := p.tryDelete(v)
+		eid, deleted, ok, wait := p.tryDelete(v)
 		if ok {
-			return deleted, nil
+			return deleted, eid, nil
 		}
-		<-wait
+		if wait != nil {
+			<-wait
+		}
 	}
 }
 
-// tryInsert applies the insert unless the part is sealed; when sealed
-// it returns the channel the caller must wait on before re-routing.
-func (p *part) tryInsert(v int64) (bool, <-chan struct{}) {
+// tryInsert applies the insert unless the part is sealed (structural
+// reroute in progress: wait on the returned channel) or its open epoch
+// was sealed under a stale reference (re-route immediately: ok false,
+// wait nil).
+func (p *part) tryInsert(v int64) (epochID int64, ok bool, wait <-chan struct{}) {
 	p.wmu.RLock()
 	if p.sealed {
 		ch := p.replaced
 		p.wmu.RUnlock()
-		return false, ch
+		return 0, false, ch
 	}
-	p.ix.Insert(v)
+	eid, ok := p.chain.Insert(v)
+	if !ok {
+		p.wmu.RUnlock()
+		return 0, false, nil
+	}
 	p.widen(v)
-	p.rows.Add(1)
-	p.total.Add(v)
+	p.agg.rows.Add(1)
+	p.agg.total.Add(v)
 	p.wmu.RUnlock()
-	return true, nil
+	return eid, true, nil
 }
 
-func (p *part) tryDelete(v int64) (deleted, ok bool, wait <-chan struct{}) {
+func (p *part) tryDelete(v int64) (epochID int64, deleted, ok bool, wait <-chan struct{}) {
+	// The existence check against the immutable base cracks the
+	// shard's index as a side effect — one user operation both
+	// querying and optimizing (paper §3). It runs outside every latch:
+	// the base multiset never changes, so the count stays valid.
+	baseN, _ := p.ix.Count(v, v+1)
 	p.wmu.RLock()
 	if p.sealed {
 		ch := p.replaced
 		p.wmu.RUnlock()
-		return false, false, ch
+		return 0, false, false, ch
 	}
-	// The existence check inside DeleteValue cracks the shard's index
-	// as a side effect — one user operation both querying and
-	// optimizing (paper §3).
-	if p.ix.DeleteValue(v) {
-		p.rows.Add(-1)
-		p.total.Add(-v)
-		deleted = true
+	eid, deleted, ok2 := p.chain.Delete(v, baseN)
+	if !ok2 {
+		p.wmu.RUnlock()
+		return 0, false, false, nil
+	}
+	if deleted {
+		p.agg.rows.Add(-1)
+		p.agg.total.Add(-v)
 	}
 	p.wmu.RUnlock()
-	return deleted, true, nil
+	return eid, deleted, true, nil
 }
 
 // widen extends the min/max envelope to cover v (CAS loops; the
-// envelope only ever widens, see the part field docs).
+// envelope only ever widens, see the partAgg docs).
 func (p *part) widen(v int64) {
 	for {
-		cur := p.minA.Load()
-		if v >= cur || p.minA.CompareAndSwap(cur, v) {
+		cur := p.agg.minA.Load()
+		if v >= cur || p.agg.minA.CompareAndSwap(cur, v) {
 			break
 		}
 	}
 	for {
-		cur := p.maxA.Load()
-		if v <= cur || p.maxA.CompareAndSwap(cur, v) {
+		cur := p.agg.maxA.Load()
+		if v <= cur || p.agg.maxA.CompareAndSwap(cur, v) {
 			break
 		}
 	}
 }
 
-// seal blocks new writers and drains in-flight ones. Caller must hold
-// c.structMu and must eventually either retire or unseal the part.
+// seal blocks new writers and drains in-flight ones, then closes the
+// epoch chain so writers holding a stale pre-fork part reference are
+// cut off too (their append fails and they re-route to this part's
+// current map entry, where they park). Caller must hold c.structMu and
+// must eventually either retire or unseal the part.
 func (p *part) seal() {
 	p.wmu.Lock()
 	p.sealed = true
 	p.wmu.Unlock()
+	if p.chain != nil {
+		p.chain.Close()
+	}
 }
 
 // unseal reopens a sealed part (a structural operation that found
-// nothing to do). The replaced channel is rotated so parked writers
-// wake, re-route, and find the same part writable again.
+// nothing to do). The chain gets a fresh open epoch and the replaced
+// channel is rotated so parked writers wake, re-route, and find the
+// same part writable again.
 func (p *part) unseal() {
+	if p.chain != nil {
+		p.chain.Reopen()
+	}
 	p.wmu.Lock()
 	p.sealed = false
 	old := p.replaced
@@ -159,17 +225,16 @@ func (p *part) retire() {
 }
 
 // logicalValues materializes the shard's logical contents: the
-// immutable base slice with the differential file applied (deletes
+// immutable base slice with the full epoch chain applied (deletes
 // cancel base instances first, then pending inserts). Caller must have
-// sealed the part so the differential is stable.
+// sealed the part so the chain is stable.
 func (p *part) logicalValues() []int64 {
-	ins, del := p.ix.PendingSnapshot()
+	ins, del := p.chain.Collect(int64(maxKey))
 	return p.mergedValues(ins, del)
 }
 
-// mergedValues is logicalValues over an already-taken differential
-// snapshot (ApplyShard needs the snapshot itself and avoids copying
-// it twice).
+// mergedValues applies a differential snapshot (pending inserts and
+// anti-matter deletes, any order) to the part's base slice.
 func (p *part) mergedValues(ins, del []int64) []int64 {
 	if len(ins) == 0 && len(del) == 0 {
 		return append([]int64(nil), p.base...)
@@ -206,50 +271,151 @@ func (c *Column) publish(old *shardMap, i, n int, repl []*part, bounds []int64) 
 	c.m.Store(&shardMap{bounds: bounds, shards: shards})
 }
 
-// Applied describes one group-apply merge (ApplyShard).
+// SealedEpoch describes one epoch sealed by SealEpoch.
+type SealedEpoch struct {
+	// Shard is the shard's ordinal at the time of the seal.
+	Shard int
+	// Epoch is the sealed epoch's id.
+	Epoch int64
+	// Inserts and Deletes are the record counts it was sealed with.
+	Inserts, Deletes int
+}
+
+// SealEpoch seals shard i's open epoch and opens a fresh successor:
+// the first half of the epoch-chain group-apply, logged separately
+// (wal.EpochSeal) from the merge so recovery can tell a sealed epoch
+// whose merge never committed. Writers never park — they roll over to
+// the new epoch. Reports false when the open epoch is empty or the
+// shard is a custom-source shard.
+func (c *Column) SealEpoch(i int) (SealedEpoch, bool) {
+	c.structMu.Lock()
+	defer c.structMu.Unlock()
+	m := c.m.Load()
+	if i < 0 || i >= len(m.shards) || m.shards[i].chain == nil {
+		return SealedEpoch{}, false
+	}
+	info, ok := m.shards[i].chain.Seal()
+	if !ok {
+		return SealedEpoch{}, false
+	}
+	return SealedEpoch{Shard: i, Epoch: info.ID, Inserts: info.Ins, Deletes: info.Del}, true
+}
+
+// Applied describes one group-apply merge (ApplyShard / ApplySealed).
 type Applied struct {
 	// Shard is the ordinal of the merged shard at the time of the merge.
 	Shard int
 	// Inserts and Deletes count the differential updates merged into
 	// the rebuilt cracker array.
 	Inserts, Deletes int
-	// Rows is the shard's row count after the merge.
+	// Rows is the shard's base row count after the merge.
 	Rows int
 	// Boundaries is the number of crack boundaries replayed into the
 	// rebuilt index.
 	Boundaries int
+	// Epoch is the watermark merged into the base: every epoch up to
+	// it is applied, every later one survives in the successor chain.
+	Epoch int64
+	// Epochs is the number of sealed epoch files the merge folded in.
+	Epochs int
 }
 
-// ApplyShard group-applies shard i's pending differential updates into
-// its cracker array: the shard is rebuilt over its merged logical
-// contents, the old index's crack boundaries are replayed into the
-// fresh index, and the shard map is republished. Reports false when
-// the shard has no pending updates (or is a custom-source shard).
+// ApplySealed group-applies shard i's sealed epochs into its cracker
+// array: the shard is rebuilt over its base merged with every sealed
+// epoch, the old index's crack boundaries are replayed into the fresh
+// index, and the shard map is republished with a successor that shares
+// the ancestor's aggregates and forks the chain past the applied
+// watermark. Reports false when no sealed epochs exist.
 //
-// Readers never block: the old part keeps answering for queries that
-// hold the previous map. Writers routed to the shard park until the
-// rebuilt part is published. Callers that need durability wrap this in
-// a system transaction and log a wal.ShardInsert record
-// (internal/ingest does both).
+// Nobody blocks: readers holding the previous map keep using the old
+// part (its sealed epochs stay visible through its own chain), and
+// writers append to the open epoch throughout — the open epoch file is
+// shared between the old and new chain, so a write racing the publish
+// lands in both views. Callers that need durability log wal.EpochSeal
+// and wal.EpochApply records around this (internal/ingest does).
+func (c *Column) ApplySealed(i int) (Applied, bool) {
+	c.structMu.Lock()
+	defer c.structMu.Unlock()
+	return c.applySealedLocked(i)
+}
+
+// ApplyShard is the one-shot group-apply: seal shard i's open epoch,
+// then merge every sealed epoch into the cracker array. Reports false
+// when the shard has no pending updates at all (or is a custom-source
+// shard). Writers never park.
 func (c *Column) ApplyShard(i int) (Applied, bool) {
 	c.structMu.Lock()
 	defer c.structMu.Unlock()
 	m := c.m.Load()
-	if i < 0 || i >= len(m.shards) || m.shards[i].ix == nil {
+	if i < 0 || i >= len(m.shards) || m.shards[i].chain == nil {
+		return Applied{}, false
+	}
+	m.shards[i].chain.Seal() // no-op when the open epoch is empty
+	return c.applySealedLocked(i)
+}
+
+func (c *Column) applySealedLocked(i int) (Applied, bool) {
+	m := c.m.Load()
+	if i < 0 || i >= len(m.shards) || m.shards[i].chain == nil {
 		return Applied{}, false
 	}
 	p := m.shards[i]
-	if nIns, nDel := p.ix.PendingUpdates(); nIns == 0 && nDel == 0 {
+	ins, del, watermark, sealed := p.chain.SealedSnapshot()
+	if sealed == 0 {
 		return Applied{}, false
 	}
+	vals := p.mergedValues(ins, del)
+	warm := p.ix.Boundaries()
+	q := &part{
+		loVal: p.loVal, hiVal: p.hiVal,
+		base:      vals,
+		agg:       p.agg, // shared: logical contents are unchanged
+		chain:     p.chain.Fork(watermark),
+		baseEpoch: watermark,
+		replaced:  make(chan struct{}),
+	}
+	q.buildIndex(vals, warm, c.opts.Index)
+	c.publish(m, i, 1, []*part{q}, m.bounds)
+	// No retire(): nothing parks on an epoch-chain apply. The old part
+	// stays intact for readers (and stale writers) still holding it.
+	return Applied{
+		Shard: i, Inserts: len(ins), Deletes: len(del),
+		Rows: len(vals), Boundaries: len(warm),
+		Epoch: watermark, Epochs: sealed,
+	}, true
+}
+
+// ApplyShardParked is the legacy single-differential group-apply: the
+// shard is sealed for writers for the full rebuild (parked writers pay
+// the rebuild latency — the stall the epoch chain exists to remove;
+// experiments.ReadWriteMix measures the difference). It folds every
+// epoch, sealed and open, into the rebuilt array and publishes a
+// successor with a fresh chain and exact aggregates. Reports false
+// when the shard has no pending updates.
+func (c *Column) ApplyShardParked(i int) (Applied, bool) {
+	c.structMu.Lock()
+	defer c.structMu.Unlock()
+	m := c.m.Load()
+	if i < 0 || i >= len(m.shards) || m.shards[i].chain == nil {
+		return Applied{}, false
+	}
+	p := m.shards[i]
+	if nIns, nDel := p.chain.Pending(); nIns == 0 && nDel == 0 {
+		return Applied{}, false
+	}
+	epochs := p.chain.Len()
 	p.seal()
-	ins, del := p.ix.PendingSnapshot()
+	ins, del := p.chain.Collect(int64(maxKey))
 	vals := p.mergedValues(ins, del)
 	warm := p.ix.Boundaries()
 	q := c.newPart(p.loVal, p.hiVal, vals, warm)
 	c.publish(m, i, 1, []*part{q}, m.bounds)
 	p.retire()
-	return Applied{Shard: i, Inserts: len(ins), Deletes: len(del), Rows: len(vals), Boundaries: len(warm)}, true
+	return Applied{
+		Shard: i, Inserts: len(ins), Deletes: len(del),
+		Rows: len(vals), Boundaries: len(warm),
+		Epoch: q.baseEpoch, Epochs: epochs,
+	}, true
 }
 
 // Split describes one shard split (SplitShard).
@@ -264,16 +430,18 @@ type Split struct {
 }
 
 // SplitShard splits shard i at the median of its logical contents,
-// publishing a shard map with one more shard. Pending differential
-// updates are group-applied as part of the rebuild, and the old
-// index's crack boundaries are replayed into whichever side owns them.
-// Reports false when the shard cannot be split (custom source, or
-// fewer than two distinct values).
+// publishing a shard map with one more shard. The full epoch chain is
+// group-applied as part of the rebuild — a split cuts the chain
+// consistently: both successors start with fresh, empty chains over
+// bases that incorporate every pending write — and the old index's
+// crack boundaries are replayed into whichever side owns them. Reports
+// false when the shard cannot be split (custom source, or fewer than
+// two distinct values).
 func (c *Column) SplitShard(i int) (Split, bool) {
 	c.structMu.Lock()
 	defer c.structMu.Unlock()
 	m := c.m.Load()
-	if i < 0 || i >= len(m.shards) || m.shards[i].ix == nil {
+	if i < 0 || i >= len(m.shards) || m.shards[i].chain == nil {
 		return Split{}, false
 	}
 	p := m.shards[i]
@@ -281,7 +449,7 @@ func (c *Column) SplitShard(i int) (Split, bool) {
 	// single value (a storm of one repeated key) can never be split.
 	// Rejecting here keeps the rebalancer from sealing the hot shard
 	// and sorting its full contents on every maintenance pass.
-	if p.minA.Load() >= p.maxA.Load() {
+	if p.agg.minA.Load() >= p.agg.maxA.Load() {
 		return Split{}, false
 	}
 	p.seal()
@@ -303,8 +471,8 @@ func (c *Column) SplitShard(i int) (Split, bool) {
 					mx = v
 				}
 			}
-			p.minA.Store(mn)
-			p.maxA.Store(mx)
+			p.agg.minA.Store(mn)
+			p.agg.maxA.Store(mx)
 		}
 		p.unseal()
 		return Split{}, false
@@ -364,15 +532,18 @@ type Merged struct {
 }
 
 // MergeShards merges adjacent shards i and i+1 into one, publishing a
-// shard map with one fewer shard. The removed cut value and both old
-// indexes' crack boundaries are replayed into the merged index, so no
-// refinement knowledge is lost. Reports false when either shard is a
-// custom-source shard or i is out of range.
+// shard map with one fewer shard. Both epoch chains are cut
+// consistently — every pending write of either side is folded into the
+// merged base, and the successor starts a fresh chain — and the
+// removed cut value plus both old indexes' crack boundaries are
+// replayed into the merged index, so no refinement knowledge is lost.
+// Reports false when either shard is a custom-source shard or i is out
+// of range.
 func (c *Column) MergeShards(i int) (Merged, bool) {
 	c.structMu.Lock()
 	defer c.structMu.Unlock()
 	m := c.m.Load()
-	if i < 0 || i+1 >= len(m.shards) || m.shards[i].ix == nil || m.shards[i+1].ix == nil {
+	if i < 0 || i+1 >= len(m.shards) || m.shards[i].chain == nil || m.shards[i+1].chain == nil {
 		return Merged{}, false
 	}
 	l, r := m.shards[i], m.shards[i+1]

@@ -1,0 +1,153 @@
+package wal
+
+import "testing"
+
+// epochCkptTxn builds a committed checkpoint transaction with an epoch
+// watermark: header, CkptEpoch, and the given cuts.
+func epochCkptTxn(txn uint64, obj string, shards int64, watermark int64, cuts ...int64) []Record {
+	recs := []Record{
+		{Txn: txn, Kind: BeginSystem, Object: obj},
+		{Txn: txn, Kind: Checkpoint, Object: obj, C: CkptHeader, A: shards, B: 1},
+		{Txn: txn, Kind: Checkpoint, Object: obj, C: CkptEpoch, A: watermark},
+	}
+	for _, cut := range cuts {
+		recs = append(recs, Record{Txn: txn, Kind: Checkpoint, Object: obj, C: CkptCut, A: cut})
+	}
+	return append(recs, Record{Txn: txn, Kind: CommitSystem, Object: obj})
+}
+
+// TestRecoverEpochWatermarkFiltersTailWrites: logical writes at or
+// below the checkpoint's watermark are already in the snapshot and
+// must be discarded, writes beyond it must survive — regardless of
+// whether their records land before or after the checkpoint records in
+// the log (a writer can race the checkpoint into the sink; the epoch
+// tag, not the log position, decides).
+func TestRecoverEpochWatermarkFiltersTailWrites(t *testing.T) {
+	const obj = "col"
+	var recs []Record
+	// Pre-checkpoint writes: epochs 1 and 2 (covered by watermark 2)
+	// and epoch 3 (a writer that rolled past the cut and raced the
+	// checkpoint records into the log).
+	recs = append(recs,
+		Record{Kind: LogicalWrite, Object: obj, A: 100, B: 1, C: 0},
+		Record{Kind: LogicalWrite, Object: obj, A: 200, B: 2, C: 1},
+		Record{Kind: LogicalWrite, Object: obj, A: 300, B: 3, C: 0},
+	)
+	recs = append(recs, epochCkptTxn(7, obj, 2, 2, 500)...)
+	// Post-checkpoint tail: epoch 3 and 4 survive, a stale epoch-2
+	// record (slow goroutine) is discarded.
+	recs = append(recs,
+		Record{Kind: LogicalWrite, Object: obj, A: 400, B: 4, C: 0},
+		Record{Kind: LogicalWrite, Object: obj, A: 250, B: 2, C: 0},
+		Record{Kind: LogicalWrite, Object: obj, A: 500, B: 4, C: 1},
+	)
+	cat, err := Recover(encodeAll(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cat.EpochWatermark[obj]; got != 2 {
+		t.Fatalf("EpochWatermark = %d, want 2", got)
+	}
+	want := []TailWrite{
+		{Value: 300, Delete: false, Epoch: 3},
+		{Value: 400, Delete: false, Epoch: 4},
+		{Value: 500, Delete: true, Epoch: 4},
+	}
+	got := cat.TailWrites[obj]
+	if len(got) != len(want) {
+		t.Fatalf("TailWrites = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("TailWrites[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if got, want := cat.ShardBounds[obj], []int64{500}; len(got) != 1 || got[0] != want[0] {
+		t.Errorf("ShardBounds = %v, want %v", got, want)
+	}
+}
+
+// TestRecoverDiscardsHalfAppliedEpoch: a committed EpochSeal whose
+// merge (EpochApply) never committed — the crash window between the
+// two transactions — leaves the sealed id above AppliedEpoch, and the
+// epoch's logical writes stay in the replayable tail: recovery never
+// assumes the base incorporates a half-applied epoch.
+func TestRecoverDiscardsHalfAppliedEpoch(t *testing.T) {
+	const obj = "col"
+	var recs []Record
+	recs = append(recs, epochCkptTxn(1, obj, 1, 0)...)
+	recs = append(recs,
+		// Epoch 1 sealed and fully applied.
+		Record{Txn: 2, Kind: BeginSystem, Object: obj},
+		Record{Txn: 2, Kind: EpochSeal, Object: obj, A: 0, B: 1, C: 10},
+		Record{Txn: 2, Kind: CommitSystem, Object: obj},
+		Record{Txn: 3, Kind: BeginSystem, Object: obj},
+		Record{Txn: 3, Kind: EpochApply, Object: obj, A: 0, B: 1, C: 10},
+		Record{Txn: 3, Kind: CommitSystem, Object: obj},
+		// Epoch 2's writes, then its seal commits — and the process
+		// dies before the apply transaction.
+		Record{Kind: LogicalWrite, Object: obj, A: 42, B: 2, C: 0},
+		Record{Txn: 4, Kind: BeginSystem, Object: obj},
+		Record{Txn: 4, Kind: EpochSeal, Object: obj, A: 0, B: 2, C: 1},
+		Record{Txn: 4, Kind: CommitSystem, Object: obj},
+	)
+	cat, err := Recover(encodeAll(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cat.AppliedEpoch[obj]; got != 1 {
+		t.Errorf("AppliedEpoch = %d, want 1", got)
+	}
+	if got := cat.SealedEpochs[obj]; len(got) != 2 || got[1] != 2 {
+		t.Errorf("SealedEpochs = %v, want [1 2]", got)
+	}
+	// The half-applied epoch is exactly the sealed suffix past the
+	// applied watermark.
+	half := 0
+	for _, id := range cat.SealedEpochs[obj] {
+		if id > cat.AppliedEpoch[obj] {
+			half++
+		}
+	}
+	if half != 1 {
+		t.Errorf("half-applied epochs = %d, want 1", half)
+	}
+	// Its write replays from the tail (watermark 0 < epoch 2).
+	if tw := cat.TailWrites[obj]; len(tw) != 1 || tw[0].Value != 42 || tw[0].Epoch != 2 {
+		t.Errorf("TailWrites = %+v, want the half-applied epoch's write", tw)
+	}
+	if got := cat.ShardApplies[obj]; got != 1 {
+		t.Errorf("ShardApplies = %d, want 1", got)
+	}
+}
+
+// TestRecoverUncommittedEpochSealLeavesNoTrace: an EpochSeal inside a
+// transaction that never committed (crash before the fsync) is
+// invisible to recovery.
+func TestRecoverUncommittedEpochSealLeavesNoTrace(t *testing.T) {
+	const obj = "col"
+	recs := []Record{
+		{Txn: 9, Kind: BeginSystem, Object: obj},
+		{Txn: 9, Kind: EpochSeal, Object: obj, A: 0, B: 5, C: 3},
+	}
+	cat, err := Recover(encodeAll(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.SealedEpochs[obj]) != 0 {
+		t.Errorf("SealedEpochs = %v, want empty", cat.SealedEpochs[obj])
+	}
+}
+
+// TestEpochKindStrings pins the log-friendly names of the new kinds.
+func TestEpochKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		EpochSeal:    "epoch-seal",
+		EpochApply:   "epoch-apply",
+		LogicalWrite: "logical-write",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -70,6 +70,24 @@ const (
 	// ShardMerge records that a shard-map cut was removed: the two
 	// shards adjacent to it were merged.
 	ShardMerge
+	// EpochSeal records that one shard's open differential epoch was
+	// sealed (the first half of an epoch-chain group-apply; writers
+	// roll to the next epoch without parking).
+	EpochSeal
+	// EpochApply records that every sealed epoch up to a watermark was
+	// merged into one shard's cracker array. An EpochSeal without a
+	// later EpochApply covering its id marks a half-applied epoch: the
+	// merge never committed, so recovery must not assume the base
+	// incorporates it (the checkpoint snapshot is cut at the epoch
+	// watermark, so nothing needs undoing — the epoch's writes simply
+	// replay from LogicalWrite records, or are absent without them).
+	EpochApply
+	// LogicalWrite records one routed update — value plus operation —
+	// tagged with the epoch it landed in. Optional (ingest
+	// Options.LogWrites): it closes the lose-writes-since-last-
+	// checkpoint window by letting recovery replay the data tail past
+	// the checkpoint's epoch watermark.
+	LogicalWrite
 )
 
 // String returns the kind's log-friendly name.
@@ -93,6 +111,12 @@ func (k Kind) String() string {
 		return "shard-split"
 	case ShardMerge:
 		return "shard-merge"
+	case EpochSeal:
+		return "epoch-seal"
+	case EpochApply:
+		return "epoch-apply"
+	case LogicalWrite:
+		return "logical-write"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -111,6 +135,13 @@ const (
 	// CkptCrack carries one crack boundary: A = shard ordinal, B =
 	// boundary value.
 	CkptCrack
+	// CkptEpoch carries the checkpoint's epoch watermark in A: the
+	// accompanying data snapshot holds the column's contents up to
+	// exactly this epoch (the checkpoint writer seals every open epoch
+	// first, so the cut is exact). Recovery discards LogicalWrite
+	// records at or below the watermark — the snapshot already has
+	// them — and replays only the ones beyond it.
+	CkptEpoch
 )
 
 // Record is one structural log record. The three int64 payload fields
@@ -119,10 +150,13 @@ const (
 //	CrackBoundary: A = boundary value
 //	RunCreated:    A = partition id, B = record count
 //	MergeStep:     A = low key, B = high key, C = records moved
-//	Checkpoint:    C = element kind (CkptHeader/CkptCut/CkptCrack), A/B per element
+//	Checkpoint:    C = element kind (CkptHeader/CkptCut/CkptCrack/CkptEpoch), A/B per element
 //	ShardInsert:   A = shard ordinal, B = inserts merged, C = deletes merged
 //	ShardSplit:    A = cut value, B = left rows, C = right rows
 //	ShardMerge:    A = removed cut value, B = merged rows
+//	EpochSeal:     A = shard ordinal, B = sealed epoch id, C = records sealed
+//	EpochApply:    A = shard ordinal, B = applied epoch watermark, C = records merged
+//	LogicalWrite:  A = value, B = epoch id, C = op (0 insert, 1 delete)
 type Record struct {
 	// LSN is the log sequence number, assigned by Append.
 	LSN uint64
@@ -311,8 +345,38 @@ type Catalog struct {
 	// a reopened column to these boundaries.
 	ShardCracks map[string][][]int64
 	// ShardApplies maps sharded-column name to the number of committed
-	// group-apply merges (ShardInsert records).
+	// group-apply merges (ShardInsert and EpochApply records).
 	ShardApplies map[string]int64
+	// EpochWatermark maps sharded-column name to the last committed
+	// checkpoint's epoch watermark (CkptEpoch): the data snapshot holds
+	// the contents up to exactly this epoch. Zero until a checkpoint
+	// with a watermark has committed.
+	EpochWatermark map[string]int64
+	// TailWrites maps sharded-column name to the logical writes past
+	// the epoch watermark, in log order — the data tail a recovered
+	// column replays on top of the snapshot (Options.LogWrites).
+	// Writes at or below the watermark are discarded: the snapshot
+	// already contains them.
+	TailWrites map[string][]TailWrite
+	// SealedEpochs maps sharded-column name to the ids of committed
+	// EpochSeal records, in log order. A sealed id above AppliedEpoch
+	// is a half-applied epoch: its group-apply merge never committed
+	// before the crash, and recovery does not assume the base
+	// incorporates it.
+	SealedEpochs map[string][]int64
+	// AppliedEpoch maps sharded-column name to the highest committed
+	// EpochApply watermark.
+	AppliedEpoch map[string]int64
+}
+
+// TailWrite is one recovered logical write (LogicalWrite record).
+type TailWrite struct {
+	// Value is the column value inserted or deleted.
+	Value int64
+	// Delete selects deletion; otherwise the write inserts Value.
+	Delete bool
+	// Epoch is the differential epoch the write landed in.
+	Epoch int64
 }
 
 // Recover rebuilds the catalog from an encoded log image, honouring
@@ -324,12 +388,23 @@ func Recover(raw []byte) (*Catalog, error) {
 	}
 	open := map[uint64]*pending{}
 	cat := &Catalog{
-		Boundaries:   map[string][]int64{},
-		Partitions:   map[string][]int64{},
-		ShardBounds:  map[string][]int64{},
-		ShardCracks:  map[string][][]int64{},
-		ShardApplies: map[string]int64{},
+		Boundaries:     map[string][]int64{},
+		Partitions:     map[string][]int64{},
+		ShardBounds:    map[string][]int64{},
+		ShardCracks:    map[string][][]int64{},
+		ShardApplies:   map[string]int64{},
+		EpochWatermark: map[string]int64{},
+		TailWrites:     map[string][]TailWrite{},
+		SealedEpochs:   map[string][]int64{},
+		AppliedEpoch:   map[string]int64{},
 	}
+	// held parks an object's recovered tail writes between a
+	// checkpoint's header and its epoch-watermark element: the header
+	// supersedes earlier recovered state, but a logical write can race
+	// the checkpoint records into the log (its epoch decides, not its
+	// position), so the writes are re-admitted by the watermark filter
+	// rather than dropped wholesale.
+	held := map[string][]TailWrite{}
 	applyRec := func(r Record) {
 		switch r.Kind {
 		case CrackBoundary:
@@ -343,6 +418,18 @@ func Recover(raw []byte) (*Catalog, error) {
 				// so far for this object.
 				cat.ShardBounds[r.Object] = nil
 				cat.ShardCracks[r.Object] = make([][]int64, r.A)
+				held[r.Object] = cat.TailWrites[r.Object]
+				cat.TailWrites[r.Object] = nil
+			case CkptEpoch:
+				cat.EpochWatermark[r.Object] = r.A
+				var keep []TailWrite
+				for _, tw := range held[r.Object] {
+					if tw.Epoch > r.A {
+						keep = append(keep, tw)
+					}
+				}
+				cat.TailWrites[r.Object] = append(keep, cat.TailWrites[r.Object]...)
+				delete(held, r.Object)
 			case CkptCut:
 				cat.ShardBounds[r.Object] = insertCut(cat.ShardBounds[r.Object], r.A)
 			case CkptCrack:
@@ -356,6 +443,18 @@ func Recover(raw []byte) (*Catalog, error) {
 			cat.splitShard(r.Object, r.A)
 		case ShardMerge:
 			cat.mergeShard(r.Object, r.A)
+		case EpochSeal:
+			cat.SealedEpochs[r.Object] = append(cat.SealedEpochs[r.Object], r.B)
+		case EpochApply:
+			if r.B > cat.AppliedEpoch[r.Object] {
+				cat.AppliedEpoch[r.Object] = r.B
+			}
+			cat.ShardApplies[r.Object]++
+		case LogicalWrite:
+			if r.B > cat.EpochWatermark[r.Object] {
+				cat.TailWrites[r.Object] = append(cat.TailWrites[r.Object],
+					TailWrite{Value: r.A, Delete: r.C != 0, Epoch: r.B})
+			}
 		}
 	}
 	var prevLSN uint64
