@@ -6,375 +6,285 @@
 //
 // Adaptive indexing creates and refines indexes incrementally as a
 // side effect of query processing: the more often a key range is
-// queried, the more its physical representation is optimized. This
-// package provides the three adaptive-indexing methods of the paper —
-// database cracking, adaptive merging over a partitioned B-tree, and
-// the hybrid crack-sort — together with the concurrency-control
-// techniques that let logically read-only queries refine indexes
-// safely and cheaply: column latches, piece latches, middle-first
-// scheduling of waiting cracks, conflict avoidance (optional
-// refinement), early termination / latch downgrades, and verification
-// of user-transaction locks by refining system transactions.
+// queried, the more its physical representation is optimized. The
+// package provides the adaptive-indexing methods of the paper —
+// database cracking, adaptive merging over a partitioned B-tree, the
+// hybrid crack-sort — plus the two non-adaptive baselines (full sort
+// and plain scans), all behind ONE handle with one context-aware query
+// and write surface.
 //
 // # Quick start
 //
-//	col := adaptix.NewCrackedColumn(values, adaptix.CrackOptions{})
-//	n, _ := col.Count(100, 200) // count of values in [100, 200)
-//	s, _ := col.Sum(100, 200)   // cracking refines the index as a side effect
+//	ix, err := adaptix.New(values)                   // database cracking
+//	defer ix.Close()
+//	res, err := ix.Count(ctx, 100, 200)              // count of values in [100, 200)
+//	res, err  = ix.Sum(ctx, 100, 200)                // refines the index as a side effect
+//	err  = ix.Insert(ctx, 150)                       // routed write, visible immediately
 //
-// The facade re-exports the building blocks so that one import path
-// serves typical uses; the internal packages remain the source of
-// truth for documentation of each subsystem.
+// The method, sharding, write path, and durability are all selected by
+// functional options:
+//
+//	ix, _ := adaptix.New(values,
+//	    adaptix.WithMethod(adaptix.AMerge),          // or Hybrid, Sort, Scan, Crack
+//	    adaptix.WithShards(8),                       // range-partitioned fan-out execution
+//	)
+//
+// A durable, crash-recoverable index is the same handle opened on a
+// directory:
+//
+//	ix, _ := adaptix.Open(dir, adaptix.WithValues(values), adaptix.WithLogWrites())
+//
+// Every query takes a context.Context: cancellation before any work
+// returns ctx.Err() with no refinement side effects, a deadline
+// expiring while the query is parked on a piece latch unparks it
+// promptly, and context.Background() follows an uncancellable fast
+// path with no measurable overhead. Writes are context-aware the same
+// way (a writer parked behind a shard split unparks on cancellation).
+//
+// Whatever the method, the handle is writable: routed inserts and
+// deletes land in per-shard epoch chains (versioned differential
+// files), group-apply merges fold them into the method's physical
+// structure in the background without parking writers, and an online
+// rebalancer splits and merges shards under skew. The internal
+// packages remain the source of truth for the documentation of each
+// subsystem (see docs/ARCHITECTURE.md for the layer map).
 package adaptix
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
 	"adaptix/internal/amerge"
 	"adaptix/internal/baseline"
-	"adaptix/internal/column"
-	"adaptix/internal/cracker"
-	"adaptix/internal/crackindex"
 	"adaptix/internal/durable"
 	"adaptix/internal/engine"
-	"adaptix/internal/epoch"
-	"adaptix/internal/harness"
 	"adaptix/internal/hybrid"
 	"adaptix/internal/ingest"
-	"adaptix/internal/latch"
-	"adaptix/internal/lockmgr"
 	"adaptix/internal/shard"
-	"adaptix/internal/sideways"
-	"adaptix/internal/txn"
-	"adaptix/internal/wal"
-	"adaptix/internal/workload"
 )
 
-// Core aliases: the cracked column (database cracking) and its options.
-type (
-	// CrackedColumn is a column with a cracker index refined as a side
-	// effect of queries (database cracking, paper §5).
-	CrackedColumn = crackindex.Index
-	// CrackOptions configures latching mode, layout, scheduling,
-	// conflict policy and optimizations of a CrackedColumn.
-	CrackOptions = crackindex.Options
-	// OpStats is the per-query cost breakdown (wait vs crack time).
-	OpStats = crackindex.OpStats
-	// TraceEvent is a latch/crack trace record (Figure 8 timelines).
-	TraceEvent = crackindex.TraceEvent
-)
+// Index is the unified handle over one adaptively indexed column: one
+// query surface (Count, Sum), one write surface (Insert, Delete,
+// Apply), one observability surface (Stats) — for every method, every
+// shard count, and both the in-memory and the durable lifecycles. All
+// methods are safe for concurrent use.
+type Index struct {
+	method Method
+	col    *shard.Column
+	ing    *ingest.Coordinator
+	dur    *durable.Column // nil for in-memory indexes
+	eng    engine.Engine
 
-// Latching modes (paper §5.3).
-const (
-	// LatchPiece: one latch per array piece — the finest granularity.
-	LatchPiece = crackindex.LatchPiece
-	// LatchColumn: one latch per column.
-	LatchColumn = crackindex.LatchColumn
-	// LatchNone: no concurrency control (single-threaded only).
-	LatchNone = crackindex.LatchNone
-)
-
-// Conflict policies for optional refinement.
-const (
-	// WaitOnConflict blocks until the latch is free.
-	WaitOnConflict = crackindex.Wait
-	// SkipOnConflict forgoes the optional refinement (conflict
-	// avoidance, §3.3).
-	SkipOnConflict = crackindex.Skip
-)
-
-// Cracker-array layouts (Figure 7).
-const (
-	// LayoutSplit stores rowIDs and values as a pair of arrays.
-	LayoutSplit = cracker.LayoutSplit
-	// LayoutPairs stores an array of rowID-value pairs.
-	LayoutPairs = cracker.LayoutPairs
-)
-
-// Waiting-crack scheduling policies (§5.3 optimization).
-const (
-	// MiddleFirst wakes the median-bound waiter first.
-	MiddleFirst = latch.MiddleFirst
-	// FIFO wakes waiters in arrival order.
-	FIFO = latch.FIFO
-)
-
-// NewCrackedColumn creates a cracked column over values. The column
-// is copied lazily by the first query (index initialization is itself
-// a query side effect).
-func NewCrackedColumn(values []int64, opts CrackOptions) *CrackedColumn {
-	return crackindex.New(values, opts)
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// Engine is the common interface of all five query engines (scan,
-// sort, crack, amerge, hybrid).
-type Engine = engine.Engine
-
-// Result is one query's outcome and cost breakdown.
-type Result = engine.Result
-
-// NewScanEngine answers every query with a full column scan (the
-// paper's "default case" baseline).
-func NewScanEngine(values []int64) Engine { return baseline.NewScan(values) }
-
-// NewFullSortEngine sorts the whole column on the first query and
-// binary-searches afterwards (the paper's "full indexing" baseline).
-func NewFullSortEngine(values []int64) Engine { return baseline.NewFullSort(values) }
-
-// NewCrackEngine wraps a CrackedColumn as an Engine.
-func NewCrackEngine(ix *CrackedColumn) Engine { return engine.NewCrack(ix) }
-
-// Sharded parallel adaptive indexing (internal/shard): the column is
-// range-partitioned into independently-latched shards, each backed by
-// its own cracked index, and range queries fan out to the overlapping
-// shards in parallel.
-type (
-	// ShardedColumn is a range-partitioned column of cracked shards
-	// with a parallel fan-out query executor.
-	ShardedColumn = shard.Column
-	// ShardOptions configures shard count, worker-pool size, boundary
-	// sampling, and the per-shard index options.
-	ShardOptions = shard.Options
-	// ShardStat is a per-shard refinement-state snapshot (pieces,
-	// cracks, conflicts, depth).
-	ShardStat = shard.ShardStat
-)
-
-// NewShardedColumn range-partitions values into opts.Shards shards
-// (default runtime.GOMAXPROCS) with boundaries drawn from a seeded
-// sample of the input. The column is mutable: Insert and DeleteValue
-// route to the owning shard's differential file (see NewIngestor for
-// the batched write path with group-apply merges and rebalancing).
-func NewShardedColumn(values []int64, opts ShardOptions) *ShardedColumn {
-	return shard.New(values, opts)
+// New builds an in-memory adaptive index over values. The default
+// configuration is database cracking with piece latches, one shard per
+// CPU, and background group-apply maintenance; see the Option
+// constructors for everything that can be changed. The returned Index
+// must be Closed to stop the background maintenance worker.
+func New(values []int64, opts ...Option) (*Index, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.durableOnly != "" {
+		return nil, fmt.Errorf("adaptix: %s requires Open (durability options have no effect on an in-memory index)", cfg.durableOnly)
+	}
+	if cfg.values != nil {
+		return nil, errors.New("adaptix: WithValues is for Open; pass the values to New directly")
+	}
+	col := shard.New(values, cfg.shardOptions())
+	ing := ingest.New(col, cfg.ingest)
+	ing.Start()
+	return newIndex(cfg.method, col, ing, nil), nil
 }
 
-// NewShardedColumnWithBounds rebuilds a sharded column with an
-// explicit shard map — the recovery path for a map recovered from the
-// structural WAL (wal.Recover's ShardBounds).
-func NewShardedColumnWithBounds(values []int64, bounds []int64, opts ShardOptions) *ShardedColumn {
-	return shard.NewWithBounds(values, bounds, opts)
+// Open opens (or creates) a durable adaptive index in dir: a
+// crash-recoverable store whose refinement knowledge — shard cuts and
+// per-shard crack boundaries — survives process death through a
+// file-backed structural WAL and periodic checkpoints. A fresh store
+// is created over WithValues; an existing store recovers from its
+// snapshot and log (ignoring WithValues). Close takes a final
+// checkpoint, so a clean shutdown loses nothing; see WithLogWrites /
+// WithSyncEvery / WithSyncInterval for the crash loss window of the
+// data tail.
+func Open(dir string, opts ...Option) (*Index, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	dopts := durable.Options{
+		Values:          cfg.values,
+		Shard:           cfg.shardOptions(),
+		Ingest:          cfg.ingest,
+		SegmentBytes:    cfg.segmentBytes,
+		CheckpointEvery: cfg.checkpointEvery,
+		LogWrites:       cfg.logWrites,
+		SyncEvery:       cfg.syncEvery,
+		SyncInterval:    cfg.syncInterval,
+		NoSync:          cfg.noSync,
+	}
+	dur, err := durable.Open(dir, dopts)
+	if err != nil {
+		return nil, err
+	}
+	return newIndex(cfg.method, dur.Column(), dur.Ingestor(), dur), nil
 }
 
-// NewShardedColumnWithBoundsAndCracks rebuilds a sharded column with
-// an explicit shard map and pre-cracks each shard to the given crack
-// boundary sets — the checkpoint-recovery path (wal.Recover's
-// ShardBounds and ShardCracks). Open does this automatically.
-func NewShardedColumnWithBoundsAndCracks(values []int64, bounds []int64, cracks [][]int64, opts ShardOptions) *ShardedColumn {
-	return shard.NewWithBoundsAndCracks(values, bounds, cracks, opts)
+func newIndex(m Method, col *shard.Column, ing *ingest.Coordinator, dur *durable.Column) *Index {
+	return &Index{
+		method: m,
+		col:    col,
+		ing:    ing,
+		dur:    dur,
+		eng:    engine.NewShardedNamed(col, m.String()),
+	}
 }
 
-// NewShardedEngine wraps a ShardedColumn as an Engine, so the harness
-// and experiments drive it like any other engine.
-func NewShardedEngine(col *ShardedColumn) Engine { return engine.NewSharded(col) }
+// Method returns the adaptive-indexing method the handle was built
+// with.
+func (ix *Index) Method() Method { return ix.method }
 
-// Concurrent write path (internal/ingest): routed updates, group-apply
-// epoch merges, and online shard rebalancing over a ShardedColumn.
-// Pending writes live in per-shard epoch chains (internal/epoch) —
-// versioned differential files — so a group-apply merge seals only the
-// current epoch and writers never park: they roll over to the next
-// epoch while the sealed prefix merges in the background, and readers
-// snapshot base + all visible epochs for exact answers mid-merge.
-type (
-	// Ingestor coordinates the write path of one sharded column: it
-	// routes Insert/DeleteValue/Apply calls, group-applies per-shard
-	// epoch chains inside system transactions (EpochSeal + EpochApply
-	// WAL records), and splits/merges shards whose population — or,
-	// with IngestOptions.LoadWeight, observed refinement load — drifts.
-	Ingestor = ingest.Coordinator
-	// IngestOptions configures thresholds, rebalancing factors (incl.
-	// load-aware LoadWeight), the structural WAL, data-tail durability
-	// (LogWrites), the legacy parked group-apply baseline
-	// (ParkOnApply), and the transaction manager of an Ingestor.
-	IngestOptions = ingest.Options
-	// EpochStat is an observability snapshot of one differential epoch
-	// file (id, pending counts, sealed).
-	EpochStat = epoch.Stat
-	// SealedEpochInfo describes one epoch sealed by
-	// ShardedColumn.SealEpoch (the first half of a group-apply).
-	SealedEpochInfo = shard.SealedEpoch
-	// AppliedInfo describes one group-apply merge
-	// (ShardedColumn.ApplyShard / ApplySealed).
-	AppliedInfo = shard.Applied
-	// IngestOp is one batched write operation (Ingestor.Apply).
-	IngestOp = ingest.Op
-	// IngestStats counts an Ingestor's routed writes and structural
+// Count evaluates Q1 — select count(*) where lo <= A < hi — refining
+// the index as a side effect. Cancellation before any work returns
+// ctx.Err() with no side effects; a deadline expiring while the query
+// is parked on a latch unparks it promptly; a query returning a
+// non-nil error returns no answer.
+func (ix *Index) Count(ctx context.Context, lo, hi int64) (Result, error) {
+	return ix.eng.Count(ctx, lo, hi)
+}
+
+// Sum evaluates Q2 — select sum(A) where lo <= A < hi — with the same
+// refinement side effects and context semantics as Count.
+func (ix *Index) Sum(ctx context.Context, lo, hi int64) (Result, error) {
+	return ix.eng.Sum(ctx, lo, hi)
+}
+
+// Insert adds one logical instance of v. The write lands in the owning
+// shard's open differential epoch and is visible to queries
+// immediately; it never parks behind a group-apply merge (writers roll
+// over to the next epoch). A context cancelled before the write routes
+// — or while the writer is parked behind a shard split or merge —
+// returns ctx.Err() with the write not applied.
+func (ix *Index) Insert(ctx context.Context, v int64) error {
+	return ix.ing.Insert(ctx, v)
+}
+
+// Delete removes one logical instance of v, reporting whether one
+// existed. Deletion is differential: an anti-matter record cancels one
+// instance at query time.
+func (ix *Index) Delete(ctx context.Context, v int64) (bool, error) {
+	return ix.ing.DeleteValue(ctx, v)
+}
+
+// Apply routes a batch of write operations and returns the number of
+// deletes that found an instance. On a context error the batch stops
+// where it stands: ops already routed stay applied, the rest are not.
+func (ix *Index) Apply(ctx context.Context, batch []Op) (int, error) {
+	return ix.ing.Apply(ctx, batch)
+}
+
+// Stats returns an observability snapshot: per-shard refinement state
+// and the write path's activity counters.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Method: ix.method,
+		Shards: ix.col.Snapshot(),
+		Ingest: ix.ing.Stats(),
+	}
+}
+
+// Rows returns the number of logical rows currently in the index.
+func (ix *Index) Rows() int { return ix.col.Rows() }
+
+// NumShards returns the current number of range partitions (it changes
+// over time under rebalancing).
+func (ix *Index) NumShards() int { return ix.col.NumShards() }
+
+// Validate checks every structural invariant of the index; it must be
+// called while no queries or writes are in flight.
+func (ix *Index) Validate() error { return ix.col.Validate() }
+
+// CrackBoundaries returns every shard's current crack boundary values
+// in shard order (nil for shards of non-Crack methods): the complete
+// refinement knowledge the workload has earned, and exactly what a
+// durable checkpoint persists.
+func (ix *Index) CrackBoundaries() [][]int64 { return ix.col.CrackBoundaries() }
+
+// Checkpoint forces a durability checkpoint now (durable indexes
+// only): data snapshot, crack-boundary records, log-prefix truncation.
+// It reports whether a checkpoint was written; an in-memory index
+// always reports false.
+func (ix *Index) Checkpoint() bool {
+	if ix.dur == nil {
+		return false
+	}
+	return ix.dur.Checkpoint()
+}
+
+// Recovered reports whether Open found an existing store in its
+// directory (false for in-memory indexes and freshly created stores).
+func (ix *Index) Recovered() bool { return ix.dur != nil && ix.dur.Recovered() }
+
+// Maintain runs one synchronous maintenance pass (group-applies and
+// rebalancing) and returns the number of structural operations
+// performed. Background maintenance runs anyway; Maintain is for tests
+// and benchmarks that need a deterministic quiesce point.
+func (ix *Index) Maintain() int { return ix.ing.Maintain() }
+
+// Close stops background maintenance and, for durable indexes, takes a
+// final checkpoint and closes the log. Idempotent and safe for
+// concurrent use; later calls return the first call's error.
+func (ix *Index) Close() error {
+	ix.closeOnce.Do(func() {
+		if ix.dur != nil {
+			ix.closeErr = ix.dur.Close()
+			return
+		}
+		ix.ing.Close()
+	})
+	return ix.closeErr
+}
+
+// Stats is the Index observability snapshot.
+type Stats struct {
+	// Method is the handle's adaptive-indexing method.
+	Method Method
+	// Shards holds one refinement-state snapshot per shard, in value
+	// order.
+	Shards []ShardStat
+	// Ingest counts the write path's routed writes and structural
 	// operations.
-	IngestStats = ingest.Stats
-)
-
-// NewIngestor creates the write-path coordinator for col. Start runs
-// background maintenance; Maintain runs one synchronous pass.
-func NewIngestor(col *ShardedColumn, opts IngestOptions) *Ingestor {
-	return ingest.New(col, opts)
+	Ingest IngestStats
 }
 
-// Durable persistence (internal/durable): a directory-backed store
-// whose refinement knowledge — shard cuts and per-shard crack
-// boundaries — survives a crash through a file-backed WAL and periodic
-// crack-boundary checkpoints.
-type (
-	// DurableColumn is a crash-recoverable sharded adaptive index:
-	// reads hit the sharded column, writes route through the ingestor,
-	// and checkpoints persist data and refinement into the store
-	// directory, each cut at an epoch watermark so recovery discards
-	// half-applied epochs. Close takes a final checkpoint.
-	DurableColumn = durable.Column
-	// DurableOptions configures Open (initial values, shard and ingest
-	// options, WAL segment size, checkpoint cadence, and LogWrites
-	// data-tail durability: logical records replayed past the
-	// checkpoint's epoch watermark on reopen).
-	DurableOptions = durable.Options
-	// WALFileSink is the durable segment-file sink of the structural
-	// WAL: CRC-framed records, fsync-on-commit, segment rotation, and
-	// checkpoint truncation. Open wires one up automatically; use
-	// NewWALFileSink with NewStructuralLogWithSink for custom setups.
-	WALFileSink = wal.FileSink
-	// WALSinkOptions configures a WALFileSink.
-	WALSinkOptions = wal.SinkOptions
-)
-
-// Open opens (or creates) the durable store in dir: recovery reads the
-// data snapshot, folds checkpoints and later committed structural
-// records into a catalog, and rebuilds the column pre-cracked to
-// everything the previous process had learned.
-func Open(dir string, opts DurableOptions) (*DurableColumn, error) {
-	return durable.Open(dir, opts)
+// newSource builds the per-shard index factory for a method (nil for
+// Crack: the sharded column's native cracked shards).
+func (c *config) newSource() func(values []int64) engine.AggregateSource {
+	switch c.method {
+	case AMerge:
+		mo := c.merge
+		return func(values []int64) engine.AggregateSource {
+			return engine.SourceFromEngine(amerge.New(values, mo))
+		}
+	case Hybrid:
+		ho := c.hybrid
+		return func(values []int64) engine.AggregateSource {
+			return engine.SourceFromEngine(hybrid.New(values, ho))
+		}
+	case Sort:
+		return func(values []int64) engine.AggregateSource {
+			return engine.SourceFromEngine(baseline.NewFullSort(values))
+		}
+	case Scan:
+		return func(values []int64) engine.AggregateSource {
+			return engine.SourceFromEngine(baseline.NewScan(values))
+		}
+	default:
+		return nil
+	}
 }
-
-// NewWALFileSink opens a segment-file sink over dir for a structural
-// log (see WALFileSink).
-func NewWALFileSink(dir string, opts WALSinkOptions) (*WALFileSink, error) {
-	return wal.NewFileSink(dir, opts)
-}
-
-// NewStructuralLogWithSink returns a structural WAL that writes every
-// record through sink, fsyncing on system-transaction commits when the
-// sink supports it.
-func NewStructuralLogWithSink(sink *WALFileSink) *StructuralLog {
-	return wal.New(sink)
-}
-
-// Adaptive merging (paper §2/§4) over a partitioned B-tree.
-type (
-	// MergeIndex is an adaptive-merging index.
-	MergeIndex = amerge.Index
-	// MergeOptions configures run size, merge budget, conflict policy,
-	// structural logging and system-transaction wrapping.
-	MergeOptions = amerge.Options
-)
-
-// NewMergeIndex creates an adaptive-merging index over values.
-func NewMergeIndex(values []int64, opts MergeOptions) *MergeIndex {
-	return amerge.New(values, opts)
-}
-
-// Hybrid crack-sort (paper §2, Figure 4).
-type (
-	// HybridIndex is a hybrid crack-sort index.
-	HybridIndex = hybrid.Index
-	// HybridOptions configures partition size, layout and conflict
-	// policy.
-	HybridOptions = hybrid.Options
-)
-
-// NewHybridIndex creates a hybrid crack-sort index over values.
-func NewHybridIndex(values []int64, opts HybridOptions) *HybridIndex {
-	return hybrid.New(values, opts)
-}
-
-// Sideways cracking (reference [22]; §5 "Other Adaptive Indexing
-// Methods").
-type (
-	// SidewaysMap is a cracker map M(head, tail): aligned selection
-	// and projection values reorganized together, so refined ranges
-	// aggregate without positional fetches.
-	SidewaysMap = sideways.Map
-	// SidewaysOptions configures the map's conflict policy.
-	SidewaysOptions = sideways.Options
-)
-
-// NewSidewaysMap creates a cracker map over aligned head/tail columns.
-func NewSidewaysMap(head, tail []int64, opts SidewaysOptions) *SidewaysMap {
-	return sideways.NewMap(head, tail, opts)
-}
-
-// Column-store kernel (paper §5.1, Figure 6).
-type (
-	// Table is a set of aligned dense columns.
-	Table = column.Table
-	// Executor evaluates bulk operator-at-a-time plans with cracking
-	// selects.
-	Executor = column.Executor
-)
-
-// NewTable creates an empty column-store table.
-func NewTable(name string) *Table { return column.NewTable(name) }
-
-// NewExecutor creates a plan executor over tab.
-func NewExecutor(tab *Table, opts CrackOptions) *Executor {
-	return column.NewExecutor(tab, opts)
-}
-
-// Workload generation (paper §6 set-up).
-type (
-	// Query is one range query (Lo <= A < Hi).
-	Query = workload.Query
-	// Dataset is a generated base column.
-	Dataset = workload.Dataset
-)
-
-// Query kinds.
-const (
-	// CountQuery is Q1: select count(*) where v1 < A < v2.
-	CountQuery = workload.Count
-	// SumQuery is Q2: select sum(A) where v1 < A < v2.
-	SumQuery = workload.Sum
-)
-
-// NewUniqueDataset builds n unique integers 0..n-1 in random order.
-func NewUniqueDataset(n int, seed uint64) *Dataset {
-	return workload.NewUniqueUniform(n, seed)
-}
-
-// UniformQueries draws n random range queries of the given kind and
-// selectivity over [0, domain).
-func UniformQueries(kind workload.QueryKind, domain int64, selectivity float64, seed uint64, n int) []Query {
-	return workload.Fixed(workload.NewUniform(kind, domain, selectivity, seed), n)
-}
-
-// RunResult is the outcome of a (possibly concurrent) experiment run.
-type RunResult = harness.Run
-
-// Run drives the engine with the query sequence split across the
-// given number of concurrent clients, as in the paper's experiments.
-func Run(e Engine, queries []Query, clients int) *RunResult {
-	return harness.Execute(e, queries, clients)
-}
-
-// Transactions and locks (paper §3, Table 1).
-type (
-	// TxnManager creates user and system transactions.
-	TxnManager = txn.Manager
-	// Txn is one transaction.
-	Txn = txn.Txn
-	// LockMode is a transactional lock mode (IS, IX, S, SIX, U, X).
-	LockMode = lockmgr.Mode
-	// StructuralLog is the write-ahead log for structural operations.
-	StructuralLog = wal.Log
-)
-
-// Lock modes.
-const (
-	IS  = lockmgr.IS
-	IX  = lockmgr.IX
-	SLk = lockmgr.S
-	SIX = lockmgr.SIX
-	ULk = lockmgr.U
-	XLk = lockmgr.X
-)
-
-// NewTxnManager returns a transaction manager with a fresh lock
-// manager.
-func NewTxnManager() *TxnManager { return txn.NewManager() }
-
-// NewStructuralLog returns an in-memory structural WAL.
-func NewStructuralLog() *StructuralLog { return wal.New(nil) }

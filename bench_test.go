@@ -8,9 +8,11 @@
 package adaptix_test
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"adaptix"
 	"adaptix/internal/amerge"
@@ -376,15 +378,15 @@ func benchIngestMix(b *testing.B, writeFrac float64) {
 						for j := 0; j < opsPerClient; j++ {
 							if float64(r.Intn(1000))/1000 < writeFrac {
 								if j%2 == 0 {
-									_ = g.Insert(int64(benchRows + c*opsPerClient + inserts))
+									_ = g.Insert(context.Background(), int64(benchRows+c*opsPerClient+inserts))
 									inserts++
 								} else {
-									_, _ = g.DeleteValue(r.Int64n(int64(benchRows)))
+									_, _ = g.DeleteValue(context.Background(), r.Int64n(int64(benchRows)))
 								}
 								continue
 							}
 							q := gen.Next()
-							col.Sum(q.Lo, q.Hi)
+							col.Sum(context.Background(), q.Lo, q.Hi)
 						}
 					}(c)
 				}
@@ -476,13 +478,64 @@ func BenchmarkMicro_LatchReadShared(b *testing.B) {
 func BenchmarkPublicAPI_SumQueries(b *testing.B) {
 	d := benchData()
 	qs := adaptix.UniformQueries(adaptix.SumQuery, int64(benchRows), 0.01, 11, benchQueries)
+	ctx := context.Background()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		col := adaptix.NewCrackedColumn(d.Values, adaptix.CrackOptions{Latching: adaptix.LatchPiece})
-		for _, q := range qs {
-			col.Sum(q.Lo, q.Hi)
+		ix, err := adaptix.New(d.Values, adaptix.WithShards(1),
+			adaptix.WithCrackOptions(adaptix.CrackOptions{Latching: adaptix.LatchPiece}))
+		if err != nil {
+			b.Fatal(err)
 		}
+		for _, q := range qs {
+			if _, err := ix.Sum(ctx, q.Lo, q.Hi); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ix.Close()
 	}
+}
+
+// --- Context overhead: the Background fast path must be free ---
+
+// BenchmarkContextOverhead_Plain vs _Background quantify the cost of
+// the context plumbing on a fully refined index: the Background path
+// takes the uncancellable fast path everywhere, so the two must be
+// indistinguishable (the satellite acceptance for the context-aware
+// API). _Deadline measures the (still small) cost of a live deadline.
+func benchCtxOverhead(b *testing.B, q func(ix *crackindex.Index, lo, hi int64)) {
+	d := benchData()
+	ix := crackindex.New(d.Values, crackindex.Options{Latching: crackindex.LatchPiece})
+	for _, qq := range benchQuerySet(workload.Sum, 0.001) {
+		ix.Sum(qq.Lo, qq.Hi) // refine fully so per-query work is minimal
+	}
+	qs := benchQuerySet(workload.Sum, 0.001)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qq := qs[i%len(qs)]
+		q(ix, qq.Lo, qq.Hi)
+	}
+}
+
+func BenchmarkContextOverhead_Plain(b *testing.B) {
+	benchCtxOverhead(b, func(ix *crackindex.Index, lo, hi int64) {
+		ix.Sum(lo, hi)
+	})
+}
+
+func BenchmarkContextOverhead_Background(b *testing.B) {
+	ctx := context.Background()
+	benchCtxOverhead(b, func(ix *crackindex.Index, lo, hi int64) {
+		ix.SumCtx(ctx, lo, hi)
+	})
+}
+
+func BenchmarkContextOverhead_Deadline(b *testing.B) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	benchCtxOverhead(b, func(ix *crackindex.Index, lo, hi int64) {
+		ix.SumCtx(ctx, lo, hi)
+	})
 }
 
 // --- Epoch write path: writer latency during group-apply merges ---
@@ -528,7 +581,7 @@ func benchWriteDuringMerge(b *testing.B, park bool) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if err := g.Insert(int64(benchRows) + next.Add(1)); err != nil {
+			if err := g.Insert(context.Background(), int64(benchRows)+next.Add(1)); err != nil {
 				b.Error(err)
 				return
 			}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -110,11 +111,11 @@ func showMerging() {
 	}
 
 	// Query 0 creates the sorted runs (first query side effect).
-	n := ix.Count(int64('d'), int64('i')+1)
+	n, _ := ix.Count(context.Background(), int64('d'), int64('i')+1)
 	fmt.Printf("\nQ1: between 'd' and 'i' -> %d (runs sorted in memory, range merged out)\n", n.Value)
 	show()
 
-	n = ix.Count(int64('f'), int64('m')+1)
+	n, _ = ix.Count(context.Background(), int64('f'), int64('m')+1)
 	fmt.Printf("\nQ2: between 'f' and 'm' -> %d (merged out of runs into final)\n", n.Value)
 	show()
 	fmt.Println()
@@ -143,11 +144,11 @@ func showHybrid() {
 		fmt.Println()
 	}
 
-	n := ix.Count(int64('d'), int64('i')+1)
+	n, _ := ix.Count(context.Background(), int64('d'), int64('i')+1)
 	fmt.Printf("\nQ1: between 'd' and 'i' -> %d (partitions cracked, range moved to sorted final)\n", n.Value)
 	show()
 
-	n = ix.Count(int64('f'), int64('m')+1)
+	n, _ = ix.Count(context.Background(), int64('f'), int64('m')+1)
 	fmt.Printf("\nQ2: between 'f' and 'm' -> %d\n", n.Value)
 	show()
 	fmt.Println()

@@ -1,7 +1,8 @@
 // Adaptivemerge: adaptive merging and hybrid crack-sort convergence.
 //
 // Compares the three adaptive methods' life cycles on the same query
-// stream: database cracking converges lazily; adaptive merging pays
+// stream through the ONE unified handle — only WithMethod changes:
+// database cracking converges lazily; adaptive merging pays
 // run-sorting up front and converges fast; the hybrid splits the
 // difference. Also shows the structural WAL: merge steps log tiny
 // structural records, never index contents, and run as instantly
@@ -11,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -19,29 +21,39 @@ import (
 
 func main() {
 	const rows = 1 << 20
+	ctx := context.Background()
 	data := adaptix.NewUniqueDataset(rows, 5)
 	qs := adaptix.UniformQueries(adaptix.SumQuery, data.Domain, 0.01, 3, 64)
 
 	log := adaptix.NewStructuralLog()
 	tm := adaptix.NewTxnManager()
 
-	crack := adaptix.NewCrackEngine(adaptix.NewCrackedColumn(data.Values, adaptix.CrackOptions{
-		Latching: adaptix.LatchPiece,
-	}))
-	merge := adaptix.NewMergeIndex(data.Values, adaptix.MergeOptions{
-		RunSize: 1 << 16, Log: log, TxnMgr: tm,
-	})
-	hybrid := adaptix.NewHybridIndex(data.Values, adaptix.HybridOptions{
-		PartitionSize: 1 << 16,
-	})
+	mk := func(opts ...adaptix.Option) *adaptix.Index {
+		ix, err := adaptix.New(data.Values, append([]adaptix.Option{adaptix.WithShards(1)}, opts...)...)
+		if err != nil {
+			panic(err)
+		}
+		return ix
+	}
+	crack := mk(adaptix.WithMethod(adaptix.Crack),
+		adaptix.WithCrackOptions(adaptix.CrackOptions{Latching: adaptix.LatchPiece}))
+	merge := mk(adaptix.WithMethod(adaptix.AMerge),
+		adaptix.WithMergeOptions(adaptix.MergeOptions{RunSize: 1 << 16, Log: log, TxnMgr: tm}))
+	hybrid := mk(adaptix.WithMethod(adaptix.Hybrid),
+		adaptix.WithHybridOptions(adaptix.HybridOptions{PartitionSize: 1 << 16}))
+	defer crack.Close()
+	defer merge.Close()
+	defer hybrid.Close()
 
 	fmt.Printf("%-8s %12s %12s %12s\n", "query", "crack", "amerge", "hybrid")
-	engines := []adaptix.Engine{crack, merge, hybrid}
+	indexes := []*adaptix.Index{crack, merge, hybrid}
 	for i, q := range qs {
 		var times [3]time.Duration
-		for e := range engines {
+		for e := range indexes {
 			start := time.Now()
-			engines[e].Sum(q.Lo, q.Hi)
+			if _, err := indexes[e].Sum(ctx, q.Lo, q.Hi); err != nil {
+				panic(err)
+			}
 			times[e] = time.Since(start)
 		}
 		if i < 4 || (i+1)%16 == 0 {
@@ -51,11 +63,6 @@ func main() {
 				times[2].Round(time.Microsecond))
 		}
 	}
-
-	fmt.Printf("\nadaptive merging: %d runs, %d merge steps, %d records moved, %d snapshot hits\n",
-		merge.NumRuns(), merge.MergeSteps(), merge.MovedRecords(), merge.SnapshotHits())
-	fmt.Printf("hybrid crack-sort: %d partitions, %d extensions, final holds %d values\n",
-		hybrid.NumPartitions(), hybrid.Extensions(), hybrid.FinalSize())
 
 	started, finished := tm.Counts()
 	fmt.Printf("\nsystem transactions: %d started, %d instantly committed\n", started, finished)

@@ -31,6 +31,17 @@ func main() {
 
 	fmt.Printf("%d rows, %d sum queries (sel 10%%), %d concurrent clients\n\n", rows, queries, clients)
 
+	// WithShards(1) pins the paper's single-latch-domain setting, so
+	// the column-vs-piece contrast is undiluted by range partitioning.
+	newIndex := func(opts adaptix.CrackOptions) *adaptix.Index {
+		ix, err := adaptix.New(data.Values,
+			adaptix.WithShards(1), adaptix.WithCrackOptions(opts))
+		if err != nil {
+			panic(err)
+		}
+		return ix
+	}
+
 	for _, mode := range []struct {
 		name string
 		opts adaptix.CrackOptions
@@ -38,8 +49,9 @@ func main() {
 		{"column latches", adaptix.CrackOptions{Latching: adaptix.LatchColumn}},
 		{"piece latches", adaptix.CrackOptions{Latching: adaptix.LatchPiece}},
 	} {
-		col := adaptix.NewCrackedColumn(data.Values, mode.opts)
-		run := adaptix.Run(adaptix.NewCrackEngine(col), qs, clients)
+		ix := newIndex(mode.opts)
+		run := adaptix.Run(ix, qs, clients)
+		ix.Close()
 		fmt.Printf("%-15s total %10v  throughput %6.0f q/s  conflicts %5d  wait %10v\n",
 			mode.name, run.Elapsed.Round(time.Millisecond), run.Throughput(),
 			run.Series.TotalConflicts(), run.Series.TotalWait().Round(time.Millisecond))
@@ -47,8 +59,9 @@ func main() {
 
 	// Per-query decay with piece latches (Figure 15's effect).
 	fmt.Println("\nper-query crack and wait time, piece latches (log-spaced samples):")
-	col := adaptix.NewCrackedColumn(data.Values, adaptix.CrackOptions{Latching: adaptix.LatchPiece})
-	run := adaptix.Run(adaptix.NewCrackEngine(col), qs, clients)
+	ix := newIndex(adaptix.CrackOptions{Latching: adaptix.LatchPiece})
+	defer ix.Close()
+	run := adaptix.Run(ix, qs, clients)
 	fmt.Printf("%8s  %14s  %14s\n", "query", "crack", "wait")
 	for i := 1; i <= len(run.Series.Costs); i *= 2 {
 		c := run.Series.Costs[i-1]

@@ -1,31 +1,31 @@
 // The concurrent write path: routed updates, group-applied epoch
-// merges, and online shard rebalancing.
+// merges, and online shard rebalancing — all through the one
+// adaptix.Index handle.
 //
 // The paper's §4.2 argues adaptive indexes can absorb high update
 // rates through differential files while system transactions do the
-// structural work. This example makes that concrete on the sharded
-// column — twice. The same skewed insert storm (8 writers pouring into
-// one narrow value band while 4 readers keep querying a quiet range
-// whose answer must never waver) runs first with the legacy parked
-// group-apply, where a writer racing a merge parks for the whole shard
-// rebuild, and then with the epoch write path (internal/epoch), where
-// a merge seals only the current epoch and writers roll over without
-// parking. The per-insert latency histograms are the aha moment: the
-// stall tail collapses from ~rebuild latency to ~an epoch append. At
-// the end the structural WAL of the epoch run is replayed to rebuild
-// the same shard map, the recovery story for boundary knowledge.
+// structural work. This example makes that concrete — twice. The same
+// skewed insert storm (8 writers pouring into one narrow value band
+// while 4 readers keep querying a quiet range whose answer must never
+// waver) runs first with the legacy parked group-apply, where a writer
+// racing a merge parks for the whole shard rebuild, and then with the
+// epoch write path (internal/epoch), where a merge seals only the
+// current epoch and writers roll over without parking. The per-insert
+// latency histograms are the aha moment: the stall tail collapses from
+// ~rebuild latency to ~an epoch append. See examples/recovery for the
+// durable lifecycle of the same handle.
 //
 // Run: go run ./examples/ingest
 package main
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"adaptix"
-	"adaptix/internal/wal"
 )
 
 const (
@@ -35,37 +35,43 @@ const (
 	perW    = 40000
 )
 
+var ctx = context.Background()
+
 // stormResult is one run's outcome: per-insert latencies and the
-// coordinator's structural counters.
+// index's structural counters.
 type stormResult struct {
 	elapsed    time.Duration
 	lats       []time.Duration
-	stats      adaptix.IngestStats
+	stats      adaptix.Stats
 	shards     int
 	violations int
-	log        *adaptix.StructuralLog
-	col        *adaptix.ShardedColumn
+	ix         *adaptix.Index
 }
 
-// runStorm pours the skewed insert storm into a fresh column while
+// runStorm pours the skewed insert storm into a fresh index while
 // readers assert the quiet range, measuring every insert.
 func runStorm(data *adaptix.Dataset, park bool) stormResult {
 	log := adaptix.NewStructuralLog()
-	col := adaptix.NewShardedColumn(data.Values, adaptix.ShardOptions{
-		Shards: 4, Seed: 5,
-		Index: adaptix.CrackOptions{Latching: adaptix.LatchPiece},
-	})
-	ing := adaptix.NewIngestor(col, adaptix.IngestOptions{
-		Name: "R.A", Log: log,
-		ApplyThreshold: 4096, MinShardRows: 1 << 14, SplitFactor: 1.5,
-		ParkOnApply: park,
-	})
-	ing.Start()
+	ix, err := adaptix.New(data.Values,
+		adaptix.WithShards(4), adaptix.WithSeed(5),
+		adaptix.WithCrackOptions(adaptix.CrackOptions{Latching: adaptix.LatchPiece}),
+		adaptix.WithIngestOptions(adaptix.IngestOptions{
+			Name: "R.A", Log: log,
+			ApplyThreshold: 4096, MinShardRows: 1 << 14, SplitFactor: 1.5,
+			ParkOnApply: park,
+		}),
+	)
+	if err != nil {
+		panic(err)
+	}
 
 	// The quiet range is never written: its sum is an invariant the
 	// readers assert on every pass, even mid-rebalance.
 	qlo, qhi := int64(n/2), int64(n/2+4096)
-	wantSum, _ := col.Sum(qlo, qhi)
+	want, err := ix.Sum(ctx, qlo, qhi)
+	if err != nil {
+		panic(err)
+	}
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -81,7 +87,7 @@ func runStorm(data *adaptix.Dataset, park bool) stormResult {
 					return
 				default:
 				}
-				if s, _ := col.Sum(qlo, qhi); s != wantSum {
+				if s, err := ix.Sum(ctx, qlo, qhi); err != nil || s.Value != want.Value {
 					mu.Lock()
 					violations++
 					mu.Unlock()
@@ -101,7 +107,7 @@ func runStorm(data *adaptix.Dataset, park bool) stormResult {
 			for i := 0; i < perW; i++ {
 				// Everything lands in [0, 1024): one shard takes it all.
 				t0 := time.Now()
-				_ = ing.Insert(int64((w*perW + i) % 1024))
+				_ = ix.Insert(ctx, int64((w*perW+i)%1024))
 				lats = append(lats, time.Since(t0))
 			}
 			latCh <- lats
@@ -112,7 +118,6 @@ func runStorm(data *adaptix.Dataset, park bool) stormResult {
 	close(latCh)
 	close(stop)
 	wg.Wait()
-	ing.Close()
 
 	var all []time.Duration
 	for lats := range latCh {
@@ -120,9 +125,9 @@ func runStorm(data *adaptix.Dataset, park bool) stormResult {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	return stormResult{
-		elapsed: elapsed, lats: all, stats: ing.Stats(),
-		shards: col.NumShards(), violations: violations,
-		log: log, col: col,
+		elapsed: elapsed, lats: all, stats: ix.Stats(),
+		shards: ix.NumShards(), violations: violations,
+		ix: ix,
 	}
 }
 
@@ -163,7 +168,8 @@ func report(name string, r stormResult) {
 		pct(r.lats, 0.50), pct(r.lats, 0.99), pct(r.lats, 1.0))
 	histogram(r.lats)
 	fmt.Printf("  after:  %d shards | %d group applies (%d epoch seals), %d splits, %d merges | reader violations: %d\n",
-		r.shards, r.stats.Applied, r.stats.EpochSeals, r.stats.Splits, r.stats.Merges, r.violations)
+		r.shards, r.stats.Ingest.Applied, r.stats.Ingest.EpochSeals,
+		r.stats.Ingest.Splits, r.stats.Ingest.Merges, r.violations)
 }
 
 func main() {
@@ -175,31 +181,21 @@ func main() {
 	// parks for the full shard rebuild — watch the p99/max.
 	parked := runStorm(data, true)
 	report("parked apply (before epochs)", parked)
+	parked.ix.Close()
 
 	// After: the epoch write path. A merge seals only the current
 	// epoch; writers roll over and the stall tail collapses.
 	epoch := runStorm(data, false)
+	defer epoch.ix.Close()
 	report("epoch chains (after)", epoch)
 
 	fmt.Printf("writer-stall p99: parked %v -> epochs %v\n",
 		pct(parked.lats, 0.99), pct(epoch.lats, 0.99))
 
-	for _, s := range epoch.col.Snapshot() {
+	for _, s := range epoch.stats.Shards {
 		fmt.Printf("  shard %d: [%d, %d) rows=%-8d pieces=%-5d pending=%d epochs=%d\n",
 			s.Shard, s.LoVal, s.HiVal, s.Rows, s.Pieces, s.PendingInserts+s.PendingDeletes, s.Epochs)
 	}
-
-	// Recovery: replay the structural WAL and rebuild the shard map.
-	var raw []byte
-	for _, r := range epoch.log.Records() {
-		raw = append(raw, wal.Encode(r)...)
-	}
-	cat, err := wal.Recover(raw)
-	if err != nil {
-		panic(err)
-	}
-	rebuilt := adaptix.NewShardedColumnWithBounds(data.Values, cat.ShardBounds["R.A"],
-		adaptix.ShardOptions{Index: adaptix.CrackOptions{Latching: adaptix.LatchPiece}})
-	fmt.Printf("recovery: %d WAL records -> %d cuts -> rebuilt column with %d shards (live: %d)\n",
-		epoch.log.Len(), len(cat.ShardBounds["R.A"]), rebuilt.NumShards(), epoch.col.NumShards())
+	fmt.Println("\n(the structural WAL behind IngestOptions.Log records every seal, apply,")
+	fmt.Println(" and split; examples/recovery replays one to survive a crash)")
 }

@@ -11,12 +11,13 @@
 // the queries serialize around cracking. With PIECE latches, after the
 // first cracks create pieces, the queries crack and aggregate
 // different pieces in parallel. The trace hook records every latch
-// event; the example prints the two timelines.
+// event; the query labels ride the context (adaptix.WithQueryTag).
 //
 // Run: go run ./examples/latchtrace
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -33,7 +34,12 @@ func run(mode adaptix.CrackOptions, label string) {
 		events = append(events, e)
 		mu.Unlock()
 	}
-	col := adaptix.NewCrackedColumn(data.Values, mode)
+	ix, err := adaptix.New(data.Values,
+		adaptix.WithShards(1), adaptix.WithCrackOptions(mode))
+	if err != nil {
+		panic(err)
+	}
+	defer ix.Close()
 
 	queries := []struct {
 		tag    string
@@ -49,7 +55,12 @@ func run(mode adaptix.CrackOptions, label string) {
 		wg.Add(1)
 		go func(i int, tag string, lo, hi int64) {
 			defer wg.Done()
-			results[i], _ = col.SumTagged(tag, lo, hi)
+			ctx := adaptix.WithQueryTag(context.Background(), tag)
+			res, err := ix.Sum(ctx, lo, hi)
+			if err != nil {
+				panic(err)
+			}
+			results[i] = res.Value
 		}(i, q.tag, q.lo, q.hi)
 	}
 	wg.Wait()

@@ -4,18 +4,19 @@
 // structural log records — crack boundaries, shard cuts — because
 // index contents are re-creatable from the base data, and that
 // replaying them preserves "the side effects of earlier queries". This
-// example runs the full durable lifecycle: open a store, crack it
-// under a query load, checkpoint, then simulate a crash (the store is
-// abandoned without Close, with a torn record appended to the log
-// tail). Reopening recovers the shard map and every checkpointed crack
-// boundary, so the first query after the crash pays steady-state cost;
-// a cold store built from the same data pays the full cold-start
-// partition passes instead.
+// example runs the full durable lifecycle through the unified handle:
+// adaptix.Open a store, crack it under a query load, checkpoint, then
+// simulate a crash (the store is abandoned without Close, with a torn
+// record appended to the log tail). Reopening recovers the shard map
+// and every checkpointed crack boundary, so the first query after the
+// crash pays steady-state cost; a cold store built from the same data
+// pays the full cold-start partition passes instead.
 //
 // Run: go run ./examples/recovery
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -24,6 +25,8 @@ import (
 
 	"adaptix"
 )
+
+var ctx = context.Background()
 
 func main() {
 	const n = 1 << 20
@@ -34,14 +37,11 @@ func main() {
 	defer os.RemoveAll(dir)
 
 	data := adaptix.NewUniqueDataset(n, 42)
-	opts := adaptix.DurableOptions{
-		Values: data.Values,
-		Shard: adaptix.ShardOptions{
-			Shards: 4, Seed: 5,
-			Index: adaptix.CrackOptions{Latching: adaptix.LatchPiece},
-		},
+	shape := []adaptix.Option{
+		adaptix.WithShards(4), adaptix.WithSeed(5),
+		adaptix.WithCrackOptions(adaptix.CrackOptions{Latching: adaptix.LatchPiece}),
 	}
-	col, err := adaptix.Open(dir, opts)
+	ix, err := adaptix.Open(dir, append(shape, adaptix.WithValues(data.Values))...)
 	if err != nil {
 		panic(err)
 	}
@@ -50,15 +50,17 @@ func main() {
 	// Crack under load: 400 range queries refine every shard.
 	queries := adaptix.UniformQueries(adaptix.CountQuery, int64(n), 0.01, 7, 400)
 	for _, q := range queries {
-		col.Count(q.Lo, q.Hi)
+		if _, err := ix.Count(ctx, q.Lo, q.Hi); err != nil {
+			panic(err)
+		}
 	}
 	fmt.Printf("after load:   %6d cracks, %4d boundaries, %d shards\n",
-		cracks(col), boundaries(col), col.Column().NumShards())
+		cracks(ix), boundaries(ix), ix.NumShards())
 
 	// Durable point, then crash: no Close, and the log tail is torn
 	// the way a power cut mid-write would leave it.
-	col.Checkpoint()
-	warm := queryCost(col, 123456, 133456)
+	ix.Checkpoint()
+	warm := queryCost(ix, 123456, 133456)
 	tearTail(dir)
 	fmt.Printf("checkpoint taken; process \"dies\" with a torn log tail\n")
 
@@ -70,18 +72,20 @@ func main() {
 	// simulation honours that by going fully idle (no writes, no
 	// checkpoints) before the reopen; a real crash releases the
 	// directory outright.
-	re, err := adaptix.Open(dir, adaptix.DurableOptions{Shard: opts.Shard})
+	re, err := adaptix.Open(dir, shape...)
 	if err != nil {
 		panic(err)
 	}
 	defer re.Close()
 	fmt.Printf("after reopen: %6s cracks, %4d boundaries, %d shards (recovered=%v)\n",
-		"-", boundaries(re), re.Column().NumShards(), re.Recovered())
+		"-", boundaries(re), re.NumShards(), re.Recovered())
 
 	recovered := queryCost(re, 123456, 133456)
-	cold, _ := adaptix.Open(filepath.Join(dir, "cold"), adaptix.DurableOptions{
-		Values: data.Values, Shard: opts.Shard,
-	})
+	cold, err := adaptix.Open(filepath.Join(dir, "cold"),
+		append(shape, adaptix.WithValues(data.Values))...)
+	if err != nil {
+		panic(err)
+	}
 	defer cold.Close()
 	coldCost := queryCost(cold, 123456, 133456)
 
@@ -95,18 +99,18 @@ func main() {
 }
 
 // cracks sums the physical crack actions across shards.
-func cracks(c *adaptix.DurableColumn) int64 {
+func cracks(ix *adaptix.Index) int64 {
 	var t int64
-	for _, s := range c.Column().Snapshot() {
+	for _, s := range ix.Stats().Shards {
 		t += s.Cracks
 	}
 	return t
 }
 
 // boundaries counts crack boundaries across shards.
-func boundaries(c *adaptix.DurableColumn) int {
+func boundaries(ix *adaptix.Index) int {
 	t := 0
-	for _, set := range c.Column().CrackBoundaries() {
+	for _, set := range ix.CrackBoundaries() {
 		t += len(set)
 	}
 	return t
@@ -115,9 +119,12 @@ func boundaries(c *adaptix.DurableColumn) int {
 // queryCost runs one count query and returns the time it spent
 // physically refining the index (a cold shard pays a full partition
 // pass here; a warm or recovered one only trims small pieces).
-func queryCost(c *adaptix.DurableColumn, lo, hi int64) time.Duration {
-	_, st := c.Count(lo, hi)
-	return st.Crack
+func queryCost(ix *adaptix.Index, lo, hi int64) time.Duration {
+	res, err := ix.Count(ctx, lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return res.Refine
 }
 
 // tearTail appends a partial garbage frame to the newest log segment.

@@ -1,11 +1,12 @@
 // Sharded parallel adaptive indexing: multi-core scaling.
 //
 // The paper's concurrency control lets many clients refine ONE cracked
-// column safely, but that column is still a single latch domain. This
-// example range-partitions the column into P independently-latched
-// shards (internal/shard) and drives the same concurrent workload at
-// increasing shard counts: total time drops as shards recruit more
-// cores, while every configuration returns the identical checksum.
+// column safely, but that column is still a single latch domain. With
+// the unified API, WithShards(P) range-partitions the column into P
+// independently-latched shards (internal/shard); this example drives
+// the same concurrent workload at increasing shard counts: total time
+// drops as shards recruit more cores, while every configuration
+// returns the identical checksum.
 //
 // Run: go run ./examples/sharded
 package main
@@ -30,30 +31,36 @@ func main() {
 	fmt.Printf("== sharded cracking: %d sum queries, %d clients, %d rows, GOMAXPROCS=%d ==\n",
 		queries, clients, n, runtime.GOMAXPROCS(0))
 
-	baseline := adaptix.Run(
-		adaptix.NewCrackEngine(adaptix.NewCrackedColumn(data.Values, adaptix.CrackOptions{
-			Latching: adaptix.LatchPiece,
-		})), qs, clients)
-	fmt.Printf("%-14s %10v   %8.0f q/s   checksum %d\n",
-		"crack (P=1)", baseline.Elapsed.Round(time.Millisecond), baseline.Throughput(), baseline.Checksum)
-
-	var last *adaptix.ShardedColumn
+	var baseline int64
+	var last *adaptix.Index
 	for _, p := range []int{1, 2, 4, 8} {
-		col := adaptix.NewShardedColumn(data.Values, adaptix.ShardOptions{Shards: p, Seed: 5})
-		run := adaptix.Run(adaptix.NewShardedEngine(col), qs, clients)
+		ix, err := adaptix.New(data.Values,
+			adaptix.WithShards(p), adaptix.WithSeed(5),
+			adaptix.WithCrackOptions(adaptix.CrackOptions{Latching: adaptix.LatchPiece}),
+		)
+		if err != nil {
+			panic(err)
+		}
+		run := adaptix.Run(ix, qs, clients)
 		mark := " "
-		if run.Checksum == baseline.Checksum {
+		if p == 1 {
+			baseline = run.Checksum
+		} else if run.Checksum == baseline {
 			mark = "="
 		}
 		fmt.Printf("sharded P=%-4d %10v   %8.0f q/s   checksum %d %s\n",
 			p, run.Elapsed.Round(time.Millisecond), run.Throughput(), run.Checksum, mark)
-		last = col
+		if last != nil {
+			last.Close()
+		}
+		last = ix
 	}
+	defer last.Close()
 
 	fmt.Println("\n== per-shard refinement state after the P=8 run ==")
 	fmt.Printf("%-6s %12s %8s %8s %8s %10s %6s\n",
 		"shard", "range lo", "rows", "pieces", "cracks", "conflicts", "depth")
-	for _, st := range last.Snapshot() {
+	for _, st := range last.Stats().Shards {
 		lo := "-inf"
 		if st.Shard > 0 {
 			lo = fmt.Sprint(st.LoVal)
@@ -64,5 +71,5 @@ func main() {
 	if err := last.Validate(); err != nil {
 		panic(err)
 	}
-	fmt.Println("\nall shard invariants hold; '=' marks checksums equal to the crack baseline")
+	fmt.Println("\nall shard invariants hold; '=' marks checksums equal to the P=1 baseline")
 }

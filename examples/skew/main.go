@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,10 +21,16 @@ import (
 
 func main() {
 	const rows = 1 << 20
+	ctx := context.Background()
 	data := adaptix.NewUniqueDataset(rows, 21)
-	col := adaptix.NewCrackedColumn(data.Values, adaptix.CrackOptions{
-		Latching: adaptix.LatchPiece,
-	})
+	ix, err := adaptix.New(data.Values,
+		adaptix.WithShards(1),
+		adaptix.WithCrackOptions(adaptix.CrackOptions{Latching: adaptix.LatchPiece}),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer ix.Close()
 
 	// Zipf-skewed queries: bucket 0 of 64 is the hottest.
 	gen := workload.NewZipf(workload.Sum, data.Domain, 0.005, 1.0, 7)
@@ -33,7 +40,9 @@ func main() {
 	for i := 0; i < n; i++ {
 		q := gen.Next()
 		start := time.Now()
-		col.Sum(q.Lo, q.Hi)
+		if _, err := ix.Sum(ctx, q.Lo, q.Hi); err != nil {
+			panic(err)
+		}
 		el := time.Since(start)
 		if i < n/2 {
 			continue // warm-up half; measure the steady state
@@ -49,11 +58,13 @@ func main() {
 
 	// Where did the boundaries land?
 	hotBoundaries, coldBoundaries := 0, 0
-	for _, b := range col.Boundaries() {
-		if b < data.Domain/8 {
-			hotBoundaries++
-		} else {
-			coldBoundaries++
+	for _, set := range ix.CrackBoundaries() {
+		for _, b := range set {
+			if b < data.Domain/8 {
+				hotBoundaries++
+			} else {
+				coldBoundaries++
+			}
 		}
 	}
 	fmt.Printf("zipf workload over %d rows, %d queries\n\n", rows, n)

@@ -1,0 +1,250 @@
+package adaptix
+
+import (
+	"context"
+
+	"adaptix/internal/amerge"
+	"adaptix/internal/column"
+	"adaptix/internal/cracker"
+	"adaptix/internal/crackindex"
+	"adaptix/internal/engine"
+	"adaptix/internal/epoch"
+	"adaptix/internal/harness"
+	"adaptix/internal/hybrid"
+	"adaptix/internal/ingest"
+	"adaptix/internal/latch"
+	"adaptix/internal/lockmgr"
+	"adaptix/internal/shard"
+	"adaptix/internal/sideways"
+	"adaptix/internal/txn"
+	"adaptix/internal/wal"
+	"adaptix/internal/workload"
+)
+
+// Result is one query's outcome and cost breakdown (wait vs refine
+// time, fan-out critical path, epoch depth, conflict counters).
+type Result = engine.Result
+
+// Op is one batched write operation (Index.Apply).
+type Op = ingest.Op
+
+// Method-specific option structs, consumed by WithCrackOptions /
+// WithMergeOptions / WithHybridOptions.
+type (
+	// CrackOptions configures latching mode, layout, scheduling,
+	// conflict policy and optimizations of the per-shard cracked
+	// indexes (Crack method).
+	CrackOptions = crackindex.Options
+	// MergeOptions configures run size, merge budget and conflict
+	// policy of the per-shard adaptive-merging indexes (AMerge method).
+	MergeOptions = amerge.Options
+	// HybridOptions configures partition size, layout and conflict
+	// policy of the per-shard hybrid crack-sort indexes (Hybrid
+	// method).
+	HybridOptions = hybrid.Options
+	// IngestOptions configures the write path (WithIngestOptions):
+	// group-apply thresholds, rebalancing factors, structural logging,
+	// and the transaction manager.
+	IngestOptions = ingest.Options
+)
+
+// Observability types surfaced by Index.Stats.
+type (
+	// ShardStat is a per-shard refinement-state snapshot (rows, pieces,
+	// cracks, conflicts, epoch-chain depth).
+	ShardStat = shard.ShardStat
+	// EpochStat is an observability snapshot of one differential epoch
+	// file (id, pending counts, sealed flag).
+	EpochStat = epoch.Stat
+	// IngestStats counts the write path's routed writes and structural
+	// operations.
+	IngestStats = ingest.Stats
+	// OpStats is the merged per-operation cost breakdown of the
+	// internal aggregate surface (most callers want Result instead).
+	OpStats = crackindex.OpStats
+	// TraceEvent is a latch/crack trace record (Figure 8 timelines),
+	// delivered to CrackOptions.Tracer.
+	TraceEvent = crackindex.TraceEvent
+)
+
+// Latching modes (paper §5.3), for CrackOptions.Latching.
+const (
+	// LatchPiece: one latch per array piece — the finest granularity.
+	LatchPiece = crackindex.LatchPiece
+	// LatchColumn: one latch per column.
+	LatchColumn = crackindex.LatchColumn
+	// LatchNone: no concurrency control (single-threaded only).
+	LatchNone = crackindex.LatchNone
+)
+
+// Conflict policies for optional refinement (CrackOptions.OnConflict).
+const (
+	// WaitOnConflict blocks until the latch is free.
+	WaitOnConflict = crackindex.Wait
+	// SkipOnConflict forgoes the optional refinement (conflict
+	// avoidance, §3.3).
+	SkipOnConflict = crackindex.Skip
+)
+
+// Cracker-array layouts (Figure 7), for CrackOptions.Layout.
+const (
+	// LayoutSplit stores rowIDs and values as a pair of arrays.
+	LayoutSplit = cracker.LayoutSplit
+	// LayoutPairs stores an array of rowID-value pairs.
+	LayoutPairs = cracker.LayoutPairs
+)
+
+// Waiting-crack scheduling policies (§5.3), for CrackOptions.Scheduling.
+const (
+	// MiddleFirst wakes the median-bound waiter first.
+	MiddleFirst = latch.MiddleFirst
+	// FIFO wakes waiters in arrival order.
+	FIFO = latch.FIFO
+)
+
+// WithQueryTag returns a context carrying a query tag: trace events
+// emitted while serving a query with this context are labelled with
+// the tag (the Figure 8 timeline labels). The tag rides the context
+// through the fan-out executor, so it works for any shard count.
+func WithQueryTag(ctx context.Context, tag string) context.Context {
+	return crackindex.WithTag(ctx, tag)
+}
+
+// Sideways cracking (reference [22]; §5 "Other Adaptive Indexing
+// Methods").
+type (
+	// SidewaysMap is a cracker map M(head, tail): aligned selection
+	// and projection values reorganized together, so refined ranges
+	// aggregate without positional fetches.
+	SidewaysMap = sideways.Map
+	// SidewaysOptions configures the map's conflict policy.
+	SidewaysOptions = sideways.Options
+)
+
+// NewSidewaysMap creates a cracker map over aligned head/tail columns.
+func NewSidewaysMap(head, tail []int64, opts SidewaysOptions) *SidewaysMap {
+	return sideways.NewMap(head, tail, opts)
+}
+
+// Column-store kernel (paper §5.1, Figure 6).
+type (
+	// Table is a set of aligned dense columns.
+	Table = column.Table
+	// Executor evaluates bulk operator-at-a-time plans with cracking
+	// selects.
+	Executor = column.Executor
+)
+
+// NewTable creates an empty column-store table.
+func NewTable(name string) *Table { return column.NewTable(name) }
+
+// NewExecutor creates a plan executor over tab.
+func NewExecutor(tab *Table, opts CrackOptions) *Executor {
+	return column.NewExecutor(tab, opts)
+}
+
+// Workload generation (paper §6 set-up).
+type (
+	// Query is one range query (Lo <= A < Hi).
+	Query = workload.Query
+	// Dataset is a generated base column.
+	Dataset = workload.Dataset
+)
+
+// Query kinds.
+const (
+	// CountQuery is Q1: select count(*) where v1 < A < v2.
+	CountQuery = workload.Count
+	// SumQuery is Q2: select sum(A) where v1 < A < v2.
+	SumQuery = workload.Sum
+)
+
+// NewUniqueDataset builds n unique integers 0..n-1 in random order.
+func NewUniqueDataset(n int, seed uint64) *Dataset {
+	return workload.NewUniqueUniform(n, seed)
+}
+
+// UniformQueries draws n random range queries of the given kind and
+// selectivity over [0, domain).
+func UniformQueries(kind workload.QueryKind, domain int64, selectivity float64, seed uint64, n int) []Query {
+	return workload.Fixed(workload.NewUniform(kind, domain, selectivity, seed), n)
+}
+
+// RunResult is the outcome of a (possibly concurrent) experiment run.
+type RunResult = harness.Run
+
+// Run drives the index with the query sequence split across the given
+// number of concurrent clients, as in the paper's experiments.
+func Run(ix *Index, queries []Query, clients int) *RunResult {
+	return harness.Execute(ix.eng, queries, clients)
+}
+
+// Transactions and locks (paper §3, Table 1).
+type (
+	// TxnManager creates user and system transactions.
+	TxnManager = txn.Manager
+	// Txn is one transaction.
+	Txn = txn.Txn
+	// LockMode is a transactional lock mode (IS, IX, S, SIX, U, X).
+	LockMode = lockmgr.Mode
+	// StructuralLog is the write-ahead log for structural operations.
+	StructuralLog = wal.Log
+)
+
+// Lock modes.
+const (
+	IS  = lockmgr.IS
+	IX  = lockmgr.IX
+	SLk = lockmgr.S
+	SIX = lockmgr.SIX
+	ULk = lockmgr.U
+	XLk = lockmgr.X
+)
+
+// NewTxnManager returns a transaction manager with a fresh lock
+// manager.
+func NewTxnManager() *TxnManager { return txn.NewManager() }
+
+// Durable WAL sink (custom structural-log setups; Open wires one up
+// automatically).
+type (
+	// WALFileSink is the durable segment-file sink of the structural
+	// WAL: CRC-framed records, fsync-on-commit, segment rotation, and
+	// checkpoint truncation.
+	WALFileSink = wal.FileSink
+	// WALSinkOptions configures a WALFileSink.
+	WALSinkOptions = wal.SinkOptions
+)
+
+// NewWALFileSink opens a segment-file sink over dir for a structural
+// log (see WALFileSink).
+func NewWALFileSink(dir string, opts WALSinkOptions) (*WALFileSink, error) {
+	return wal.NewFileSink(dir, opts)
+}
+
+// SinkOption configures NewStructuralLog.
+type SinkOption func(*sinkConfig)
+
+type sinkConfig struct {
+	sink *wal.FileSink
+}
+
+// WithSink makes the structural log write every record through the
+// given durable sink, fsyncing on system-transaction commits. Without
+// it the log is in-memory only.
+func WithSink(sink *WALFileSink) SinkOption {
+	return func(c *sinkConfig) { c.sink = sink }
+}
+
+// NewStructuralLog returns a structural WAL: in-memory by default,
+// durable when configured with WithSink.
+func NewStructuralLog(opts ...SinkOption) *StructuralLog {
+	var c sinkConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.sink == nil {
+		return wal.New(nil)
+	}
+	return wal.New(c.sink)
+}

@@ -34,6 +34,7 @@
 package amerge
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -170,28 +171,33 @@ func (ix *Index) SkippedMerges() int64 { return ix.skipped.Load() }
 func (ix *Index) SnapshotHits() int64 { return ix.snapshotHits.Load() }
 
 // Count implements engine.Engine (Q1).
-func (ix *Index) Count(lo, hi int64) engine.Result {
-	return ix.query(lo, hi, false)
+func (ix *Index) Count(ctx context.Context, lo, hi int64) (engine.Result, error) {
+	return ix.query(ctx, lo, hi, false)
 }
 
 // Sum implements engine.Engine (Q2).
-func (ix *Index) Sum(lo, hi int64) engine.Result {
-	return ix.query(lo, hi, true)
+func (ix *Index) Sum(ctx context.Context, lo, hi int64) (engine.Result, error) {
+	return ix.query(ctx, lo, hi, true)
 }
 
-func (ix *Index) query(lo, hi int64, wantSum bool) engine.Result {
+func (ix *Index) query(ctx context.Context, lo, hi int64, wantSum bool) (engine.Result, error) {
 	var res engine.Result
 	if lo >= hi {
-		return res
+		return res, nil
 	}
-	ix.ensureInit(&res)
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	if err := ix.ensureInit(ctx, &res); err != nil {
+		return res, err
+	}
 
 	// MVCC fast path: a fully merged range is immutable in every
 	// snapshot at least as new as its merge; read it without latches.
 	if s := ix.snap.Load(); s.covered.Covers(lo, hi) {
 		ix.snapshotHits.Add(1)
 		res.Value = s.aggregate(lo, hi, wantSum)
-		return res
+		return res, nil
 	}
 
 	// Try to refine: one merge step for this key range.
@@ -204,10 +210,13 @@ func (ix *Index) query(lo, hi int64, wantSum bool) engine.Result {
 			ix.skipped.Add(1)
 		}
 	} else {
-		w := ix.lt.Lock(lo)
+		w, err := ix.lt.LockCtx(ctx, lo)
 		if w > 0 {
 			res.Wait += w
 			res.Conflicts++
+		}
+		if err != nil {
+			return res, err
 		}
 		acquired = true
 	}
@@ -218,10 +227,13 @@ func (ix *Index) query(lo, hi int64, wantSum bool) engine.Result {
 		res.Refine += time.Since(start)
 		ix.lt.Downgrade()
 	} else {
-		w := ix.lt.RLock()
+		w, err := ix.lt.RLockCtx(ctx)
 		if w > 0 {
 			res.Wait += w
 			res.Conflicts++
+		}
+		if err != nil {
+			return res, err
 		}
 	}
 
@@ -241,21 +253,28 @@ func (ix *Index) query(lo, hi int64, wantSum bool) engine.Result {
 	} else {
 		res.Value = count
 	}
-	return res
+	return res, nil
 }
 
 // ensureInit builds the sorted runs on first use, under the write
 // latch: concurrent first queries wait, exactly as with full sorting.
-func (ix *Index) ensureInit(res *engine.Result) {
+// A context error while parked behind the builder abandons the query
+// (the build itself, once started, always completes).
+func (ix *Index) ensureInit(ctx context.Context, res *engine.Result) error {
 	if ix.initOnce.Load() {
-		return
+		return nil
 	}
-	w := ix.lt.Lock(0)
+	w, err := ix.lt.LockCtx(ctx, 0)
+	if err != nil {
+		res.Wait += w
+		res.Conflicts++
+		return err
+	}
 	if ix.initOnce.Load() {
 		ix.lt.Unlock()
 		res.Wait += w
 		res.Conflicts++
-		return
+		return nil
 	}
 	start := time.Now()
 	entries := make([]pbtree.Entry, len(ix.base))
@@ -281,6 +300,7 @@ func (ix *Index) ensureInit(res *engine.Result) {
 	ix.initOnce.Store(true)
 	res.Refine += time.Since(start)
 	ix.lt.Unlock()
+	return nil
 }
 
 // mergeStepLocked moves qualifying records from the runs into the

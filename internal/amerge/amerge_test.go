@@ -1,6 +1,7 @@
 package amerge
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -18,11 +19,11 @@ func TestMatchesBruteForce(t *testing.T) {
 	ix := New(d.Values, Options{RunSize: 1 << 10})
 	qs := workload.Fixed(workload.NewUniform(workload.Sum, d.Domain, 0.03, 9), 60)
 	for i, q := range qs {
-		if got := ix.Count(q.Lo, q.Hi).Value; got != q.Hi-q.Lo {
+		if got := qCount(ix, q.Lo, q.Hi).Value; got != q.Hi-q.Lo {
 			t.Fatalf("query %d: Count = %d, want %d", i, got, q.Hi-q.Lo)
 		}
 		want := (q.Lo + q.Hi - 1) * (q.Hi - q.Lo) / 2
-		if got := ix.Sum(q.Lo, q.Hi).Value; got != want {
+		if got := qSum(ix, q.Lo, q.Hi).Value; got != want {
 			t.Fatalf("query %d: Sum = %d, want %d", i, got, want)
 		}
 	}
@@ -41,10 +42,10 @@ func TestDuplicatesAndEdges(t *testing.T) {
 	d := workload.NewDuplicates(10000, 300, 7)
 	ix := New(d.Values, Options{RunSize: 1 << 9})
 	for _, r := range [][2]int64{{0, 300}, {50, 51}, {-10, 10}, {290, 400}, {100, 100}, {200, 100}} {
-		if got := ix.Count(r[0], r[1]).Value; got != d.TrueCount(r[0], r[1]) {
+		if got := qCount(ix, r[0], r[1]).Value; got != d.TrueCount(r[0], r[1]) {
 			t.Fatalf("Count(%d,%d) = %d, want %d", r[0], r[1], got, d.TrueCount(r[0], r[1]))
 		}
-		if got := ix.Sum(r[0], r[1]).Value; got != d.TrueSum(r[0], r[1]) {
+		if got := qSum(ix, r[0], r[1]).Value; got != d.TrueSum(r[0], r[1]) {
 			t.Fatalf("Sum(%d,%d) = %d", r[0], r[1], got)
 		}
 	}
@@ -55,10 +56,10 @@ func TestConvergenceToFinalPartition(t *testing.T) {
 	ix := New(d.Values, Options{RunSize: 1 << 9})
 	// Query the same range repeatedly: after the first, it must be
 	// served from the snapshot without latches.
-	ix.Sum(1000, 3000)
+	qSum(ix, 1000, 3000)
 	hitsBefore := ix.SnapshotHits()
 	for i := 0; i < 5; i++ {
-		if got := ix.Sum(1000, 3000).Value; got != (1000+2999)*2000/2 {
+		if got := qSum(ix, 1000, 3000).Value; got != (1000+2999)*2000/2 {
 			t.Fatalf("iteration %d wrong", i)
 		}
 	}
@@ -66,7 +67,7 @@ func TestConvergenceToFinalPartition(t *testing.T) {
 		t.Fatalf("snapshot hits = %d, want %d", ix.SnapshotHits(), hitsBefore+5)
 	}
 	// Sub-ranges of a merged range are also covered.
-	ix.Count(1500, 2000)
+	qCount(ix, 1500, 2000)
 	if ix.SnapshotHits() != hitsBefore+6 {
 		t.Fatal("sub-range not served from snapshot")
 	}
@@ -85,7 +86,7 @@ func TestMergeBudgetEarlyTermination(t *testing.T) {
 	d := workload.NewUniqueUniform(10000, 11)
 	ix := New(d.Values, Options{RunSize: 1 << 9, MergeBudget: 100})
 	// A wide query cannot merge everything in one step...
-	r := ix.Count(0, 5000)
+	r := qCount(ix, 0, 5000)
 	if r.Value != 5000 {
 		t.Fatalf("budgeted Count = %d", r.Value)
 	}
@@ -94,7 +95,7 @@ func TestMergeBudgetEarlyTermination(t *testing.T) {
 	}
 	// ...but repeated queries converge incrementally and stay correct.
 	for i := 0; i < 60; i++ {
-		if got := ix.Count(0, 5000).Value; got != 5000 {
+		if got := qCount(ix, 0, 5000).Value; got != 5000 {
 			t.Fatalf("iteration %d: %d", i, got)
 		}
 	}
@@ -109,11 +110,11 @@ func TestMergeBudgetEarlyTermination(t *testing.T) {
 func TestFirstQueryPaysRunGeneration(t *testing.T) {
 	d := workload.NewUniqueUniform(100000, 13)
 	ix := New(d.Values, Options{RunSize: 1 << 12})
-	r := ix.Count(100, 200)
+	r := qCount(ix, 100, 200)
 	if r.Refine == 0 {
 		t.Fatal("first query did not charge run generation")
 	}
-	r2 := ix.Count(100, 200)
+	r2 := qCount(ix, 100, 200)
 	if r2.Refine != 0 {
 		t.Fatal("second identical query still refining")
 	}
@@ -134,11 +135,11 @@ func TestConcurrentClients(t *testing.T) {
 					q := gen.Next()
 					wantC := q.Hi - q.Lo
 					wantS := (q.Lo + q.Hi - 1) * (q.Hi - q.Lo) / 2
-					if got := ix.Count(q.Lo, q.Hi).Value; got != wantC {
+					if got := qCount(ix, q.Lo, q.Hi).Value; got != wantC {
 						errs <- "count mismatch"
 						return
 					}
-					if got := ix.Sum(q.Lo, q.Hi).Value; got != wantS {
+					if got := qSum(ix, q.Lo, q.Hi).Value; got != wantS {
 						errs <- "sum mismatch"
 						return
 					}
@@ -159,11 +160,11 @@ func TestConcurrentClients(t *testing.T) {
 func TestSkipPolicyCountsSkips(t *testing.T) {
 	d := workload.NewUniqueUniform(30000, 19)
 	ix := New(d.Values, Options{RunSize: 1 << 10, OnConflict: Skip})
-	ix.Count(0, 10) // init
+	qCount(ix, 0, 10) // init
 	// Hold the index latch as a concurrent merge would.
 	ix.lt.Lock(0)
 	done := make(chan engine.Result, 1)
-	go func() { done <- ix.Count(5000, 6000) }()
+	go func() { done <- qCount(ix, 5000, 6000) }()
 	// Wait until the query has decided to skip (counted before its
 	// read latch), then release so its read can proceed.
 	for ix.SkippedMerges() == 0 {
@@ -184,7 +185,7 @@ func TestStructuralLoggingAndSystemTxns(t *testing.T) {
 	tm := txn.NewManager()
 	d := workload.NewUniqueUniform(5000, 23)
 	ix := New(d.Values, Options{RunSize: 1 << 9, Log: log, TxnMgr: tm})
-	ix.Sum(1000, 2000)
+	qSum(ix, 1000, 2000)
 	var runs, merges int
 	for _, r := range log.Records() {
 		switch r.Kind {
@@ -209,10 +210,10 @@ func TestStructuralLoggingAndSystemTxns(t *testing.T) {
 func TestEmptyAndInvertedRanges(t *testing.T) {
 	d := workload.NewUniqueUniform(1000, 29)
 	ix := New(d.Values, Options{RunSize: 256})
-	if ix.Count(500, 500).Value != 0 || ix.Count(600, 400).Value != 0 {
+	if qCount(ix, 500, 500).Value != 0 || qCount(ix, 600, 400).Value != 0 {
 		t.Fatal("empty/inverted range returned entries")
 	}
-	if ix.Sum(500, 500).Value != 0 {
+	if qSum(ix, 500, 500).Value != 0 {
 		t.Fatal("empty range sum nonzero")
 	}
 }
@@ -225,8 +226,20 @@ func TestNameAndAccessors(t *testing.T) {
 	if ix.NumRuns() != 0 {
 		t.Fatal("runs before init")
 	}
-	ix.Count(0, 10)
+	qCount(ix, 0, 10)
 	if ix.NumRuns() != 1 {
 		t.Fatalf("runs = %d", ix.NumRuns())
 	}
+}
+
+// qCount / qSum drive the context-aware Engine surface with
+// context.Background(), the uncancellable fast path the tests measure.
+func qCount(e engine.Engine, lo, hi int64) engine.Result {
+	r, _ := e.Count(context.Background(), lo, hi)
+	return r
+}
+
+func qSum(e engine.Engine, lo, hi int64) engine.Result {
+	r, _ := e.Sum(context.Background(), lo, hi)
+	return r
 }

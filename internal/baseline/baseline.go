@@ -10,16 +10,46 @@
 //     The build runs under a write latch so concurrent first queries
 //     wait, exactly once.
 //
-// Both engines are safe for concurrent use.
+// Both engines are safe for concurrent use. Queries honour their
+// context: a cancelled context fails fast, and the long full scans
+// check for cancellation periodically so a deadline bounds them too.
 package baseline
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
 
 	"adaptix/internal/engine"
 )
+
+// scanCheckEvery is the number of values scanned between context
+// checks: frequent enough that a deadline bounds a scan to a fraction
+// of a millisecond of overshoot, rare enough to cost nothing.
+const scanCheckEvery = 1 << 16
+
+// scanVals aggregates the qualifying values of vals, checking ctx
+// periodically.
+func scanVals(ctx context.Context, vals []int64, lo, hi int64, wantSum bool) (int64, error) {
+	var res int64
+	done := ctx.Done()
+	for i, v := range vals {
+		if done != nil && i%scanCheckEvery == scanCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		if v >= lo && v < hi {
+			if wantSum {
+				res += v
+			} else {
+				res++
+			}
+		}
+	}
+	return res, nil
+}
 
 // Scan answers every query by a full predicate scan of the column.
 type Scan struct {
@@ -34,25 +64,21 @@ func NewScan(vals []int64) *Scan { return &Scan{vals: vals} }
 func (s *Scan) Name() string { return "scan" }
 
 // Count implements engine.Engine by a full scan.
-func (s *Scan) Count(lo, hi int64) engine.Result {
-	var n int64
-	for _, v := range s.vals {
-		if v >= lo && v < hi {
-			n++
-		}
+func (s *Scan) Count(ctx context.Context, lo, hi int64) (engine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return engine.Result{}, err
 	}
-	return engine.Result{Value: n}
+	n, err := scanVals(ctx, s.vals, lo, hi, false)
+	return engine.Result{Value: n}, err
 }
 
 // Sum implements engine.Engine by a full scan.
-func (s *Scan) Sum(lo, hi int64) engine.Result {
-	var sum int64
-	for _, v := range s.vals {
-		if v >= lo && v < hi {
-			sum += v
-		}
+func (s *Scan) Sum(ctx context.Context, lo, hi int64) (engine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return engine.Result{}, err
 	}
-	return engine.Result{Value: sum}
+	sum, err := scanVals(ctx, s.vals, lo, hi, true)
+	return engine.Result{Value: sum}, err
 }
 
 // Mutable is a scan engine whose contents can change: one mutex, one
@@ -94,29 +120,25 @@ func (m *Mutable) DeleteValue(v int64) bool {
 }
 
 // Count implements engine.Engine by a locked full scan.
-func (m *Mutable) Count(lo, hi int64) engine.Result {
+func (m *Mutable) Count(ctx context.Context, lo, hi int64) (engine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return engine.Result{}, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	var n int64
-	for _, v := range m.vals {
-		if v >= lo && v < hi {
-			n++
-		}
-	}
-	return engine.Result{Value: n}
+	n, err := scanVals(ctx, m.vals, lo, hi, false)
+	return engine.Result{Value: n}, err
 }
 
 // Sum implements engine.Engine by a locked full scan.
-func (m *Mutable) Sum(lo, hi int64) engine.Result {
+func (m *Mutable) Sum(ctx context.Context, lo, hi int64) (engine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return engine.Result{}, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	var sum int64
-	for _, v := range m.vals {
-		if v >= lo && v < hi {
-			sum += v
-		}
-	}
-	return engine.Result{Value: sum}
+	sum, err := scanVals(ctx, m.vals, lo, hi, true)
+	return engine.Result{Value: sum}, err
 }
 
 // FullSort sorts a copy of the column on first access, then answers
@@ -163,19 +185,25 @@ func (f *FullSort) ensure(res *engine.Result) []int64 {
 }
 
 // Count implements engine.Engine by two binary searches.
-func (f *FullSort) Count(lo, hi int64) engine.Result {
+func (f *FullSort) Count(ctx context.Context, lo, hi int64) (engine.Result, error) {
 	var res engine.Result
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	s := f.ensure(&res)
 	a := sort.Search(len(s), func(i int) bool { return s[i] >= lo })
 	b := sort.Search(len(s), func(i int) bool { return s[i] >= hi })
 	res.Value = int64(b - a)
-	return res
+	return res, nil
 }
 
 // Sum implements engine.Engine by binary search plus a scan of the
 // qualifying sorted range.
-func (f *FullSort) Sum(lo, hi int64) engine.Result {
+func (f *FullSort) Sum(ctx context.Context, lo, hi int64) (engine.Result, error) {
 	var res engine.Result
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	s := f.ensure(&res)
 	a := sort.Search(len(s), func(i int) bool { return s[i] >= lo })
 	b := sort.Search(len(s), func(i int) bool { return s[i] >= hi })
@@ -184,5 +212,5 @@ func (f *FullSort) Sum(lo, hi int64) engine.Result {
 		sum += v
 	}
 	res.Value = sum
-	return res
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -21,10 +22,10 @@ func TestScanMatchesBruteForce(t *testing.T) {
 		t.Fatal("bad name")
 	}
 	for _, r := range [][2]int64{{0, 5000}, {100, 200}, {-10, 10}, {4999, 6000}, {300, 300}} {
-		if got := s.Count(r[0], r[1]).Value; got != d.TrueCount(r[0], r[1]) {
+		if got := qCount(s, r[0], r[1]).Value; got != d.TrueCount(r[0], r[1]) {
 			t.Fatalf("Count(%d,%d) = %d", r[0], r[1], got)
 		}
-		if got := s.Sum(r[0], r[1]).Value; got != d.TrueSum(r[0], r[1]) {
+		if got := qSum(s, r[0], r[1]).Value; got != d.TrueSum(r[0], r[1]) {
 			t.Fatalf("Sum(%d,%d) = %d", r[0], r[1], got)
 		}
 	}
@@ -37,10 +38,10 @@ func TestFullSortMatchesBruteForce(t *testing.T) {
 		t.Fatal("bad name")
 	}
 	for _, r := range [][2]int64{{0, 700}, {100, 200}, {-5, 5}, {699, 700}, {50, 50}} {
-		if got := f.Count(r[0], r[1]).Value; got != d.TrueCount(r[0], r[1]) {
+		if got := qCount(f, r[0], r[1]).Value; got != d.TrueCount(r[0], r[1]) {
 			t.Fatalf("Count(%d,%d) = %d", r[0], r[1], got)
 		}
-		if got := f.Sum(r[0], r[1]).Value; got != d.TrueSum(r[0], r[1]) {
+		if got := qSum(f, r[0], r[1]).Value; got != d.TrueSum(r[0], r[1]) {
 			t.Fatalf("Sum(%d,%d) = %d", r[0], r[1], got)
 		}
 	}
@@ -49,11 +50,11 @@ func TestFullSortMatchesBruteForce(t *testing.T) {
 func TestFullSortBuildsExactlyOnceAndCharges(t *testing.T) {
 	d := workload.NewUniqueUniform(200000, 7)
 	f := NewFullSort(d.Values)
-	r1 := f.Count(10, 20)
+	r1 := qCount(f, 10, 20)
 	if r1.Refine == 0 {
 		t.Fatal("first query did not charge the index build")
 	}
-	r2 := f.Count(10, 20)
+	r2 := qCount(f, 10, 20)
 	if r2.Refine != 0 || r2.Wait != 0 {
 		t.Fatalf("second query paid again: %+v", r2)
 	}
@@ -69,7 +70,7 @@ func TestFullSortConcurrentFirstQueries(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			results[c] = f.Count(1000, 2000)
+			results[c] = qCount(f, 1000, 2000)
 		}(c)
 	}
 	wg.Wait()
@@ -103,11 +104,23 @@ func TestScanIsStateless(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				if s.Count(100, 5000).Value != 4900 {
+				if qCount(s, 100, 5000).Value != 4900 {
 					panic("scan mismatch")
 				}
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// qCount / qSum drive the context-aware Engine surface with
+// context.Background(), the uncancellable fast path the tests measure.
+func qCount(e engine.Engine, lo, hi int64) engine.Result {
+	r, _ := e.Count(context.Background(), lo, hi)
+	return r
+}
+
+func qSum(e engine.Engine, lo, hi int64) engine.Result {
+	r, _ := e.Sum(context.Background(), lo, hi)
+	return r
 }

@@ -31,6 +31,7 @@ const (
 	LayoutPairs
 )
 
+// String returns the layout's display name.
 func (l Layout) String() string {
 	if l == LayoutPairs {
 		return "pairs"

@@ -1,15 +1,36 @@
 package crackindex
 
 import (
+	"context"
 	"sort"
 	"time"
 )
 
-// opCtx carries the per-operation cost accumulator and the query tag
-// used by the trace hook (Figure 8 timelines).
+// opCtx carries the per-operation cost accumulator, the query tag used
+// by the trace hook (Figure 8 timelines), and the caller's context: a
+// nil ctx means context.Background semantics (never cancelled), and the
+// first context error observed while parked on a latch is recorded in
+// err so the query paths can abandon remaining work promptly.
 type opCtx struct {
 	tag string
+	ctx context.Context
+	err error
 	OpStats
+}
+
+// canceled reports whether the operation's context is done, latching
+// the error into err on first observation.
+func (c *opCtx) canceled() bool {
+	if c.err != nil {
+		return true
+	}
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			return true
+		}
+	}
+	return false
 }
 
 // crackBound ensures a crack boundary exists at value v and returns its
@@ -207,11 +228,18 @@ func (ix *Index) pieceWriteLock(p *piece, bound int64, ctx *opCtx) bool {
 		ix.traceAcquired(ctx, p, true)
 		return true
 	}
-	w := p.latch.Lock(bound)
+	w, err := p.latch.LockCtx(ctx.ctx, bound)
 	ctx.addWait(w)
 	if w > 0 {
 		ix.stats.Conflicts.Inc()
 		ix.stats.WaitTime.Add(w)
+	}
+	if err != nil {
+		// Deadline expired or the query was cancelled while parked:
+		// the latch was never acquired, and the query abandons its
+		// optional refinement and its answer alike.
+		ctx.err = err
+		return false
 	}
 	ix.traceAcquired(ctx, p, true)
 	return true
@@ -225,15 +253,22 @@ func (ix *Index) pieceWriteUnlock(ctx *opCtx, p *piece) {
 // pieceReadLock acquires p's read latch, recording wait time.
 // Aggregation reads are never skipped: they are required for the
 // answer, and they conflict only with an active crack of this piece.
-func (ix *Index) pieceReadLock(p *piece, ctx *opCtx) {
+// It reports false only when the operation's context expired while
+// parked — the answer is abandoned, not merely unrefined.
+func (ix *Index) pieceReadLock(p *piece, ctx *opCtx) bool {
 	ix.traceWant(ctx, p, false, 0)
-	w := p.latch.RLock()
+	w, err := p.latch.RLockCtx(ctx.ctx)
 	ctx.addWait(w)
 	if w > 0 {
 		ix.stats.Conflicts.Inc()
 		ix.stats.WaitTime.Add(w)
 	}
+	if err != nil {
+		ctx.err = err
+		return false
+	}
 	ix.traceAcquired(ctx, p, false)
+	return true
 }
 
 func (ix *Index) pieceReadUnlock(ctx *opCtx, p *piece) {
@@ -318,7 +353,7 @@ func (ix *Index) crackPair(lo, hi int64, keepMiddle bool, ctx *opCtx) (posLo, po
 		}
 		ch := make(chan res, 1)
 		go func() {
-			sub := opCtx{tag: ctx.tag}
+			sub := opCtx{tag: ctx.tag, ctx: ctx.ctx}
 			pos, ok := ix.crackBound(hi, &sub)
 			ch <- res{pos, ok, sub}
 		}()
@@ -328,6 +363,9 @@ func (ix *Index) crackPair(lo, hi int64, keepMiddle bool, ctx *opCtx) (posLo, po
 		ctx.Crack += r.st.Crack
 		ctx.Conflicts += r.st.Conflicts
 		ctx.Skipped = ctx.Skipped || r.st.Skipped
+		if ctx.err == nil {
+			ctx.err = r.st.err
+		}
 		if !okLo || !r.ok {
 			return 0, 0, nil, false
 		}

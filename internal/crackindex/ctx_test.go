@@ -1,0 +1,110 @@
+package crackindex
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCountCtxBackground: the Background path answers identically to
+// the plain surface.
+func TestCountCtxBackground(t *testing.T) {
+	ix := New(seq(0, 10000), Options{Latching: LatchPiece})
+	n, _, err := ix.CountCtx(context.Background(), 100, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 800 {
+		t.Fatalf("Count = %d, want 800", n)
+	}
+	s, _, err := ix.SumCtx(context.Background(), 100, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64((100 + 899) * 800 / 2); s != want {
+		t.Fatalf("Sum = %d, want %d", s, want)
+	}
+}
+
+// TestCountCtxCancelledBeforeDispatch: a context cancelled before the
+// query starts returns ctx.Err() without initializing or refining the
+// index.
+func TestCountCtxCancelledBeforeDispatch(t *testing.T) {
+	ix := New(seq(0, 10000), Options{Latching: LatchPiece})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := ix.CountCtx(ctx, 100, 900); err != context.Canceled {
+		t.Fatalf("CountCtx = %v, want Canceled", err)
+	}
+	if ix.Initialized() {
+		t.Fatal("cancelled query initialized the index")
+	}
+	if ix.Stats().Cracks.Load() != 0 {
+		t.Fatal("cancelled query cracked the index")
+	}
+}
+
+// TestSumCtxDeadlineWhileParked: a query whose deadline expires while
+// it is parked on a piece latch unparks promptly and reports the
+// context error. The latch is held hostage by a tracer callback that
+// blocks the first query inside its cracking critical section.
+func TestSumCtxDeadlineWhileParked(t *testing.T) {
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	var blocking atomic.Bool
+	blocking.Store(true)
+	ix := New(seq(0, 100000), Options{
+		Latching: LatchPiece,
+		Tracer: func(e TraceEvent) {
+			if blocking.Load() && e.Kind == TraceCracked {
+				entered <- struct{}{}
+				<-hold
+			}
+		},
+	})
+
+	// Query A cracks and blocks inside the critical section, holding
+	// the head piece's write latch.
+	aDone := make(chan struct{})
+	go func() {
+		defer close(aDone)
+		ix.Sum(40000, 60000)
+	}()
+	<-entered
+
+	// Query B parks on the same piece's latch; its deadline must unpark
+	// it long before A releases.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := ix.SumCtx(ctx, 45000, 55000)
+	parked := time.Since(start)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("SumCtx = %v, want DeadlineExceeded", err)
+	}
+	if parked > 5*time.Second {
+		t.Fatalf("parked %v past a 30ms deadline", parked)
+	}
+
+	blocking.Store(false)
+	close(hold)
+	<-aDone
+
+	// The index is fully usable afterwards.
+	if n, _ := ix.Count(0, 100000); n != 100000 {
+		t.Fatalf("post-expiry Count = %d", n)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// seq returns the integers [lo, hi) in order.
+func seq(lo, hi int64) []int64 {
+	out := make([]int64, 0, hi-lo)
+	for v := lo; v < hi; v++ {
+		out = append(out, v)
+	}
+	return out
+}

@@ -55,6 +55,7 @@ const (
 	LatchNone
 )
 
+// String returns the mode's display name.
 func (m LatchMode) String() string {
 	switch m {
 	case LatchPiece:
@@ -77,6 +78,7 @@ const (
 	Skip
 )
 
+// String returns the policy's display name.
 func (p ConflictPolicy) String() string {
 	if p == Skip {
 		return "skip"
@@ -374,6 +376,7 @@ const (
 	StateOptimized
 )
 
+// String returns the state's display name.
 func (s LifecycleState) String() string {
 	switch s {
 	case StateNonexistent:

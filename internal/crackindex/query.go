@@ -1,6 +1,32 @@
 package crackindex
 
-import "time"
+import (
+	"context"
+	"time"
+)
+
+// tagKey keys the query tag carried by a context (WithTag).
+type tagKey struct{}
+
+// WithTag returns a context carrying a query tag: the ctx-aware query
+// surface (CountCtx / SumCtx) labels its trace events with it, the way
+// CountTagged / SumTagged do on the plain surface. The tag rides the
+// context so it survives the fan-out executor and the engine adapters
+// without widening any signature.
+func WithTag(ctx context.Context, tag string) context.Context {
+	return context.WithValue(ctx, tagKey{}, tag)
+}
+
+// tagFrom extracts the query tag from ctx ("" when none).
+func tagFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	if t, ok := ctx.Value(tagKey{}).(string); ok {
+		return t
+	}
+	return ""
+}
 
 // Count executes query type Q1 of the paper's §6 —
 // select count(*) from R where lo <= A < hi — cracking the column as a
@@ -9,47 +35,66 @@ func (ix *Index) Count(lo, hi int64) (int64, OpStats) {
 	return ix.CountTagged("", lo, hi)
 }
 
+// CountCtx is Count bounded by a context: cancellation before any work
+// returns ctx.Err() with no refinement side effects, and a deadline
+// expiring while the query is parked on a piece latch unparks it
+// promptly. A query that returns a non-nil error returns no answer.
+func (ix *Index) CountCtx(ctx context.Context, lo, hi int64) (int64, OpStats, error) {
+	oc := opCtx{ctx: ctx, tag: tagFrom(ctx)}
+	if oc.canceled() {
+		return 0, oc.OpStats, oc.err
+	}
+	n := ix.countBase(&oc, lo, hi)
+	if oc.err != nil {
+		return 0, oc.OpStats, oc.err
+	}
+	return n + ix.pendingCountAdj(lo, hi), oc.OpStats, nil
+}
+
 // CountTagged is Count with a query tag for the trace hook. The result
 // merges any pending differential updates (see updates.go).
 func (ix *Index) CountTagged(tag string, lo, hi int64) (int64, OpStats) {
-	n, st := ix.countBase(tag, lo, hi)
-	return n + ix.pendingCountAdj(lo, hi), st
+	oc := opCtx{tag: tag}
+	n := ix.countBase(&oc, lo, hi)
+	return n + ix.pendingCountAdj(lo, hi), oc.OpStats
 }
 
 // countBase answers from the physical index only, ignoring the
-// differential file.
-func (ix *Index) countBase(tag string, lo, hi int64) (int64, OpStats) {
-	ctx := opCtx{tag: tag}
+// differential file. On a context error (oc.err set) the partial
+// result is meaningless and must be discarded by the caller.
+func (ix *Index) countBase(oc *opCtx, lo, hi int64) int64 {
 	if lo >= hi {
-		return 0, ctx.OpStats
+		return 0
 	}
-	ix.ensureInit(&ctx)
+	ix.ensureInit(oc)
 	switch ix.opts.Latching {
 	case LatchColumn:
 		if ix.opts.OnConflict == Skip {
-			if !ix.tryColumnWrite(&ctx) {
-				n := ix.fallbackScanColumn(false, lo, hi, &ctx)
-				return n, ctx.OpStats
+			if !ix.tryColumnWrite(oc) {
+				return ix.fallbackScanColumn(false, lo, hi, oc)
 			}
-		} else {
-			ix.columnWriteLock(lo, &ctx)
+		} else if !ix.columnWriteLock(lo, oc) {
+			return 0
 		}
-		posLo, posHi := ix.crackPairExclusive(lo, hi, &ctx)
-		ix.columnWriteUnlock(&ctx)
-		return int64(posHi - posLo), ctx.OpStats
+		posLo, posHi := ix.crackPairExclusive(lo, hi, oc)
+		ix.columnWriteUnlock(oc)
+		return int64(posHi - posLo)
 	case LatchNone:
-		posLo, posHi := ix.crackPairExclusive(lo, hi, &ctx)
-		return int64(posHi - posLo), ctx.OpStats
+		posLo, posHi := ix.crackPairExclusive(lo, hi, oc)
+		return int64(posHi - posLo)
 	default: // LatchPiece
-		posLo, posHi, _, ok := ix.crackPair(lo, hi, false, &ctx)
+		posLo, posHi, _, ok := ix.crackPair(lo, hi, false, oc)
 		if !ok {
-			return ix.fallbackScanPiece(false, lo, hi, &ctx), ctx.OpStats
+			if oc.err != nil {
+				return 0
+			}
+			return ix.fallbackScanPiece(false, lo, hi, oc)
 		}
 		// Boundary positions are permanent: once both bounds are
 		// cracked, the count is derived purely from the index
 		// structure, with no further latching (the "continuously
 		// reduced conflicts" effect of §5.3).
-		return int64(posHi - posLo), ctx.OpStats
+		return int64(posHi - posLo)
 	}
 }
 
@@ -60,58 +105,76 @@ func (ix *Index) Sum(lo, hi int64) (int64, OpStats) {
 	return ix.SumTagged("", lo, hi)
 }
 
+// SumCtx is Sum bounded by a context (see CountCtx for the semantics).
+func (ix *Index) SumCtx(ctx context.Context, lo, hi int64) (int64, OpStats, error) {
+	oc := opCtx{ctx: ctx, tag: tagFrom(ctx)}
+	if oc.canceled() {
+		return 0, oc.OpStats, oc.err
+	}
+	s := ix.sumBase(&oc, lo, hi)
+	if oc.err != nil {
+		return 0, oc.OpStats, oc.err
+	}
+	return s + ix.pendingSumAdj(lo, hi), oc.OpStats, nil
+}
+
 // SumTagged is Sum with a query tag for the trace hook. The result
 // merges any pending differential updates (see updates.go).
 func (ix *Index) SumTagged(tag string, lo, hi int64) (int64, OpStats) {
-	s, st := ix.sumBase(tag, lo, hi)
-	return s + ix.pendingSumAdj(lo, hi), st
+	oc := opCtx{tag: tag}
+	s := ix.sumBase(&oc, lo, hi)
+	return s + ix.pendingSumAdj(lo, hi), oc.OpStats
 }
 
 // sumBase answers from the physical index only, ignoring the
-// differential file.
-func (ix *Index) sumBase(tag string, lo, hi int64) (int64, OpStats) {
-	ctx := opCtx{tag: tag}
+// differential file (see countBase for the context-error contract).
+func (ix *Index) sumBase(oc *opCtx, lo, hi int64) int64 {
 	if lo >= hi {
-		return 0, ctx.OpStats
+		return 0
 	}
-	ix.ensureInit(&ctx)
+	ix.ensureInit(oc)
 	switch ix.opts.Latching {
 	case LatchColumn:
 		if ix.opts.OnConflict == Skip {
-			if !ix.tryColumnWrite(&ctx) {
-				return ix.fallbackScanColumn(true, lo, hi, &ctx), ctx.OpStats
+			if !ix.tryColumnWrite(oc) {
+				return ix.fallbackScanColumn(true, lo, hi, oc)
 			}
-		} else {
-			ix.columnWriteLock(lo, &ctx)
+		} else if !ix.columnWriteLock(lo, oc) {
+			return 0
 		}
-		posLo, posHi := ix.crackPairExclusive(lo, hi, &ctx)
-		ix.columnWriteUnlock(&ctx)
+		posLo, posHi := ix.crackPairExclusive(lo, hi, oc)
+		ix.columnWriteUnlock(oc)
 		// The aggregation operator runs under a separate read latch:
 		// multiple aggregations proceed in parallel, but no cracking
 		// can happen meanwhile (Figure 8, top).
-		ix.columnReadLock(&ctx)
+		if !ix.columnReadLock(oc) {
+			return 0
+		}
 		s := ix.arr.Sum(posLo, posHi)
-		ix.columnReadUnlock(&ctx)
-		return s, ctx.OpStats
+		ix.columnReadUnlock(oc)
+		return s
 	case LatchNone:
-		posLo, posHi := ix.crackPairExclusive(lo, hi, &ctx)
-		return ix.arr.Sum(posLo, posHi), ctx.OpStats
+		posLo, posHi := ix.crackPairExclusive(lo, hi, oc)
+		return ix.arr.Sum(posLo, posHi)
 	default: // LatchPiece
-		posLo, posHi, mid, ok := ix.crackPair(lo, hi, true, &ctx)
+		posLo, posHi, mid, ok := ix.crackPair(lo, hi, true, oc)
 		if !ok {
-			return ix.fallbackScanPiece(true, lo, hi, &ctx), ctx.OpStats
+			if oc.err != nil {
+				return 0
+			}
+			return ix.fallbackScanPiece(true, lo, hi, oc)
 		}
 		if mid != nil {
 			// Crack-in-three path: the middle piece holds exactly the
 			// qualifying range and is still write-latched; downgrade
 			// to a read latch and aggregate in place (§3.3).
-			ix.traceDowngrade(&ctx, mid)
+			ix.traceDowngrade(oc, mid)
 			mid.latch.Downgrade()
 			s := ix.arr.Sum(posLo, posHi)
-			ix.pieceReadUnlock(&ctx, mid)
-			return s, ctx.OpStats
+			ix.pieceReadUnlock(oc, mid)
+			return s
 		}
-		return ix.sumWalk(lo, posLo, posHi, &ctx), ctx.OpStats
+		return ix.sumWalk(lo, posLo, posHi, oc)
 	}
 }
 
@@ -205,13 +268,17 @@ func (ix *Index) sumWalk(lo int64, posLo, posHi int, ctx *opCtx) int64 {
 // walkPieces visits the pieces covering positions up to posHi,
 // starting at the piece whose loVal boundary is <= lo, invoking visit
 // with each piece's clamped [start, end) position range while holding
-// that piece's read latch.
+// that piece's read latch. The walk stops early when the operation's
+// context expires (ctx.err set; the partial visit is discarded by the
+// caller).
 func (ix *Index) walkPieces(lo int64, posHi int, ctx *opCtx, visit func(start, end int)) {
 	ix.mu.Lock()
 	p := ix.findPieceLocked(lo)
 	ix.mu.Unlock()
 	for p != nil && p.lo < posHi { // p.lo is immutable: safe unlatched
-		ix.pieceReadLock(p, ctx)
+		if !ix.pieceReadLock(p, ctx) {
+			return
+		}
 		end := p.hi // stable under the read latch
 		if end > posHi {
 			end = posHi
@@ -236,7 +303,9 @@ func (ix *Index) fallbackScanPiece(wantSum bool, lo, hi int64, ctx *opCtx) int64
 	p := ix.findPieceLocked(lo)
 	ix.mu.Unlock()
 	for p != nil && p.loVal < hi { // p.loVal is immutable: safe unlatched
-		ix.pieceReadLock(p, ctx)
+		if !ix.pieceReadLock(p, ctx) {
+			return 0
+		}
 		res += ix.scanPieceLocked(p, wantSum, lo, hi)
 		np := p.next
 		ix.pieceReadUnlock(ctx, p)
@@ -265,7 +334,9 @@ func (ix *Index) scanPieceLocked(p *piece, wantSum bool, lo, hi int64) int64 {
 // the whole column, then an unlatched piece walk (structure is stable
 // under the column read latch).
 func (ix *Index) fallbackScanColumn(wantSum bool, lo, hi int64, ctx *opCtx) int64 {
-	ix.columnReadLock(ctx)
+	if !ix.columnReadLock(ctx) {
+		return 0
+	}
 	defer ix.columnReadUnlock(ctx)
 	var res int64
 	ix.structLock()
@@ -285,7 +356,9 @@ func (ix *Index) fallbackCollectPiece(lo, hi int64, ctx *opCtx) []uint32 {
 	p := ix.findPieceLocked(lo)
 	ix.mu.Unlock()
 	for p != nil && p.loVal < hi {
-		ix.pieceReadLock(p, ctx)
+		if !ix.pieceReadLock(p, ctx) {
+			return nil
+		}
 		ids = ix.arr.AppendRowIDsWhere(ids, p.lo, p.hi, lo, hi)
 		np := p.next
 		ix.pieceReadUnlock(ctx, p)
@@ -297,7 +370,9 @@ func (ix *Index) fallbackCollectPiece(lo, hi int64, ctx *opCtx) []uint32 {
 // fallbackCollectColumn collects qualifying rowIDs under the column
 // read latch.
 func (ix *Index) fallbackCollectColumn(lo, hi int64, ctx *opCtx) []uint32 {
-	ix.columnReadLock(ctx)
+	if !ix.columnReadLock(ctx) {
+		return nil
+	}
 	defer ix.columnReadUnlock(ctx)
 	var ids []uint32
 	ix.structLock()
@@ -310,17 +385,24 @@ func (ix *Index) fallbackCollectColumn(lo, hi int64, ctx *opCtx) []uint32 {
 	return ids
 }
 
-// Column-latch helpers (LatchColumn mode).
+// Column-latch helpers (LatchColumn mode). The write/read acquisitions
+// report false only when the operation's context expired while parked
+// (the latch is then not held).
 
-func (ix *Index) columnWriteLock(bound int64, ctx *opCtx) {
+func (ix *Index) columnWriteLock(bound int64, ctx *opCtx) bool {
 	ix.traceWant(ctx, nil, true, bound)
-	w := ix.colLatch.Lock(bound)
+	w, err := ix.colLatch.LockCtx(ctx.ctx, bound)
 	ctx.addWait(w)
 	if w > 0 {
 		ix.stats.Conflicts.Inc()
 		ix.stats.WaitTime.Add(w)
 	}
+	if err != nil {
+		ctx.err = err
+		return false
+	}
 	ix.traceAcquired(ctx, nil, true)
+	return true
 }
 
 func (ix *Index) tryColumnWrite(ctx *opCtx) bool {
@@ -341,15 +423,20 @@ func (ix *Index) columnWriteUnlock(ctx *opCtx) {
 	ix.colLatch.Unlock()
 }
 
-func (ix *Index) columnReadLock(ctx *opCtx) {
+func (ix *Index) columnReadLock(ctx *opCtx) bool {
 	ix.traceWant(ctx, nil, false, 0)
-	w := ix.colLatch.RLock()
+	w, err := ix.colLatch.RLockCtx(ctx.ctx)
 	ctx.addWait(w)
 	if w > 0 {
 		ix.stats.Conflicts.Inc()
 		ix.stats.WaitTime.Add(w)
 	}
+	if err != nil {
+		ctx.err = err
+		return false
+	}
 	ix.traceAcquired(ctx, nil, false)
+	return true
 }
 
 func (ix *Index) columnReadUnlock(ctx *opCtx) {

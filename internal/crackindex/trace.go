@@ -27,6 +27,7 @@ const (
 	TraceDowngraded
 )
 
+// String returns the event kind's timeline label.
 func (k TraceKind) String() string {
 	switch k {
 	case TraceWantWrite:

@@ -56,7 +56,8 @@ func (ix *Index) Insert(v int64) {
 func (ix *Index) DeleteValue(v int64) bool {
 	// The base count cracks the column as a side effect — a single
 	// user operation both querying and optimizing the index (§3).
-	base, _ := ix.countBase("", v, v+1)
+	oc := opCtx{}
+	base := ix.countBase(&oc, v, v+1)
 	ix.pend.mu.Lock()
 	defer ix.pend.mu.Unlock()
 	logical := base + epoch.CountRange(ix.pend.ins, v, v+1) - epoch.CountRange(ix.pend.del, v, v+1)

@@ -36,12 +36,15 @@
 package durable
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync/atomic"
+	"time"
 
 	"adaptix/internal/crackindex"
 	"adaptix/internal/ingest"
@@ -74,6 +77,15 @@ type Options struct {
 	// a crash loses at most the not-yet-fsynced log tail instead of
 	// everything since the last checkpoint.
 	LogWrites bool
+	// SyncEvery bounds the not-yet-fsynced tail by record count: with
+	// LogWrites, the log is group-commit fsynced after every SyncEvery
+	// logical records (see ingest Options.SyncEvery). Zero keeps
+	// fsync-on-next-commit.
+	SyncEvery int
+	// SyncInterval bounds the tail in time: unsynced logical records
+	// are fsynced at least every SyncInterval (see ingest
+	// Options.SyncInterval). Zero disables the ticker.
+	SyncInterval time.Duration
 	// NoSync disables fsync on the WAL and the snapshot (tests). A
 	// store written with NoSync is not crash-durable.
 	NoSync bool
@@ -89,7 +101,7 @@ type Column struct {
 	ing       *ingest.Coordinator
 	sink      *wal.FileSink
 	recovered bool
-	closed    bool
+	closed    atomic.Bool
 }
 
 // Open opens the store in dir, creating it (with opts.Values as
@@ -158,6 +170,12 @@ func Open(dir string, opts Options) (*Column, error) {
 	iopts.Sink = sink
 	iopts.CheckpointEvery = opts.CheckpointEvery
 	iopts.LogWrites = opts.LogWrites || iopts.LogWrites
+	if opts.SyncEvery > 0 {
+		iopts.SyncEvery = opts.SyncEvery
+	}
+	if opts.SyncInterval > 0 {
+		iopts.SyncInterval = opts.SyncInterval
+	}
 	iopts.SnapshotWriter = func(vals []int64) error {
 		return writeSnapshot(dir, vals, !opts.NoSync)
 	}
@@ -190,23 +208,27 @@ func (c *Column) Column() *shard.Column { return c.col }
 func (c *Column) Ingestor() *ingest.Coordinator { return c.ing }
 
 // Count evaluates Q1: select count(*) where lo <= A < hi.
-func (c *Column) Count(lo, hi int64) (int64, crackindex.OpStats) {
-	return c.col.Count(lo, hi)
+func (c *Column) Count(ctx context.Context, lo, hi int64) (int64, crackindex.OpStats, error) {
+	return c.col.Count(ctx, lo, hi)
 }
 
 // Sum evaluates Q2: select sum(A) where lo <= A < hi.
-func (c *Column) Sum(lo, hi int64) (int64, crackindex.OpStats) {
-	return c.col.Sum(lo, hi)
+func (c *Column) Sum(ctx context.Context, lo, hi int64) (int64, crackindex.OpStats, error) {
+	return c.col.Sum(ctx, lo, hi)
 }
 
 // Insert routes one insert through the coordinator.
-func (c *Column) Insert(v int64) error { return c.ing.Insert(v) }
+func (c *Column) Insert(ctx context.Context, v int64) error { return c.ing.Insert(ctx, v) }
 
 // DeleteValue routes one delete, reporting whether an instance existed.
-func (c *Column) DeleteValue(v int64) (bool, error) { return c.ing.DeleteValue(v) }
+func (c *Column) DeleteValue(ctx context.Context, v int64) (bool, error) {
+	return c.ing.DeleteValue(ctx, v)
+}
 
 // Apply routes a batch of write operations (see ingest.Coordinator.Apply).
-func (c *Column) Apply(batch []ingest.Op) (int, error) { return c.ing.Apply(batch) }
+func (c *Column) Apply(ctx context.Context, batch []ingest.Op) (int, error) {
+	return c.ing.Apply(ctx, batch)
+}
 
 // Checkpoint forces a checkpoint now: data snapshot, crack-boundary
 // records, log-prefix truncation. Everything up to this call is
@@ -215,12 +237,12 @@ func (c *Column) Checkpoint() bool { return c.ing.Checkpoint() }
 
 // Close stops background maintenance, takes a final checkpoint, and
 // closes the log. A cleanly closed store reopens with zero loss.
-// Idempotent.
+// Idempotent and safe for concurrent use (exactly one caller runs the
+// shutdown; the others return nil immediately).
 func (c *Column) Close() error {
-	if c.closed {
+	if !c.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	c.closed = true
 	c.ing.Close() // final maintain + checkpoint
 	return c.sink.Close()
 }
@@ -276,7 +298,7 @@ func replayTail(col *shard.Column, tail []wal.TailWrite) {
 			// Debt is capped by the inserts actually still ahead, so
 			// every debt is consumed and a delete beyond that cap is
 			// dropped as witness-less.
-			if deleted, _ := col.DeleteValue(tw.Value); !deleted && debt[tw.Value] < remainingIns[tw.Value] {
+			if deleted, _ := col.DeleteValue(context.Background(), tw.Value); !deleted && debt[tw.Value] < remainingIns[tw.Value] {
 				debt[tw.Value]++
 			}
 			continue
@@ -286,7 +308,7 @@ func replayTail(col *shard.Column, tail []wal.TailWrite) {
 			debt[tw.Value]--
 			continue
 		}
-		_ = col.Insert(tw.Value)
+		_ = col.Insert(context.Background(), tw.Value)
 	}
 }
 

@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"sort"
@@ -11,6 +12,9 @@ import (
 	"adaptix/internal/shard"
 	"adaptix/internal/workload"
 )
+
+// qctx is the uncancellable context the tests drive queries with.
+var qctx = context.Background()
 
 // testOptions disables fsync (the tests simulate crashes by mangling
 // files directly) and pins deterministic shard/index settings.
@@ -56,10 +60,10 @@ func assertAgreesWithScan(t *testing.T, c *Column, base brute, domain int64) {
 	for i := 0; i < 200; i++ {
 		lo := r.Int64n(domain)
 		hi := lo + 1 + r.Int64n(domain-lo)
-		if got, _ := c.Count(lo, hi); got != base.count(lo, hi) {
+		if got, _, _ := c.Count(qctx, lo, hi); got != base.count(lo, hi) {
 			t.Fatalf("Count[%d,%d) = %d, scan baseline %d", lo, hi, got, base.count(lo, hi))
 		}
-		if got, _ := c.Sum(lo, hi); got != base.sum(lo, hi) {
+		if got, _, _ := c.Sum(qctx, lo, hi); got != base.sum(lo, hi) {
 			t.Fatalf("Sum[%d,%d) = %d, scan baseline %d", lo, hi, got, base.sum(lo, hi))
 		}
 	}
@@ -86,7 +90,7 @@ func TestOpenCreateReopenCleanClose(t *testing.T) {
 	r := workload.NewRNG(5)
 	for i := 0; i < 100; i++ {
 		lo := r.Int64n(d.Domain)
-		c.Count(lo, lo+1+r.Int64n(d.Domain-lo))
+		c.Count(qctx, lo, lo+1+r.Int64n(d.Domain-lo))
 	}
 	warmBounds := c.Column().CrackBoundaries()
 	if err := c.Close(); err != nil {
@@ -138,9 +142,9 @@ func TestCrashRecoveryRoundTrip(t *testing.T) {
 	r := workload.NewRNG(13)
 	for i := 0; i < 300; i++ {
 		lo := r.Int64n(d.Domain)
-		c.Count(lo, lo+1+r.Int64n(d.Domain-lo))
+		c.Count(qctx, lo, lo+1+r.Int64n(d.Domain-lo))
 		if i%2 == 0 {
-			if err := c.Insert(r.Int64n(d.Domain)); err != nil {
+			if err := c.Insert(qctx, r.Int64n(d.Domain)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -155,9 +159,9 @@ func TestCrashRecoveryRoundTrip(t *testing.T) {
 	// The probe query earns its boundaries now, pre-checkpoint; its
 	// warm repeat measures steady-state crack cost.
 	qlo, qhi := d.Domain/4, d.Domain/4+d.Domain/8
-	c.Count(qlo, qhi)
+	c.Count(qctx, qlo, qhi)
 	warmBefore := totalCracks(c)
-	warmAnswer, _ := c.Count(qlo, qhi)
+	warmAnswer, _, _ := c.Count(qctx, qlo, qhi)
 	warmCost := totalCracks(c) - warmBefore
 
 	// Durable point: everything above survives the crash.
@@ -170,7 +174,7 @@ func TestCrashRecoveryRoundTrip(t *testing.T) {
 	// Phase 2 — lost tail: writes after the last checkpoint, then the
 	// process dies mid-record (garbage at the log tail), never Close.
 	for i := 0; i < 200; i++ {
-		if err := c.Insert(r.Int64n(d.Domain)); err != nil {
+		if err := c.Insert(qctx, r.Int64n(d.Domain)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -196,7 +200,7 @@ func TestCrashRecoveryRoundTrip(t *testing.T) {
 	// (b) The first post-reopen query performs no more cracks than the
 	// warm pre-crash query: refinement knowledge survived.
 	reBefore := totalCracks(re)
-	reAnswer, _ := re.Count(qlo, qhi)
+	reAnswer, _, _ := re.Count(qctx, qlo, qhi)
 	reCost := totalCracks(re) - reBefore
 	if reAnswer != expected.count(qlo, qhi) {
 		t.Fatalf("probe Count = %d, want %d", reAnswer, expected.count(qlo, qhi))
@@ -239,7 +243,7 @@ func TestRecoverySurvivesDeletedValues(t *testing.T) {
 	r := workload.NewRNG(17)
 	for i := 0; i < 100; i++ {
 		v := r.Int64n(d.Domain)
-		ok, err := c.DeleteValue(v)
+		ok, err := c.DeleteValue(qctx, v)
 		if err != nil {
 			t.Fatal(err)
 		}

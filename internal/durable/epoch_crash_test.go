@@ -33,12 +33,12 @@ func TestCrashBetweenEpochSealAndApply(t *testing.T) {
 	// Tail writes past the initial checkpoint: inserts of fresh values
 	// and deletes of initial ones.
 	for i := 0; i < 200; i++ {
-		if err := c.Insert(d.Domain + int64(i)); err != nil {
+		if err := c.Insert(qctx, d.Domain+int64(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 50; i++ {
-		if _, err := c.DeleteValue(int64(i * 4)); err != nil {
+		if _, err := c.DeleteValue(qctx, int64(i*4)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -166,10 +166,10 @@ func TestTailReplayPairsMisorderedDeleteWithInsert(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if n, _ := c.Count(fresh, fresh+1); n != 0 {
+	if n, _, _ := c.Count(qctx, fresh, fresh+1); n != 0 {
 		t.Errorf("count(fresh) = %d, want 0: misordered delete/insert pair not cancelled", n)
 	}
-	if n, _ := c.Count(fresh+1, fresh+2); n != 1 {
+	if n, _, _ := c.Count(qctx, fresh+1, fresh+2); n != 1 {
 		t.Errorf("count(fresh+1) = %d, want 1: surviving tail insert lost", n)
 	}
 	if err := c.Column().Validate(); err != nil {
@@ -195,7 +195,7 @@ func TestLogWritesCloseTailDurabilityWindow(t *testing.T) {
 		}
 		checkpointed := append(brute(nil), c.Column().Values()...)
 		for i := 0; i < 128; i++ {
-			if err := c.Insert(d.Domain + int64(i)); err != nil {
+			if err := c.Insert(qctx, d.Domain+int64(i)); err != nil {
 				t.Fatal(err)
 			}
 		}

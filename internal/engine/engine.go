@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"time"
 
 	"adaptix/internal/crackindex"
@@ -38,13 +39,19 @@ type Result struct {
 
 // Engine answers the paper's two query templates over one column.
 // Implementations must be safe for concurrent use.
+//
+// Every query carries a context: cancellation before any work returns
+// ctx.Err() with no refinement side effects, a deadline expiring while
+// the query is parked on a latch unparks it promptly, and a query that
+// returns a non-nil error returns no answer. context.Background()
+// follows the uncancellable fast path throughout.
 type Engine interface {
 	// Name identifies the engine in experiment output.
 	Name() string
 	// Count evaluates Q1: select count(*) where lo <= A < hi.
-	Count(lo, hi int64) Result
+	Count(ctx context.Context, lo, hi int64) (Result, error)
 	// Sum evaluates Q2: select sum(A) where lo <= A < hi.
-	Sum(lo, hi int64) Result
+	Sum(ctx context.Context, lo, hi int64) (Result, error)
 }
 
 // Crack adapts a cracked-column index to the Engine interface.
@@ -55,13 +62,13 @@ type Crack struct {
 
 // NewCrack wraps ix; name defaults to "crack".
 func NewCrack(ix *crackindex.Index) *Crack {
-	return &Crack{adapter: adapter{src: ix, name: "crack"}, ix: ix}
+	return &Crack{adapter: adapter{src: SourceFromIndex(ix), name: "crack"}, ix: ix}
 }
 
 // NewCrackNamed wraps ix with an explicit display name (used by the
 // ablation benchmarks to distinguish configurations).
 func NewCrackNamed(ix *crackindex.Index, name string) *Crack {
-	return &Crack{adapter: adapter{src: ix, name: name}, ix: ix}
+	return &Crack{adapter: adapter{src: SourceFromIndex(ix), name: name}, ix: ix}
 }
 
 // Index returns the wrapped cracked-column index.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"adaptix/internal/crackindex"
@@ -17,14 +18,17 @@ func TestCrackAdapter(t *testing.T) {
 	if e.Index() != ix {
 		t.Fatal("Index accessor lost the index")
 	}
-	r := e.Count(100, 600)
+	r, err := e.Count(context.Background(), 100, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Value != 500 {
 		t.Fatalf("Count = %d", r.Value)
 	}
 	if r.Refine == 0 {
 		t.Fatal("first query should report refinement time")
 	}
-	r = e.Sum(100, 600)
+	r, _ = e.Sum(context.Background(), 100, 600)
 	if want := int64((100 + 599) * 500 / 2); r.Value != want {
 		t.Fatalf("Sum = %d, want %d", r.Value, want)
 	}
@@ -47,7 +51,7 @@ func TestResultCarriesBreakdown(t *testing.T) {
 	})
 	e := NewCrack(ix)
 	// Without contention nothing is skipped and conflicts are zero.
-	r := e.Count(10, 500)
+	r, _ := e.Count(context.Background(), 10, 500)
 	if r.Skipped || r.Conflicts != 0 {
 		t.Fatalf("unexpected contention markers: %+v", r)
 	}

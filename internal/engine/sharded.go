@@ -1,17 +1,39 @@
 package engine
 
-import "adaptix/internal/crackindex"
+import (
+	"context"
+
+	"adaptix/internal/crackindex"
+)
 
 // AggregateSource is the cost-reporting query surface shared by the
-// cracked column (crackindex.Index) and the sharded column
-// (shard.Column): Count/Sum with a merged per-operation cost
-// breakdown. Declared as an interface here so the engine package does
-// not depend on the shard package (which sits above crackindex).
+// cracked column (via SourceFromIndex) and the sharded column
+// (shard.Column): context-aware Count/Sum with a merged per-operation
+// cost breakdown. Declared as an interface here so the engine package
+// does not depend on the shard package (which sits above crackindex).
 type AggregateSource interface {
 	// Count evaluates Q1: select count(*) where lo <= A < hi.
-	Count(lo, hi int64) (int64, crackindex.OpStats)
+	Count(ctx context.Context, lo, hi int64) (int64, crackindex.OpStats, error)
 	// Sum evaluates Q2: select sum(A) where lo <= A < hi.
-	Sum(lo, hi int64) (int64, crackindex.OpStats)
+	Sum(ctx context.Context, lo, hi int64) (int64, crackindex.OpStats, error)
+}
+
+// indexSource adapts a cracked-column index to the AggregateSource
+// surface (crackindex keeps plain and ctx-aware method pairs apart).
+type indexSource struct{ ix *crackindex.Index }
+
+// SourceFromIndex presents a cracked-column index as an
+// AggregateSource.
+func SourceFromIndex(ix *crackindex.Index) AggregateSource { return indexSource{ix} }
+
+// Count implements AggregateSource.
+func (s indexSource) Count(ctx context.Context, lo, hi int64) (int64, crackindex.OpStats, error) {
+	return s.ix.CountCtx(ctx, lo, hi)
+}
+
+// Sum implements AggregateSource.
+func (s indexSource) Sum(ctx context.Context, lo, hi int64) (int64, crackindex.OpStats, error) {
+	return s.ix.SumCtx(ctx, lo, hi)
 }
 
 // adapter implements Engine over any AggregateSource; Crack and
@@ -25,15 +47,21 @@ type adapter struct {
 func (a *adapter) Name() string { return a.name }
 
 // Count implements Engine.
-func (a *adapter) Count(lo, hi int64) Result {
-	v, st := a.src.Count(lo, hi)
-	return fromOpStats(v, st)
+func (a *adapter) Count(ctx context.Context, lo, hi int64) (Result, error) {
+	v, st, err := a.src.Count(ctx, lo, hi)
+	if err != nil {
+		return Result{}, err
+	}
+	return fromOpStats(v, st), nil
 }
 
 // Sum implements Engine.
-func (a *adapter) Sum(lo, hi int64) Result {
-	v, st := a.src.Sum(lo, hi)
-	return fromOpStats(v, st)
+func (a *adapter) Sum(ctx context.Context, lo, hi int64) (Result, error) {
+	v, st, err := a.src.Sum(ctx, lo, hi)
+	if err != nil {
+		return Result{}, err
+	}
+	return fromOpStats(v, st), nil
 }
 
 // Sharded adapts a sharded column to the Engine interface, so the
@@ -64,16 +92,19 @@ type engineSource struct{ e Engine }
 func SourceFromEngine(e Engine) AggregateSource { return engineSource{e} }
 
 // Count implements AggregateSource over the wrapped engine.
-func (s engineSource) Count(lo, hi int64) (int64, crackindex.OpStats) {
-	return toOpStats(s.e.Count(lo, hi))
+func (s engineSource) Count(ctx context.Context, lo, hi int64) (int64, crackindex.OpStats, error) {
+	return toOpStats(s.e.Count(ctx, lo, hi))
 }
 
 // Sum implements AggregateSource over the wrapped engine.
-func (s engineSource) Sum(lo, hi int64) (int64, crackindex.OpStats) {
-	return toOpStats(s.e.Sum(lo, hi))
+func (s engineSource) Sum(ctx context.Context, lo, hi int64) (int64, crackindex.OpStats, error) {
+	return toOpStats(s.e.Sum(ctx, lo, hi))
 }
 
-func toOpStats(r Result) (int64, crackindex.OpStats) {
+func toOpStats(r Result, err error) (int64, crackindex.OpStats, error) {
+	if err != nil {
+		return 0, crackindex.OpStats{}, err
+	}
 	return r.Value, crackindex.OpStats{
 		Wait:      r.Wait,
 		Crack:     r.Refine,
@@ -81,5 +112,5 @@ func toOpStats(r Result) (int64, crackindex.OpStats) {
 		Conflicts: r.Conflicts,
 		Epochs:    r.Epochs,
 		Skipped:   r.Skipped,
-	}
+	}, nil
 }

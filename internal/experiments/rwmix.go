@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -138,15 +139,15 @@ func runRWMixCell(cfg Config, d *workload.Dataset, frac float64, clients int, pa
 					// apply threshold and merges collide with writers.
 					t0 := time.Now()
 					if i%2 == 0 {
-						_ = g.Insert(r.Int64n(d.Domain))
+						_ = g.Insert(context.Background(), r.Int64n(d.Domain))
 					} else {
-						_, _ = g.DeleteValue(r.Int64n(d.Domain))
+						_, _ = g.DeleteValue(context.Background(), r.Int64n(d.Domain))
 					}
 					localStalls = append(localStalls, time.Since(t0))
 					continue
 				}
 				q := gen.Next()
-				_, st := col.Sum(q.Lo, q.Hi)
+				_, st, _ := col.Sum(context.Background(), q.Lo, q.Hi)
 				localCrit += st.Critical
 			}
 			mu.Lock()

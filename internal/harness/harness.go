@@ -9,6 +9,7 @@
 package harness
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +48,11 @@ func (r *Run) Throughput() float64 {
 // concurrent clients. The sequence is split into contiguous
 // per-client streams (client c fires queries [c*k, (c+1)*k)). Queries
 // beyond clients*k (remainder) go to the last client.
+//
+// The harness drives engines with context.Background() — the
+// uncancellable fast path — so measurement runs never abandon queries;
+// an engine error (impossible under Background by the Engine contract)
+// would contribute a zero-valued answer to the checksum.
 func Execute(e engine.Engine, queries []workload.Query, clients int) *Run {
 	if clients < 1 {
 		clients = 1
@@ -77,9 +83,9 @@ func Execute(e engine.Engine, queries []workload.Query, clients int) *Run {
 				t0 := time.Now()
 				var res engine.Result
 				if q.Kind == workload.Count {
-					res = e.Count(q.Lo, q.Hi)
+					res, _ = e.Count(context.Background(), q.Lo, q.Hi)
 				} else {
-					res = e.Sum(q.Lo, q.Hi)
+					res, _ = e.Sum(context.Background(), q.Lo, q.Hi)
 				}
 				local = append(local, metrics.QueryCost{
 					Seq:       int(seq.Add(1) - 1),

@@ -25,6 +25,7 @@
 package hybrid
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -183,22 +184,31 @@ func (ix *Index) SkippedMoves() int64 { return ix.skipped.Load() }
 func (ix *Index) SnapshotHits() int64 { return ix.snapHits.Load() }
 
 // Count implements engine.Engine (Q1).
-func (ix *Index) Count(lo, hi int64) engine.Result { return ix.query(lo, hi, false) }
+func (ix *Index) Count(ctx context.Context, lo, hi int64) (engine.Result, error) {
+	return ix.query(ctx, lo, hi, false)
+}
 
 // Sum implements engine.Engine (Q2).
-func (ix *Index) Sum(lo, hi int64) engine.Result { return ix.query(lo, hi, true) }
+func (ix *Index) Sum(ctx context.Context, lo, hi int64) (engine.Result, error) {
+	return ix.query(ctx, lo, hi, true)
+}
 
-func (ix *Index) query(lo, hi int64, wantSum bool) engine.Result {
+func (ix *Index) query(ctx context.Context, lo, hi int64, wantSum bool) (engine.Result, error) {
 	var res engine.Result
 	if lo >= hi {
-		return res
+		return res, nil
 	}
-	ix.ensureInit(&res)
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	if err := ix.ensureInit(ctx, &res); err != nil {
+		return res, err
+	}
 
 	if s := ix.snap.Load(); s.covered.Covers(lo, hi) {
 		ix.snapHits.Add(1)
 		res.Value = s.aggregate(lo, hi, wantSum)
-		return res
+		return res, nil
 	}
 
 	acquired := false
@@ -210,10 +220,13 @@ func (ix *Index) query(lo, hi int64, wantSum bool) engine.Result {
 			ix.skipped.Add(1)
 		}
 	} else {
-		w := ix.lt.Lock(lo)
+		w, err := ix.lt.LockCtx(ctx, lo)
 		if w > 0 {
 			res.Wait += w
 			res.Conflicts++
+		}
+		if err != nil {
+			return res, err
 		}
 		acquired = true
 	}
@@ -227,16 +240,19 @@ func (ix *Index) query(lo, hi int64, wantSum bool) engine.Result {
 		s := ix.snap.Load()
 		res.Value = s.aggregate(lo, hi, wantSum)
 		ix.lt.RUnlock()
-		return res
+		return res, nil
 	}
 
 	// Refinement skipped: answer from the final partition plus
 	// predicate scans of the initial partitions over the uncovered
 	// gaps, all under the read latch.
-	w := ix.lt.RLock()
+	w, err := ix.lt.RLockCtx(ctx)
 	if w > 0 {
 		res.Wait += w
 		res.Conflicts++
+	}
+	if err != nil {
+		return res, err
 	}
 	s := ix.snap.Load()
 	var total int64
@@ -268,23 +284,29 @@ func (ix *Index) query(lo, hi int64, wantSum bool) engine.Result {
 	}
 	ix.lt.RUnlock()
 	res.Value = total
-	return res
+	return res, nil
 }
 
 // ensureInit builds the unsorted initial partitions on first use.
 // Unlike adaptive merging there is no sorting here — this is the cheap
 // "first touch" of cracking (Figure 4: "data loaded into initial
-// partitions, without sorting").
-func (ix *Index) ensureInit(res *engine.Result) {
+// partitions, without sorting"). A context error while parked behind
+// the builder abandons the query.
+func (ix *Index) ensureInit(ctx context.Context, res *engine.Result) error {
 	if ix.initOnce.Load() {
-		return
+		return nil
 	}
-	w := ix.lt.Lock(0)
+	w, err := ix.lt.LockCtx(ctx, 0)
+	if err != nil {
+		res.Wait += w
+		res.Conflicts++
+		return err
+	}
 	if ix.initOnce.Load() {
 		ix.lt.Unlock()
 		res.Wait += w
 		res.Conflicts++
-		return
+		return nil
 	}
 	start := time.Now()
 	for off := 0; off < len(ix.base); off += ix.opts.PartitionSize {
@@ -300,6 +322,7 @@ func (ix *Index) ensureInit(res *engine.Result) {
 	ix.initOnce.Store(true)
 	res.Refine += time.Since(start)
 	ix.lt.Unlock()
+	return nil
 }
 
 // extendLocked cracks each initial partition on the uncovered gaps of

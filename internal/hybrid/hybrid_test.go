@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -19,11 +20,11 @@ func TestMatchesBruteForce(t *testing.T) {
 		ix := New(d.Values, Options{PartitionSize: 1 << 10, Layout: layout})
 		qs := workload.Fixed(workload.NewUniform(workload.Sum, d.Domain, 0.03, 9), 60)
 		for i, q := range qs {
-			if got := ix.Count(q.Lo, q.Hi).Value; got != q.Hi-q.Lo {
+			if got := qCount(ix, q.Lo, q.Hi).Value; got != q.Hi-q.Lo {
 				t.Fatalf("%v query %d: Count = %d, want %d", layout, i, got, q.Hi-q.Lo)
 			}
 			want := (q.Lo + q.Hi - 1) * (q.Hi - q.Lo) / 2
-			if got := ix.Sum(q.Lo, q.Hi).Value; got != want {
+			if got := qSum(ix, q.Lo, q.Hi).Value; got != want {
 				t.Fatalf("%v query %d: Sum = %d, want %d", layout, i, got, want)
 			}
 		}
@@ -40,10 +41,10 @@ func TestDuplicatesAndEdges(t *testing.T) {
 	d := workload.NewDuplicates(10000, 300, 7)
 	ix := New(d.Values, Options{PartitionSize: 1 << 9})
 	for _, r := range [][2]int64{{0, 300}, {50, 51}, {-10, 10}, {290, 400}, {100, 100}, {200, 100}} {
-		if got := ix.Count(r[0], r[1]).Value; got != d.TrueCount(r[0], r[1]) {
+		if got := qCount(ix, r[0], r[1]).Value; got != d.TrueCount(r[0], r[1]) {
 			t.Fatalf("Count(%d,%d) = %d, want %d", r[0], r[1], got, d.TrueCount(r[0], r[1]))
 		}
-		if got := ix.Sum(r[0], r[1]).Value; got != d.TrueSum(r[0], r[1]) {
+		if got := qSum(ix, r[0], r[1]).Value; got != d.TrueSum(r[0], r[1]) {
 			t.Fatalf("Sum(%d,%d) = %d", r[0], r[1], got)
 		}
 	}
@@ -54,22 +55,22 @@ func TestOverlappingQueriesNoDoubleCounting(t *testing.T) {
 	// queries must extract only the uncovered gaps.
 	d := workload.NewUniqueUniform(10000, 5)
 	ix := New(d.Values, Options{PartitionSize: 1 << 9})
-	if got := ix.Count(2000, 4000).Value; got != 2000 {
+	if got := qCount(ix, 2000, 4000).Value; got != 2000 {
 		t.Fatalf("first: %d", got)
 	}
 	// Overlaps [2000,4000) on both sides.
-	if got := ix.Count(1000, 5000).Value; got != 4000 {
+	if got := qCount(ix, 1000, 5000).Value; got != 4000 {
 		t.Fatalf("overlapping: %d", got)
 	}
 	// Fully inside a covered range.
-	if got := ix.Count(2500, 3500).Value; got != 1000 {
+	if got := qCount(ix, 2500, 3500).Value; got != 1000 {
 		t.Fatalf("inner: %d", got)
 	}
 	// Final partition must hold exactly the union [1000,5000).
 	if got := ix.FinalSize(); got != 4000 {
 		t.Fatalf("final size = %d, want 4000 (no duplicates)", got)
 	}
-	sum := ix.Sum(1000, 5000).Value
+	sum := qSum(ix, 1000, 5000).Value
 	if want := (1000 + 4999) * 4000 / 2; sum != int64(want) {
 		t.Fatalf("sum = %d, want %d", sum, want)
 	}
@@ -78,10 +79,10 @@ func TestOverlappingQueriesNoDoubleCounting(t *testing.T) {
 func TestSnapshotFastPath(t *testing.T) {
 	d := workload.NewUniqueUniform(8000, 11)
 	ix := New(d.Values, Options{PartitionSize: 1 << 10})
-	ix.Sum(1000, 3000)
+	qSum(ix, 1000, 3000)
 	before := ix.SnapshotHits()
 	for i := 0; i < 4; i++ {
-		ix.Count(1200, 2800)
+		qCount(ix, 1200, 2800)
 	}
 	if ix.SnapshotHits() != before+4 {
 		t.Fatalf("snapshot hits %d, want %d", ix.SnapshotHits(), before+4)
@@ -93,7 +94,7 @@ func TestCheapInitialization(t *testing.T) {
 	// it only copies chunks (no sorting at load, Figure 4).
 	d := workload.NewUniqueUniform(200000, 13)
 	ix := New(d.Values, Options{PartitionSize: 1 << 12})
-	r := ix.Count(100, 200)
+	r := qCount(ix, 100, 200)
 	if r.Refine == 0 {
 		t.Fatal("first query did not charge initialization + crack")
 	}
@@ -115,12 +116,12 @@ func TestConcurrentClients(t *testing.T) {
 				gen := workload.NewUniform(workload.Sum, d.Domain, 0.01, uint64(c*13+5))
 				for i := 0; i < 40; i++ {
 					q := gen.Next()
-					if got := ix.Count(q.Lo, q.Hi).Value; got != q.Hi-q.Lo {
+					if got := qCount(ix, q.Lo, q.Hi).Value; got != q.Hi-q.Lo {
 						errs <- "count mismatch"
 						return
 					}
 					wantS := (q.Lo + q.Hi - 1) * (q.Hi - q.Lo) / 2
-					if got := ix.Sum(q.Lo, q.Hi).Value; got != wantS {
+					if got := qSum(ix, q.Lo, q.Hi).Value; got != wantS {
 						errs <- "sum mismatch"
 						return
 					}
@@ -138,10 +139,10 @@ func TestConcurrentClients(t *testing.T) {
 func TestSkipPolicy(t *testing.T) {
 	d := workload.NewUniqueUniform(30000, 19)
 	ix := New(d.Values, Options{PartitionSize: 1 << 10, OnConflict: Skip})
-	ix.Count(0, 10) // init
+	qCount(ix, 0, 10) // init
 	ix.lt.Lock(0)
 	done := make(chan engine.Result, 1)
-	go func() { done <- ix.Count(5000, 6000) }()
+	go func() { done <- qCount(ix, 5000, 6000) }()
 	for ix.SkippedMoves() == 0 {
 		time.Sleep(time.Millisecond)
 	}
@@ -152,7 +153,7 @@ func TestSkipPolicy(t *testing.T) {
 	}
 	// A skipped refinement leaves the final partition unchanged for
 	// that range; a later uncontended query merges it.
-	ix.Count(5000, 6000)
+	qCount(ix, 5000, 6000)
 	if !ix.snap.Load().covered.Covers(5000, 6000) {
 		t.Fatal("range not merged after contention cleared")
 	}
@@ -161,7 +162,7 @@ func TestSkipPolicy(t *testing.T) {
 func TestEmptyAndInvertedRanges(t *testing.T) {
 	d := workload.NewUniqueUniform(1000, 29)
 	ix := New(d.Values, Options{PartitionSize: 256})
-	if ix.Count(500, 500).Value != 0 || ix.Count(600, 400).Value != 0 {
+	if qCount(ix, 500, 500).Value != 0 || qCount(ix, 600, 400).Value != 0 {
 		t.Fatal("empty/inverted range returned entries")
 	}
 	if ix.Name() != "hybrid" {
@@ -200,4 +201,16 @@ func TestCrackBoundLocal(t *testing.T) {
 	if pos2 := p.crackBound(2); pos2 != 2 {
 		t.Fatalf("crackBound(2) = %d", pos2)
 	}
+}
+
+// qCount / qSum drive the context-aware Engine surface with
+// context.Background(), the uncancellable fast path the tests measure.
+func qCount(e engine.Engine, lo, hi int64) engine.Result {
+	r, _ := e.Count(context.Background(), lo, hi)
+	return r
+}
+
+func qSum(e engine.Engine, lo, hi int64) engine.Result {
+	r, _ := e.Sum(context.Background(), lo, hi)
+	return r
 }

@@ -1,6 +1,7 @@
 package ingest_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,9 @@ import (
 	"adaptix/internal/workload"
 )
 
+// qctx is the uncancellable context the tests drive queries with.
+var qctx = context.Background()
+
 // mutableEngine is the common surface of the three write-capable
 // engines compared by the agreement tests.
 type mutableEngine interface {
@@ -24,8 +28,15 @@ type mutableEngine interface {
 
 type scanAdapter struct{ *baseline.Mutable }
 
-func (a scanAdapter) Count(lo, hi int64) int64 { return a.Mutable.Count(lo, hi).Value }
-func (a scanAdapter) Sum(lo, hi int64) int64   { return a.Mutable.Sum(lo, hi).Value }
+func (a scanAdapter) Count(lo, hi int64) int64 {
+	r, _ := a.Mutable.Count(qctx, lo, hi)
+	return r.Value
+}
+
+func (a scanAdapter) Sum(lo, hi int64) int64 {
+	r, _ := a.Mutable.Sum(qctx, lo, hi)
+	return r.Value
+}
 
 type crackAdapter struct{ ix *crackindex.Index }
 
@@ -43,23 +54,23 @@ func (a crackAdapter) Sum(lo, hi int64) int64 {
 type ingestAdapter struct{ g *ingest.Coordinator }
 
 func (a ingestAdapter) Insert(v int64) {
-	if err := a.g.Insert(v); err != nil {
+	if err := a.g.Insert(qctx, v); err != nil {
 		panic(err)
 	}
 }
 func (a ingestAdapter) DeleteValue(v int64) bool {
-	ok, err := a.g.DeleteValue(v)
+	ok, err := a.g.DeleteValue(qctx, v)
 	if err != nil {
 		panic(err)
 	}
 	return ok
 }
 func (a ingestAdapter) Count(lo, hi int64) int64 {
-	n, _ := a.g.Column().Count(lo, hi)
+	n, _, _ := a.g.Column().Count(qctx, lo, hi)
 	return n
 }
 func (a ingestAdapter) Sum(lo, hi int64) int64 {
-	s, _ := a.g.Column().Sum(lo, hi)
+	s, _, _ := a.g.Column().Sum(qctx, lo, hi)
 	return s
 }
 
@@ -212,17 +223,17 @@ func TestSkewedInsertStormSplitsOnline(t *testing.T) {
 					return
 				default:
 				}
-				if n, _ := col.Count(qlo, qhi); n != wantCount {
+				if n, _, _ := col.Count(qctx, qlo, qhi); n != wantCount {
 					t.Errorf("mid-storm Count[%d,%d) = %d, want %d", qlo, qhi, n, wantCount)
 					return
 				}
-				if s, _ := col.Sum(qlo, qhi); s != wantSum {
+				if s, _, _ := col.Sum(qctx, qlo, qhi); s != wantSum {
 					t.Errorf("mid-storm Sum[%d,%d) = %d, want %d", qlo, qhi, s, wantSum)
 					return
 				}
 				// A roaming broad query keeps the fan-out path hot.
 				lo := r.Int64n(int64(rows))
-				col.Sum(lo, lo+int64(rows/8))
+				col.Sum(qctx, lo, lo+int64(rows/8))
 			}
 		}(rdr)
 	}
@@ -234,7 +245,7 @@ func TestSkewedInsertStormSplitsOnline(t *testing.T) {
 		go func(w int) {
 			defer writers.Done()
 			for i := 0; i < 4000; i++ {
-				if err := g.Insert(int64(i % 97)); err != nil {
+				if err := g.Insert(qctx, int64(i%97)); err != nil {
 					t.Error(err)
 					return
 				}
@@ -256,10 +267,10 @@ func TestSkewedInsertStormSplitsOnline(t *testing.T) {
 		t.Errorf("shard count %d did not grow from %d", col.NumShards(), before)
 	}
 	// Quiesced exactness: storm values plus untouched initial data.
-	if n, _ := col.Count(-1<<40, 1<<40); n != int64(rows)+inserted.Load() {
+	if n, _, _ := col.Count(qctx, -1<<40, 1<<40); n != int64(rows)+inserted.Load() {
 		t.Errorf("final Count = %d, want %d", n, int64(rows)+inserted.Load())
 	}
-	if n, _ := col.Count(qlo, qhi); n != wantCount {
+	if n, _, _ := col.Count(qctx, qlo, qhi); n != wantCount {
 		t.Errorf("final quiet-range Count = %d, want %d", n, wantCount)
 	}
 	if err := col.Validate(); err != nil {

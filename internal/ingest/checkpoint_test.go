@@ -14,7 +14,7 @@ func warmQueries(col *shard.Column, domain int64, n int) {
 	for i := 0; i < n; i++ {
 		lo := r.Int64n(domain)
 		hi := lo + 1 + r.Int64n(domain-lo)
-		col.Count(lo, hi)
+		col.Count(qctx, lo, hi)
 	}
 }
 
@@ -69,7 +69,7 @@ func TestCheckpointTruncatesLogPrefix(t *testing.T) {
 	// Generate structural traffic, then checkpoint.
 	r := workload.NewRNG(9)
 	for i := 0; i < 500; i++ {
-		if err := g.Insert(r.Int64n(d.Domain)); err != nil {
+		if err := g.Insert(qctx, r.Int64n(d.Domain)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -125,7 +125,7 @@ func TestAutomaticCheckpointCadence(t *testing.T) {
 	g := New(col, Options{Log: log, ApplyThreshold: 64, CheckpointEvery: 1})
 	r := workload.NewRNG(11)
 	for i := 0; i < 300; i++ {
-		if err := g.Insert(r.Int64n(d.Domain)); err != nil {
+		if err := g.Insert(qctx, r.Int64n(d.Domain)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,120 @@
+package ingest
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"adaptix/internal/crackindex"
+	"adaptix/internal/shard"
+	"adaptix/internal/wal"
+	"adaptix/internal/workload"
+)
+
+// countingSink is a WAL sink that records every record write and every
+// fsync, so the tests can assert the group-commit policy's bounded
+// loss window: the number of records appended after the last fsync is
+// the data at risk in a crash.
+type countingSink struct {
+	mu            sync.Mutex
+	writes        int
+	syncs         int
+	unsyncedRuns  []int // records between consecutive fsyncs
+	sinceLastSync int
+}
+
+func (s *countingSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writes++
+	s.sinceLastSync++
+	return len(p), nil
+}
+
+func (s *countingSink) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncs++
+	s.unsyncedRuns = append(s.unsyncedRuns, s.sinceLastSync)
+	s.sinceLastSync = 0
+	return nil
+}
+
+func (s *countingSink) snapshot() (syncs int, runs []int, tail int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncs, append([]int(nil), s.unsyncedRuns...), s.sinceLastSync
+}
+
+// TestGroupCommitSyncEvery: with SyncEvery = N, the log is fsynced at
+// least every N logical records, so a crash can lose at most N-1 of
+// the newest writes — the bounded loss window, asserted as "no fsync
+// gap ever exceeds N records".
+func TestGroupCommitSyncEvery(t *testing.T) {
+	const syncEvery = 4
+	d := workload.NewUniqueUniform(1<<10, 3)
+	col := shard.New(d.Values, shard.Options{Shards: 2, Seed: 5,
+		Index: crackindex.Options{Latching: crackindex.LatchPiece}})
+	sink := &countingSink{}
+	g := New(col, Options{
+		Log: wal.New(sink), LogWrites: true, SyncEvery: syncEvery,
+		// Thresholds high enough that no structural commit (with its
+		// own fsync) interleaves: every sync observed is a group sync.
+		ApplyThreshold: 1 << 20, CheckEvery: 1 << 20,
+	})
+	syncs0, _, _ := sink.snapshot() // bootstrap txn commit fsyncs
+
+	const writes = 21
+	for i := 0; i < writes; i++ {
+		if err := g.Insert(qctx, d.Domain+int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	syncs, runs, tail := sink.snapshot()
+	if got := syncs - syncs0; got != writes/syncEvery {
+		t.Errorf("group syncs = %d, want %d", got, writes/syncEvery)
+	}
+	if g.Stats().GroupSyncs != int64(writes/syncEvery) {
+		t.Errorf("Stats.GroupSyncs = %d, want %d", g.Stats().GroupSyncs, writes/syncEvery)
+	}
+	// The loss window: no gap between fsyncs may exceed SyncEvery
+	// records, and the unsynced tail is at most SyncEvery-1.
+	for i, run := range runs {
+		if i > 0 && run > syncEvery { // runs[0] includes the bootstrap txn
+			t.Errorf("fsync gap %d carried %d records, want <= %d", i, run, syncEvery)
+		}
+	}
+	if tail >= syncEvery {
+		t.Errorf("unsynced tail %d records, want < %d", tail, syncEvery)
+	}
+}
+
+// TestGroupCommitSyncInterval: with ONLY SyncInterval set (SyncEvery
+// left at its zero default — the documented interval-only
+// configuration), unsynced logical records are fsynced by the
+// background ticker even when the record-count bound never triggers.
+func TestGroupCommitSyncInterval(t *testing.T) {
+	d := workload.NewUniqueUniform(1<<10, 5)
+	col := shard.New(d.Values, shard.Options{Shards: 2, Seed: 5,
+		Index: crackindex.Options{Latching: crackindex.LatchPiece}})
+	sink := &countingSink{}
+	g := New(col, Options{
+		Log: wal.New(sink), LogWrites: true,
+		SyncInterval:   5 * time.Millisecond,
+		ApplyThreshold: 1 << 20, CheckEvery: 1 << 20,
+	})
+	g.Start()
+	defer g.Close()
+
+	if err := g.Insert(qctx, d.Domain+1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().GroupSyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval ticker never fsynced the unsynced record")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -56,8 +56,10 @@
 package ingest
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adaptix/internal/shard"
 	"adaptix/internal/txn"
@@ -106,10 +108,24 @@ type Options struct {
 	// Recovery replays the records past the last checkpoint's epoch
 	// watermark on top of the data snapshot, closing the
 	// lose-writes-since-last-checkpoint window for deployments where
-	// adaptix is the primary store. Logical records are fsynced with
-	// the next system-transaction commit (or an explicit Log.Sync),
-	// not per write.
+	// adaptix is the primary store. By default logical records are
+	// fsynced with the next system-transaction commit (or an explicit
+	// Log.Sync), not per write; SyncEvery and SyncInterval bound that
+	// window.
 	LogWrites bool
+	// SyncEvery is the group-commit record bound: with LogWrites, the
+	// log is additionally fsynced after every SyncEvery logical
+	// records, so a crash loses at most SyncEvery-1 of the newest
+	// writes (plus whatever the interval below has not yet covered).
+	// Zero keeps the default fsync-on-next-commit policy; 1 fsyncs
+	// every write.
+	SyncEvery int
+	// SyncInterval is the group-commit time bound: with LogWrites, a
+	// background ticker fsyncs any unsynced logical records every
+	// SyncInterval, so the loss window is bounded in time even when
+	// the write rate is too low to reach SyncEvery. Zero disables the
+	// ticker. The ticker runs between Start and Close.
+	SyncInterval time.Duration
 	// ParkOnApply selects the legacy sealed-differential group-apply:
 	// the shard parks its writers for the full rebuild instead of
 	// sealing only the current epoch. It exists as the measurement
@@ -186,6 +202,10 @@ type Stats struct {
 	// LoggedWrites counts wal.LogicalWrite records appended
 	// (Options.LogWrites).
 	LoggedWrites int64
+	// GroupSyncs counts group-commit fsyncs forced by
+	// Options.SyncEvery / Options.SyncInterval (system-transaction
+	// commit fsyncs are not counted here).
+	GroupSyncs int64
 	// Splits and Merges count rebalancing operations.
 	Splits, Merges int64
 	// Checkpoints counts committed crack-boundary checkpoints.
@@ -211,6 +231,8 @@ type Coordinator struct {
 	applied   atomic.Int64
 	seals     atomic.Int64
 	logged    atomic.Int64
+	syncs     atomic.Int64
+	unsynced  atomic.Int64 // logical records appended since the last fsync
 	splits    atomic.Int64
 	merges    atomic.Int64
 	skipped   atomic.Int64
@@ -259,6 +281,7 @@ func (g *Coordinator) Stats() Stats {
 		Applied:            g.applied.Load(),
 		EpochSeals:         g.seals.Load(),
 		LoggedWrites:       g.logged.Load(),
+		GroupSyncs:         g.syncs.Load(),
 		Splits:             g.splits.Load(),
 		Merges:             g.merges.Load(),
 		Checkpoints:        g.ckpts.Load(),
@@ -266,9 +289,15 @@ func (g *Coordinator) Stats() Stats {
 	}
 }
 
-// Insert routes one insert to the owning shard's open epoch.
-func (g *Coordinator) Insert(v int64) error {
-	eid, err := g.col.InsertEpoch(v)
+// Insert routes one insert to the owning shard's open epoch. A
+// context cancelled before the write routes — or while the writer is
+// parked behind a structural reroute — returns ctx.Err() with the
+// write not applied.
+func (g *Coordinator) Insert(ctx context.Context, v int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	eid, err := g.col.InsertEpoch(ctx, v)
 	if err != nil {
 		return err
 	}
@@ -278,8 +307,11 @@ func (g *Coordinator) Insert(v int64) error {
 }
 
 // DeleteValue routes one delete, reporting whether an instance existed.
-func (g *Coordinator) DeleteValue(v int64) (bool, error) {
-	deleted, eid, err := g.col.DeleteValueEpoch(v)
+func (g *Coordinator) DeleteValue(ctx context.Context, v int64) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	deleted, eid, err := g.col.DeleteValueEpoch(ctx, v)
 	if err != nil {
 		return false, err
 	}
@@ -294,11 +326,17 @@ func (g *Coordinator) DeleteValue(v int64) (bool, error) {
 // deletes that found an instance. The batch is routed op-by-op (each
 // shard's open epoch has its own short latch); batching pays off at
 // the structural level, where one group-apply merges the whole sealed
-// epoch prefix in a single pass.
-func (g *Coordinator) Apply(batch []Op) (deleted int, err error) {
+// epoch prefix in a single pass. On a context error the batch stops
+// where it stands: ops already routed stay applied, the rest are not.
+func (g *Coordinator) Apply(ctx context.Context, batch []Op) (deleted int, err error) {
 	for _, op := range batch {
+		// The stop-where-it-stands contract: cancellation between ops
+		// aborts the rest of the batch even when no write ever parks.
+		if err := ctx.Err(); err != nil {
+			return deleted, err
+		}
 		if op.Delete {
-			ok, eid, err := g.col.DeleteValueEpoch(op.Value)
+			ok, eid, err := g.col.DeleteValueEpoch(ctx, op.Value)
 			if err != nil {
 				return deleted, err
 			}
@@ -307,7 +345,7 @@ func (g *Coordinator) Apply(batch []Op) (deleted int, err error) {
 				g.logWrite(op.Value, eid, true)
 			}
 		} else {
-			eid, err := g.col.InsertEpoch(op.Value)
+			eid, err := g.col.InsertEpoch(ctx, op.Value)
 			if err != nil {
 				return deleted, err
 			}
@@ -321,7 +359,8 @@ func (g *Coordinator) Apply(batch []Op) (deleted int, err error) {
 // logWrite appends one autonomous wal.LogicalWrite record when
 // Options.LogWrites is on: the data-tail durability path. The record
 // rides outside any system transaction (Txn 0) and is fsynced with the
-// next commit; its epoch tag — not its log position — decides during
+// next commit — or earlier, under the group-commit policy (SyncEvery /
+// SyncInterval); its epoch tag — not its log position — decides during
 // recovery whether the checkpoint snapshot already contains it.
 func (g *Coordinator) logWrite(v, epochID int64, del bool) {
 	if !g.opts.LogWrites || g.opts.Log == nil {
@@ -333,6 +372,39 @@ func (g *Coordinator) logWrite(v, epochID int64, del bool) {
 	}
 	if g.append(wal.Record{Kind: wal.LogicalWrite, A: v, B: epochID, C: op}) == nil {
 		g.logged.Add(1)
+		g.maybeGroupSync()
+	}
+}
+
+// maybeGroupSync enforces the SyncEvery half of the group-commit
+// policy: once SyncEvery logical records have accumulated since the
+// last fsync, force one. The unsynced counter is maintained whenever
+// EITHER group-commit bound is active, so an interval-only
+// configuration (SyncInterval set, SyncEvery zero) still sees its
+// pending records at the next tick. The counter swap makes concurrent
+// writers elect exactly one syncer per batch.
+func (g *Coordinator) maybeGroupSync() {
+	if g.opts.SyncEvery <= 0 && g.opts.SyncInterval <= 0 {
+		return
+	}
+	n := g.unsynced.Add(1)
+	if g.opts.SyncEvery <= 0 || n < int64(g.opts.SyncEvery) {
+		return
+	}
+	g.unsynced.Store(0)
+	if g.opts.Log.Sync() == nil {
+		g.syncs.Add(1)
+	}
+}
+
+// groupSyncTick enforces the SyncInterval half: fsync any records the
+// record-count bound has not yet covered.
+func (g *Coordinator) groupSyncTick() {
+	if g.unsynced.Swap(0) == 0 {
+		return
+	}
+	if g.opts.Log.Sync() == nil {
+		g.syncs.Add(1)
 	}
 }
 
@@ -385,12 +457,22 @@ func (g *Coordinator) Close() {
 
 func (g *Coordinator) loop(stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
+	// The group-commit interval ticker (Options.SyncInterval) shares
+	// the maintenance goroutine: its tick only fsyncs, never merges.
+	var tick <-chan time.Time
+	if g.opts.SyncInterval > 0 && g.opts.LogWrites && g.opts.Log != nil {
+		t := time.NewTicker(g.opts.SyncInterval)
+		defer t.Stop()
+		tick = t.C
+	}
 	for {
 		select {
 		case <-stop:
 			return
 		case <-g.notify:
 			g.Maintain()
+		case <-tick:
+			g.groupSyncTick()
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"context"
 	"testing"
 
 	"adaptix/internal/crackindex"
@@ -10,6 +11,9 @@ import (
 	"adaptix/internal/wal"
 	"adaptix/internal/workload"
 )
+
+// qctx is the uncancellable context the tests drive queries with.
+var qctx = context.Background()
 
 func pieceOpts() shard.Options {
 	return shard.Options{
@@ -65,10 +69,10 @@ func checkAgainstModel(t *testing.T, col *shard.Column, m *model, domain int64) 
 	for i := 0; i < 200; i++ {
 		lo := r.Int64n(domain)
 		hi := lo + 1 + r.Int64n(domain-lo)
-		if got, _ := col.Count(lo, hi); got != m.count(lo, hi) {
+		if got, _, _ := col.Count(qctx, lo, hi); got != m.count(lo, hi) {
 			t.Fatalf("Count[%d,%d) = %d, want %d", lo, hi, got, m.count(lo, hi))
 		}
-		if got, _ := col.Sum(lo, hi); got != m.sum(lo, hi) {
+		if got, _, _ := col.Sum(qctx, lo, hi); got != m.sum(lo, hi) {
 			t.Fatalf("Sum[%d,%d) = %d, want %d", lo, hi, got, m.sum(lo, hi))
 		}
 	}
@@ -86,12 +90,12 @@ func TestRoutedUpdatesMatchModel(t *testing.T) {
 		v := r.Int64n(domain)
 		switch i % 3 {
 		case 0, 1:
-			if err := g.Insert(v); err != nil {
+			if err := g.Insert(qctx, v); err != nil {
 				t.Fatalf("Insert(%d): %v", v, err)
 			}
 			m.insert(v)
 		default:
-			got, err := g.DeleteValue(v)
+			got, err := g.DeleteValue(qctx, v)
 			if err != nil {
 				t.Fatalf("DeleteValue(%d): %v", v, err)
 			}
@@ -115,7 +119,7 @@ func TestApplyBatchesAndGroupApplyPreserveAnswers(t *testing.T) {
 
 	// Warm some refinement so group-apply has boundaries to replay.
 	for i := int64(0); i < 8; i++ {
-		col.Count(i*(d.Domain/8), i*(d.Domain/8)+d.Domain/16)
+		col.Count(qctx, i*(d.Domain/8), i*(d.Domain/8)+d.Domain/16)
 	}
 
 	batch := make([]Op, 0, 512)
@@ -123,7 +127,7 @@ func TestApplyBatchesAndGroupApplyPreserveAnswers(t *testing.T) {
 	for i := 0; i < 512; i++ {
 		batch = append(batch, Op{Delete: i%4 == 3, Value: r.Int64n(d.Domain)})
 	}
-	if _, err := g.Apply(batch); err != nil {
+	if _, err := g.Apply(qctx, batch); err != nil {
 		t.Fatal(err)
 	}
 	for _, op := range batch {
@@ -200,14 +204,14 @@ func TestGroupApplyReplaysBoundaryKnowledge(t *testing.T) {
 
 	// Refine shard 0's range heavily, then flood it with inserts.
 	for i := 0; i < 32; i++ {
-		col.Count(int64(i*8), int64(i*8+4))
+		col.Count(qctx, int64(i*8), int64(i*8+4))
 	}
 	boundariesBefore := 0
 	for _, s := range col.Snapshot() {
 		boundariesBefore += s.Pieces
 	}
 	for i := int64(0); i < 64; i++ {
-		if err := g.Insert(i); err != nil {
+		if err := g.Insert(qctx, i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -235,7 +239,7 @@ func TestRebalanceSplitsAndMerges(t *testing.T) {
 
 	// Skewed storm: all inserts land in one narrow range.
 	for i := 0; i < 6000; i++ {
-		if err := g.Insert(int64(i % 64)); err != nil {
+		if err := g.Insert(qctx, int64(i%64)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -252,7 +256,7 @@ func TestRebalanceSplitsAndMerges(t *testing.T) {
 
 	// Delete the storm back out; rebalance should merge dwarf shards.
 	for i := 0; i < 6000; i++ {
-		if _, err := g.DeleteValue(int64(i % 64)); err != nil {
+		if _, err := g.DeleteValue(qctx, int64(i%64)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -275,7 +279,7 @@ func TestRecoveryRebuildsShardMap(t *testing.T) {
 		ApplyThreshold: 64, MinShardRows: 256, SplitFactor: 1.5,
 	})
 	for i := 0; i < 4000; i++ {
-		if err := g.Insert(int64(i % 128)); err != nil {
+		if err := g.Insert(qctx, int64(i%128)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -312,7 +316,7 @@ func TestRecoveryRebuildsShardMap(t *testing.T) {
 	// after replaying the same write stream.
 	rebuilt := shard.NewWithBounds(d.Values, got, pieceOpts())
 	for i := 0; i < 4000; i++ {
-		if err := rebuilt.Insert(int64(i % 128)); err != nil {
+		if err := rebuilt.Insert(qctx, int64(i%128)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -320,8 +324,8 @@ func TestRecoveryRebuildsShardMap(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		lo := r.Int64n(d.Domain)
 		hi := lo + 1 + r.Int64n(d.Domain-lo)
-		a, _ := col.Sum(lo, hi)
-		b, _ := rebuilt.Sum(lo, hi)
+		a, _, _ := col.Sum(qctx, lo, hi)
+		b, _, _ := rebuilt.Sum(qctx, lo, hi)
 		if a != b {
 			t.Fatalf("Sum[%d,%d): live %d, rebuilt %d", lo, hi, a, b)
 		}
@@ -334,7 +338,7 @@ func TestMaintenanceRespectsUserLocks(t *testing.T) {
 	tm := txn.NewManager()
 	g := New(col, Options{Name: "R.A", ApplyThreshold: 4, Txns: tm})
 	for i := int64(0); i < 64; i++ {
-		if err := g.Insert(i); err != nil {
+		if err := g.Insert(qctx, i); err != nil {
 			t.Fatal(err)
 		}
 	}

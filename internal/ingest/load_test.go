@@ -26,7 +26,7 @@ func buildHotColdColumn(t *testing.T) *shard.Column {
 	r := workload.NewRNG(77)
 	for i := 0; i < 400; i++ {
 		lo := r.Int64n(hiEnd - 16)
-		col.Count(lo, lo+1+r.Int64n(16))
+		col.Count(qctx, lo, lo+1+r.Int64n(16))
 	}
 	stats := col.Snapshot()
 	if stats[0].Cracks == 0 || stats[0].Cracks <= stats[1].Cracks {
@@ -87,7 +87,7 @@ func TestLoadAwareMergeSparesHotDwarfs(t *testing.T) {
 		bounds := col.Bounds()
 		for v := bounds[0]; v < bounds[2]; v++ {
 			if v%8 != 0 { // leave a residue so the shards stay non-empty
-				col.DeleteValue(v)
+				col.DeleteValue(qctx, v)
 			}
 		}
 		for i := col.NumShards() - 1; i >= 0; i-- {
@@ -108,7 +108,7 @@ func TestLoadAwareMergeSparesHotDwarfs(t *testing.T) {
 	for i := 0; i < 600; i++ {
 		span := bounds[2] - bounds[0]
 		lo := bounds[0] + r.Int64n(span-8)
-		col.Count(lo, lo+1+r.Int64n(8))
+		col.Count(qctx, lo, lo+1+r.Int64n(8))
 	}
 	g := New(col, Options{MergeFraction: 0.5, LoadWeight: 8, ApplyThreshold: 1 << 30})
 	before := col.NumShards()

@@ -1,0 +1,127 @@
+package latch
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestLockCtxFastPath: an uncontended LockCtx behaves exactly like Lock.
+func TestLockCtxFastPath(t *testing.T) {
+	l := New(MiddleFirst)
+	w, err := l.LockCtx(context.Background(), 10)
+	if err != nil || w != 0 {
+		t.Fatalf("LockCtx = (%v, %v), want (0, nil)", w, err)
+	}
+	l.Unlock()
+	if _, err := l.RLockCtx(context.Background()); err != nil {
+		t.Fatalf("RLockCtx: %v", err)
+	}
+	l.RUnlock()
+}
+
+// TestLockCtxAlreadyCancelled: a cancelled context fails fast without
+// queueing.
+func TestLockCtxAlreadyCancelled(t *testing.T) {
+	l := New(MiddleFirst)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.LockCtx(ctx, 1); err != context.Canceled {
+		t.Fatalf("LockCtx = %v, want context.Canceled", err)
+	}
+	if _, err := l.RLockCtx(ctx); err != context.Canceled {
+		t.Fatalf("RLockCtx = %v, want context.Canceled", err)
+	}
+	if l.QueuedWriters() != 0 {
+		t.Fatal("cancelled caller left a queue entry")
+	}
+}
+
+// TestLockCtxUnparksOnDeadline: a writer parked behind an exclusive
+// holder unparks promptly when its deadline expires, and the latch
+// stays usable.
+func TestLockCtxUnparksOnDeadline(t *testing.T) {
+	l := New(MiddleFirst)
+	l.Lock(0) // hold exclusively
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := l.LockCtx(ctx, 5)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("LockCtx = %v, want DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("parked %v past a 20ms deadline", waited)
+	}
+	if l.QueuedWriters() != 0 {
+		t.Fatal("expired waiter still queued")
+	}
+	l.Unlock()
+	// The latch must still grant cleanly after the abandoned wait.
+	if w, err := l.LockCtx(context.Background(), 1); err != nil || w != 0 {
+		t.Fatalf("post-expiry LockCtx = (%v, %v)", w, err)
+	}
+	l.Unlock()
+}
+
+// TestRLockCtxUnparksOnCancel: a reader parked behind a writer unparks
+// promptly on cancellation.
+func TestRLockCtxUnparksOnCancel(t *testing.T) {
+	l := New(MiddleFirst)
+	l.Lock(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.RLockCtx(ctx)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("RLockCtx = %v, want Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled reader never unparked")
+	}
+	l.Unlock()
+	if w := l.RLock(); w != 0 {
+		t.Fatalf("post-cancel RLock waited %v", w)
+	}
+	l.RUnlock()
+}
+
+// TestLockCtxGrantRace: when the grant and the cancellation race, the
+// loser of the removal scan takes the granted latch and releases it,
+// so the hand-off chain never stalls. Exercised many times to hit the
+// race window.
+func TestLockCtxGrantRace(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		l := New(MiddleFirst)
+		l.Lock(0)
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := l.LockCtx(ctx, 1)
+			done <- err
+		}()
+		for l.QueuedWriters() == 0 {
+			time.Sleep(time.Microsecond)
+		}
+		// Release (granting the waiter) and cancel concurrently.
+		go cancel()
+		l.Unlock()
+		err := <-done
+		if err == nil {
+			l.Unlock() // the waiter won the race and owns the latch
+		}
+		// Either way the latch must be free afterwards.
+		if !l.TryLock() {
+			t.Fatalf("iteration %d: latch leaked", i)
+		}
+		l.Unlock()
+		cancel()
+	}
+}

@@ -24,6 +24,7 @@
 package latch
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -40,6 +41,7 @@ const (
 	FIFO
 )
 
+// String returns the policy's display name.
 func (p Policy) String() string {
 	if p == MiddleFirst {
 		return "middle-first"
@@ -94,6 +96,55 @@ func (l *Latch) Lock(bound int64) time.Duration {
 	start := time.Now()
 	<-w.ready // ownership transferred by releaser
 	return time.Since(start)
+}
+
+// LockCtx is Lock bounded by a context: a caller parked in the writer
+// queue unparks promptly when ctx is cancelled or its deadline expires,
+// returning the context's error without holding the latch. A nil or
+// never-cancelled context degrades to the plain Lock fast path with no
+// extra allocation.
+func (l *Latch) LockCtx(ctx context.Context, bound int64) (time.Duration, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return l.Lock(bound), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	if !l.writer && l.readers == 0 && len(l.writeQ) == 0 {
+		l.writer = true
+		l.mu.Unlock()
+		return 0, nil
+	}
+	w := waiter{bound: bound, seq: l.seq, ready: make(chan struct{})}
+	l.seq++
+	l.enqueueWriter(w)
+	l.mu.Unlock()
+	start := time.Now()
+	select {
+	case <-w.ready:
+		return time.Since(start), nil
+	case <-ctx.Done():
+	}
+	// Cancelled while parked: remove the queue entry, unless a releaser
+	// already granted us the latch (ready closed under l.mu before the
+	// entry left the queue) — then take and immediately release it so
+	// the hand-off chain continues.
+	l.mu.Lock()
+	removed := false
+	for i := range l.writeQ {
+		if l.writeQ[i].seq == w.seq {
+			l.writeQ = append(l.writeQ[:i], l.writeQ[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	l.mu.Unlock()
+	if !removed {
+		<-w.ready
+		l.Unlock()
+	}
+	return time.Since(start), ctx.Err()
 }
 
 // TryLock attempts to acquire the latch exclusively without blocking.
@@ -159,6 +210,51 @@ func (l *Latch) RLock() time.Duration {
 	start := time.Now()
 	<-ch
 	return time.Since(start)
+}
+
+// RLockCtx is RLock bounded by a context: a reader parked behind an
+// active writer unparks promptly on cancellation or deadline expiry,
+// returning the context's error without holding the latch.
+func (l *Latch) RLockCtx(ctx context.Context) (time.Duration, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return l.RLock(), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	if !l.writer {
+		l.readers++
+		l.mu.Unlock()
+		return 0, nil
+	}
+	ch := make(chan struct{})
+	l.readQ = append(l.readQ, ch)
+	l.mu.Unlock()
+	start := time.Now()
+	select {
+	case <-ch:
+		return time.Since(start), nil
+	case <-ctx.Done():
+	}
+	// Cancelled while parked: remove our channel from the read queue,
+	// unless the grant already happened — then release the share we
+	// were handed.
+	l.mu.Lock()
+	removed := false
+	for i := range l.readQ {
+		if l.readQ[i] == ch {
+			l.readQ = append(l.readQ[:i], l.readQ[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	l.mu.Unlock()
+	if !removed {
+		<-ch
+		l.RUnlock()
+	}
+	return time.Since(start), ctx.Err()
 }
 
 // TryRLock attempts to acquire the latch shared without blocking and

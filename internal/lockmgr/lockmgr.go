@@ -40,6 +40,7 @@ const (
 	numModes
 )
 
+// String returns the lock mode's Table 1 name.
 func (m Mode) String() string {
 	switch m {
 	case IS:

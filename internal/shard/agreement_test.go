@@ -1,6 +1,7 @@
 package shard_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -79,9 +80,12 @@ func TestShardedEngineAgainstDuplicates(t *testing.T) {
 
 // TestCustomSourceShards builds the sharded column over adaptive-merge
 // and hybrid per-shard indexes through Options.Source +
-// engine.SourceFromEngine, and checks answers and the read-only write
-// path contract.
+// engine.SourceFromEngine, and checks answers and the unified write
+// surface: custom-source shards take routed writes through the same
+// epoch chains as cracked shards, and group-applies rebuild them
+// through the source factory.
 func TestCustomSourceShards(t *testing.T) {
+	ctx := context.Background()
 	d := workload.NewUniqueUniform(1<<13, 51)
 	qs := workload.Fixed(workload.NewUniform(workload.Sum, d.Domain, 0.02, 53), 96)
 	want := harness.Execute(baseline.NewScan(d.Values), qs, 1).Checksum
@@ -104,17 +108,37 @@ func TestCustomSourceShards(t *testing.T) {
 			if run.Checksum != want {
 				t.Errorf("%s clients=%d: checksum %d, scan %d", src.name, clients, run.Checksum, want)
 			}
-			if err := col.Insert(1); err != shard.ErrReadOnlyShard {
-				t.Errorf("%s: Insert err = %v, want ErrReadOnlyShard", src.name, err)
+
+			// The write surface: routed writes land in the epoch chains
+			// and queries see them immediately.
+			before, _, _ := col.Count(ctx, -1<<40, 1<<40)
+			for i := int64(0); i < 500; i++ {
+				if err := col.Insert(ctx, d.Domain+i); err != nil {
+					t.Fatalf("%s: Insert: %v", src.name, err)
+				}
 			}
-			if _, err := col.DeleteValue(1); err != shard.ErrReadOnlyShard {
-				t.Errorf("%s: DeleteValue err = %v, want ErrReadOnlyShard", src.name, err)
+			if ok, err := col.DeleteValue(ctx, d.Values[0]); err != nil || !ok {
+				t.Fatalf("%s: DeleteValue = (%v, %v), want existing instance deleted", src.name, ok, err)
 			}
-			if _, ok := col.ApplyShard(0); ok {
-				t.Errorf("%s: ApplyShard succeeded on a custom-source shard", src.name)
+			if n, _, _ := col.Count(ctx, -1<<40, 1<<40); n != before+500-1 {
+				t.Errorf("%s: Count after writes = %d, want %d", src.name, n, before+500-1)
 			}
-			if _, ok := col.SplitShard(0); ok {
-				t.Errorf("%s: SplitShard succeeded on a custom-source shard", src.name)
+
+			// Group-apply folds the epochs into a rebuilt source shard.
+			applied := false
+			for s := col.NumShards() - 1; s >= 0; s-- {
+				if _, ok := col.ApplyShard(s); ok {
+					applied = true
+				}
+			}
+			if !applied {
+				t.Errorf("%s: no shard group-applied despite pending epochs", src.name)
+			}
+			if n, _, _ := col.Count(ctx, -1<<40, 1<<40); n != before+500-1 {
+				t.Errorf("%s: Count after apply = %d, want %d", src.name, n, before+500-1)
+			}
+			if err := col.Validate(); err != nil {
+				t.Errorf("%s: %v", src.name, err)
 			}
 		}
 	}
@@ -136,8 +160,11 @@ func TestCriticalPathStat(t *testing.T) {
 	// Clip one value off each end: the fringe shards are only partially
 	// covered, so the query must fan out to real sub-queries instead of
 	// being answered purely from the precomputed aggregates.
-	res := e.Sum(1, d.Domain-1)
+	res, err := e.Sum(context.Background(), 1, d.Domain-1)
 	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Critical <= 0 {
 		t.Fatalf("Critical = %v for a fan-out query, want > 0", res.Critical)
 	}

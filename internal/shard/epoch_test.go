@@ -27,7 +27,7 @@ func TestApplyShardDoesNotLosePendingWrites(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perW; i++ {
 				// Fresh values above the domain: every insert is distinct.
-				if err := c.Insert(d.Domain + int64(w*perW+i)); err != nil {
+				if err := c.Insert(qctx, d.Domain+int64(w*perW+i)); err != nil {
 					t.Error(err)
 					return
 				}
@@ -65,7 +65,7 @@ func TestApplyShardDoesNotLosePendingWrites(t *testing.T) {
 	if got, want := c.Rows(), len(d.Values)+writers*perW; got != want {
 		t.Errorf("Rows() = %d, want %d", got, want)
 	}
-	n, _ := c.Count(d.Domain, d.Domain+int64(writers*perW))
+	n, _, _ := c.Count(qctx, d.Domain, d.Domain+int64(writers*perW))
 	if n != int64(writers*perW) {
 		t.Errorf("count of inserted band = %d, want %d", n, writers*perW)
 	}
@@ -85,7 +85,7 @@ func TestSnapshotReadsExactMidMerge(t *testing.T) {
 		Index: crackindex.Options{Latching: crackindex.LatchPiece},
 	})
 	qlo, qhi := int64(1<<14), int64(1<<14+1<<12)
-	want, _ := c.Sum(qlo, qhi)
+	want, _, _ := c.Sum(qctx, qlo, qhi)
 
 	stop := make(chan struct{})
 	var readers sync.WaitGroup
@@ -100,7 +100,7 @@ func TestSnapshotReadsExactMidMerge(t *testing.T) {
 					return
 				default:
 				}
-				if s, _ := c.Sum(qlo, qhi); s != want {
+				if s, _, _ := c.Sum(qctx, qlo, qhi); s != want {
 					violations[r]++
 				}
 			}
@@ -108,7 +108,7 @@ func TestSnapshotReadsExactMidMerge(t *testing.T) {
 	}
 	// Write OUTSIDE the quiet range while merges churn every shard.
 	for i := 0; i < 4000; i++ {
-		if err := c.Insert(d.Domain + int64(i)); err != nil {
+		if err := c.Insert(qctx, d.Domain+int64(i)); err != nil {
 			t.Fatal(err)
 		}
 		if i%256 == 0 {
@@ -139,7 +139,7 @@ func TestSealEpochThenApplySealed(t *testing.T) {
 		t.Fatal("ApplySealed found sealed epochs on a fresh column")
 	}
 	for i := 0; i < 100; i++ {
-		if err := c.Insert(int64(i)); err != nil {
+		if err := c.Insert(qctx, int64(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -151,7 +151,7 @@ func TestSealEpochThenApplySealed(t *testing.T) {
 		t.Errorf("SealedEpoch counts = %d/%d, want 100/0", se.Inserts, se.Deletes)
 	}
 	// Writes after the seal land in the next epoch and survive the apply.
-	if err := c.Insert(0); err != nil {
+	if err := c.Insert(qctx, 0); err != nil {
 		t.Fatal(err)
 	}
 	ap, ok := c.ApplySealed(0)
@@ -170,7 +170,7 @@ func TestSealEpochThenApplySealed(t *testing.T) {
 	}
 	// Value 0: one base instance + one applied insert + one post-seal
 	// pending insert.
-	if n, _ := c.Count(0, 1); n != 3 {
+	if n, _, _ := c.Count(qctx, 0, 1); n != 3 {
 		t.Errorf("count(0,1) = %d, want 3", n)
 	}
 	if err := c.Validate(); err != nil {
@@ -192,13 +192,13 @@ func TestStructuralOpsCutEpochChainsConsistently(t *testing.T) {
 		for i := 0; i < 500; i++ {
 			v := r.Int64n(d.Domain)
 			if i%3 == 0 {
-				if deleted, err := c.DeleteValue(v); err != nil {
+				if deleted, err := c.DeleteValue(qctx, v); err != nil {
 					t.Fatal(err)
 				} else if deleted {
 					rows--
 				}
 			} else {
-				if err := c.Insert(v); err != nil {
+				if err := c.Insert(qctx, v); err != nil {
 					t.Fatal(err)
 				}
 				rows++
@@ -220,7 +220,7 @@ func TestStructuralOpsCutEpochChainsConsistently(t *testing.T) {
 	if got := c.Rows(); got != rows {
 		t.Errorf("Rows() = %d, want %d", got, rows)
 	}
-	if n, _ := c.Count(-1<<40, 1<<40); n != int64(rows) {
+	if n, _, _ := c.Count(qctx, -1<<40, 1<<40); n != int64(rows) {
 		t.Errorf("full-range count = %d, want %d", n, rows)
 	}
 	if err := c.Validate(); err != nil {
@@ -249,11 +249,11 @@ func TestParkedApplyMatchesEpochApply(t *testing.T) {
 	for i := 0; i < 600; i++ {
 		v := int64(i * 3 % int(d.Domain))
 		if i%5 == 4 {
-			a.DeleteValue(v)
-			b.DeleteValue(v)
+			a.DeleteValue(qctx, v)
+			b.DeleteValue(qctx, v)
 		} else {
-			a.Insert(v)
-			b.Insert(v)
+			a.Insert(qctx, v)
+			b.Insert(qctx, v)
 		}
 	}
 	for s := 0; s < a.NumShards(); s++ {
@@ -269,13 +269,13 @@ func TestParkedApplyMatchesEpochApply(t *testing.T) {
 		t.Error("no ApplyShardParked found pending writes")
 	}
 	for _, q := range [][2]int64{{0, 100}, {100, 2000}, {-1 << 40, 1 << 40}} {
-		na, _ := a.Count(q[0], q[1])
-		nb, _ := b.Count(q[0], q[1])
+		na, _, _ := a.Count(qctx, q[0], q[1])
+		nb, _, _ := b.Count(qctx, q[0], q[1])
 		if na != nb {
 			t.Errorf("count[%d,%d): epoch=%d parked=%d", q[0], q[1], na, nb)
 		}
-		sa, _ := a.Sum(q[0], q[1])
-		sb, _ := b.Sum(q[0], q[1])
+		sa, _, _ := a.Sum(qctx, q[0], q[1])
+		sb, _, _ := b.Sum(qctx, q[0], q[1])
 		if sa != sb {
 			t.Errorf("sum[%d,%d): epoch=%d parked=%d", q[0], q[1], sa, sb)
 		}

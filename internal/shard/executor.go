@@ -2,9 +2,17 @@
 // assigned ranges overlap the predicate, the per-shard sub-queries run
 // in parallel on a bounded worker pool, and the partial answers and
 // cost breakdowns merge into one result.
+//
+// Every query carries a context. Cancellation before dispatch returns
+// ctx.Err() without touching any shard; cancellation mid-flight stops
+// the remaining sub-queries — a worker that has not yet started its
+// shard skips it entirely, and one parked on a piece latch inside a
+// shard unparks promptly (the latch waits are context-aware all the
+// way down). A query that returns a non-nil error returns no answer.
 package shard
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -17,26 +25,31 @@ import (
 // The returned OpStats sums the sub-queries' wait/crack time and
 // conflicts (total work across cores) and reports the slowest
 // sub-query's elapsed time as Critical (the fan-out critical path).
-func (c *Column) Count(lo, hi int64) (int64, crackindex.OpStats) {
-	return c.query(false, lo, hi)
+func (c *Column) Count(ctx context.Context, lo, hi int64) (int64, crackindex.OpStats, error) {
+	return c.query(ctx, false, lo, hi)
 }
 
 // Sum evaluates Q2 — select sum(A) where lo <= A < hi — fanning out to
 // the overlapping shards and cracking each as a side effect.
-func (c *Column) Sum(lo, hi int64) (int64, crackindex.OpStats) {
-	return c.query(true, lo, hi)
+func (c *Column) Sum(ctx context.Context, lo, hi int64) (int64, crackindex.OpStats, error) {
+	return c.query(ctx, true, lo, hi)
 }
 
 type subResult struct {
 	val     int64
 	st      crackindex.OpStats
+	err     error
 	elapsed time.Duration
 }
 
-func (c *Column) query(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
+func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, crackindex.OpStats, error) {
 	var merged crackindex.OpStats
 	if lo >= hi {
-		return 0, merged
+		return 0, merged, nil
+	}
+	// Cancelled before dispatch: no sub-query runs, no shard refines.
+	if err := ctx.Err(); err != nil {
+		return 0, merged, err
 	}
 	// One immutable shard-map snapshot per query: a concurrent
 	// structural change publishes a successor map, but the parts of
@@ -76,12 +89,15 @@ func (c *Column) query(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
 
 	switch len(targets) {
 	case 0:
-		return total, merged
+		return total, merged, nil
 	case 1:
 		t0 := time.Now()
-		v, st := targets[0].sub(wantSum, lo, hi)
+		v, st, err := targets[0].sub(ctx, wantSum, lo, hi)
+		if err != nil {
+			return 0, st, err
+		}
 		st.Critical = time.Since(t0)
-		return total + v, st
+		return total + v, st, nil
 	}
 
 	// Fan out: the caller's goroutine executes the first sub-query
@@ -89,23 +105,40 @@ func (c *Column) query(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
 	// before touching their shard and release it when done, bounding
 	// the fan-out amplification across all concurrent queries without
 	// ever throttling the clients themselves (deadlock-free: a caller
-	// waiting in wg.Wait holds no slot).
+	// waiting in wg.Wait holds no slot). A worker whose context is
+	// cancelled before it wins a slot — or before it starts — skips its
+	// shard entirely: the remaining sub-queries of a cancelled query
+	// are never executed.
 	res := make([]subResult, len(targets))
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	for i := 1; i < len(targets); i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c.sem <- struct{}{}
+			if done != nil {
+				select {
+				case c.sem <- struct{}{}:
+				case <-done:
+					res[i] = subResult{err: ctx.Err()}
+					return
+				}
+			} else {
+				c.sem <- struct{}{}
+			}
 			defer func() { <-c.sem }()
+			if err := ctx.Err(); err != nil {
+				res[i] = subResult{err: err}
+				return
+			}
 			t0 := time.Now()
-			v, st := targets[i].sub(wantSum, lo, hi)
-			res[i] = subResult{val: v, st: st, elapsed: time.Since(t0)}
+			v, st, err := targets[i].sub(ctx, wantSum, lo, hi)
+			res[i] = subResult{val: v, st: st, err: err, elapsed: time.Since(t0)}
 		}(i)
 	}
 	t0 := time.Now()
-	v, st := targets[0].sub(wantSum, lo, hi)
-	res[0] = subResult{val: v, st: st, elapsed: time.Since(t0)}
+	v, st, err := targets[0].sub(ctx, wantSum, lo, hi)
+	res[0] = subResult{val: v, st: st, err: err, elapsed: time.Since(t0)}
 	wg.Wait()
 
 	for _, r := range res {
@@ -121,16 +154,21 @@ func (c *Column) query(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
 			merged.Critical = r.elapsed
 		}
 	}
-	return total, merged
+	for _, r := range res {
+		if r.err != nil {
+			return 0, merged, r.err
+		}
+	}
+	return total, merged, nil
 }
 
 // sub runs one per-shard sub-query with the predicate clamped to the
 // shard's assigned range, so crack boundaries always land inside the
-// shard's own value domain. The base answer from the cracked index is
+// shard's own value domain. The base answer from the shard's index is
 // adjusted by the shard's epoch chain — the snapshot-read rule: base
 // part plus every visible epoch, exact even while a sealed prefix is
 // being merged in the background.
-func (s *part) sub(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
+func (s *part) sub(ctx context.Context, wantSum bool, lo, hi int64) (int64, crackindex.OpStats, error) {
 	if lo < s.loVal {
 		lo = s.loVal
 	}
@@ -139,10 +177,14 @@ func (s *part) sub(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
 	}
 	var v int64
 	var st crackindex.OpStats
+	var err error
 	if wantSum {
-		v, st = s.src.Sum(lo, hi)
+		v, st, err = s.src.Sum(ctx, lo, hi)
 	} else {
-		v, st = s.src.Count(lo, hi)
+		v, st, err = s.src.Count(ctx, lo, hi)
+	}
+	if err != nil {
+		return 0, st, err
 	}
 	if s.chain != nil {
 		var adj int64
@@ -153,5 +195,5 @@ func (s *part) sub(wantSum bool, lo, hi int64) (int64, crackindex.OpStats) {
 		}
 		v += adj
 	}
-	return v, st
+	return v, st, nil
 }

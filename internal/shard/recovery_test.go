@@ -13,7 +13,7 @@ func warmUp(t *testing.T, c *Column, domain int64) {
 	for i := 0; i < 200; i++ {
 		lo := r.Int64n(domain)
 		hi := lo + 1 + r.Int64n(domain-lo)
-		if _, st := c.Count(lo, hi); st.Skipped {
+		if _, st, _ := c.Count(qctx, lo, hi); st.Skipped {
 			t.Fatal("unexpected skip in single-threaded warm-up")
 		}
 	}
@@ -62,10 +62,10 @@ func TestCrackBoundariesSnapshot(t *testing.T) {
 func TestValuesMaterializesLogicalContents(t *testing.T) {
 	d := workload.NewUniqueUniform(1<<12, 13)
 	c := New(d.Values, Options{Shards: 4, Seed: 7, Index: pieceOpts()})
-	if err := c.Insert(1 << 20); err != nil {
+	if err := c.Insert(qctx, 1<<20); err != nil {
 		t.Fatal(err)
 	}
-	if ok, err := c.DeleteValue(d.Values[0]); err != nil || !ok {
+	if ok, err := c.DeleteValue(qctx, d.Values[0]); err != nil || !ok {
 		t.Fatalf("DeleteValue: %v %v", ok, err)
 	}
 	vals := c.Values()
@@ -112,10 +112,10 @@ func TestNewWithBoundsAndCracksPreCracks(t *testing.T) {
 	lo, hi := d.Domain/3, d.Domain/3+d.Domain/10
 	warmBefore, reBefore := totalCracks(warm), totalCracks(re)
 	wantN := d.TrueCount(lo, hi)
-	if n, _ := warm.Count(lo, hi); n != wantN {
+	if n, _, _ := warm.Count(qctx, lo, hi); n != wantN {
 		t.Fatalf("warm Count = %d, want %d", n, wantN)
 	}
-	if n, _ := re.Count(lo, hi); n != wantN {
+	if n, _, _ := re.Count(qctx, lo, hi); n != wantN {
 		t.Fatalf("rebuilt Count = %d, want %d", n, wantN)
 	}
 	warmDelta := totalCracks(warm) - warmBefore
@@ -129,7 +129,7 @@ func TestNewWithBoundsAndCracksPreCracks(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		qlo := r.Int64n(d.Domain)
 		qhi := qlo + 1 + r.Int64n(d.Domain-qlo)
-		if n, _ := re.Count(qlo, qhi); n != d.TrueCount(qlo, qhi) {
+		if n, _, _ := re.Count(qctx, qlo, qhi); n != d.TrueCount(qlo, qhi) {
 			t.Fatalf("Count[%d,%d) = %d, want %d", qlo, qhi, n, d.TrueCount(qlo, qhi))
 		}
 	}

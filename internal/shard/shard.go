@@ -82,9 +82,12 @@ type Options struct {
 	// shard's value slice instead of the default cracked index, so the
 	// fan-out executor can drive any engine.AggregateSource — sharded
 	// adaptive merging, sharded hybrid crack-sort (adapt an Engine with
-	// engine.SourceFromEngine). Custom-source shards are read-only:
-	// Insert and DeleteValue return ErrReadOnlyShard and structural
-	// operations skip them.
+	// engine.SourceFromEngine). Custom-source shards carry the same
+	// epoch-chain write surface as cracked shards: Insert and
+	// DeleteValue route into the owning shard's differential epochs,
+	// group-applies rebuild the shard through the Source factory, and
+	// splits/merges work unchanged — every method is writable. Only
+	// crack-boundary warm replay is specific to cracked shards.
 	Source func(values []int64) engine.AggregateSource
 }
 
@@ -133,12 +136,13 @@ type part struct {
 	loVal, hiVal int64                  // assigned range [loVal, hiVal); sentinels at the ends
 	base         []int64                // slice the index was built over (immutable)
 	ix           *crackindex.Index      // nil for custom-source shards
-	src          engine.AggregateSource // query surface (== ix for cracked shards)
+	src          engine.AggregateSource // query surface (adapts ix for cracked shards)
 
 	// chain is the shard's versioned differential: pending writes in
-	// an append-only chain of epoch files (nil for custom-source
-	// shards). baseEpoch is the epoch watermark the base slice
-	// incorporates: the chain holds exactly the epochs after it.
+	// an append-only chain of epoch files (every shard has one,
+	// including custom-source shards). baseEpoch is the epoch
+	// watermark the base slice incorporates: the chain holds exactly
+	// the epochs after it.
 	chain     *epoch.Chain
 	baseEpoch int64
 
@@ -344,12 +348,12 @@ func (c *Column) newPart(loVal, hiVal int64, vals []int64, warm []int64) *part {
 		p.agg.minA.Store(mn)
 		p.agg.maxA.Store(mx)
 	}
+	p.chain = epoch.NewChain(c.nextEpochID)
+	p.baseEpoch = p.chain.OpenID() - 1
 	if c.opts.Source != nil {
 		p.src = c.opts.Source(vals)
 		return p
 	}
-	p.chain = epoch.NewChain(c.nextEpochID)
-	p.baseEpoch = p.chain.OpenID() - 1
 	p.buildIndex(vals, warm, c.opts.Index)
 	return p
 }
@@ -358,7 +362,7 @@ func (c *Column) newPart(loVal, hiVal int64, vals []int64, warm []int64) *part {
 // the given crack boundaries into it.
 func (p *part) buildIndex(vals []int64, warm []int64, opts crackindex.Options) {
 	p.ix = crackindex.New(vals, opts)
-	p.src = p.ix
+	p.src = engine.SourceFromIndex(p.ix)
 	for _, b := range warm {
 		// Inclusive of the shard edges: queries clamped at loVal/hiVal
 		// crack exactly there (an empty edge piece), and replaying that
@@ -443,8 +447,7 @@ type ShardStat struct {
 	// epoch of the shard's chain (sealed and open).
 	PendingInserts, PendingDeletes int
 	// Epochs is the number of live epoch files in the shard's
-	// differential chain (sealed-unapplied plus the open one); 0 for
-	// custom-source shards.
+	// differential chain (sealed-unapplied plus the open one).
 	Epochs int
 	// SealedEpochs is the number of sealed epochs awaiting a
 	// group-apply merge.
@@ -616,12 +619,14 @@ func (c *Column) Validate() error {
 			return fmt.Errorf("shard %d: data [%d,%d] outside assigned range [%d,%d)",
 				i, s.agg.minA.Load(), s.agg.maxA.Load(), s.loVal, s.hiVal)
 		}
-		if s.ix != nil {
+		if s.chain != nil {
 			nIns, nDel := s.chain.Pending()
 			if want := int64(len(s.base) + nIns - nDel); s.agg.rows.Load() != want {
 				return fmt.Errorf("shard %d: rows %d, base %d + %d pending inserts - %d pending deletes = %d",
 					i, s.agg.rows.Load(), len(s.base), nIns, nDel, want)
 			}
+		}
+		if s.ix != nil {
 			if err := s.ix.Validate(); err != nil {
 				return fmt.Errorf("shard %d: %w", i, err)
 			}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -9,6 +10,9 @@ import (
 	"adaptix/internal/crackindex"
 	"adaptix/internal/workload"
 )
+
+// qctx is the uncancellable context the tests drive queries with.
+var qctx = context.Background()
 
 func pieceOpts() crackindex.Options {
 	return crackindex.Options{Latching: crackindex.LatchPiece}
@@ -56,10 +60,10 @@ func TestCountSumMatchBruteForce(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		lo := r.Int64n(d.Domain)
 		hi := lo + 1 + r.Int64n(d.Domain-lo)
-		if n, _ := c.Count(lo, hi); n != d.TrueCount(lo, hi) {
+		if n, _, _ := c.Count(qctx, lo, hi); n != d.TrueCount(lo, hi) {
 			t.Fatalf("Count[%d,%d) = %d, want %d", lo, hi, n, d.TrueCount(lo, hi))
 		}
-		if s, _ := c.Sum(lo, hi); s != d.TrueSum(lo, hi) {
+		if s, _, _ := c.Sum(qctx, lo, hi); s != d.TrueSum(lo, hi) {
 			t.Fatalf("Sum[%d,%d) = %d, want %d", lo, hi, s, d.TrueSum(lo, hi))
 		}
 	}
@@ -83,10 +87,10 @@ func TestEdgeCaseRanges(t *testing.T) {
 		{d.Domain - 1, d.Domain},  // single value at the high edge
 	}
 	for _, tc := range cases {
-		if n, _ := c.Count(tc.lo, tc.hi); n != d.TrueCount(tc.lo, tc.hi) {
+		if n, _, _ := c.Count(qctx, tc.lo, tc.hi); n != d.TrueCount(tc.lo, tc.hi) {
 			t.Errorf("Count[%d,%d) = %d, want %d", tc.lo, tc.hi, n, d.TrueCount(tc.lo, tc.hi))
 		}
-		if s, _ := c.Sum(tc.lo, tc.hi); s != d.TrueSum(tc.lo, tc.hi) {
+		if s, _, _ := c.Sum(qctx, tc.lo, tc.hi); s != d.TrueSum(tc.lo, tc.hi) {
 			t.Errorf("Sum[%d,%d) = %d, want %d", tc.lo, tc.hi, s, d.TrueSum(tc.lo, tc.hi))
 		}
 	}
@@ -100,10 +104,10 @@ func TestFullyCoveredShardsAnswerWithoutIndexWork(t *testing.T) {
 	c := New(d.Values, Options{Shards: 4, Index: pieceOpts()})
 	// The whole domain covers every shard: the precomputed aggregates
 	// answer, and no shard index is ever initialized.
-	if n, _ := c.Count(minKey, maxKey); n != int64(len(d.Values)) {
+	if n, _, _ := c.Count(qctx, minKey, maxKey); n != int64(len(d.Values)) {
 		t.Fatalf("Count = %d, want %d", n, len(d.Values))
 	}
-	if s, _ := c.Sum(minKey, maxKey); s != d.TrueSum(0, d.Domain) {
+	if s, _, _ := c.Sum(qctx, minKey, maxKey); s != d.TrueSum(0, d.Domain) {
 		t.Fatalf("Sum mismatch")
 	}
 	for _, st := range c.Snapshot() {
@@ -125,10 +129,10 @@ func TestDuplicatesAndSkew(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		lo := r.Int64n(d.Domain)
 		hi := lo + 1 + r.Int64n(d.Domain-lo)
-		if n, _ := c.Count(lo, hi); n != d.TrueCount(lo, hi) {
+		if n, _, _ := c.Count(qctx, lo, hi); n != d.TrueCount(lo, hi) {
 			t.Fatalf("Count[%d,%d) = %d, want %d", lo, hi, n, d.TrueCount(lo, hi))
 		}
-		if s, _ := c.Sum(lo, hi); s != d.TrueSum(lo, hi) {
+		if s, _, _ := c.Sum(qctx, lo, hi); s != d.TrueSum(lo, hi) {
 			t.Fatalf("Sum[%d,%d) = %d, want %d", lo, hi, s, d.TrueSum(lo, hi))
 		}
 	}
@@ -141,24 +145,24 @@ func TestDuplicatesAndSkew(t *testing.T) {
 	if c2.NumShards() != 1 {
 		t.Errorf("constant column: NumShards = %d, want 1", c2.NumShards())
 	}
-	if n, _ := c2.Count(7, 8); n != 1000 {
+	if n, _, _ := c2.Count(qctx, 7, 8); n != 1000 {
 		t.Errorf("constant column: Count = %d, want 1000", n)
 	}
 }
 
 func TestEmptyAndTinyColumns(t *testing.T) {
 	empty := New(nil, Options{Shards: 4, Index: pieceOpts()})
-	if n, _ := empty.Count(0, 100); n != 0 {
+	if n, _, _ := empty.Count(qctx, 0, 100); n != 0 {
 		t.Errorf("empty Count = %d", n)
 	}
-	if s, _ := empty.Sum(minKey, maxKey); s != 0 {
+	if s, _, _ := empty.Sum(qctx, minKey, maxKey); s != 0 {
 		t.Errorf("empty Sum = %d", s)
 	}
 	one := New([]int64{42}, Options{Shards: 8, Index: pieceOpts()})
-	if n, _ := one.Count(0, 100); n != 1 {
+	if n, _, _ := one.Count(qctx, 0, 100); n != 1 {
 		t.Errorf("singleton Count = %d", n)
 	}
-	if s, _ := one.Sum(42, 43); s != 42 {
+	if s, _, _ := one.Sum(qctx, 42, 43); s != 42 {
 		t.Errorf("singleton Sum = %d", s)
 	}
 }
@@ -168,7 +172,7 @@ func TestSnapshotReflectsRefinement(t *testing.T) {
 	c := New(d.Values, Options{Shards: 4, Index: pieceOpts()})
 	qs := workload.Fixed(workload.NewUniform(workload.Sum, d.Domain, 0.01, 13), 64)
 	for _, q := range qs {
-		c.Sum(q.Lo, q.Hi)
+		c.Sum(qctx, q.Lo, q.Hi)
 	}
 	var pieces, cracks int64
 	for _, st := range c.Snapshot() {
@@ -205,7 +209,7 @@ func TestConcurrentQueries(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i, q := range qs {
-				if s, _ := c.Sum(q.Lo, q.Hi); s != want[i] {
+				if s, _, _ := c.Sum(qctx, q.Lo, q.Hi); s != want[i] {
 					errs <- "sum mismatch under concurrency"
 					return
 				}
@@ -231,7 +235,7 @@ func TestWorkerPoolBounded(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		lo := r.Int64n(d.Domain / 2)
 		hi := lo + d.Domain/2 // wide ranges spanning many shards
-		if n, _ := c.Count(lo, hi); n != d.TrueCount(lo, hi) {
+		if n, _, _ := c.Count(qctx, lo, hi); n != d.TrueCount(lo, hi) {
 			t.Fatalf("Count[%d,%d) = %d, want %d", lo, hi, n, d.TrueCount(lo, hi))
 		}
 	}
@@ -250,7 +254,7 @@ func TestNegativeValues(t *testing.T) {
 		return n
 	}
 	for _, tc := range [][2]int64{{-200, 0}, {-1, 4}, {minKey, maxKey}, {0, math.MaxInt64}} {
-		if n, _ := c.Count(tc[0], tc[1]); n != count(tc[0], tc[1]) {
+		if n, _, _ := c.Count(qctx, tc[0], tc[1]); n != count(tc[0], tc[1]) {
 			t.Errorf("Count[%d,%d) = %d, want %d", tc[0], tc[1], n, count(tc[0], tc[1]))
 		}
 	}
@@ -265,13 +269,13 @@ func TestRoutedInsertDeleteSerial(t *testing.T) {
 	d := workload.NewUniqueUniform(1<<12, 31)
 	c := New(d.Values, Options{Shards: 4, Seed: 3, Index: pieceOpts()})
 	for i := int64(0); i < 256; i++ {
-		if err := c.Insert(i * 3); err != nil {
+		if err := c.Insert(qctx, i*3); err != nil {
 			t.Fatal(err)
 		}
 	}
 	deleted := 0
 	for i := int64(0); i < 256; i++ {
-		ok, err := c.DeleteValue(i * 5)
+		ok, err := c.DeleteValue(qctx, i*5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -309,7 +313,7 @@ func TestRoutedInsertDeleteSerial(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		lo := r.Int64n(d.Domain)
 		hi := lo + 1 + r.Int64n(d.Domain-lo)
-		if n, _ := c.Count(lo, hi); n != count(lo, hi) {
+		if n, _, _ := c.Count(qctx, lo, hi); n != count(lo, hi) {
 			t.Fatalf("Count[%d,%d) = %d, want %d", lo, hi, n, count(lo, hi))
 		}
 	}
@@ -321,13 +325,13 @@ func TestRoutedInsertDeleteSerial(t *testing.T) {
 func TestApplyShardMergesDifferential(t *testing.T) {
 	d := workload.NewUniqueUniform(1<<12, 41)
 	c := New(d.Values, Options{Shards: 4, Seed: 3, Index: pieceOpts()})
-	c.Sum(10, d.Domain/8) // earn some refinement to replay
+	c.Sum(qctx, 10, d.Domain/8) // earn some refinement to replay
 	for i := int64(0); i < 128; i++ {
-		if err := c.Insert(i); err != nil {
+		if err := c.Insert(qctx, i); err != nil {
 			t.Fatal(err)
 		}
 	}
-	totalBefore, _ := c.Sum(minKey, maxKey)
+	totalBefore, _, _ := c.Sum(qctx, minKey, maxKey)
 	st := c.Snapshot()[0]
 	if st.PendingInserts == 0 {
 		t.Fatal("expected pending inserts in shard 0")
@@ -346,7 +350,7 @@ func TestApplyShardMergesDifferential(t *testing.T) {
 	if after.Rows != st.Rows {
 		t.Errorf("rows changed across merge: %d -> %d", st.Rows, after.Rows)
 	}
-	if totalAfter, _ := c.Sum(minKey, maxKey); totalAfter != totalBefore {
+	if totalAfter, _, _ := c.Sum(qctx, minKey, maxKey); totalAfter != totalBefore {
 		t.Errorf("Sum changed across merge: %d -> %d", totalBefore, totalAfter)
 	}
 	if _, ok := c.ApplyShard(0); ok {
@@ -361,7 +365,7 @@ func TestSplitAndMergeShards(t *testing.T) {
 	d := workload.NewUniqueUniform(1<<12, 43)
 	c := New(d.Values, Options{Shards: 2, Seed: 3, Index: pieceOpts()})
 	n0 := c.NumShards()
-	totalBefore, _ := c.Sum(minKey, maxKey)
+	totalBefore, _, _ := c.Sum(qctx, minKey, maxKey)
 
 	sp, ok := c.SplitShard(0)
 	if !ok {
@@ -376,7 +380,7 @@ func TestSplitAndMergeShards(t *testing.T) {
 	if err := c.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := c.Sum(minKey, maxKey); got != totalBefore {
+	if got, _, _ := c.Sum(qctx, minKey, maxKey); got != totalBefore {
 		t.Errorf("Sum changed across split: %d -> %d", totalBefore, got)
 	}
 
@@ -393,7 +397,7 @@ func TestSplitAndMergeShards(t *testing.T) {
 	if err := c.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := c.Sum(minKey, maxKey); got != totalBefore {
+	if got, _, _ := c.Sum(qctx, minKey, maxKey); got != totalBefore {
 		t.Errorf("Sum changed across merge: %d -> %d", totalBefore, got)
 	}
 }
@@ -405,10 +409,10 @@ func TestSplitShardDegenerate(t *testing.T) {
 		t.Fatal("split of a single-value shard succeeded")
 	}
 	// The shard must have been unsealed: writes still proceed.
-	if err := c.Insert(0); err != nil {
+	if err := c.Insert(qctx, 0); err != nil {
 		t.Fatal(err)
 	}
-	if n, _ := c.Count(0, 1); n != 65 {
+	if n, _, _ := c.Count(qctx, 0, 1); n != 65 {
 		t.Fatalf("Count = %d after post-split-failure insert, want 65", n)
 	}
 }

@@ -52,23 +52,20 @@
 package shard
 
 import (
-	"errors"
+	"context"
 	"sort"
 )
-
-// ErrReadOnlyShard is returned for updates routed to a shard built
-// from a custom Options.Source (only cracked shards have an epoch
-// chain).
-var ErrReadOnlyShard = errors.New("shard: custom-source shard is read-only")
 
 // Insert adds one logical instance of v to the column, routing it to
 // the owning shard's open epoch. Safe for concurrent use; an insert
 // racing with a group-apply merge never parks (it rolls over to the
 // next epoch), and one racing with a split or merge of the owning
 // shard parks until the successor shard map is published, then
-// re-routes.
-func (c *Column) Insert(v int64) error {
-	_, err := c.InsertEpoch(v)
+// re-routes. A writer parked behind a structural operation unparks
+// promptly when ctx is cancelled, returning ctx.Err() with the write
+// not applied.
+func (c *Column) Insert(ctx context.Context, v int64) error {
+	_, err := c.InsertEpoch(ctx, v)
 	return err
 }
 
@@ -76,19 +73,19 @@ func (c *Column) Insert(v int64) error {
 // in — the version tag a logical WAL record carries so recovery can
 // tell writes captured by a checkpoint snapshot (epoch <= watermark)
 // from writes that must be replayed.
-func (c *Column) InsertEpoch(v int64) (int64, error) {
+func (c *Column) InsertEpoch(ctx context.Context, v int64) (int64, error) {
 	for {
 		m := c.m.Load()
 		p := m.shards[m.route(v)]
-		if p.chain == nil {
-			return 0, ErrReadOnlyShard
-		}
 		eid, ok, wait := p.tryInsert(v)
 		if ok {
 			return eid, nil
 		}
 		if wait != nil {
-			<-wait // parked: split/merge in progress
+			// Parked: split/merge in progress on the owning shard.
+			if err := parkWait(ctx, wait); err != nil {
+				return 0, err
+			}
 		}
 		// else: the open epoch was sealed under a stale part reference;
 		// the successor map is already published — re-route.
@@ -98,28 +95,47 @@ func (c *Column) InsertEpoch(v int64) (int64, error) {
 // DeleteValue removes one logical instance of v, reporting whether one
 // existed. Deletion is differential: an anti-matter record joins the
 // owning shard's open epoch and cancels one instance at query time.
-func (c *Column) DeleteValue(v int64) (bool, error) {
-	deleted, _, err := c.DeleteValueEpoch(v)
+func (c *Column) DeleteValue(ctx context.Context, v int64) (bool, error) {
+	deleted, _, err := c.DeleteValueEpoch(ctx, v)
 	return deleted, err
 }
 
 // DeleteValueEpoch is DeleteValue reporting the id of the epoch the
 // anti-matter record landed in (0 when no instance existed).
-func (c *Column) DeleteValueEpoch(v int64) (deleted bool, epochID int64, err error) {
+func (c *Column) DeleteValueEpoch(ctx context.Context, v int64) (deleted bool, epochID int64, err error) {
 	for {
 		m := c.m.Load()
 		p := m.shards[m.route(v)]
-		if p.chain == nil {
-			return false, 0, ErrReadOnlyShard
+		eid, deleted, ok, wait, err := p.tryDelete(ctx, v)
+		if err != nil {
+			return false, 0, err
 		}
-		eid, deleted, ok, wait := p.tryDelete(v)
 		if ok {
 			return deleted, eid, nil
 		}
 		if wait != nil {
-			<-wait
+			if err := parkWait(ctx, wait); err != nil {
+				return false, 0, err
+			}
 		}
 	}
+}
+
+// parkWait blocks until the structural operation that sealed the
+// writer's shard publishes its successor map (wait closes), or until
+// ctx is cancelled — parked writers are context-aware, so a deadline
+// bounds the time spent behind a split or merge.
+func parkWait(ctx context.Context, wait <-chan struct{}) error {
+	if done := ctx.Done(); done != nil {
+		select {
+		case <-wait:
+		case <-done:
+			return ctx.Err()
+		}
+		return nil
+	}
+	<-wait
+	return nil
 }
 
 // tryInsert applies the insert unless the part is sealed (structural
@@ -145,29 +161,49 @@ func (p *part) tryInsert(v int64) (epochID int64, ok bool, wait <-chan struct{})
 	return eid, true, nil
 }
 
-func (p *part) tryDelete(v int64) (epochID int64, deleted, ok bool, wait <-chan struct{}) {
-	// The existence check against the immutable base cracks the
-	// shard's index as a side effect — one user operation both
-	// querying and optimizing (paper §3). It runs outside every latch:
-	// the base multiset never changes, so the count stays valid.
-	baseN, _ := p.ix.Count(v, v+1)
+func (p *part) tryDelete(ctx context.Context, v int64) (epochID int64, deleted, ok bool, wait <-chan struct{}, err error) {
+	// The existence check against the immutable base cracks (or
+	// merges, for custom-source shards) the shard's index as a side
+	// effect — one user operation both querying and optimizing (paper
+	// §3). It runs outside every latch: the base multiset never
+	// changes, so the count stays valid. It honours the caller's
+	// context — a deadline expiring while the probe is parked on a
+	// piece latch aborts the delete with the write not applied.
+	baseN, err := p.baseCount(ctx, v)
+	if err != nil {
+		return 0, false, false, nil, err
+	}
 	p.wmu.RLock()
 	if p.sealed {
 		ch := p.replaced
 		p.wmu.RUnlock()
-		return 0, false, false, ch
+		return 0, false, false, ch, nil
 	}
 	eid, deleted, ok2 := p.chain.Delete(v, baseN)
 	if !ok2 {
 		p.wmu.RUnlock()
-		return 0, false, false, nil
+		return 0, false, false, nil, nil
 	}
 	if deleted {
 		p.agg.rows.Add(-1)
 		p.agg.total.Add(-v)
 	}
 	p.wmu.RUnlock()
-	return eid, deleted, true, nil
+	return eid, deleted, true, nil, nil
+}
+
+// baseCount counts the instances of v in the shard's immutable base —
+// the delete-existence witness. Cracked shards probe their index;
+// custom-source shards ask their AggregateSource (refining it as a
+// side effect, like any query). The probe is bounded by the caller's
+// context, like any query.
+func (p *part) baseCount(ctx context.Context, v int64) (int64, error) {
+	if p.ix != nil {
+		n, _, err := p.ix.CountCtx(ctx, v, v+1)
+		return n, err
+	}
+	n, _, err := p.src.Count(ctx, v, v+1)
+	return n, err
 }
 
 // widen extends the min/max envelope to cover v (CAS loops; the
@@ -222,6 +258,17 @@ func (p *part) unseal() {
 // the old map.
 func (p *part) retire() {
 	close(p.replaced)
+}
+
+// warmBoundaries returns the crack boundaries to replay into a rebuilt
+// successor: the cracked index's earned refinement, or nil for
+// custom-source shards (their refinement state is internal to the
+// source and is re-earned after a rebuild).
+func (p *part) warmBoundaries() []int64 {
+	if p.ix == nil {
+		return nil
+	}
+	return p.ix.Boundaries()
 }
 
 // logicalValues materializes the shard's logical contents: the
@@ -285,13 +332,12 @@ type SealedEpoch struct {
 // the first half of the epoch-chain group-apply, logged separately
 // (wal.EpochSeal) from the merge so recovery can tell a sealed epoch
 // whose merge never committed. Writers never park — they roll over to
-// the new epoch. Reports false when the open epoch is empty or the
-// shard is a custom-source shard.
+// the new epoch. Reports false when the open epoch is empty.
 func (c *Column) SealEpoch(i int) (SealedEpoch, bool) {
 	c.structMu.Lock()
 	defer c.structMu.Unlock()
 	m := c.m.Load()
-	if i < 0 || i >= len(m.shards) || m.shards[i].chain == nil {
+	if i < 0 || i >= len(m.shards) {
 		return SealedEpoch{}, false
 	}
 	info, ok := m.shards[i].chain.Seal()
@@ -340,14 +386,14 @@ func (c *Column) ApplySealed(i int) (Applied, bool) {
 }
 
 // ApplyShard is the one-shot group-apply: seal shard i's open epoch,
-// then merge every sealed epoch into the cracker array. Reports false
-// when the shard has no pending updates at all (or is a custom-source
-// shard). Writers never park.
+// then merge every sealed epoch into the shard's rebuilt index.
+// Reports false when the shard has no pending updates at all. Writers
+// never park.
 func (c *Column) ApplyShard(i int) (Applied, bool) {
 	c.structMu.Lock()
 	defer c.structMu.Unlock()
 	m := c.m.Load()
-	if i < 0 || i >= len(m.shards) || m.shards[i].chain == nil {
+	if i < 0 || i >= len(m.shards) {
 		return Applied{}, false
 	}
 	m.shards[i].chain.Seal() // no-op when the open epoch is empty
@@ -356,7 +402,7 @@ func (c *Column) ApplyShard(i int) (Applied, bool) {
 
 func (c *Column) applySealedLocked(i int) (Applied, bool) {
 	m := c.m.Load()
-	if i < 0 || i >= len(m.shards) || m.shards[i].chain == nil {
+	if i < 0 || i >= len(m.shards) {
 		return Applied{}, false
 	}
 	p := m.shards[i]
@@ -365,7 +411,7 @@ func (c *Column) applySealedLocked(i int) (Applied, bool) {
 		return Applied{}, false
 	}
 	vals := p.mergedValues(ins, del)
-	warm := p.ix.Boundaries()
+	warm := p.warmBoundaries()
 	q := &part{
 		loVal: p.loVal, hiVal: p.hiVal,
 		base:      vals,
@@ -374,7 +420,16 @@ func (c *Column) applySealedLocked(i int) (Applied, bool) {
 		baseEpoch: watermark,
 		replaced:  make(chan struct{}),
 	}
-	q.buildIndex(vals, warm, c.opts.Index)
+	if c.opts.Source != nil {
+		// Custom-source shards rebuild through the factory: the merged
+		// base feeds a fresh amerge/hybrid/sort/scan source. Refinement
+		// earned by the old source does not replay (only cracked shards
+		// have exportable boundary knowledge) — the fresh source
+		// re-earns it from subsequent queries.
+		q.src = c.opts.Source(vals)
+	} else {
+		q.buildIndex(vals, warm, c.opts.Index)
+	}
 	c.publish(m, i, 1, []*part{q}, m.bounds)
 	// No retire(): nothing parks on an epoch-chain apply. The old part
 	// stays intact for readers (and stale writers) still holding it.
@@ -396,7 +451,7 @@ func (c *Column) ApplyShardParked(i int) (Applied, bool) {
 	c.structMu.Lock()
 	defer c.structMu.Unlock()
 	m := c.m.Load()
-	if i < 0 || i >= len(m.shards) || m.shards[i].chain == nil {
+	if i < 0 || i >= len(m.shards) {
 		return Applied{}, false
 	}
 	p := m.shards[i]
@@ -407,7 +462,7 @@ func (c *Column) ApplyShardParked(i int) (Applied, bool) {
 	p.seal()
 	ins, del := p.chain.Collect(int64(maxKey))
 	vals := p.mergedValues(ins, del)
-	warm := p.ix.Boundaries()
+	warm := p.warmBoundaries()
 	q := c.newPart(p.loVal, p.hiVal, vals, warm)
 	c.publish(m, i, 1, []*part{q}, m.bounds)
 	p.retire()
@@ -434,14 +489,15 @@ type Split struct {
 // group-applied as part of the rebuild — a split cuts the chain
 // consistently: both successors start with fresh, empty chains over
 // bases that incorporate every pending write — and the old index's
-// crack boundaries are replayed into whichever side owns them. Reports
-// false when the shard cannot be split (custom source, or fewer than
-// two distinct values).
+// crack boundaries are replayed into whichever side owns them (cracked
+// shards; custom-source shards rebuild through the factory). Reports
+// false when the shard cannot be split (fewer than two distinct
+// values).
 func (c *Column) SplitShard(i int) (Split, bool) {
 	c.structMu.Lock()
 	defer c.structMu.Unlock()
 	m := c.m.Load()
-	if i < 0 || i >= len(m.shards) || m.shards[i].chain == nil {
+	if i < 0 || i >= len(m.shards) {
 		return Split{}, false
 	}
 	p := m.shards[i]
@@ -486,7 +542,7 @@ func (c *Column) SplitShard(i int) (Split, bool) {
 			right = append(right, v)
 		}
 	}
-	warm := p.ix.Boundaries()
+	warm := p.warmBoundaries()
 	lp := c.newPart(p.loVal, cut, left, warm)
 	rp := c.newPart(cut, p.hiVal, right, warm)
 	bounds := make([]int64, 0, len(m.bounds)+1)
@@ -536,21 +592,20 @@ type Merged struct {
 // consistently — every pending write of either side is folded into the
 // merged base, and the successor starts a fresh chain — and the
 // removed cut value plus both old indexes' crack boundaries are
-// replayed into the merged index, so no refinement knowledge is lost.
-// Reports false when either shard is a custom-source shard or i is out
-// of range.
+// replayed into the merged index (cracked shards), so no refinement
+// knowledge is lost. Reports false when i is out of range.
 func (c *Column) MergeShards(i int) (Merged, bool) {
 	c.structMu.Lock()
 	defer c.structMu.Unlock()
 	m := c.m.Load()
-	if i < 0 || i+1 >= len(m.shards) || m.shards[i].chain == nil || m.shards[i+1].chain == nil {
+	if i < 0 || i+1 >= len(m.shards) {
 		return Merged{}, false
 	}
 	l, r := m.shards[i], m.shards[i+1]
 	l.seal()
 	r.seal()
 	vals := append(l.logicalValues(), r.logicalValues()...)
-	warm := append(l.ix.Boundaries(), r.ix.Boundaries()...)
+	warm := append(l.warmBoundaries(), r.warmBoundaries()...)
 	warm = append(warm, m.bounds[i]) // keep the removed cut as a crack boundary
 	q := c.newPart(l.loVal, r.hiVal, vals, warm)
 	bounds := make([]int64, 0, len(m.bounds)-1)

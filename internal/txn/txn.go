@@ -37,6 +37,7 @@ const (
 	System
 )
 
+// String returns the kind's display name.
 func (k Kind) String() string {
 	if k == System {
 		return "system"
@@ -56,6 +57,7 @@ const (
 	Aborted
 )
 
+// String returns the state's display name.
 func (s State) String() string {
 	switch s {
 	case Active:

@@ -16,6 +16,7 @@ const (
 	Sum
 )
 
+// String returns the query template's display name.
 func (k QueryKind) String() string {
 	switch k {
 	case Count:

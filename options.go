@@ -1,0 +1,286 @@
+package adaptix
+
+import (
+	"fmt"
+	"time"
+
+	"adaptix/internal/amerge"
+	"adaptix/internal/hybrid"
+	"adaptix/internal/ingest"
+	"adaptix/internal/shard"
+)
+
+// Method selects the adaptive-indexing algorithm behind an Index. All
+// five methods share the same query, write, and durability surface;
+// they differ only in how each shard physically refines itself (paper
+// §2 and §6 compare them head to head).
+type Method int
+
+const (
+	// Crack is database cracking (paper §5): each query partitions the
+	// touched pieces of a cracker array around its predicate bounds.
+	// Cheap first touch, lazy convergence. The default.
+	Crack Method = iota
+	// AMerge is adaptive merging (paper §2/§4): sorted runs in a
+	// partitioned B-tree, one merge step per query in the requested
+	// key range. Expensive first touch, fast convergence.
+	AMerge
+	// Hybrid is the hybrid crack-sort (paper §2, Figure 4): unsorted
+	// initial partitions cracked per query, qualifying values moved to
+	// a sorted final partition. Cheap first touch, fast convergence.
+	Hybrid
+	// Sort is the full-indexing baseline: the first query sorts the
+	// whole column, later queries binary-search.
+	Sort
+	// Scan is the no-indexing baseline: every query scans the column.
+	Scan
+)
+
+// String returns the method's experiment-output name.
+func (m Method) String() string {
+	switch m {
+	case Crack:
+		return "crack"
+	case AMerge:
+		return "amerge"
+	case Hybrid:
+		return "hybrid"
+	case Sort:
+		return "sort"
+	case Scan:
+		return "scan"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// config is the resolved option set of one New/Open call.
+type config struct {
+	method Method
+	shards int
+	shard  shard.Options
+	ingest ingest.Options
+	merge  amerge.Options
+	hybrid hybrid.Options
+
+	// Durability (Open only).
+	values          []int64
+	segmentBytes    int64
+	checkpointEvery int
+	logWrites       bool
+	syncEvery       int
+	syncInterval    time.Duration
+	noSync          bool
+	// durableOnly names the first Open-only option a New call used, so
+	// New can reject it instead of silently ignoring it.
+	durableOnly string
+}
+
+// Option configures New and Open.
+type Option func(*config) error
+
+func buildConfig(opts []Option) (*config, error) {
+	cfg := &config{}
+	for _, o := range opts {
+		if err := o(cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.method < Crack || cfg.method > Scan {
+		return nil, fmt.Errorf("adaptix: unknown method %v", cfg.method)
+	}
+	return cfg, nil
+}
+
+// shardOptions resolves the shard.Options for the configured method.
+func (c *config) shardOptions() shard.Options {
+	s := c.shard
+	if c.shards != 0 {
+		s.Shards = c.shards
+	}
+	s.Source = c.newSource()
+	return s
+}
+
+// WithMethod selects the adaptive-indexing method (default Crack).
+func WithMethod(m Method) Option {
+	return func(c *config) error {
+		if m < Crack || m > Scan {
+			return fmt.Errorf("adaptix: unknown method %v", m)
+		}
+		c.method = m
+		return nil
+	}
+}
+
+// WithShards sets the number of range partitions P (default
+// runtime.GOMAXPROCS): queries fan out to the overlapping shards in
+// parallel, writes route to the owning shard's epoch chain, and each
+// shard is an independent latch domain. Use 1 for a single-domain
+// index (the paper's original setting).
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("adaptix: WithShards(%d): need at least one shard", n)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
+// WithWorkers bounds the number of fan-out sub-queries executing
+// concurrently across all queries on the index (default: the shard
+// count). Client goroutines themselves are never throttled.
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		c.shard.Workers = n
+		return nil
+	}
+}
+
+// WithSampleSize sets the number of seeded sample points used to
+// choose shard boundaries (default 1024).
+func WithSampleSize(n int) Option {
+	return func(c *config) error {
+		c.shard.SampleSize = n
+		return nil
+	}
+}
+
+// WithSeed drives the shard-boundary sample (default 1), making
+// partitioning deterministic per seed.
+func WithSeed(seed uint64) Option {
+	return func(c *config) error {
+		c.shard.Seed = seed
+		return nil
+	}
+}
+
+// WithCrackOptions configures the per-shard cracked indexes of a Crack
+// index: latching mode, layout, scheduling, conflict policy, parallel
+// bound cracking, group cracking, stochastic cracking, tracing. It
+// has no effect on other methods.
+func WithCrackOptions(o CrackOptions) Option {
+	return func(c *config) error {
+		c.shard.Index = o
+		return nil
+	}
+}
+
+// WithMergeOptions configures the per-shard adaptive-merging indexes
+// of an AMerge index (run size, merge budget, conflict policy). It
+// has no effect on other methods.
+func WithMergeOptions(o MergeOptions) Option {
+	return func(c *config) error {
+		c.merge = o
+		return nil
+	}
+}
+
+// WithHybridOptions configures the per-shard hybrid crack-sort
+// indexes of a Hybrid index (partition size, layout, conflict
+// policy). It has no effect on other methods.
+func WithHybridOptions(o HybridOptions) Option {
+	return func(c *config) error {
+		c.hybrid = o
+		return nil
+	}
+}
+
+// WithIngestOptions configures the write path: group-apply thresholds,
+// rebalancing factors (split/merge/load weighting), maintenance
+// cadence, the structural log, and the transaction manager. Open
+// overrides the fields it owns (Log, Sink, SnapshotWriter,
+// CheckpointEvery).
+func WithIngestOptions(o IngestOptions) Option {
+	return func(c *config) error {
+		c.ingest = o
+		return nil
+	}
+}
+
+// WithValues supplies the initial contents of a durable store created
+// by Open. Once the store has taken its first checkpoint the snapshot
+// wins and WithValues is ignored on reopen. New rejects it — pass the
+// values to New directly.
+func WithValues(values []int64) Option {
+	return func(c *config) error {
+		c.values = values
+		return nil
+	}
+}
+
+// WithSegmentBytes sets the WAL segment rotation threshold of a
+// durable store (default 1 MiB). Open only.
+func WithSegmentBytes(n int64) Option {
+	return func(c *config) error {
+		c.segmentBytes = n
+		c.setDurableOnly("WithSegmentBytes")
+		return nil
+	}
+}
+
+// WithCheckpointEvery sets the number of committed structural
+// operations between automatic checkpoints of a durable store
+// (default 8). Open only.
+func WithCheckpointEvery(n int) Option {
+	return func(c *config) error {
+		c.checkpointEvery = n
+		c.setDurableOnly("WithCheckpointEvery")
+		return nil
+	}
+}
+
+// WithLogWrites enables data-tail durability on a durable store: every
+// routed write is logged as an autonomous logical record (value + op +
+// epoch id) and replayed past the checkpoint's epoch watermark on
+// reopen, so a crash loses at most the not-yet-fsynced log tail
+// instead of everything since the last checkpoint. Open only.
+func WithLogWrites() Option {
+	return func(c *config) error {
+		c.logWrites = true
+		c.setDurableOnly("WithLogWrites")
+		return nil
+	}
+}
+
+// WithSyncEvery bounds the crash loss window by record count: with
+// WithLogWrites, the log is group-commit fsynced after every n logical
+// records, so a crash loses at most n-1 of the newest writes. Zero
+// (the default) fsyncs with the next system-transaction commit. Open
+// only.
+func WithSyncEvery(n int) Option {
+	return func(c *config) error {
+		c.syncEvery = n
+		c.setDurableOnly("WithSyncEvery")
+		return nil
+	}
+}
+
+// WithSyncInterval bounds the crash loss window in time: unsynced
+// logical records are fsynced at least every d, even when the write
+// rate never reaches WithSyncEvery. Open only.
+func WithSyncInterval(d time.Duration) Option {
+	return func(c *config) error {
+		c.syncInterval = d
+		c.setDurableOnly("WithSyncInterval")
+		return nil
+	}
+}
+
+// WithNoSync disables fsync on the WAL and snapshots (tests and
+// benchmarks). A store written with WithNoSync is not crash-durable.
+// Open only.
+func WithNoSync() Option {
+	return func(c *config) error {
+		c.noSync = true
+		c.setDurableOnly("WithNoSync")
+		return nil
+	}
+}
+
+func (c *config) setDurableOnly(name string) {
+	if c.durableOnly == "" {
+		c.durableOnly = name
+	}
+}
