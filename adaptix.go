@@ -54,6 +54,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sync"
 
 	"adaptix/internal/amerge"
@@ -62,6 +63,8 @@ import (
 	"adaptix/internal/engine"
 	"adaptix/internal/hybrid"
 	"adaptix/internal/ingest"
+	"adaptix/internal/metrics"
+	"adaptix/internal/obs"
 	"adaptix/internal/shard"
 )
 
@@ -76,6 +79,7 @@ type Index struct {
 	ing    *ingest.Coordinator
 	dur    *durable.Column // nil for in-memory indexes
 	eng    engine.Engine
+	obs    *metrics.Observer // always non-nil
 
 	closeOnce sync.Once
 	closeErr  error
@@ -97,10 +101,13 @@ func New(values []int64, opts ...Option) (*Index, error) {
 	if cfg.values != nil {
 		return nil, errors.New("adaptix: WithValues is for Open; pass the values to New directly")
 	}
-	col := shard.New(values, cfg.shardOptions())
-	ing := ingest.New(col, cfg.ingest)
+	ob := cfg.newObserver()
+	col := shard.New(values, cfg.shardOptions(ob))
+	iopts := cfg.ingest
+	iopts.Obs = ob
+	ing := ingest.New(col, iopts)
 	ing.Start()
-	return newIndex(cfg.method, col, ing, nil), nil
+	return newIndex(cfg.method, col, ing, nil, ob), nil
 }
 
 // Open opens (or creates) a durable adaptive index in dir: a
@@ -117,9 +124,10 @@ func Open(dir string, opts ...Option) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	ob := cfg.newObserver()
 	dopts := durable.Options{
 		Values:          cfg.values,
-		Shard:           cfg.shardOptions(),
+		Shard:           cfg.shardOptions(ob),
 		Ingest:          cfg.ingest,
 		SegmentBytes:    cfg.segmentBytes,
 		CheckpointEvery: cfg.checkpointEvery,
@@ -132,16 +140,17 @@ func Open(dir string, opts ...Option) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newIndex(cfg.method, dur.Column(), dur.Ingestor(), dur), nil
+	return newIndex(cfg.method, dur.Column(), dur.Ingestor(), dur, ob), nil
 }
 
-func newIndex(m Method, col *shard.Column, ing *ingest.Coordinator, dur *durable.Column) *Index {
+func newIndex(m Method, col *shard.Column, ing *ingest.Coordinator, dur *durable.Column, ob *metrics.Observer) *Index {
 	return &Index{
 		method: m,
 		col:    col,
 		ing:    ing,
 		dur:    dur,
 		eng:    engine.NewShardedNamed(col, m.String()),
+		obs:    ob,
 	}
 }
 
@@ -188,14 +197,71 @@ func (ix *Index) Apply(ctx context.Context, batch []Op) (int, error) {
 	return ix.ing.Apply(ctx, batch)
 }
 
-// Stats returns an observability snapshot: per-shard refinement state
-// and the write path's activity counters.
+// Stats returns an observability snapshot: per-shard refinement state,
+// the write path's activity counters, and the latency quantiles of the
+// always-on histograms. The per-shard views (Rows, Bounds, Shards) are
+// read against one shard-map epoch, so they are mutually consistent
+// even while the rebalancer is splitting or merging shards.
 func (ix *Index) Stats() Stats {
+	sv := ix.col.StatView()
 	return Stats{
 		Method: ix.method,
-		Shards: ix.col.Snapshot(),
+		Rows:   sv.Rows,
+		Bounds: sv.Bounds,
+		Shards: sv.Shards,
 		Ingest: ix.ing.Stats(),
+		Obs:    ix.obs.Summary(),
 	}
+}
+
+// Observe returns the index's observability endpoint: an http.Handler
+// serving Prometheus text exposition at /metrics, expvar JSON at
+// /debug/vars, the standard pprof profiles under /debug/pprof/, the
+// flight-recorder dump at /flight, and a machine-readable live
+// snapshot at /snapshot (what cmd/adaptixstat scrapes). Mount it
+// wherever suits the process:
+//
+//	go http.ListenAndServe("localhost:6060", ix.Observe())
+func (ix *Index) Observe() http.Handler {
+	return obs.NewHandler(ix.obs, func() any { return ix.ObsSnapshot() })
+}
+
+// FlightDump returns the flight recorder's contents, oldest first: the
+// most recent sampled query spans and every stall event (latch waits
+// and writer parks over the stall threshold) plus structural
+// operations. The recorder is a fixed-size ring and recording is
+// wait-free, so dumping is safe at any time, including from a signal
+// handler or after a test failure.
+func (ix *Index) FlightDump() []FlightEvent { return ix.obs.Flight().Dump() }
+
+// ObsSnapshot returns the live machine-readable snapshot served at the
+// endpoint's /snapshot route.
+func (ix *Index) ObsSnapshot() ObsSnapshot {
+	st := ix.Stats()
+	return ObsSnapshot{
+		Method: ix.method.String(),
+		Rows:   st.Rows,
+		Shards: len(st.Shards),
+		Ingest: st.Ingest,
+		Obs:    st.Obs,
+	}
+}
+
+// ObsSnapshot is the JSON document served at the observability
+// endpoint's /snapshot route and consumed by cmd/adaptixstat.
+type ObsSnapshot struct {
+	// Method is the handle's adaptive-indexing method name.
+	Method string `json:"method"`
+	// Rows is the logical row count.
+	Rows int `json:"rows"`
+	// Shards is the current number of range partitions.
+	Shards int `json:"shards"`
+	// Ingest counts the write path's routed writes and structural
+	// operations.
+	Ingest IngestStats `json:"ingest"`
+	// Obs is the quantile readout of the always-on histograms
+	// (durations in nanoseconds).
+	Obs ObsStats `json:"obs"`
 }
 
 // Rows returns the number of logical rows currently in the index.
@@ -250,16 +316,29 @@ func (ix *Index) Close() error {
 	return ix.closeErr
 }
 
-// Stats is the Index observability snapshot.
+// Stats is the Index observability snapshot. Rows, Bounds, and Shards
+// are taken against one shard-map epoch and are mutually consistent.
 type Stats struct {
 	// Method is the handle's adaptive-indexing method.
 	Method Method
+	// Rows is the logical row count (insertions minus matched
+	// deletions) summed over the same shard snapshots listed in Shards.
+	Rows int
+	// Bounds holds the shard-map cut values: shard i owns
+	// [Bounds[i-1], Bounds[i]), with open first and last ranges.
+	Bounds []int64
 	// Shards holds one refinement-state snapshot per shard, in value
 	// order.
 	Shards []ShardStat
 	// Ingest counts the write path's routed writes and structural
 	// operations.
 	Ingest IngestStats
+	// Obs is the quantile readout of the always-on latency histograms:
+	// writer-stall and fan-out critical-path p99s, latch-wait p99, the
+	// Figure 15 wait-vs-crack split, and the stall counters. End-to-end
+	// query latency quantiles are populated only under
+	// WithObservability (tracing).
+	Obs ObsStats
 }
 
 // newSource builds the per-shard index factory for a method (nil for

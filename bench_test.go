@@ -25,6 +25,7 @@ import (
 	"adaptix/internal/hybrid"
 	"adaptix/internal/ingest"
 	"adaptix/internal/latch"
+	"adaptix/internal/metrics"
 	"adaptix/internal/pbtree"
 	"adaptix/internal/shard"
 	"adaptix/internal/sideways"
@@ -595,3 +596,60 @@ func benchWriteDuringMerge(b *testing.B, park bool) {
 func BenchmarkEpochWrite_DuringMerge(b *testing.B) { benchWriteDuringMerge(b, false) }
 
 func BenchmarkEpochWrite_DuringMerge_Parked(b *testing.B) { benchWriteDuringMerge(b, true) }
+
+// --- Observability overhead: none vs disabled tracing vs enabled ---
+
+// benchObsQueries measures steady-state query cost on a fully refined
+// sharded column (refinement excluded from the timed loop, so the
+// fixed per-query cost — and any observability overhead on it —
+// dominates). Three variants isolate the two costs:
+//
+//	Off       no observer at all: the pre-instrumentation baseline
+//	Disabled  observer attached, tracing off — the default facade
+//	          state: the always-on histograms record (a handful of
+//	          uncontended atomic adds on already-computed values)
+//	Enabled   tracing on, every query sampled: adds two clock reads,
+//	          the end-to-end histogram, and a flight-recorder write
+//
+// The CI overhead gate (TestObsOverheadGuard) asserts Disabled stays
+// within 5% of Off. Enabled at SampleEvery=1 is the worst case by
+// construction (these fully-refined queries run in well under a
+// microsecond, so two clock reads are a visible fraction); the
+// sampling knob exists precisely to amortize that.
+func benchObsQueries(b *testing.B, ob *metrics.Observer) {
+	d := benchData()
+	qs := benchQuerySet(workload.Sum, 0.001)
+	col := shard.New(d.Values, shard.Options{
+		Shards: 4, Seed: 77,
+		Index: crackindex.Options{Latching: crackindex.LatchPiece},
+		Obs:   ob,
+	})
+	ctx := context.Background()
+	for _, q := range qs {
+		if _, _, err := col.Sum(ctx, q.Lo, q.Hi); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		if _, _, err := col.Sum(ctx, q.Lo, q.Hi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObsOverhead_Off(b *testing.B) {
+	benchObsQueries(b, nil)
+}
+
+func BenchmarkObsOverhead_Disabled(b *testing.B) {
+	benchObsQueries(b, metrics.NewObserver(metrics.ObserverOptions{}))
+}
+
+func BenchmarkObsOverhead_Enabled(b *testing.B) {
+	ob := metrics.NewObserver(metrics.ObserverOptions{})
+	ob.EnableTracing(true)
+	benchObsQueries(b, ob)
+}

@@ -1,0 +1,134 @@
+// Command adaptixstat scrapes a live adaptix observability endpoint
+// (Index.Observe served over HTTP) and pretty-prints a snapshot:
+// throughput counters, the latency quantiles of the always-on
+// histograms, and optionally the flight-recorder tail.
+//
+// Usage:
+//
+//	adaptixstat [-addr http://localhost:6060] [-watch 2s] [-flight 10]
+//
+// With -watch the snapshot refreshes in place at the given interval
+// until interrupted; counters are shown both as lifetime totals and as
+// per-second rates over the interval.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"adaptix"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:6060", "observability endpoint base URL")
+	watch := flag.Duration("watch", 0, "refresh interval (0: print once and exit)")
+	flight := flag.Int("flight", 0, "also print the last N flight-recorder events")
+	flag.Parse()
+
+	var prev *adaptix.ObsSnapshot
+	var prevAt time.Time
+	for {
+		snap, err := scrape[adaptix.ObsSnapshot](*addr + "/snapshot")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adaptixstat: %v\n", err)
+			os.Exit(1)
+		}
+		now := time.Now()
+		print(snap, prev, now.Sub(prevAt))
+		if *flight > 0 {
+			evs, err := scrape[[]adaptix.FlightEvent](*addr + "/flight")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "adaptixstat: %v\n", err)
+				os.Exit(1)
+			}
+			printFlight(evs, *flight)
+		}
+		if *watch <= 0 {
+			return
+		}
+		prev, prevAt = &snap, now
+		time.Sleep(*watch)
+		fmt.Println()
+	}
+}
+
+func scrape[T any](url string) (T, error) {
+	var v T
+	resp, err := http.Get(url)
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return v, fmt.Errorf("%s: HTTP %s", url, resp.Status)
+	}
+	return v, json.NewDecoder(resp.Body).Decode(&v)
+}
+
+func print(s adaptix.ObsSnapshot, prev *adaptix.ObsSnapshot, dt time.Duration) {
+	fmt.Printf("adaptix %s  rows=%d  shards=%d\n", s.Method, s.Rows, s.Shards)
+
+	rate := func(cur, old int64) string {
+		if prev == nil || dt <= 0 {
+			return ""
+		}
+		return fmt.Sprintf("  (%.0f/s)", float64(cur-old)/dt.Seconds())
+	}
+	var po adaptix.ObsStats
+	if prev != nil {
+		po = prev.Obs
+	}
+	o := s.Obs
+	fmt.Printf("  queries  %-12d%s\n", o.Queries, rate(o.Queries, po.Queries))
+	fmt.Printf("  writes   %-12d%s\n", o.Writes, rate(o.Writes, po.Writes))
+	fmt.Printf("  stalls   latch=%d writer=%d  sampled-spans=%d\n",
+		o.LatchStalls, o.WriterStalls, o.SampledSpans)
+
+	fmt.Println("  latency quantiles:")
+	row := func(name string, ds ...time.Duration) {
+		fmt.Printf("    %-16s", name)
+		for _, d := range ds {
+			fmt.Printf(" %12s", fmtDur(d))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("    %-16s %12s %12s %12s\n", "", "p50", "p99", "p999")
+	row("query e2e", o.QueryLatencyP50, o.QueryLatencyP99, o.QueryLatencyP999)
+	row("critical path", o.CriticalPathP50, o.CriticalPathP99, o.CriticalPathP999)
+	row("writer stall", o.WriterStallP50, o.WriterStallP99, o.WriterStallP999)
+	fmt.Printf("    %-16s %12s (wait) %8s (crack) %8s (latch) %8s (fsync)\n",
+		"p99 breakdown", fmtDur(o.QueryWaitP99), fmtDur(o.QueryCrackP99),
+		fmtDur(o.LatchWaitP99), fmtDur(o.FsyncP99))
+
+	in := s.Ingest
+	fmt.Printf("  ingest: %+v\n", in)
+}
+
+func printFlight(evs []adaptix.FlightEvent, n int) {
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	fmt.Printf("  flight (last %d):\n", len(evs))
+	for _, e := range evs {
+		fmt.Printf("    %s  %-12s shard=%-3d dur=%s\n",
+			e.When.Format("15:04:05.000"), e.KindName, e.Shard, fmtDur(e.Dur))
+	}
+}
+
+// fmtDur renders a duration compactly with µs resolution below 1ms.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}

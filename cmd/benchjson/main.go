@@ -1,0 +1,181 @@
+// Command benchjson runs a small grid of query/update workload cells
+// against the public Index API and writes one machine-readable JSON
+// document — throughput plus the latency quantiles read from the
+// always-on observability histograms — for CI trend tracking.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_results.json] [-rows 262144] [-queries 1024] [-seed 42]
+//
+// Each cell builds a fresh index (adaptive state must not leak between
+// cells), drives the query sequence across the cell's client count,
+// and reports queries/sec over the wall-clock of the run and the
+// p50/p99/p999 of the per-query critical-path histogram plus the
+// Figure 15 wait-vs-crack p99 split. Absolute numbers are
+// machine-dependent; the JSON is for comparing runs on the same
+// hardware.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"adaptix"
+)
+
+// Cell is one workload configuration's result row.
+type Cell struct {
+	Name        string  `json:"name"`
+	Method      string  `json:"method"`
+	Clients     int     `json:"clients"`
+	WritePct    int     `json:"write_pct"`
+	Queries     int64   `json:"queries"`
+	Writes      int64   `json:"writes"`
+	Seconds     float64 `json:"seconds"`
+	QPS         float64 `json:"qps"`
+	CriticalP50 int64   `json:"critical_p50_ns"`
+	CriticalP99 int64   `json:"critical_p99_ns"`
+	CritP999    int64   `json:"critical_p999_ns"`
+	WaitP99     int64   `json:"wait_p99_ns"`
+	CrackP99    int64   `json:"crack_p99_ns"`
+	LatencyP99  int64   `json:"latency_p99_ns"`
+	WriterP99   int64   `json:"writer_stall_p99_ns"`
+}
+
+// Doc is the whole BENCH_results.json document.
+type Doc struct {
+	Rows      int    `json:"rows"`
+	Queries   int    `json:"queries"`
+	Seed      uint64 `json:"seed"`
+	GoMaxProc int    `json:"gomaxprocs"`
+	When      string `json:"when"`
+	Cells     []Cell `json:"cells"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_results.json", "output path")
+	rows := flag.Int("rows", 1<<18, "base table size")
+	queries := flag.Int("queries", 1024, "query sequence length per cell")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	data := adaptix.NewUniqueDataset(*rows, *seed)
+	doc := Doc{
+		Rows: *rows, Queries: *queries, Seed: *seed,
+		GoMaxProc: runtime.GOMAXPROCS(0),
+		When:      time.Now().UTC().Format(time.RFC3339),
+	}
+
+	grid := []struct {
+		method   adaptix.Method
+		clients  int
+		writePct int
+	}{
+		{adaptix.Crack, 1, 0},
+		{adaptix.Crack, 4, 0},
+		{adaptix.Crack, 8, 0},
+		{adaptix.Crack, 4, 10},
+		{adaptix.Crack, 4, 50},
+		{adaptix.AMerge, 4, 0},
+		{adaptix.Hybrid, 4, 0},
+		{adaptix.Sort, 4, 0},
+	}
+	for _, g := range grid {
+		cell, err := runCell(data.Values, *rows, *queries, *seed, g.method, g.clients, g.writePct)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", cell.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-22s %10.0f q/s  p99 %s\n", cell.Name, cell.QPS,
+			time.Duration(cell.CriticalP99))
+		doc.Cells = append(doc.Cells, cell)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d cells)\n", *out, len(doc.Cells))
+}
+
+func runCell(values []int64, rows, queries int, seed uint64, m adaptix.Method, clients, writePct int) (Cell, error) {
+	c := Cell{
+		Name:     fmt.Sprintf("%s/c%d/w%d", m, clients, writePct),
+		Method:   m.String(),
+		Clients:  clients,
+		WritePct: writePct,
+	}
+	ix, err := adaptix.New(values,
+		adaptix.WithMethod(m),
+		adaptix.WithShards(runtime.GOMAXPROCS(0)),
+		// Tracing on so the end-to-end latency histogram populates;
+		// sampling keeps its cost off the measured path.
+		adaptix.WithObservability(adaptix.ObsOptions{SampleEvery: 16}),
+	)
+	if err != nil {
+		return c, err
+	}
+	defer ix.Close()
+
+	qs := adaptix.UniformQueries(adaptix.SumQuery, int64(rows), 0.001, seed+7, queries)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	t0 := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(qs); i += clients {
+				if writePct > 0 && i%100 < writePct {
+					if err := ix.Insert(ctx, int64(rows+i)); err != nil {
+						errc <- err
+						return
+					}
+					continue
+				}
+				if _, err := ix.Sum(ctx, qs[i].Lo, qs[i].Hi); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		return c, err
+	}
+	c.Seconds = time.Since(t0).Seconds()
+
+	st := ix.Stats()
+	c.Queries = st.Obs.Queries
+	c.Writes = st.Obs.Writes
+	if c.Seconds > 0 {
+		c.QPS = float64(c.Queries) / c.Seconds
+	}
+	c.CriticalP50 = int64(st.Obs.CriticalPathP50)
+	c.CriticalP99 = int64(st.Obs.CriticalPathP99)
+	c.CritP999 = int64(st.Obs.CriticalPathP999)
+	c.WaitP99 = int64(st.Obs.QueryWaitP99)
+	c.CrackP99 = int64(st.Obs.QueryCrackP99)
+	c.LatencyP99 = int64(st.Obs.QueryLatencyP99)
+	c.WriterP99 = int64(st.Obs.WriterStallP99)
+	return c, nil
+}

@@ -13,6 +13,13 @@
 // different pieces in parallel. The trace hook records every latch
 // event; the query labels ride the context (adaptix.WithQueryTag).
 //
+// The second half drives a bigger concurrent workload with tracing
+// enabled (adaptix.WithObservability) and reads the same story back
+// from the observability layer instead of a trace hook: the Figure 15
+// wait-vs-refine breakdown from the live histograms (early quarter of
+// the run vs late quarter), and the flight recorder's tail of sampled
+// query spans and stall events.
+//
 // Run: go run ./examples/latchtrace
 package main
 
@@ -20,6 +27,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"adaptix"
 )
@@ -81,7 +89,81 @@ func run(mode adaptix.CrackOptions, label string) {
 	fmt.Println()
 }
 
+// runObserved replays the same story at workload scale through the
+// observability layer: 8 clients hammer a 256k-row column, and the
+// wait-vs-refine split of Figure 15 is read back from the live
+// histograms at milestones instead of from a per-event trace hook.
+func runObserved() {
+	const (
+		rows    = 1 << 18
+		queries = 2048
+		clients = 8
+	)
+	data := adaptix.NewUniqueDataset(rows, 3)
+	ix, err := adaptix.New(data.Values,
+		adaptix.WithShards(1), // one latch domain: maximum contention, as in Figure 15
+		adaptix.WithCrackOptions(adaptix.CrackOptions{Latching: adaptix.LatchPiece}),
+		adaptix.WithObservability(adaptix.ObsOptions{
+			SampleEvery:    4,
+			StallThreshold: 100 * time.Microsecond,
+		}),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer ix.Close()
+
+	fmt.Println("=== observed workload (Figure 15 from live histograms) ===")
+	qs := adaptix.UniformQueries(adaptix.SumQuery, rows, 0.50, 11, queries)
+	milestone := func(label string) {
+		o := ix.Stats().Obs
+		fmt.Printf("  %-14s queries=%-5d  wait p99 %-12v crack p99 %-12v critical p99 %v\n",
+			label, o.Queries, o.QueryWaitP99, o.QueryCrackP99, o.CriticalPathP99)
+	}
+	for _, part := range []struct {
+		label    string
+		from, to int
+	}{
+		{"first quarter", 0, queries / 4},
+		{"full run", queries / 4, queries},
+	} {
+		chunk := qs[part.from:part.to]
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				ctx := context.Background()
+				for i := c; i < len(chunk); i += clients {
+					if _, err := ix.Sum(ctx, chunk[i].Lo, chunk[i].Hi); err != nil {
+						panic(err)
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		milestone(part.label)
+	}
+	fmt.Println("  (wait and crack decay as the index refines: a full-run wait p99 of 0s")
+	fmt.Println("   means fewer than 1% of ALL queries ever blocked once the index warmed;")
+	fmt.Println("   the quantiles are cumulative, so early cracking dominates the tails)")
+
+	evs := ix.FlightDump()
+	const tail = 8
+	start := 0
+	if len(evs) > tail {
+		start = len(evs) - tail
+	}
+	fmt.Printf("  flight recorder tail (%d of %d events):\n", len(evs)-start, len(evs))
+	for _, e := range evs[start:] {
+		fmt.Printf("    %s  %-12s dur=%-12v\n",
+			e.When.Format("15:04:05.000000"), e.KindName, e.Dur)
+	}
+	fmt.Println()
+}
+
 func main() {
 	run(adaptix.CrackOptions{Latching: adaptix.LatchColumn}, "column latches (Figure 8, top)")
 	run(adaptix.CrackOptions{Latching: adaptix.LatchPiece}, "piece latches (Figure 8, middle)")
+	runObserved()
 }

@@ -14,6 +14,7 @@ import (
 	"adaptix/internal/ingest"
 	"adaptix/internal/latch"
 	"adaptix/internal/lockmgr"
+	"adaptix/internal/metrics"
 	"adaptix/internal/shard"
 	"adaptix/internal/sideways"
 	"adaptix/internal/txn"
@@ -65,6 +66,13 @@ type (
 	// TraceEvent is a latch/crack trace record (Figure 8 timelines),
 	// delivered to CrackOptions.Tracer.
 	TraceEvent = crackindex.TraceEvent
+	// ObsStats is the quantile readout of the always-on latency
+	// histograms (Stats.Obs, and the endpoint's /snapshot document).
+	ObsStats = metrics.ObsSummary
+	// FlightEvent is one flight-recorder entry: a sampled query span,
+	// a stall (latch wait or writer park over the threshold), or a
+	// structural operation (Index.FlightDump, the endpoint's /flight).
+	FlightEvent = metrics.Event
 )
 
 // Latching modes (paper §5.3), for CrackOptions.Latching.

@@ -130,6 +130,11 @@ type Options struct {
 	// refinement is skipped (system transactions must respect user
 	// locks but never acquire their own, paper §3.3/§3.4).
 	LockProbe func() bool
+	// Obs, when non-nil, receives latch-wait observations from every
+	// latch the index creates (the column latch and each piece latch,
+	// including pieces born from future cracks). Only blocked
+	// acquisitions are reported, so the uncontended path pays nothing.
+	Obs *metrics.Observer
 }
 
 // piece is one contiguous segment of the cracker array holding values
@@ -230,6 +235,11 @@ type Index struct {
 	colLatch *latch.Latch
 	pieces   int
 
+	// onWait is the single shared latch-wait observer closure handed to
+	// every latch this index creates (allocated once in New, not per
+	// piece: pieces are born on the crack hot path).
+	onWait func(d time.Duration, reader bool)
+
 	// Differential updates (see updates.go).
 	pend  pendingUpdates
 	pendN pendingCounter
@@ -241,12 +251,28 @@ type Index struct {
 // until the first query touches the index (index initialization is
 // itself a query side effect, paper §5.3 "Column latches").
 func New(base []int64, opts Options) *Index {
-	return &Index{
-		opts:     opts,
-		base:     base,
-		toc:      &avltree.Tree[*piece]{},
-		colLatch: latch.New(opts.Scheduling),
+	ix := &Index{
+		opts: opts,
+		base: base,
+		toc:  &avltree.Tree[*piece]{},
 	}
+	if ob := opts.Obs; ob != nil {
+		ix.onWait = ob.RecordLatchWait
+	}
+	ix.colLatch = ix.newLatch()
+	return ix
+}
+
+// newLatch creates a latch wired to the index's wait observer. Every
+// latch creation site (column latch, head piece, split pieces) must go
+// through it so waits on pieces born from future cracks are observed
+// too.
+func (ix *Index) newLatch() *latch.Latch {
+	l := latch.New(ix.opts.Scheduling)
+	if ix.onWait != nil {
+		l.SetWaitObserver(ix.onWait)
+	}
+	return l
 }
 
 // structLock / structUnlock guard the table of contents; LatchNone
@@ -274,7 +300,7 @@ func (ix *Index) ensureInitLocked() {
 	ix.head = &piece{
 		lo: 0, hi: ix.arr.Len(),
 		loVal: minKey, hiVal: maxKey,
-		latch: latch.New(ix.opts.Scheduling),
+		latch: ix.newLatch(),
 	}
 	ix.pieces = 1
 	ix.init = true
@@ -301,7 +327,7 @@ func (ix *Index) splitTwoLocked(p *piece, v int64, pos int) *piece {
 		lo: pos, hi: p.hi,
 		loVal: v, hiVal: p.hiVal,
 		prev: p, next: p.next,
-		latch: latch.New(ix.opts.Scheduling),
+		latch: ix.newLatch(),
 	}
 	if p.next != nil {
 		p.next.prev = q
@@ -329,7 +355,7 @@ func (ix *Index) splitThreeLocked(p *piece, a, b int64, posA, posB int, lockMid 
 		lo: posA, hi: posB,
 		loVal: a, hiVal: b,
 		prev:  p,
-		latch: latch.New(ix.opts.Scheduling),
+		latch: ix.newLatch(),
 	}
 	if lockMid {
 		// Cannot fail: the piece is not yet visible to anyone else.
@@ -339,7 +365,7 @@ func (ix *Index) splitThreeLocked(p *piece, a, b int64, posA, posB int, lockMid 
 		lo: posB, hi: p.hi,
 		loVal: b, hiVal: p.hiVal,
 		prev: mid, next: p.next,
-		latch: latch.New(ix.opts.Scheduling),
+		latch: ix.newLatch(),
 	}
 	mid.next = right
 	if p.next != nil {

@@ -160,12 +160,18 @@ func Open(dir string, opts Options) (*Column, error) {
 	sink, err := wal.NewFileSink(dir, wal.SinkOptions{
 		SegmentBytes: opts.SegmentBytes,
 		NoSync:       opts.NoSync,
+		// One observer spans the store: the column's (Options.Shard.Obs)
+		// also times the sink's fsyncs and the coordinator's writes.
+		Obs: opts.Shard.Obs,
 	})
 	if err != nil {
 		return nil, err
 	}
 	iopts := opts.Ingest
 	iopts.Name = name
+	if iopts.Obs == nil {
+		iopts.Obs = opts.Shard.Obs
+	}
 	iopts.Log = wal.New(sink)
 	iopts.Sink = sink
 	iopts.CheckpointEvery = opts.CheckpointEvery

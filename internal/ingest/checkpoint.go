@@ -7,7 +7,12 @@
 // truncated through the sink (wal.SegmentTruncator).
 package ingest
 
-import "adaptix/internal/wal"
+import (
+	"time"
+
+	"adaptix/internal/metrics"
+	"adaptix/internal/wal"
+)
 
 // Checkpoint serializes the column's current shard cuts and per-shard
 // crack boundaries into one committed checkpoint transaction, and
@@ -37,6 +42,7 @@ func (g *Coordinator) checkpointLocked() bool {
 	if g.opts.Log == nil {
 		return false
 	}
+	t0 := time.Now()
 	// Epoch cut first: roll every shard's open epoch so the snapshot
 	// has an exact watermark — contents up to epoch W, nothing beyond.
 	// Writers racing the checkpoint roll over to fresh epochs (they
@@ -102,6 +108,7 @@ func (g *Coordinator) checkpointLocked() bool {
 		_ = g.opts.Sink.ReleaseBefore(seg)
 	}
 	g.sinceCkpt.Store(0)
+	g.opts.Obs.RecordStructural(metrics.EvCheckpoint, -1, time.Since(t0), 0)
 	return true
 }
 

@@ -61,6 +61,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adaptix/internal/metrics"
 	"adaptix/internal/shard"
 	"adaptix/internal/txn"
 	"adaptix/internal/wal"
@@ -157,6 +158,11 @@ type Options struct {
 	// wrap structural operations and whose user locks maintenance must
 	// respect. Default: a fresh private manager.
 	Txns *txn.Manager
+	// Obs, when non-nil, receives write-path observations: routed-write
+	// latency, group-commit batch sizes, and checkpoint durations.
+	// (Structural seal/apply/split/merge durations are recorded by the
+	// column itself through shard.Options.Obs.)
+	Obs *metrics.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -297,12 +303,14 @@ func (g *Coordinator) Insert(ctx context.Context, v int64) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	span := g.opts.Obs.WriteStart()
 	eid, err := g.col.InsertEpoch(ctx, v)
 	if err != nil {
 		return err
 	}
 	g.logWrite(v, eid, false)
 	g.wrote(1)
+	g.opts.Obs.RecordWrite(span)
 	return nil
 }
 
@@ -311,6 +319,7 @@ func (g *Coordinator) DeleteValue(ctx context.Context, v int64) (bool, error) {
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
+	span := g.opts.Obs.WriteStart()
 	deleted, eid, err := g.col.DeleteValueEpoch(ctx, v)
 	if err != nil {
 		return false, err
@@ -319,6 +328,7 @@ func (g *Coordinator) DeleteValue(ctx context.Context, v int64) (bool, error) {
 		g.logWrite(v, eid, true)
 	}
 	g.wrote(1)
+	g.opts.Obs.RecordWrite(span)
 	return deleted, nil
 }
 
@@ -335,6 +345,7 @@ func (g *Coordinator) Apply(ctx context.Context, batch []Op) (deleted int, err e
 		if err := ctx.Err(); err != nil {
 			return deleted, err
 		}
+		span := g.opts.Obs.WriteStart()
 		if op.Delete {
 			ok, eid, err := g.col.DeleteValueEpoch(ctx, op.Value)
 			if err != nil {
@@ -351,6 +362,7 @@ func (g *Coordinator) Apply(ctx context.Context, batch []Op) (deleted int, err e
 			}
 			g.logWrite(op.Value, eid, false)
 		}
+		g.opts.Obs.RecordWrite(span)
 	}
 	g.wrote(int64(len(batch)))
 	return deleted, nil
@@ -394,17 +406,20 @@ func (g *Coordinator) maybeGroupSync() {
 	g.unsynced.Store(0)
 	if g.opts.Log.Sync() == nil {
 		g.syncs.Add(1)
+		g.opts.Obs.RecordCommitBatch(n)
 	}
 }
 
 // groupSyncTick enforces the SyncInterval half: fsync any records the
 // record-count bound has not yet covered.
 func (g *Coordinator) groupSyncTick() {
-	if g.unsynced.Swap(0) == 0 {
+	n := g.unsynced.Swap(0)
+	if n == 0 {
 		return
 	}
 	if g.opts.Log.Sync() == nil {
 		g.syncs.Add(1)
+		g.opts.Obs.RecordCommitBatch(n)
 	}
 }
 

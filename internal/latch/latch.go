@@ -73,10 +73,29 @@ type Latch struct {
 	readQ   []chan struct{}
 	seq     uint64
 	policy  Policy
+	// onWait, when set, observes every blocked acquisition with the
+	// wait duration and whether the waiter was a reader. It fires only
+	// on the slow path (the caller actually parked), so the uncontended
+	// fast path pays nothing.
+	onWait func(d time.Duration, reader bool)
 }
 
 // New returns a latch with the given writer-scheduling policy.
 func New(p Policy) *Latch { return &Latch{policy: p} }
+
+// SetWaitObserver installs f to observe blocked acquisitions (wait
+// duration, reader flag). Must be called before the latch is shared
+// between goroutines — typically right after New — as the field is
+// read without synchronization on the wait slow path. A nil f keeps
+// waits unobserved.
+func (l *Latch) SetWaitObserver(f func(d time.Duration, reader bool)) { l.onWait = f }
+
+// waited reports a completed blocked acquisition to the observer.
+func (l *Latch) waited(d time.Duration, reader bool) {
+	if l.onWait != nil {
+		l.onWait(d, reader)
+	}
+}
 
 // Lock acquires the latch exclusively, for a crack at the given bound.
 // The bound is only used to order waiting writers; callers that latch a
@@ -95,7 +114,9 @@ func (l *Latch) Lock(bound int64) time.Duration {
 	l.mu.Unlock()
 	start := time.Now()
 	<-w.ready // ownership transferred by releaser
-	return time.Since(start)
+	d := time.Since(start)
+	l.waited(d, false)
+	return d
 }
 
 // LockCtx is Lock bounded by a context: a caller parked in the writer
@@ -123,7 +144,9 @@ func (l *Latch) LockCtx(ctx context.Context, bound int64) (time.Duration, error)
 	start := time.Now()
 	select {
 	case <-w.ready:
-		return time.Since(start), nil
+		d := time.Since(start)
+		l.waited(d, false)
+		return d, nil
 	case <-ctx.Done():
 	}
 	// Cancelled while parked: remove the queue entry, unless a releaser
@@ -144,7 +167,9 @@ func (l *Latch) LockCtx(ctx context.Context, bound int64) (time.Duration, error)
 		<-w.ready
 		l.Unlock()
 	}
-	return time.Since(start), ctx.Err()
+	d := time.Since(start)
+	l.waited(d, false)
+	return d, ctx.Err()
 }
 
 // TryLock attempts to acquire the latch exclusively without blocking.
@@ -209,7 +234,9 @@ func (l *Latch) RLock() time.Duration {
 	l.mu.Unlock()
 	start := time.Now()
 	<-ch
-	return time.Since(start)
+	d := time.Since(start)
+	l.waited(d, true)
+	return d
 }
 
 // RLockCtx is RLock bounded by a context: a reader parked behind an
@@ -234,7 +261,9 @@ func (l *Latch) RLockCtx(ctx context.Context) (time.Duration, error) {
 	start := time.Now()
 	select {
 	case <-ch:
-		return time.Since(start), nil
+		d := time.Since(start)
+		l.waited(d, true)
+		return d, nil
 	case <-ctx.Done():
 	}
 	// Cancelled while parked: remove our channel from the read queue,
@@ -254,7 +283,9 @@ func (l *Latch) RLockCtx(ctx context.Context) (time.Duration, error) {
 		<-ch
 		l.RUnlock()
 	}
-	return time.Since(start), ctx.Err()
+	d := time.Since(start)
+	l.waited(d, true)
+	return d, ctx.Err()
 }
 
 // TryRLock attempts to acquire the latch shared without blocking and

@@ -1,0 +1,178 @@
+// The flight recorder: a fixed ring of the last N notable events
+// (sampled query spans, structural operations, stall events), always
+// on, dumpable on demand. Like an aircraft flight recorder it answers
+// "what was the index doing right before the stall?" without any
+// prior configuration — the events are already there.
+//
+// Recording is wait-free: a writer claims a slot with one atomic add
+// and publishes through per-field atomics guarded by a slot sequence
+// number (even = stable, odd = being written), so a concurrent Dump
+// observes either the old event, the new event, or skips the slot —
+// never a torn mix. No locks, no allocation, race-detector clean.
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// EventKind classifies a flight-recorder event.
+type EventKind int32
+
+const (
+	// EvQuery is a sampled per-query span (Dur = end-to-end latency,
+	// A = latch-wait ns, B = crack/refine ns).
+	EvQuery EventKind = iota + 1
+	// EvLatchStall is a latch wait that exceeded the stall threshold
+	// (Dur = wait; A = 1 if the waiter was a reader).
+	EvLatchStall
+	// EvWriterStall is a writer parked on a sealed epoch longer than
+	// the stall threshold (Dur = park time).
+	EvWriterStall
+	// EvSeal is an epoch seal (Shard = ordinal, A = sealed rows).
+	EvSeal
+	// EvApply is a group-apply of sealed epochs into a shard's base
+	// (Dur = rebuild+publish time, A = rows applied).
+	EvApply
+	// EvSplit is a shard split (Dur = build time).
+	EvSplit
+	// EvMerge is a shard merge (Dur = build time).
+	EvMerge
+	// EvCheckpoint is a durable checkpoint (Dur = write+sync time).
+	EvCheckpoint
+)
+
+// String returns the event kind's dump name.
+func (k EventKind) String() string {
+	switch k {
+	case EvQuery:
+		return "query"
+	case EvLatchStall:
+		return "latch-stall"
+	case EvWriterStall:
+		return "writer-stall"
+	case EvSeal:
+		return "seal"
+	case EvApply:
+		return "apply"
+	case EvSplit:
+		return "split"
+	case EvMerge:
+		return "merge"
+	case EvCheckpoint:
+		return "checkpoint"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one decoded flight-recorder entry.
+type Event struct {
+	// Seq is the global event sequence number (monotonic; gaps mean
+	// the ring wrapped past overwritten events).
+	Seq uint64 `json:"seq"`
+	// When is the wall-clock capture time.
+	When time.Time `json:"when"`
+	// Kind classifies the event.
+	Kind EventKind `json:"-"`
+	// KindName is Kind's dump name (stable across versions).
+	KindName string `json:"kind"`
+	// Shard is the shard ordinal the event concerns (-1 if none).
+	Shard int32 `json:"shard"`
+	// Dur is the event's duration.
+	Dur time.Duration `json:"dur_ns"`
+	// A and B are kind-specific payloads (see the EventKind docs).
+	A int64 `json:"a"`
+	B int64 `json:"b"`
+}
+
+// flightSlot stores one event entirely in atomics so concurrent
+// record/dump stays race-free. seq doubles as the publication guard:
+// odd while a writer is mid-update, even (and equal to 2*(eventSeq+1))
+// once stable.
+type flightSlot struct {
+	seq       atomic.Uint64
+	when      atomic.Int64 // unix nanos
+	dur       atomic.Int64
+	kindShard atomic.Int64 // kind<<32 | uint32(shard)
+	a         atomic.Int64
+	b         atomic.Int64
+}
+
+// Flight is the ring buffer itself. The zero value is unusable; use
+// NewFlight.
+type Flight struct {
+	slots []flightSlot
+	next  atomic.Uint64 // next event sequence number
+}
+
+// NewFlight returns a recorder retaining the last n events (n is
+// clamped to at least 16).
+func NewFlight(n int) *Flight {
+	if n < 16 {
+		n = 16
+	}
+	return &Flight{slots: make([]flightSlot, n)}
+}
+
+// Cap returns the ring capacity.
+func (f *Flight) Cap() int { return len(f.slots) }
+
+// Record captures one event, overwriting the oldest when the ring is
+// full. Wait-free and allocation-free.
+func (f *Flight) Record(kind EventKind, shard int32, dur time.Duration, a, b int64) {
+	seq := f.next.Add(1) - 1
+	s := &f.slots[seq%uint64(len(f.slots))]
+	// Mark the slot in-progress (odd), fill, then publish (even). A
+	// dump that reads an odd or changed seq discards the slot.
+	s.seq.Store(2*seq + 1)
+	s.when.Store(time.Now().UnixNano())
+	s.dur.Store(int64(dur))
+	s.kindShard.Store(int64(kind)<<32 | int64(uint32(shard)))
+	s.a.Store(a)
+	s.b.Store(b)
+	s.seq.Store(2 * (seq + 1))
+}
+
+// Len returns the number of events currently retained.
+func (f *Flight) Len() int {
+	n := f.next.Load()
+	if n > uint64(len(f.slots)) {
+		return len(f.slots)
+	}
+	return int(n)
+}
+
+// Dump returns the retained events oldest first. Slots being
+// concurrently overwritten are skipped rather than returned torn.
+func (f *Flight) Dump() []Event {
+	hi := f.next.Load()
+	lo := uint64(0)
+	if hi > uint64(len(f.slots)) {
+		lo = hi - uint64(len(f.slots))
+	}
+	out := make([]Event, 0, hi-lo)
+	for seq := lo; seq < hi; seq++ {
+		s := &f.slots[seq%uint64(len(f.slots))]
+		want := 2 * (seq + 1)
+		if s.seq.Load() != want {
+			continue // unwritten, in-progress, or already overwritten
+		}
+		ks := s.kindShard.Load()
+		ev := Event{
+			Seq:   seq,
+			When:  time.Unix(0, s.when.Load()),
+			Dur:   time.Duration(s.dur.Load()),
+			A:     s.a.Load(),
+			B:     s.b.Load(),
+			Shard: int32(uint32(ks)),
+			Kind:  EventKind(ks >> 32),
+		}
+		if s.seq.Load() != want {
+			continue // overwritten while decoding: discard the torn read
+		}
+		ev.KindName = ev.Kind.String()
+		out = append(out, ev)
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Every representable boundary value must map into a bucket whose
+// [low, nextLow) range contains it, and bucket lows must be strictly
+// increasing.
+func TestBucketMapping(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		lo := bucketLow(i)
+		if bucketOf(lo) != i {
+			t.Fatalf("bucketOf(bucketLow(%d)=%d) = %d", i, lo, bucketOf(lo))
+		}
+		if i > 0 && lo <= bucketLow(i-1) {
+			t.Fatalf("bucket lows not increasing at %d: %d <= %d", i, lo, bucketLow(i-1))
+		}
+		mid := bucketMid(i)
+		if bucketOf(mid) != i {
+			t.Fatalf("bucketOf(bucketMid(%d)=%d) = %d", i, mid, bucketOf(mid))
+		}
+	}
+	cases := []int64{0, 1, 15, 16, 17, 31, 32, 1000, 1 << 20, math.MaxInt64}
+	for _, v := range cases {
+		i := bucketOf(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, i)
+		}
+		if bucketLow(i) > v {
+			t.Fatalf("bucketLow(%d)=%d > value %d", i, bucketLow(i), v)
+		}
+		if i+1 < histBuckets && bucketLow(i+1) <= v {
+			t.Fatalf("value %d belongs in bucket %d but next low is %d", v, i, bucketLow(i+1))
+		}
+	}
+	if got := bucketOf(-5); got != 0 {
+		t.Fatalf("negative values should clamp to bucket 0, got %d", got)
+	}
+}
+
+// Quantile readout must be within one sub-bucket (6.25%) of the true
+// value on a known distribution.
+func TestQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 10000; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if got := s.Count(); got != 10000 {
+		t.Fatalf("Count = %d, want 10000", got)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.5, 5000}, {0.99, 9900}, {0.999, 9990}} {
+		got := s.Quantile(tc.q)
+		if relErr(got, tc.want) > 1.0/16 {
+			t.Fatalf("Quantile(%g) = %d, want ~%d (rel err %.3f)", tc.q, got, tc.want, relErr(got, tc.want))
+		}
+	}
+	wantMean := float64(10001) / 2
+	if m := s.Mean(); math.Abs(m-wantMean)/wantMean > 0.01 {
+		t.Fatalf("Mean = %g, want ~%g", m, wantMean)
+	}
+}
+
+func relErr(got, want int64) float64 {
+	return math.Abs(float64(got-want)) / float64(want)
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	for v := int64(0); v < 100; v++ {
+		a.Record(v)
+		b.Record(v * 10)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(&sb)
+	if got := sa.Count(); got != 200 {
+		t.Fatalf("merged Count = %d, want 200", got)
+	}
+	if got, want := sa.Sum, sb.Sum+a.Snapshot().Sum; got != want {
+		t.Fatalf("merged Sum = %d, want %d", got, want)
+	}
+}
+
+// The ISSUE's conservation test: N concurrent writers racing a
+// snapshot-reset reader; every recorded observation must land in
+// exactly one snapshot (run under -race in CI).
+func TestSnapshotResetConservation(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 20000
+	)
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Record(int64(w*1000 + i%997))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var total, sum int64
+	drain := func() {
+		s := h.SnapshotReset()
+		total += s.Count()
+		sum += s.Sum
+	}
+	for {
+		select {
+		case <-done:
+			drain() // final drain after all writers finished
+			if want := int64(writers * perWriter); total != want {
+				t.Fatalf("conservation violated: drained %d observations, want %d", total, want)
+			}
+			var wantSum int64
+			for w := 0; w < writers; w++ {
+				for i := 0; i < perWriter; i++ {
+					wantSum += int64(w*1000 + i%997)
+				}
+			}
+			if sum != wantSum {
+				t.Fatalf("sum conservation violated: drained %d, want %d", sum, wantSum)
+			}
+			return
+		default:
+			drain()
+		}
+	}
+}
+
+// Hot-path recording must not allocate: the acceptance criterion for
+// instrumenting query and write paths.
+func TestRecordDoesNotAllocate(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(100, func() { h.Record(12345) }); n != 0 {
+		t.Fatalf("Histogram.Record allocates %v per op", n)
+	}
+	fl := NewFlight(64)
+	if n := testing.AllocsPerRun(100, func() { fl.Record(EvQuery, 3, time.Millisecond, 1, 2) }); n != 0 {
+		t.Fatalf("Flight.Record allocates %v per op", n)
+	}
+	ob := NewObserver(ObserverOptions{})
+	if n := testing.AllocsPerRun(100, func() {
+		ob.RecordQuery(time.Time{}, time.Microsecond, time.Microsecond, time.Microsecond)
+		ob.RecordLatchWait(time.Microsecond, false)
+		ob.RecordWriterPark(0, time.Microsecond)
+		ob.RecordFsync(time.Microsecond)
+		ob.RecordCommitBatch(8)
+	}); n != 0 {
+		t.Fatalf("Observer recording allocates %v per op", n)
+	}
+	var nilOb *Observer
+	if n := testing.AllocsPerRun(100, func() {
+		nilOb.RecordQuery(nilOb.QueryStart(), 0, 0, 0)
+		nilOb.RecordLatchWait(0, true)
+	}); n != 0 {
+		t.Fatalf("nil Observer recording allocates %v per op", n)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i))
+	}
+}
+
+func BenchmarkFlightRecord(b *testing.B) {
+	f := NewFlight(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Record(EvQuery, 0, time.Microsecond, 1, 2)
+	}
+}

@@ -1,0 +1,403 @@
+// Observer is the engine-facing recording surface: one per index,
+// threaded by pointer into every layer (latch, crackindex, shard,
+// ingest, wal, durable). Layers call its Record* methods; the
+// exposition layer reads its Registry and Flight.
+//
+// Overhead contract, layer by layer:
+//
+//   - Every Record* method is nil-safe (a nil *Observer is a no-op),
+//     so layers call unconditionally.
+//   - The core histograms — query wait/crack/critical, write latency,
+//     latch waits, structural durations, fsync, commit batch — are
+//     ALWAYS recorded. Each costs two atomic adds on values the engine
+//     has already computed; none introduces a clock read on a fast
+//     path (latch waits are measured only on the slow path where the
+//     goroutine actually blocked, structural work is milliseconds).
+//   - The extra work — end-to-end query timing (an added time.Now
+//     pair) and flight-recorder query spans — runs only when tracing
+//     is enabled, and then only for 1 in SampleEvery queries.
+//   - Stall events (latch wait or writer park over the threshold) are
+//     always captured in the flight recorder: stalls are rare, and the
+//     whole point of a flight recorder is that it was on when the
+//     anomaly happened.
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Default observer tuning.
+const (
+	// DefaultSampleEvery traces every query once tracing is enabled.
+	DefaultSampleEvery = 1
+	// DefaultStallThreshold flags latch waits and writer parks longer
+	// than this as stall events.
+	DefaultStallThreshold = time.Millisecond
+	// DefaultFlightEvents is the flight-recorder ring capacity.
+	DefaultFlightEvents = 4096
+)
+
+// ObserverOptions tunes an Observer. The zero value uses the defaults
+// above.
+type ObserverOptions struct {
+	// SampleEvery traces 1 in N queries end to end when tracing is
+	// enabled (default 1: every query). Higher values cut tracing
+	// overhead proportionally.
+	SampleEvery int
+	// StallThreshold classifies latch waits and writer parks as stall
+	// events (default 1ms).
+	StallThreshold time.Duration
+	// FlightEvents is the flight-recorder capacity (default 4096).
+	FlightEvents int
+}
+
+// Observer aggregates one index's instruments. Create with
+// NewObserver; a nil Observer is valid and records nothing.
+type Observer struct {
+	reg    *Registry
+	flight *Flight
+
+	tracing     atomic.Bool
+	sampleEvery atomic.Int64
+	stallNS     atomic.Int64
+	qctr        atomic.Uint64 // sampling counter
+
+	// Query path.
+	queries       *Counter
+	sampledSpans  *Counter
+	queryLatency  *Histogram // end-to-end, tracing only
+	queryWait     *Histogram // summed latch wait per query
+	queryCrack    *Histogram // summed crack/refine per query
+	queryCritical *Histogram // fan-out critical path per query
+
+	// Latch layer.
+	latchWait   *Histogram
+	latchStalls *Counter
+
+	// Write path.
+	writes       *Counter
+	writeLatency *Histogram
+	writerPark   *Histogram
+	writerStalls *Counter
+
+	// Structural operations.
+	sealDur       *Histogram
+	applyDur      *Histogram
+	splitDur      *Histogram
+	mergeDur      *Histogram
+	checkpointDur *Histogram
+
+	// Durability.
+	fsyncDur    *Histogram
+	commitBatch *Histogram
+}
+
+// NewObserver builds an observer with its registry and flight
+// recorder. Tracing starts disabled; enable with EnableTracing.
+func NewObserver(o ObserverOptions) *Observer {
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = DefaultSampleEvery
+	}
+	if o.StallThreshold <= 0 {
+		o.StallThreshold = DefaultStallThreshold
+	}
+	if o.FlightEvents <= 0 {
+		o.FlightEvents = DefaultFlightEvents
+	}
+	reg := NewRegistry()
+	ob := &Observer{
+		reg:    reg,
+		flight: NewFlight(o.FlightEvents),
+
+		queries:       reg.Counter("adaptix_queries_total", "Range queries answered."),
+		sampledSpans:  reg.Counter("adaptix_sampled_spans_total", "Query spans captured by the flight recorder."),
+		queryLatency:  reg.Histogram("adaptix_query_latency_ns", "End-to-end query latency (tracing only)."),
+		queryWait:     reg.Histogram("adaptix_query_wait_ns", "Per-query summed latch-wait time."),
+		queryCrack:    reg.Histogram("adaptix_query_crack_ns", "Per-query summed crack/refine time."),
+		queryCritical: reg.Histogram("adaptix_query_critical_ns", "Per-query fan-out critical path (slowest sub-query)."),
+
+		latchWait:   reg.Histogram("adaptix_latch_wait_ns", "Blocked latch acquisitions, wait time."),
+		latchStalls: reg.Counter("adaptix_latch_stalls_total", "Latch waits over the stall threshold."),
+
+		writes:       reg.Counter("adaptix_writes_total", "Routed insert/delete operations."),
+		writeLatency: reg.Histogram("adaptix_write_latency_ns", "Routed write latency (route + epoch append + log)."),
+		writerPark:   reg.Histogram("adaptix_writer_park_ns", "Writer park time on sealed epochs."),
+		writerStalls: reg.Counter("adaptix_writer_stalls_total", "Writer parks over the stall threshold."),
+
+		sealDur:       reg.Histogram("adaptix_seal_ns", "Epoch seal duration."),
+		applyDur:      reg.Histogram("adaptix_apply_ns", "Group-apply (seal merge + rebuild + publish) duration."),
+		splitDur:      reg.Histogram("adaptix_split_ns", "Shard split duration."),
+		mergeDur:      reg.Histogram("adaptix_merge_ns", "Shard merge duration."),
+		checkpointDur: reg.Histogram("adaptix_checkpoint_ns", "Durable checkpoint duration."),
+
+		fsyncDur:    reg.Histogram("adaptix_fsync_ns", "WAL fsync latency."),
+		commitBatch: reg.Histogram("adaptix_group_commit_batch_records", "Logical records per group-commit fsync."),
+	}
+	ob.sampleEvery.Store(int64(o.SampleEvery))
+	ob.stallNS.Store(int64(o.StallThreshold))
+	return ob
+}
+
+// Registry returns the observer's instrument registry (nil-safe).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Flight returns the observer's flight recorder (nil-safe).
+func (o *Observer) Flight() *Flight {
+	if o == nil {
+		return nil
+	}
+	return o.flight
+}
+
+// EnableTracing turns per-query end-to-end timing and sampled flight
+// spans on or off. The core histograms record regardless.
+func (o *Observer) EnableTracing(on bool) {
+	if o == nil {
+		return
+	}
+	o.tracing.Store(on)
+}
+
+// Tracing reports whether per-query tracing is enabled.
+func (o *Observer) Tracing() bool { return o != nil && o.tracing.Load() }
+
+// SetSampleEvery adjusts the tracing sample rate at runtime (n <= 0
+// resets to every query).
+func (o *Observer) SetSampleEvery(n int) {
+	if o == nil {
+		return
+	}
+	if n <= 0 {
+		n = 1
+	}
+	o.sampleEvery.Store(int64(n))
+}
+
+// SetStallThreshold adjusts the stall classification threshold at
+// runtime (d <= 0 resets to the default).
+func (o *Observer) SetStallThreshold(d time.Duration) {
+	if o == nil {
+		return
+	}
+	if d <= 0 {
+		d = DefaultStallThreshold
+	}
+	o.stallNS.Store(int64(d))
+}
+
+// StallThreshold returns the current stall threshold.
+func (o *Observer) StallThreshold() time.Duration {
+	if o == nil {
+		return DefaultStallThreshold
+	}
+	return time.Duration(o.stallNS.Load())
+}
+
+// QueryStart opens a query span: zero when the observer is nil or
+// tracing is off (the caller then skips the closing time.Since), the
+// current time when this query is being traced.
+func (o *Observer) QueryStart() time.Time {
+	if o == nil || !o.tracing.Load() {
+		return time.Time{}
+	}
+	n := o.qctr.Add(1)
+	if every := uint64(o.sampleEvery.Load()); every > 1 && n%every != 0 {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// RecordQuery closes a query span. wait, crack, and critical are the
+// per-query cost breakdown the engine already computed; start is
+// QueryStart's return (zero when the query was not sampled, in which
+// case only the core histograms record).
+func (o *Observer) RecordQuery(start time.Time, wait, crack, critical time.Duration) {
+	if o == nil {
+		return
+	}
+	o.queries.Inc()
+	o.queryWait.RecordDuration(wait)
+	o.queryCrack.RecordDuration(crack)
+	o.queryCritical.RecordDuration(critical)
+	if start.IsZero() {
+		return
+	}
+	total := time.Since(start)
+	o.queryLatency.RecordDuration(total)
+	o.sampledSpans.Inc()
+	o.flight.Record(EvQuery, -1, total, int64(wait), int64(crack))
+}
+
+// RecordLatchWait records one blocked latch acquisition (called only
+// from the latch slow path). Waits over the stall threshold also land
+// in the flight recorder.
+func (o *Observer) RecordLatchWait(d time.Duration, reader bool) {
+	if o == nil {
+		return
+	}
+	o.latchWait.RecordDuration(d)
+	if int64(d) >= o.stallNS.Load() {
+		o.latchStalls.Inc()
+		var r int64
+		if reader {
+			r = 1
+		}
+		o.flight.Record(EvLatchStall, -1, d, r, 0)
+	}
+}
+
+// WriteStart opens a write span (always timed: one clock read per
+// routed write, amortized against epoch append + WAL work).
+func (o *Observer) WriteStart() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// RecordWrite closes a write span opened by WriteStart.
+func (o *Observer) RecordWrite(start time.Time) {
+	if o == nil || start.IsZero() {
+		return
+	}
+	o.writes.Inc()
+	o.writeLatency.RecordDuration(time.Since(start))
+}
+
+// RecordWriterPark records time a writer spent parked on a sealed
+// epoch. Parks over the stall threshold also land in the flight
+// recorder.
+func (o *Observer) RecordWriterPark(shard int32, d time.Duration) {
+	if o == nil || d <= 0 {
+		return
+	}
+	o.writerPark.RecordDuration(d)
+	if int64(d) >= o.stallNS.Load() {
+		o.writerStalls.Inc()
+		o.flight.Record(EvWriterStall, shard, d, 0, 0)
+	}
+}
+
+// RecordStructural records a structural operation's duration in the
+// matching histogram and the flight recorder. rows carries the row
+// count the operation touched (sealed or applied), 0 when not
+// applicable.
+func (o *Observer) RecordStructural(kind EventKind, shard int32, d time.Duration, rows int64) {
+	if o == nil {
+		return
+	}
+	switch kind {
+	case EvSeal:
+		o.sealDur.RecordDuration(d)
+	case EvApply:
+		o.applyDur.RecordDuration(d)
+	case EvSplit:
+		o.splitDur.RecordDuration(d)
+	case EvMerge:
+		o.mergeDur.RecordDuration(d)
+	case EvCheckpoint:
+		o.checkpointDur.RecordDuration(d)
+	default:
+		return
+	}
+	o.flight.Record(kind, shard, d, rows, 0)
+}
+
+// RecordFsync records one WAL fsync's latency.
+func (o *Observer) RecordFsync(d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.fsyncDur.RecordDuration(d)
+}
+
+// RecordCommitBatch records the number of logical records covered by
+// one group-commit fsync.
+func (o *Observer) RecordCommitBatch(n int64) {
+	if o == nil {
+		return
+	}
+	o.commitBatch.Record(n)
+}
+
+// ObsSummary is a point-in-time quantile readout of an observer's core
+// histograms — the numbers adaptix.Stats surfaces (Figure 15's
+// wait-vs-refine decomposition and the writer-stall tail as live
+// quantiles instead of offline experiment output).
+type ObsSummary struct {
+	// Queries, Writes, and SampledSpans are lifetime counts.
+	Queries, Writes, SampledSpans int64
+	// LatchStalls and WriterStalls count waits over the stall threshold.
+	LatchStalls, WriterStalls int64
+	// QueryLatencyP50/P99/P999 is end-to-end query latency; populated
+	// only while tracing is enabled (the core histograms below record
+	// always).
+	QueryLatencyP50, QueryLatencyP99, QueryLatencyP999 time.Duration
+	// QueryWaitP99 and QueryCrackP99 split per-query cost into latch
+	// wait vs index refinement (Figure 15's two components).
+	QueryWaitP99, QueryCrackP99 time.Duration
+	// CriticalPathP50/P99/P999 is the fan-out critical path: the
+	// slowest sub-query per query.
+	CriticalPathP50, CriticalPathP99, CriticalPathP999 time.Duration
+	// LatchWaitP99 is the per-acquisition (not per-query) blocked-wait
+	// quantile.
+	LatchWaitP99 time.Duration
+	// WriteLatencyP50/P99 is routed-write latency.
+	WriteLatencyP50, WriteLatencyP99 time.Duration
+	// WriterStallP50/P99/P999 is the writer-park tail: time writers
+	// spent parked behind structural rebuilds.
+	WriterStallP50, WriterStallP99, WriterStallP999 time.Duration
+	// FsyncP99 is WAL fsync latency (durable stores only).
+	FsyncP99 time.Duration
+}
+
+// Summary computes the quantile readout from the live histograms
+// (nil-safe: a nil observer yields a zero summary).
+func (o *Observer) Summary() ObsSummary {
+	if o == nil {
+		return ObsSummary{}
+	}
+	ql := o.queryLatency.Snapshot()
+	qw := o.queryWait.Snapshot()
+	qk := o.queryCrack.Snapshot()
+	qc := o.queryCritical.Snapshot()
+	lw := o.latchWait.Snapshot()
+	wp := o.writerPark.Snapshot()
+	wl := o.writeLatency.Snapshot()
+	fs := o.fsyncDur.Snapshot()
+	return ObsSummary{
+		Queries:      o.queries.Load(),
+		Writes:       o.writes.Load(),
+		SampledSpans: o.sampledSpans.Load(),
+		LatchStalls:  o.latchStalls.Load(),
+		WriterStalls: o.writerStalls.Load(),
+
+		QueryLatencyP50:  ql.QuantileDuration(0.50),
+		QueryLatencyP99:  ql.QuantileDuration(0.99),
+		QueryLatencyP999: ql.QuantileDuration(0.999),
+
+		QueryWaitP99:  qw.QuantileDuration(0.99),
+		QueryCrackP99: qk.QuantileDuration(0.99),
+
+		CriticalPathP50:  qc.QuantileDuration(0.50),
+		CriticalPathP99:  qc.QuantileDuration(0.99),
+		CriticalPathP999: qc.QuantileDuration(0.999),
+
+		LatchWaitP99: lw.QuantileDuration(0.99),
+
+		WriteLatencyP50: wl.QuantileDuration(0.50),
+		WriteLatencyP99: wl.QuantileDuration(0.99),
+
+		WriterStallP50:  wp.QuantileDuration(0.50),
+		WriterStallP99:  wp.QuantileDuration(0.99),
+		WriterStallP999: wp.QuantileDuration(0.999),
+
+		FsyncP99: fs.QuantileDuration(0.99),
+	}
+}

@@ -1,0 +1,166 @@
+// A Registry names the instruments of one index so an exposition
+// layer (Prometheus text, expvar, a CLI scraper) can walk them without
+// knowing what the engine measures. Registration happens at index
+// construction; the hot paths touch only the returned instrument
+// pointers, never the registry maps.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Gauge is an instantaneous value (queue depth, shard count). All
+// methods are atomic and allocation-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the current value by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Registry is a named collection of counters, gauges, and histograms.
+// Get-or-create registration is mutex-guarded; reading and recording
+// through the returned instruments is lock-free.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	help       map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. help documents the metric in expositions (first
+// registration wins).
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+		r.setHelpLocked(name, help)
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.setHelpLocked(name, help)
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// on first use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+		r.setHelpLocked(name, help)
+	}
+	return h
+}
+
+func (r *Registry) setHelpLocked(name, help string) {
+	if help != "" {
+		if _, ok := r.help[name]; !ok {
+			r.help[name] = help
+		}
+	}
+}
+
+// Help returns the help string registered for name ("" if none).
+func (r *Registry) Help(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[name]
+}
+
+// VisitCounters calls f for each counter in name order with its
+// current value.
+func (r *Registry) VisitCounters(f func(name string, value int64)) {
+	for _, name := range r.counterNames() {
+		r.mu.Lock()
+		c := r.counters[name]
+		r.mu.Unlock()
+		f(name, c.Load())
+	}
+}
+
+// VisitGauges calls f for each gauge in name order with its current
+// value.
+func (r *Registry) VisitGauges(f func(name string, value int64)) {
+	for _, name := range r.gaugeNames() {
+		r.mu.Lock()
+		g := r.gauges[name]
+		r.mu.Unlock()
+		f(name, g.Load())
+	}
+}
+
+// VisitHistograms calls f for each histogram in name order with a
+// fresh snapshot (the live buckets are never exposed).
+func (r *Registry) VisitHistograms(f func(name string, snap HistSnapshot)) {
+	for _, name := range r.histogramNames() {
+		r.mu.Lock()
+		h := r.histograms[name]
+		r.mu.Unlock()
+		f(name, h.Snapshot())
+	}
+}
+
+func (r *Registry) counterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedKeys(r.counters)
+}
+
+func (r *Registry) gaugeNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedKeys(r.gauges)
+}
+
+func (r *Registry) histogramNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedKeys(r.histograms)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

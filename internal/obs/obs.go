@@ -1,0 +1,201 @@
+// Package obs is the HTTP exposition layer of the observability
+// subsystem: it turns one index's metrics.Observer into a scrapeable
+// endpoint. The engine layers never import it — they record through
+// *metrics.Observer (a leaf dependency); this package only reads.
+//
+// Routes (all GET):
+//
+//	/metrics          Prometheus text exposition (histograms as
+//	                  summaries with p50/p99/p999 quantile labels,
+//	                  counters, gauges; durations in nanoseconds)
+//	/debug/vars       expvar-compatible JSON: the process-wide expvar
+//	                  set (cmdline, memstats, anything Published) plus
+//	                  an "adaptix" object with this index's counters
+//	/debug/pprof/...  the standard net/http/pprof handlers
+//	/flight           the flight-recorder dump, oldest first, as JSON
+//	/snapshot         the live snapshot the facade provides (stats +
+//	                  quantile summary), as JSON — what cmd/adaptixstat
+//	                  scrapes
+//	/                 a plain-text route index
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+
+	"adaptix/internal/metrics"
+)
+
+// Handler serves one observer over HTTP. Create with NewHandler; it
+// implements http.Handler and can be mounted anywhere (http.Serve,
+// httptest, a sub-route of a larger mux).
+type Handler struct {
+	ob  *metrics.Observer
+	mux *http.ServeMux
+	// snapshot, when non-nil, supplies the /snapshot payload: a
+	// JSON-marshalable live view of the index (the facade passes a
+	// closure over Index.Stats).
+	snapshot func() any
+}
+
+// NewHandler builds the handler for ob. snapshot may be nil (the
+// /snapshot route then serves 404).
+func NewHandler(ob *metrics.Observer, snapshot func() any) *Handler {
+	h := &Handler{ob: ob, snapshot: snapshot, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/", h.serveIndex)
+	h.mux.HandleFunc("/metrics", h.serveMetrics)
+	h.mux.HandleFunc("/debug/vars", h.serveVars)
+	h.mux.HandleFunc("/flight", h.serveFlight)
+	h.mux.HandleFunc("/snapshot", h.serveSnapshot)
+	// The pprof handlers from net/http/pprof, mounted explicitly so we
+	// control the mux (importing the package for side effects would
+	// only register on http.DefaultServeMux).
+	h.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	h.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	h.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	h.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func (h *Handler) serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "adaptix observability endpoint")
+	fmt.Fprintln(w, "  /metrics       Prometheus text exposition")
+	fmt.Fprintln(w, "  /debug/vars    expvar JSON")
+	fmt.Fprintln(w, "  /debug/pprof/  pprof profiles")
+	fmt.Fprintln(w, "  /flight        flight-recorder dump (JSON)")
+	fmt.Fprintln(w, "  /snapshot      live stats snapshot (JSON)")
+}
+
+// quantiles emitted for every histogram summary.
+var summaryQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.50},
+	{"0.99", 0.99},
+	{"0.999", 0.999},
+}
+
+func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg := h.ob.Registry()
+	if reg == nil {
+		return
+	}
+	var b strings.Builder
+	reg.VisitCounters(func(name string, v int64) {
+		writeHelpType(&b, reg, name, "counter")
+		fmt.Fprintf(&b, "%s %d\n", name, v)
+	})
+	reg.VisitGauges(func(name string, v int64) {
+		writeHelpType(&b, reg, name, "gauge")
+		fmt.Fprintf(&b, "%s %d\n", name, v)
+	})
+	reg.VisitHistograms(func(name string, s metrics.HistSnapshot) {
+		writeHelpType(&b, reg, name, "summary")
+		for _, sq := range summaryQuantiles {
+			fmt.Fprintf(&b, "%s{quantile=\"%s\"} %d\n", name, sq.label, s.Quantile(sq.q))
+		}
+		fmt.Fprintf(&b, "%s_sum %d\n", name, s.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", name, s.Count())
+	})
+	fmt.Fprint(w, b.String())
+}
+
+func writeHelpType(b *strings.Builder, reg *metrics.Registry, name, typ string) {
+	if help := reg.Help(name); help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// serveVars writes expvar-format JSON: every process-wide published
+// var (cmdline, memstats, ...) plus an "adaptix" object carrying this
+// index's counters and gauges — compatible with expvar consumers
+// without publishing into the global (and collision-prone) expvar
+// namespace.
+func (h *Handler) serveVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprint(w, "{")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if kv.Key == "adaptix" {
+			return // ours below wins
+		}
+		if !first {
+			fmt.Fprint(w, ",")
+		}
+		first = false
+		fmt.Fprintf(w, "\n%q: %s", kv.Key, kv.Value)
+	})
+	if !first {
+		fmt.Fprint(w, ",")
+	}
+	fmt.Fprintf(w, "\n%q: %s", "adaptix", h.adaptixVars())
+	fmt.Fprint(w, "\n}\n")
+}
+
+// adaptixVars renders the index's counters and gauges as one JSON
+// object in name order.
+func (h *Handler) adaptixVars() string {
+	vals := map[string]int64{}
+	if reg := h.ob.Registry(); reg != nil {
+		reg.VisitCounters(func(name string, v int64) { vals[name] = v })
+		reg.VisitGauges(func(name string, v int64) { vals[name] = v })
+	}
+	names := make([]string, 0, len(vals))
+	for n := range vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{")
+	for i, n := range names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%q: %d", n, vals[n])
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func (h *Handler) serveFlight(w http.ResponseWriter, r *http.Request) {
+	fl := h.ob.Flight()
+	if fl == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, fl.Dump())
+}
+
+func (h *Handler) serveSnapshot(w http.ResponseWriter, r *http.Request) {
+	if h.snapshot == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, h.snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -51,6 +51,11 @@ func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, 
 	if err := ctx.Err(); err != nil {
 		return 0, merged, err
 	}
+	// Observability: span is zero (and the closing time.Since skipped)
+	// unless tracing sampled this query; the per-query cost histograms
+	// record regardless, from numbers the query computed anyway.
+	ob := c.opts.Obs
+	span := ob.QueryStart()
 	// One immutable shard-map snapshot per query: a concurrent
 	// structural change publishes a successor map, but the parts of
 	// this snapshot stay intact and correct, so the query never blocks
@@ -89,6 +94,7 @@ func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, 
 
 	switch len(targets) {
 	case 0:
+		ob.RecordQuery(span, 0, 0, 0)
 		return total, merged, nil
 	case 1:
 		t0 := time.Now()
@@ -97,6 +103,7 @@ func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, 
 			return 0, st, err
 		}
 		st.Critical = time.Since(t0)
+		ob.RecordQuery(span, st.Wait, st.Crack, st.Critical)
 		return total + v, st, nil
 	}
 
@@ -159,6 +166,7 @@ func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, 
 			return 0, merged, r.err
 		}
 	}
+	ob.RecordQuery(span, merged.Wait, merged.Crack, merged.Critical)
 	return total, merged, nil
 }
 

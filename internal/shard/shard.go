@@ -49,6 +49,7 @@ import (
 	"adaptix/internal/crackindex"
 	"adaptix/internal/engine"
 	"adaptix/internal/epoch"
+	"adaptix/internal/metrics"
 	"adaptix/internal/workload"
 )
 
@@ -89,6 +90,11 @@ type Options struct {
 	// splits/merges work unchanged — every method is writable. Only
 	// crack-boundary warm replay is specific to cracked shards.
 	Source func(values []int64) engine.AggregateSource
+	// Obs, when non-nil, receives the column's runtime observations:
+	// per-query cost breakdowns, writer parks, and structural-operation
+	// durations. It is also propagated into every per-shard cracked
+	// index (Index.Obs) so latch waits are observed at the source.
+	Obs *metrics.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -103,6 +109,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Obs != nil && o.Index.Obs == nil {
+		o.Index.Obs = o.Obs
 	}
 	return o
 }
@@ -548,9 +557,40 @@ func (c *Column) SealAllEpochs() int64 {
 	return w
 }
 
+// StatView is a statistics view of the whole column taken against ONE
+// shard-map snapshot: bounds, per-shard stats, and the row total all
+// describe the same shard-map epoch, so a split or merge racing the
+// read can neither double-count nor drop a shard (separate Bounds() /
+// Rows() / Snapshot() calls each load the map anew and can disagree).
+type StatView struct {
+	// Bounds is the shard cut values of the observed map (see Bounds).
+	Bounds []int64
+	// Rows is the total logical rows summed over the observed shards.
+	Rows int
+	// Shards is the per-shard breakdown, in shard order.
+	Shards []ShardStat
+}
+
+// StatView returns a statistics view whose bounds, row total, and
+// per-shard stats are all read against one shard-map snapshot.
+func (c *Column) StatView() StatView {
+	m := c.m.Load()
+	v := StatView{
+		Bounds: append([]int64(nil), m.bounds...),
+		Shards: snapshotOf(m),
+	}
+	for i := range v.Shards {
+		v.Rows += v.Shards[i].Rows
+	}
+	return v
+}
+
 // Snapshot returns a per-shard statistics snapshot, in shard order.
 func (c *Column) Snapshot() []ShardStat {
-	m := c.m.Load()
+	return snapshotOf(c.m.Load())
+}
+
+func snapshotOf(m *shardMap) []ShardStat {
 	out := make([]ShardStat, len(m.shards))
 	for i, s := range m.shards {
 		st := ShardStat{

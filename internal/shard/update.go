@@ -54,6 +54,9 @@ package shard
 import (
 	"context"
 	"sort"
+	"time"
+
+	"adaptix/internal/metrics"
 )
 
 // Insert adds one logical instance of v to the column, routing it to
@@ -76,14 +79,14 @@ func (c *Column) Insert(ctx context.Context, v int64) error {
 func (c *Column) InsertEpoch(ctx context.Context, v int64) (int64, error) {
 	for {
 		m := c.m.Load()
-		p := m.shards[m.route(v)]
-		eid, ok, wait := p.tryInsert(v)
+		si := m.route(v)
+		eid, ok, wait := m.shards[si].tryInsert(v)
 		if ok {
 			return eid, nil
 		}
 		if wait != nil {
 			// Parked: split/merge in progress on the owning shard.
-			if err := parkWait(ctx, wait); err != nil {
+			if err := c.parkWaitObserved(ctx, wait, si); err != nil {
 				return 0, err
 			}
 		}
@@ -105,8 +108,8 @@ func (c *Column) DeleteValue(ctx context.Context, v int64) (bool, error) {
 func (c *Column) DeleteValueEpoch(ctx context.Context, v int64) (deleted bool, epochID int64, err error) {
 	for {
 		m := c.m.Load()
-		p := m.shards[m.route(v)]
-		eid, deleted, ok, wait, err := p.tryDelete(ctx, v)
+		si := m.route(v)
+		eid, deleted, ok, wait, err := m.shards[si].tryDelete(ctx, v)
 		if err != nil {
 			return false, 0, err
 		}
@@ -114,11 +117,26 @@ func (c *Column) DeleteValueEpoch(ctx context.Context, v int64) (deleted bool, e
 			return deleted, eid, nil
 		}
 		if wait != nil {
-			if err := parkWait(ctx, wait); err != nil {
+			if err := c.parkWaitObserved(ctx, wait, si); err != nil {
 				return false, 0, err
 			}
 		}
 	}
+}
+
+// parkWaitObserved is parkWait reporting the park duration to the
+// column's observer (writer-park histogram; parks over the stall
+// threshold also land in the flight recorder). The park path is
+// already blocking on a structural rebuild, so the two clock reads
+// cost nothing relative to the wait itself.
+func (c *Column) parkWaitObserved(ctx context.Context, wait <-chan struct{}, shard int) error {
+	if c.opts.Obs == nil {
+		return parkWait(ctx, wait)
+	}
+	t0 := time.Now()
+	err := parkWait(ctx, wait)
+	c.opts.Obs.RecordWriterPark(int32(shard), time.Since(t0))
+	return err
 }
 
 // parkWait blocks until the structural operation that sealed the
@@ -340,10 +358,12 @@ func (c *Column) SealEpoch(i int) (SealedEpoch, bool) {
 	if i < 0 || i >= len(m.shards) {
 		return SealedEpoch{}, false
 	}
+	t0 := time.Now()
 	info, ok := m.shards[i].chain.Seal()
 	if !ok {
 		return SealedEpoch{}, false
 	}
+	c.opts.Obs.RecordStructural(metrics.EvSeal, int32(i), time.Since(t0), int64(info.Ins+info.Del))
 	return SealedEpoch{Shard: i, Epoch: info.ID, Inserts: info.Ins, Deletes: info.Del}, true
 }
 
@@ -410,6 +430,7 @@ func (c *Column) applySealedLocked(i int) (Applied, bool) {
 	if sealed == 0 {
 		return Applied{}, false
 	}
+	t0 := time.Now()
 	vals := p.mergedValues(ins, del)
 	warm := p.warmBoundaries()
 	q := &part{
@@ -433,6 +454,7 @@ func (c *Column) applySealedLocked(i int) (Applied, bool) {
 	c.publish(m, i, 1, []*part{q}, m.bounds)
 	// No retire(): nothing parks on an epoch-chain apply. The old part
 	// stays intact for readers (and stale writers) still holding it.
+	c.opts.Obs.RecordStructural(metrics.EvApply, int32(i), time.Since(t0), int64(len(ins)+len(del)))
 	return Applied{
 		Shard: i, Inserts: len(ins), Deletes: len(del),
 		Rows: len(vals), Boundaries: len(warm),
@@ -459,6 +481,7 @@ func (c *Column) ApplyShardParked(i int) (Applied, bool) {
 		return Applied{}, false
 	}
 	epochs := p.chain.Len()
+	t0 := time.Now()
 	p.seal()
 	ins, del := p.chain.Collect(int64(maxKey))
 	vals := p.mergedValues(ins, del)
@@ -466,6 +489,7 @@ func (c *Column) ApplyShardParked(i int) (Applied, bool) {
 	q := c.newPart(p.loVal, p.hiVal, vals, warm)
 	c.publish(m, i, 1, []*part{q}, m.bounds)
 	p.retire()
+	c.opts.Obs.RecordStructural(metrics.EvApply, int32(i), time.Since(t0), int64(len(ins)+len(del)))
 	return Applied{
 		Shard: i, Inserts: len(ins), Deletes: len(del),
 		Rows: len(vals), Boundaries: len(warm),
@@ -508,6 +532,7 @@ func (c *Column) SplitShard(i int) (Split, bool) {
 	if p.agg.minA.Load() >= p.agg.maxA.Load() {
 		return Split{}, false
 	}
+	t0 := time.Now()
 	p.seal()
 	vals := p.logicalValues()
 	cut, ok := chooseCut(vals)
@@ -551,6 +576,7 @@ func (c *Column) SplitShard(i int) (Split, bool) {
 	bounds = append(bounds, m.bounds[i:]...)
 	c.publish(m, i, 1, []*part{lp, rp}, bounds)
 	p.retire()
+	c.opts.Obs.RecordStructural(metrics.EvSplit, int32(i), time.Since(t0), int64(len(vals)))
 	return Split{Shard: i, Cut: cut, LeftRows: len(left), RightRows: len(right)}, true
 }
 
@@ -602,6 +628,7 @@ func (c *Column) MergeShards(i int) (Merged, bool) {
 		return Merged{}, false
 	}
 	l, r := m.shards[i], m.shards[i+1]
+	t0 := time.Now()
 	l.seal()
 	r.seal()
 	vals := append(l.logicalValues(), r.logicalValues()...)
@@ -614,5 +641,6 @@ func (c *Column) MergeShards(i int) (Merged, bool) {
 	c.publish(m, i, 2, []*part{q}, bounds)
 	l.retire()
 	r.retire()
+	c.opts.Obs.RecordStructural(metrics.EvMerge, int32(i), time.Since(t0), int64(len(vals)))
 	return Merged{Shard: i, RemovedBound: m.bounds[i], Rows: len(vals)}, true
 }

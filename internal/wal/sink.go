@@ -30,6 +30,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"adaptix/internal/metrics"
 )
 
 // frameHeaderSize is the per-record framing overhead: payload length
@@ -50,6 +53,11 @@ type SinkOptions struct {
 	// simulate crashes by truncating files themselves). Durability
 	// guarantees obviously do not hold with NoSync set.
 	NoSync bool
+	// Obs, when non-nil, receives the latency of every explicit Sync —
+	// the fsync-on-commit and group-commit paths whose tail dominates
+	// write latency (rotation- and close-time syncs are not separately
+	// timed).
+	Obs *metrics.Observer
 }
 
 func (o SinkOptions) withDefaults() SinkOptions {
@@ -235,9 +243,11 @@ func (s *FileSink) Sync() error {
 	if s.closed || s.opts.NoSync {
 		return nil
 	}
+	t0 := time.Now()
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sink: %w", err)
 	}
+	s.opts.Obs.RecordFsync(time.Since(t0))
 	return nil
 }
 

@@ -1,0 +1,41 @@
+package adaptix_test
+
+import (
+	"os"
+	"testing"
+)
+
+// TestObsOverheadGuard is the CI overhead gate: an attached observer
+// with tracing disabled (the default state of every Index) must cost
+// at most 5% over running with no observer at all, on the
+// steady-state query benchmark. Timing comparisons are inherently
+// noisy, so the guard takes the minimum of several benchmark runs per
+// variant (minimum, not mean: noise only ever adds time) and is gated
+// behind OBS_OVERHEAD_GUARD=1 so ordinary `go test` runs stay fast and
+// deterministic.
+func TestObsOverheadGuard(t *testing.T) {
+	if os.Getenv("OBS_OVERHEAD_GUARD") == "" {
+		t.Skip("set OBS_OVERHEAD_GUARD=1 to run the observability overhead gate")
+	}
+	const runs = 5
+	minNs := func(f func(b *testing.B)) float64 {
+		best := 0.0
+		for i := 0; i < runs; i++ {
+			r := testing.Benchmark(f)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	off := minNs(BenchmarkObsOverhead_Off)
+	disabled := minNs(BenchmarkObsOverhead_Disabled)
+	enabled := minNs(BenchmarkObsOverhead_Enabled)
+	delta := (disabled - off) / off
+	t.Logf("off %.0f ns/op, disabled %.0f ns/op (%+.2f%%), enabled %.0f ns/op (%+.2f%%, informational)",
+		off, disabled, 100*delta, enabled, 100*(enabled-off)/off)
+	if delta > 0.05 {
+		t.Fatalf("disabled-path observability overhead %.2f%% exceeds the 5%% budget", 100*delta)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"adaptix/internal/amerge"
 	"adaptix/internal/hybrid"
 	"adaptix/internal/ingest"
+	"adaptix/internal/metrics"
 	"adaptix/internal/shard"
 )
 
@@ -74,6 +75,12 @@ type config struct {
 	// durableOnly names the first Open-only option a New call used, so
 	// New can reject it instead of silently ignoring it.
 	durableOnly string
+
+	// Observability (WithObservability). The observer itself always
+	// exists — counters and the flight recorder are always on; tracing
+	// is what the option enables.
+	obs     ObsOptions
+	tracing bool
 }
 
 // Option configures New and Open.
@@ -92,14 +99,28 @@ func buildConfig(opts []Option) (*config, error) {
 	return cfg, nil
 }
 
-// shardOptions resolves the shard.Options for the configured method.
-func (c *config) shardOptions() shard.Options {
+// shardOptions resolves the shard.Options for the configured method;
+// ob is threaded down so every layer under the column records into the
+// handle's one observer.
+func (c *config) shardOptions(ob *metrics.Observer) shard.Options {
 	s := c.shard
 	if c.shards != 0 {
 		s.Shards = c.shards
 	}
 	s.Source = c.newSource()
+	s.Obs = ob
 	return s
+}
+
+// newObserver builds the handle's observer from the resolved config.
+func (c *config) newObserver() *metrics.Observer {
+	ob := metrics.NewObserver(metrics.ObserverOptions{
+		SampleEvery:    c.obs.SampleEvery,
+		StallThreshold: c.obs.StallThreshold,
+		FlightEvents:   c.obs.FlightEvents,
+	})
+	ob.EnableTracing(c.tracing)
+	return ob
 }
 
 // WithMethod selects the adaptive-indexing method (default Crack).
@@ -275,6 +296,43 @@ func WithNoSync() Option {
 	return func(c *config) error {
 		c.noSync = true
 		c.setDurableOnly("WithNoSync")
+		return nil
+	}
+}
+
+// ObsOptions tunes the observability layer (WithObservability).
+// Zero values take the defaults noted on each field.
+type ObsOptions struct {
+	// SampleEvery traces 1 in N queries end to end while tracing is
+	// enabled (default 1: every query). The sampled spans feed the
+	// end-to-end latency histogram and the flight recorder; the core
+	// per-query histograms (wait, crack, critical path) record every
+	// query regardless.
+	SampleEvery int
+	// StallThreshold classifies latch waits and writer parks as stall
+	// events in the flight recorder (default 1ms).
+	StallThreshold time.Duration
+	// FlightEvents is the flight-recorder ring capacity (default 4096).
+	FlightEvents int
+}
+
+// WithObservability enables per-query span tracing and tunes the
+// observability knobs. Every index is observable without it — the
+// lock-free histograms, stall detection, and the flight recorder are
+// always on, and Observe() always serves — but end-to-end query spans
+// (adaptix_query_latency_ns and the flight recorder's query events)
+// are recorded only when tracing is enabled. Disabled tracing costs
+// nothing measurable on the query path.
+func WithObservability(o ObsOptions) Option {
+	return func(c *config) error {
+		if o.SampleEvery < 0 {
+			return fmt.Errorf("adaptix: WithObservability: SampleEvery %d must be >= 0", o.SampleEvery)
+		}
+		if o.FlightEvents < 0 {
+			return fmt.Errorf("adaptix: WithObservability: FlightEvents %d must be >= 0", o.FlightEvents)
+		}
+		c.obs = o
+		c.tracing = true
 		return nil
 	}
 }
