@@ -61,6 +61,7 @@ import (
 	"adaptix/internal/baseline"
 	"adaptix/internal/durable"
 	"adaptix/internal/engine"
+	"adaptix/internal/health"
 	"adaptix/internal/hybrid"
 	"adaptix/internal/ingest"
 	"adaptix/internal/metrics"
@@ -80,6 +81,7 @@ type Index struct {
 	dur    *durable.Column // nil for in-memory indexes
 	eng    engine.Engine
 	obs    *metrics.Observer // always non-nil
+	wd     *health.Watchdog  // always non-nil; background loop under WithHealth
 
 	closeOnce sync.Once
 	closeErr  error
@@ -107,7 +109,7 @@ func New(values []int64, opts ...Option) (*Index, error) {
 	iopts.Obs = ob
 	ing := ingest.New(col, iopts)
 	ing.Start()
-	return newIndex(cfg.method, col, ing, nil, ob), nil
+	return newIndex(cfg, col, ing, nil, ob), nil
 }
 
 // Open opens (or creates) a durable adaptive index in dir: a
@@ -140,18 +142,39 @@ func Open(dir string, opts ...Option) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newIndex(cfg.method, dur.Column(), dur.Ingestor(), dur, ob), nil
+	return newIndex(cfg, dur.Column(), dur.Ingestor(), dur, ob), nil
 }
 
-func newIndex(m Method, col *shard.Column, ing *ingest.Coordinator, dur *durable.Column, ob *metrics.Observer) *Index {
-	return &Index{
-		method: m,
+func newIndex(cfg *config, col *shard.Column, ing *ingest.Coordinator, dur *durable.Column, ob *metrics.Observer) *Index {
+	// Size the key-range heatmap to the initial key domain (first-wins:
+	// later inserts outside it clamp to the edge buckets). An empty
+	// index never installs a sketch; recordings stay free no-ops.
+	if lo, hi, ok := col.KeyDomain(); ok {
+		ob.SetKeyDomain(lo, hi)
+	}
+	ix := &Index{
+		method: cfg.method,
 		col:    col,
 		ing:    ing,
 		dur:    dur,
-		eng:    engine.NewShardedNamed(col, m.String()),
+		eng:    engine.NewShardedNamed(col, cfg.method.String()),
 		obs:    ob,
 	}
+	// The watchdog's epoch-depth sampler reads the live shard snapshot:
+	// the longest per-shard chain and the total sealed-but-unapplied
+	// epoch files across shards.
+	ix.wd = health.New(cfg.healthOptions(), ob, func() (int64, int64) {
+		var maxChain, sealed int64
+		for _, st := range col.Snapshot() {
+			if int64(st.Epochs) > maxChain {
+				maxChain = int64(st.Epochs)
+			}
+			sealed += int64(st.SealedEpochs)
+		}
+		return maxChain, sealed
+	})
+	ix.wd.Start()
+	return ix
 }
 
 // Method returns the adaptive-indexing method the handle was built
@@ -205,25 +228,59 @@ func (ix *Index) Apply(ctx context.Context, batch []Op) (int, error) {
 func (ix *Index) Stats() Stats {
 	sv := ix.col.StatView()
 	return Stats{
-		Method: ix.method,
-		Rows:   sv.Rows,
-		Bounds: sv.Bounds,
-		Shards: sv.Shards,
-		Ingest: ix.ing.Stats(),
-		Obs:    ix.obs.Summary(),
+		Method:      ix.method,
+		Rows:        sv.Rows,
+		Bounds:      sv.Bounds,
+		Shards:      sv.Shards,
+		Ingest:      ix.ing.Stats(),
+		Obs:         ix.obs.Summary(),
+		Convergence: ix.convergence(),
 	}
 }
+
+// convergence assembles the index-wide convergence readout from the
+// observer's always-on instruments.
+func (ix *Index) convergence() ConvergenceStats {
+	ts := ix.obs.TouchedSnapshot()
+	visited, covered := ix.obs.Routing()
+	cs := ConvergenceStats{
+		Series:     ix.obs.ConvergenceSeries(),
+		TouchedP50: ts.Quantile(0.50),
+		TouchedP99: ts.Quantile(0.99),
+		Queries:    ts.Count(),
+		Visits:     visited,
+		Covered:    covered,
+	}
+	if visited > 0 {
+		cs.CoveredFrac = float64(covered) / float64(visited)
+	}
+	return cs
+}
+
+// Health evaluates the watchdog's full rule catalog now and returns
+// the report — the same document the endpoint's /health route serves
+// (there with readiness semantics: HTTP 503 while any rule is
+// degraded). Evaluation is cheap; under WithHealth a background loop
+// additionally evaluates every HealthOptions.Interval.
+func (ix *Index) Health() HealthReport { return ix.wd.Eval() }
 
 // Observe returns the index's observability endpoint: an http.Handler
 // serving Prometheus text exposition at /metrics, expvar JSON at
 // /debug/vars, the standard pprof profiles under /debug/pprof/, the
-// flight-recorder dump at /flight, and a machine-readable live
-// snapshot at /snapshot (what cmd/adaptixstat scrapes). Mount it
+// flight-recorder dump at /flight, a machine-readable live snapshot
+// at /snapshot (what cmd/adaptixstat scrapes), and the watchdog
+// report at /health (HTTP 200 while every rule passes, 503 once any
+// rule degrades — usable directly as a readiness probe). Mount it
 // wherever suits the process:
 //
 //	go http.ListenAndServe("localhost:6060", ix.Observe())
 func (ix *Index) Observe() http.Handler {
-	return obs.NewHandler(ix.obs, func() any { return ix.ObsSnapshot() })
+	return obs.NewHandler(ix.obs,
+		func() any { return ix.ObsSnapshot() },
+		func() (any, bool) {
+			r := ix.wd.Eval()
+			return r, r.OK()
+		})
 }
 
 // FlightDump returns the flight recorder's contents, oldest first: the
@@ -239,16 +296,20 @@ func (ix *Index) FlightDump() []FlightEvent { return ix.obs.Flight().Dump() }
 func (ix *Index) ObsSnapshot() ObsSnapshot {
 	st := ix.Stats()
 	return ObsSnapshot{
-		Method: ix.method.String(),
-		Rows:   st.Rows,
-		Shards: len(st.Shards),
-		Ingest: st.Ingest,
-		Obs:    st.Obs,
+		Method:      ix.method.String(),
+		Rows:        st.Rows,
+		Shards:      len(st.Shards),
+		Ingest:      st.Ingest,
+		Obs:         st.Obs,
+		Convergence: st.Convergence,
+		Heatmap:     ix.obs.Heat(),
+		ShardStats:  st.Shards,
 	}
 }
 
 // ObsSnapshot is the JSON document served at the observability
-// endpoint's /snapshot route and consumed by cmd/adaptixstat.
+// endpoint's /snapshot route and consumed by cmd/adaptixstat and
+// cmd/crackviz.
 type ObsSnapshot struct {
 	// Method is the handle's adaptive-indexing method name.
 	Method string `json:"method"`
@@ -262,6 +323,41 @@ type ObsSnapshot struct {
 	// Obs is the quantile readout of the always-on histograms
 	// (durations in nanoseconds).
 	Obs ObsStats `json:"obs"`
+	// Convergence is the index-wide convergence readout: the
+	// bytes-touched decay series, rows-touched quantiles, and the
+	// covered-aggregate hit rate.
+	Convergence ConvergenceStats `json:"convergence"`
+	// Heatmap is the key-range access sketch (zero-valued until the
+	// key domain is known, i.e. for an index created empty).
+	Heatmap HeatSnapshot `json:"heatmap"`
+	// ShardStats is the per-shard refinement breakdown, in value order
+	// — piece counts, piece-size profile, epoch-chain depth.
+	ShardStats []ShardStat `json:"shard_stats"`
+}
+
+// ConvergenceStats is the index-wide convergence readout (Stats and
+// the /snapshot document): how fast queries stop touching unrefined
+// data. A converging index shows Series decaying and CoveredFrac
+// rising; a stagnating one (the watchdog's convergence-stagnation
+// rule) shows Series flat while TouchedP50 stays high.
+type ConvergenceStats struct {
+	// Series is the mean rows touched per query, one point per window
+	// of queries (oldest first, bounded ring — see the watchdog's
+	// convergence rule for how stagnation is detected over it).
+	Series []int64 `json:"series"`
+	// TouchedP50 and TouchedP99 are rows-touched-per-query quantiles
+	// over the whole run.
+	TouchedP50 int64 `json:"touched_p50"`
+	TouchedP99 int64 `json:"touched_p99"`
+	// Queries is the number of queries the touched histogram observed.
+	Queries int64 `json:"queries"`
+	// Visits is the total number of shards the router selected; Covered
+	// of those were answered from precomputed per-shard aggregates
+	// without touching the shard's index.
+	Visits  int64 `json:"visits"`
+	Covered int64 `json:"covered"`
+	// CoveredFrac is Covered/Visits (0 before any query).
+	CoveredFrac float64 `json:"covered_frac"`
 }
 
 // Rows returns the number of logical rows currently in the index.
@@ -296,6 +392,18 @@ func (ix *Index) Checkpoint() bool {
 // directory (false for in-memory indexes and freshly created stores).
 func (ix *Index) Recovered() bool { return ix.dur != nil && ix.dur.Recovered() }
 
+// RecoveryStats returns the wall-clock breakdown of the Open that
+// produced this index — checkpoint-snapshot load, structural-WAL scan,
+// and column rebuild (warm crack replay plus the logged data tail).
+// All zeros for in-memory indexes. The same three durations are
+// published as observer gauges (adaptix_recovery_*_ns).
+func (ix *Index) RecoveryStats() RecoveryBreakdown {
+	if ix.dur == nil {
+		return RecoveryBreakdown{}
+	}
+	return ix.dur.Recovery()
+}
+
 // Maintain runs one synchronous maintenance pass (group-applies and
 // rebalancing) and returns the number of structural operations
 // performed. Background maintenance runs anyway; Maintain is for tests
@@ -307,6 +415,7 @@ func (ix *Index) Maintain() int { return ix.ing.Maintain() }
 // concurrent use; later calls return the first call's error.
 func (ix *Index) Close() error {
 	ix.closeOnce.Do(func() {
+		ix.wd.Stop()
 		if ix.dur != nil {
 			ix.closeErr = ix.dur.Close()
 			return
@@ -339,6 +448,10 @@ type Stats struct {
 	// query latency quantiles are populated only under
 	// WithObservability (tracing).
 	Obs ObsStats
+	// Convergence is the index-wide convergence readout: the
+	// rows-touched decay series, touched quantiles, and the
+	// covered-aggregate hit rate.
+	Convergence ConvergenceStats
 }
 
 // newSource builds the per-shard index factory for a method (nil for

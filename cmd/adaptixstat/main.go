@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	adaptixstat [-addr http://localhost:6060] [-watch 2s] [-flight 10]
+//	adaptixstat [-addr http://localhost:6060] [-watch 2s] [-flight 10] [-top]
 //
 // With -watch the snapshot refreshes in place at the given interval
 // until interrupted; counters are shown both as lifetime totals and as
-// per-second rates over the interval.
+// per-second rates over the interval. With -top the output is a live
+// dashboard instead: the watchdog's per-rule health verdicts, the
+// key-range heatmap as bar strips, the convergence sparkline (mean
+// rows touched per query window), and a per-shard refinement table.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"adaptix"
@@ -27,6 +31,7 @@ func main() {
 	addr := flag.String("addr", "http://localhost:6060", "observability endpoint base URL")
 	watch := flag.Duration("watch", 0, "refresh interval (0: print once and exit)")
 	flight := flag.Int("flight", 0, "also print the last N flight-recorder events")
+	top := flag.Bool("top", false, "live dashboard: health, heatmap, convergence sparkline, per-shard table")
 	flag.Parse()
 
 	var prev *adaptix.ObsSnapshot
@@ -38,7 +43,19 @@ func main() {
 			os.Exit(1)
 		}
 		now := time.Now()
-		print(snap, prev, now.Sub(prevAt))
+		if *top {
+			rep, err := scrapeHealth(*addr + "/health")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "adaptixstat: %v\n", err)
+				os.Exit(1)
+			}
+			if *watch > 0 {
+				fmt.Print("\033[H\033[2J") // home + clear: refresh in place
+			}
+			printTop(snap, rep)
+		} else {
+			print(snap, prev, now.Sub(prevAt))
+		}
 		if *flight > 0 {
 			evs, err := scrape[[]adaptix.FlightEvent](*addr + "/flight")
 			if err != nil {
@@ -52,7 +69,9 @@ func main() {
 		}
 		prev, prevAt = &snap, now
 		time.Sleep(*watch)
-		fmt.Println()
+		if !*top {
+			fmt.Println()
+		}
 	}
 }
 
@@ -67,6 +86,99 @@ func scrape[T any](url string) (T, error) {
 		return v, fmt.Errorf("%s: HTTP %s", url, resp.Status)
 	}
 	return v, json.NewDecoder(resp.Body).Decode(&v)
+}
+
+// scrapeHealth fetches the watchdog report. Unlike scrape it accepts
+// 503: a degraded index still serves a well-formed report body, and
+// the dashboard's whole point is rendering that state.
+func scrapeHealth(url string) (adaptix.HealthReport, error) {
+	var rep adaptix.HealthReport
+	resp, err := http.Get(url)
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return rep, fmt.Errorf("%s: HTTP %s", url, resp.Status)
+	}
+	return rep, json.NewDecoder(resp.Body).Decode(&rep)
+}
+
+// sparkBlocks is the 8-level bar alphabet shared by the heatmap strips
+// and the convergence sparkline.
+var sparkBlocks = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders vs as a fixed-height sparkline scaled to the series
+// maximum; zeros render as spaces so cold regions stay visually empty.
+func spark(vs []int64) string {
+	var max int64
+	for _, v := range vs {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return strings.Repeat("·", len(vs))
+	}
+	var b strings.Builder
+	for _, v := range vs {
+		if v == 0 {
+			b.WriteRune('·')
+			continue
+		}
+		lvl := int(v * int64(len(sparkBlocks)) / (max + 1))
+		b.WriteRune(sparkBlocks[lvl])
+	}
+	return b.String()
+}
+
+func printTop(s adaptix.ObsSnapshot, rep adaptix.HealthReport) {
+	o := s.Obs
+	fmt.Printf("adaptix %s  rows=%d shards=%d  queries=%d writes=%d  q-p99=%s\n",
+		s.Method, s.Rows, s.Shards, o.Queries, o.Writes, fmtDur(o.QueryLatencyP99))
+
+	// Health: one line per degraded rule, one summary line otherwise.
+	if rep.OK() {
+		fmt.Printf("health  OK  (%d rules pass)\n", len(rep.Rules))
+	} else {
+		fmt.Println("health  DEGRADED")
+		for _, r := range rep.Rules {
+			if r.Status != adaptix.HealthOK {
+				fmt.Printf("  !! %-26s %s\n", r.Rule, r.Reason)
+			}
+		}
+	}
+
+	// Key-range heatmap: reads and writes strips over the bucketed
+	// domain, hottest bucket annotated.
+	h := s.Heatmap
+	if h.BucketWidth > 0 {
+		fmt.Printf("heat    [%d, %d]  bucket=%d\n", h.Lo, h.Hi, h.BucketWidth)
+		fmt.Printf("  reads  %s\n", spark(h.Reads[:]))
+		fmt.Printf("  writes %s\n", spark(h.Writes[:]))
+	}
+
+	// Convergence: the rows-touched decay series plus the routing
+	// effectiveness counters.
+	c := s.Convergence
+	if len(c.Series) > 0 {
+		fmt.Printf("conv    %s  (mean rows touched per %d-query window)\n",
+			spark(c.Series), len(c.Series))
+	}
+	fmt.Printf("  touched p50=%d p99=%d  covered-aggregate %d/%d visits (%.0f%%)\n",
+		c.TouchedP50, c.TouchedP99, c.Covered, c.Visits, 100*c.CoveredFrac)
+
+	// Per-shard refinement table: how far each shard's cracked index
+	// has converged.
+	if len(s.ShardStats) > 0 {
+		fmt.Printf("  %-5s %10s %8s %6s %10s %8s %7s\n",
+			"shard", "rows", "pieces", "depth", "maxpiece%", "entropy", "epochs")
+		for _, st := range s.ShardStats {
+			fmt.Printf("  %-5d %10d %8d %6d %9.1f%% %8.2f %7d\n",
+				st.Shard, st.Rows, st.Pieces, st.Depth,
+				100*st.MaxPieceFrac, st.PieceEntropy, st.Epochs)
+		}
+	}
 }
 
 func print(s adaptix.ObsSnapshot, prev *adaptix.ObsSnapshot, dt time.Duration) {

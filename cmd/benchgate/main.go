@@ -1,0 +1,106 @@
+// Command benchgate is the CI perf-trajectory gate: it compares a
+// fresh cmd/benchjson run against the committed baseline and fails
+// (exit 1) when any workload cell's throughput regressed by more than
+// the tolerance.
+//
+// Usage:
+//
+//	benchgate [-baseline BENCH_baseline.json] [-current BENCH_results.json] [-tolerance 0.15]
+//
+// Cells are matched by name. A cell present only in the current run is
+// reported and ignored (new cells need a baseline refresh, not a
+// failure); a baseline cell missing from the current run fails — a
+// silently dropped cell is how coverage rots. Regenerate the baseline
+// with `go run ./cmd/benchjson -out BENCH_baseline.json` on the
+// reference hardware and commit it alongside the change that moved the
+// numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// cell mirrors the benchjson output fields the gate reads; unknown
+// fields are ignored so the gate survives benchjson growing columns.
+type cell struct {
+	Name string  `json:"name"`
+	QPS  float64 `json:"qps"`
+}
+
+type doc struct {
+	Rows  int    `json:"rows"`
+	When  string `json:"when"`
+	Cells []cell `json:"cells"`
+}
+
+func load(path string) (doc, error) {
+	var d doc
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	return d, json.Unmarshal(raw, &d)
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed reference run")
+	current := flag.String("current", "BENCH_results.json", "fresh benchjson output")
+	tolerance := flag.Float64("tolerance", 0.15, "max allowed fractional qps regression per cell")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: current: %v\n", err)
+		os.Exit(1)
+	}
+	if base.Rows != cur.Rows {
+		fmt.Fprintf(os.Stderr, "benchgate: row counts differ (baseline %d, current %d): not comparable\n",
+			base.Rows, cur.Rows)
+		os.Exit(1)
+	}
+
+	curBy := map[string]cell{}
+	for _, c := range cur.Cells {
+		curBy[c.Name] = c
+	}
+	fmt.Printf("benchgate: baseline %s vs current %s, tolerance %.0f%%\n",
+		base.When, cur.When, 100**tolerance)
+	fail := false
+	for _, b := range base.Cells {
+		c, ok := curBy[b.Name]
+		delete(curBy, b.Name)
+		if !ok {
+			fmt.Printf("  FAIL %-22s missing from current run\n", b.Name)
+			fail = true
+			continue
+		}
+		if b.QPS <= 0 {
+			fmt.Printf("  skip %-22s baseline qps %.0f unusable\n", b.Name, b.QPS)
+			continue
+		}
+		delta := c.QPS/b.QPS - 1
+		verdict := "ok  "
+		if delta < -*tolerance {
+			verdict = "FAIL"
+			fail = true
+		}
+		fmt.Printf("  %s %-22s %10.0f -> %10.0f q/s  (%+.1f%%)\n",
+			verdict, b.Name, b.QPS, c.QPS, 100*delta)
+	}
+	for name := range curBy {
+		fmt.Printf("  note %-22s new cell, no baseline (refresh BENCH_baseline.json)\n", name)
+	}
+	if fail {
+		fmt.Fprintln(os.Stderr, "benchgate: throughput regressed past tolerance")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all cells within tolerance")
+}

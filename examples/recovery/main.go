@@ -79,6 +79,9 @@ func main() {
 	defer re.Close()
 	fmt.Printf("after reopen: %6s cracks, %4d boundaries, %d shards (recovered=%v)\n",
 		"-", boundaries(re), re.NumShards(), re.Recovered())
+	bd := re.RecoveryStats()
+	fmt.Printf("recovery breakdown: checkpoint-load=%v wal-scan=%v crack-replay=%v\n",
+		bd.CheckpointLoad, bd.WALScan, bd.Replay)
 
 	recovered := queryCost(re, 123456, 133456)
 	cold, err := adaptix.Open(filepath.Join(dir, "cold"),

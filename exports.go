@@ -7,9 +7,11 @@ import (
 	"adaptix/internal/column"
 	"adaptix/internal/cracker"
 	"adaptix/internal/crackindex"
+	"adaptix/internal/durable"
 	"adaptix/internal/engine"
 	"adaptix/internal/epoch"
 	"adaptix/internal/harness"
+	"adaptix/internal/health"
 	"adaptix/internal/hybrid"
 	"adaptix/internal/ingest"
 	"adaptix/internal/latch"
@@ -70,9 +72,41 @@ type (
 	// histograms (Stats.Obs, and the endpoint's /snapshot document).
 	ObsStats = metrics.ObsSummary
 	// FlightEvent is one flight-recorder entry: a sampled query span,
-	// a stall (latch wait or writer park over the threshold), or a
-	// structural operation (Index.FlightDump, the endpoint's /flight).
+	// a stall (latch wait or writer park over the threshold), a
+	// structural operation, or a health-rule transition
+	// (Index.FlightDump, the endpoint's /flight).
 	FlightEvent = metrics.Event
+	// HeatSnapshot is the key-range access heatmap readout: per-bucket
+	// read and write counts over the index's key domain
+	// (ObsSnapshot.Heatmap; HeatSnapshot.Slice gives per-shard views).
+	HeatSnapshot = metrics.HeatSnapshot
+	// RecoveryBreakdown is the wall-clock cost of the three Open
+	// phases: checkpoint-snapshot load, structural-WAL scan, and column
+	// rebuild (Index.RecoveryStats).
+	RecoveryBreakdown = durable.RecoveryBreakdown
+)
+
+// Health watchdog (WithHealth, Index.Health, the endpoint's /health).
+type (
+	// HealthOptions tunes the watchdog's rule thresholds and its
+	// background evaluation interval (WithHealth).
+	HealthOptions = health.Options
+	// HealthReport is one full watchdog evaluation: an overall verdict
+	// plus every rule's status, reason, and evidence values.
+	HealthReport = health.Report
+	// HealthRule is one rule's verdict inside a HealthReport.
+	HealthRule = health.RuleResult
+	// HealthStatus is a rule or report verdict (HealthOK or
+	// HealthDegraded).
+	HealthStatus = health.Status
+)
+
+// Health verdicts.
+const (
+	// HealthOK means the rule's (or every rule's) thresholds hold.
+	HealthOK = health.OK
+	// HealthDegraded means the rule fired; the report carries evidence.
+	HealthDegraded = health.Degraded
 )
 
 // Latching modes (paper §5.3), for CrackOptions.Latching.

@@ -1,0 +1,301 @@
+package adaptix_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sort"
+	"testing"
+
+	"adaptix"
+)
+
+func getJSON(t *testing.T, ix *adaptix.Index, path string) (int, []byte) {
+	t.Helper()
+	w := httptest.NewRecorder()
+	ix.Observe().ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+	return w.Code, w.Body.Bytes()
+}
+
+func keysOf(t *testing.T, raw []byte) []string {
+	t.Helper()
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("not a JSON object: %v\n%s", err, raw)
+	}
+	out := make([]string, 0, len(doc))
+	for k := range doc {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func wantKeys(t *testing.T, what string, raw []byte, want ...string) {
+	t.Helper()
+	got := keysOf(t, raw)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s keys = %v, want %v (schema drift: update the goldens AND the scrapers)", what, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s keys = %v, want %v (schema drift: update the goldens AND the scrapers)", what, got, want)
+		}
+	}
+}
+
+// TestSnapshotGoldenSchema pins the JSON shape of the /snapshot and
+// /health documents: these are scraped by cmd/adaptixstat,
+// cmd/crackviz, and external probes, so a renamed or dropped field is
+// a breaking change that must fail loudly here, not in a dashboard.
+func TestSnapshotGoldenSchema(t *testing.T) {
+	ix, err := adaptix.New(seqValues(4096), adaptix.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ctx := context.Background()
+	for i := int64(0); i < 10; i++ {
+		if _, err := ix.Count(ctx, i*100, i*100+300); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	code, body := getJSON(t, ix, "/snapshot")
+	if code != 200 {
+		t.Fatalf("/snapshot status %d", code)
+	}
+	wantKeys(t, "/snapshot", body,
+		"method", "rows", "shards", "ingest", "obs", "convergence", "heatmap", "shard_stats")
+
+	var doc struct {
+		Convergence json.RawMessage   `json:"convergence"`
+		Heatmap     json.RawMessage   `json:"heatmap"`
+		ShardStats  []json.RawMessage `json:"shard_stats"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	wantKeys(t, "convergence", doc.Convergence,
+		"series", "touched_p50", "touched_p99", "queries", "visits", "covered", "covered_frac")
+	wantKeys(t, "heatmap", doc.Heatmap, "lo", "hi", "bucket_width", "reads", "writes")
+	var heat adaptix.HeatSnapshot
+	if err := json.Unmarshal(doc.Heatmap, &heat); err != nil {
+		t.Fatal(err)
+	}
+	if heat.BucketWidth <= 0 {
+		t.Fatalf("heatmap not installed: %+v", heat)
+	}
+	var reads int64
+	for _, v := range heat.Reads {
+		reads += v
+	}
+	if reads == 0 {
+		t.Fatal("10 range queries left no heatmap reads")
+	}
+	if len(doc.ShardStats) != 4 {
+		t.Fatalf("%d shard_stats entries, want 4", len(doc.ShardStats))
+	}
+
+	code, body = getJSON(t, ix, "/health")
+	if code != 200 {
+		t.Fatalf("/health status %d on a healthy index\n%s", code, body)
+	}
+	wantKeys(t, "/health", body, "status", "when", "rules")
+	var rep adaptix.HealthReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || len(rep.Rules) != 6 {
+		t.Fatalf("healthy report = %+v, want 6 ok rules", rep)
+	}
+	for _, r := range rep.Rules {
+		if r.Evidence == nil {
+			t.Fatalf("rule %q serialized without evidence", r.Rule)
+		}
+	}
+}
+
+// TestHealthWALGrowthDegrades forces the wal-since-checkpoint rule on
+// a durable index: with a 1-byte budget, the first logged writes since
+// the initial checkpoint degrade the rule (and flip /health to 503);
+// the next checkpoint resets the gauges and the rule recovers.
+func TestHealthWALGrowthDegrades(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := adaptix.Open(dir,
+		adaptix.WithValues(seqValues(1024)),
+		adaptix.WithNoSync(),
+		adaptix.WithLogWrites(),
+		adaptix.WithCheckpointEvery(1_000_000),
+		adaptix.WithHealth(adaptix.HealthOptions{Interval: -1, MaxWALBytes: 1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	ctx := context.Background()
+	for i := int64(0); i < 64; i++ {
+		if err := ix.Insert(ctx, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := ix.Health()
+	if rep.OK() {
+		t.Fatalf("report ok despite WAL growth over a 1-byte budget: %+v", rep)
+	}
+	var walRule adaptix.HealthRule
+	for _, r := range rep.Rules {
+		if r.Rule == "wal-since-checkpoint" {
+			walRule = r
+		} else if r.Status != adaptix.HealthOK {
+			t.Fatalf("unrelated rule degraded: %+v", r)
+		}
+	}
+	if walRule.Status != adaptix.HealthDegraded || walRule.Reason == "" {
+		t.Fatalf("wal rule = %+v, want degraded with reason", walRule)
+	}
+	if code, _ := getJSON(t, ix, "/health"); code != 503 {
+		t.Fatalf("/health status %d while degraded, want 503", code)
+	}
+
+	if !ix.Checkpoint() {
+		t.Fatal("checkpoint failed")
+	}
+	if rep := ix.Health(); !rep.OK() {
+		t.Fatalf("report still degraded after checkpoint reset: %+v", rep)
+	}
+	if code, _ := getJSON(t, ix, "/health"); code != 200 {
+		t.Fatal("/health did not recover to 200")
+	}
+}
+
+// TestHealthConvergenceStagnation runs the workload the stagnation
+// rule exists for: a strictly sequential scan of the key space over a
+// cracked index. Every query cracks the predicate's fringe off the one
+// big unrefined piece, so rows touched per query barely decays, and
+// the convergence-stagnation rule must fire.
+func TestHealthConvergenceStagnation(t *testing.T) {
+	const n = 50_000
+	ix, err := adaptix.New(seqValues(n),
+		adaptix.WithShards(1), // one latch domain: the paper's original setting
+		adaptix.WithHealth(adaptix.HealthOptions{Interval: -1, StagnationWindows: 2}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	ctx := context.Background()
+	// 512 queries fill two convergence windows; each touches the
+	// ~n-sized unrefined tail, so the series stays flat near n.
+	for i := int64(0); i < 512; i++ {
+		if _, err := ix.Count(ctx, i*10, i*10+10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := ix.Health()
+	var conv adaptix.HealthRule
+	for _, r := range rep.Rules {
+		if r.Rule == "convergence-stagnation" {
+			conv = r
+		}
+	}
+	if conv.Status != adaptix.HealthDegraded {
+		t.Fatalf("sequential workload did not trip stagnation: %+v (series %v)",
+			conv, ix.Stats().Convergence.Series)
+	}
+	if conv.Evidence["late_mean_rows"] < 4096 {
+		t.Fatalf("late mean %d too low to have been a real stagnation", conv.Evidence["late_mean_rows"])
+	}
+	if code, _ := getJSON(t, ix, "/health"); code != 503 {
+		t.Fatal("/health not 503 under stagnation")
+	}
+
+	// Contrast: the same index under a uniform workload converges —
+	// the series decays and the rule clears only once the late half
+	// genuinely drops (regression guard for the 80% decay test).
+	cs := ix.Stats().Convergence
+	if len(cs.Series) < 2 || cs.Series[len(cs.Series)-1] < 4096 {
+		t.Fatalf("series %v inconsistent with the degraded verdict", cs.Series)
+	}
+}
+
+// TestConvergenceStatsPopulated checks the Stats().Convergence readout
+// end to end: touched quantiles, the covered-aggregate hit rate, and
+// the per-shard piece profile in ShardStats.
+func TestConvergenceStatsPopulated(t *testing.T) {
+	ix, err := adaptix.New(seqValues(8192), adaptix.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ctx := context.Background()
+	// Broad queries: middle shards are fully covered by the predicate
+	// and answered from aggregates.
+	for i := int64(0); i < 40; i++ {
+		if _, err := ix.Sum(ctx, 10+i, 8000+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := ix.Stats().Convergence
+	if cs.Queries != 40 {
+		t.Fatalf("Convergence.Queries = %d, want 40", cs.Queries)
+	}
+	if cs.TouchedP99 <= 0 {
+		t.Fatal("TouchedP99 not populated")
+	}
+	if cs.Covered == 0 || cs.CoveredFrac <= 0 || cs.CoveredFrac >= 1 {
+		t.Fatalf("covered-aggregate stats = %d/%d frac %.2f, want partial coverage",
+			cs.Covered, cs.Visits, cs.CoveredFrac)
+	}
+	for _, s := range ix.Stats().Shards {
+		if s.Pieces > 1 && (s.MaxPieceFrac <= 0 || s.MaxPieceFrac > 1) {
+			t.Fatalf("shard %d piece profile out of range: %+v", s.Shard, s)
+		}
+		if s.Pieces > 1 && s.PieceEntropy < 0 || s.PieceEntropy > 1 {
+			t.Fatalf("shard %d entropy %f out of [0,1]", s.Shard, s.PieceEntropy)
+		}
+	}
+}
+
+// TestRecoveryStatsExposed checks the recovery-time breakdown: zero
+// for in-memory indexes, populated after a durable reopen.
+func TestRecoveryStatsExposed(t *testing.T) {
+	mem, err := adaptix.New(seqValues(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd := mem.RecoveryStats(); bd != (adaptix.RecoveryBreakdown{}) {
+		t.Fatalf("in-memory RecoveryStats = %+v, want zero", bd)
+	}
+	mem.Close()
+
+	dir := t.TempDir()
+	ix, err := adaptix.Open(dir, adaptix.WithValues(seqValues(2048)), adaptix.WithNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := int64(0); i < 20; i++ {
+		if _, err := ix.Count(ctx, i*50, i*50+100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix.Checkpoint()
+	ix.Close()
+
+	ix, err = adaptix.Open(dir, adaptix.WithNoSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if !ix.Recovered() {
+		t.Fatal("reopen did not recover")
+	}
+	bd := ix.RecoveryStats()
+	if bd.CheckpointLoad <= 0 || bd.WALScan <= 0 || bd.Replay <= 0 {
+		t.Fatalf("recovered breakdown not populated: %+v", bd)
+	}
+}

@@ -82,6 +82,7 @@ func (ix *Index) crackBound(v int64, ctx *opCtx) (pos int, ok bool) {
 	}
 	// p is write-latched and v falls strictly inside it: crack.
 	start := time.Now()
+	ctx.Touched += int64(p.hi - p.lo)
 	switch {
 	case ix.opts.GroupCracking && ix.groupCrack(p, v, &pos):
 		// grouped multi-pivot crack done
@@ -292,6 +293,7 @@ func (ix *Index) crackBoundExclusive(v int64, ctx *opCtx) int {
 		return p.lo
 	}
 	start := time.Now()
+	ctx.Touched += int64(p.hi - p.lo)
 	var pos int
 	if !(ix.opts.Stochastic && ix.stochasticCrack(p, v, &pos)) {
 		pos = ix.arr.CrackInTwo(p.lo, p.hi, v)
@@ -361,6 +363,7 @@ func (ix *Index) crackPair(lo, hi int64, keepMiddle bool, ctx *opCtx) (posLo, po
 		r := <-ch
 		ctx.Wait += r.st.Wait
 		ctx.Crack += r.st.Crack
+		ctx.Touched += r.st.Touched
 		ctx.Conflicts += r.st.Conflicts
 		ctx.Skipped = ctx.Skipped || r.st.Skipped
 		if ctx.err == nil {
@@ -397,6 +400,7 @@ func (ix *Index) crackThreePiece(p *piece, lo, hi int64, keepMiddle bool, ctx *o
 		return 0, 0, nil, false, false
 	}
 	start := time.Now()
+	ctx.Touched += int64(p.hi - p.lo)
 	posLo, posHi = ix.arr.CrackInThree(p.lo, p.hi, lo, hi)
 	ix.mu.Lock()
 	mid = ix.splitThreeLocked(p, lo, hi, posLo, posHi, keepMiddle)
@@ -423,6 +427,7 @@ func (ix *Index) crackPairExclusive(lo, hi int64, ctx *opCtx) (posLo, posHi int)
 	ix.structUnlock()
 	if same {
 		start := time.Now()
+		ctx.Touched += int64(p.hi - p.lo)
 		posLo, posHi = ix.arr.CrackInThree(p.lo, p.hi, lo, hi)
 		ix.structLock()
 		ix.splitThreeLocked(p, lo, hi, posLo, posHi, false)

@@ -204,6 +204,11 @@ type OpStats struct {
 	// chain the query's snapshot read traversed; see internal/epoch).
 	// Zero for a plain cracked column.
 	Epochs int
+	// Touched counts the rows the operation physically visited:
+	// positions partitioned by cracks plus positions scanned to answer
+	// the aggregate. This is the live form of the paper's per-query
+	// cost that decays toward O(result size) as the index converges.
+	Touched int64
 	// Skipped reports that refinement was forgone due to contention.
 	Skipped bool
 }
@@ -485,6 +490,57 @@ func (ix *Index) BoundaryPositions() []BoundaryPosition {
 
 // Stats returns a pointer to the index-wide counters.
 func (ix *Index) Stats() *Stats { return &ix.stats }
+
+// PieceProfile summarizes the piece-size distribution — the
+// convergence shape of the index. A well-cracked index has many
+// near-uniform pieces (entropy near 1, small max fraction); an index
+// stagnating under a sequential workload keeps one dominant piece
+// (max fraction near 1) however many boundaries it accumulates.
+type PieceProfile struct {
+	// Pieces is the piece count (0 before initialization).
+	Pieces int
+	// MaxPiece is the widest piece in rows.
+	MaxPiece int
+	// MaxPieceFrac is MaxPiece as a fraction of all rows (0..1).
+	MaxPieceFrac float64
+	// Entropy is the Shannon entropy of the piece-size distribution
+	// normalized to [0, 1]: 1 means perfectly uniform pieces, values
+	// near 0 mean one piece dominates.
+	Entropy float64
+}
+
+// Profile computes the current piece-size distribution summary by
+// walking the piece list under the structure latch (a cold-path read;
+// cost is O(pieces), no piece latches taken).
+func (ix *Index) Profile() PieceProfile {
+	ix.structLock()
+	defer ix.structUnlock()
+	if !ix.init {
+		return PieceProfile{}
+	}
+	total := ix.arr.Len()
+	pr := PieceProfile{Pieces: ix.pieces}
+	if total == 0 {
+		return pr
+	}
+	var h float64
+	for p := ix.head; p != nil; p = p.next {
+		w := p.hi - p.lo
+		if w <= 0 {
+			continue
+		}
+		if w > pr.MaxPiece {
+			pr.MaxPiece = w
+		}
+		f := float64(w) / float64(total)
+		h -= f * math.Log2(f)
+	}
+	pr.MaxPieceFrac = float64(pr.MaxPiece) / float64(total)
+	if pr.Pieces > 1 {
+		pr.Entropy = h / math.Log2(float64(pr.Pieces))
+	}
+	return pr
+}
 
 // Validate checks every structural invariant of the index and returns
 // an error describing the first violation. It must be called while no

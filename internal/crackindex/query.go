@@ -150,11 +150,13 @@ func (ix *Index) sumBase(oc *opCtx, lo, hi int64) int64 {
 		if !ix.columnReadLock(oc) {
 			return 0
 		}
+		oc.Touched += int64(posHi - posLo)
 		s := ix.arr.Sum(posLo, posHi)
 		ix.columnReadUnlock(oc)
 		return s
 	case LatchNone:
 		posLo, posHi := ix.crackPairExclusive(lo, hi, oc)
+		oc.Touched += int64(posHi - posLo)
 		return ix.arr.Sum(posLo, posHi)
 	default: // LatchPiece
 		posLo, posHi, mid, ok := ix.crackPair(lo, hi, true, oc)
@@ -170,6 +172,7 @@ func (ix *Index) sumBase(oc *opCtx, lo, hi int64) int64 {
 			// to a read latch and aggregate in place (§3.3).
 			ix.traceDowngrade(oc, mid)
 			mid.latch.Downgrade()
+			oc.Touched += int64(posHi - posLo)
 			s := ix.arr.Sum(posLo, posHi)
 			ix.pieceReadUnlock(oc, mid)
 			return s
@@ -242,6 +245,7 @@ func (ix *Index) ensureInit(ctx *opCtx) {
 		ix.mu.Unlock()
 		d := time.Since(start)
 		ctx.Crack += d
+		ctx.Touched += int64(len(ix.base))
 		ix.stats.CrackTime.Add(d)
 		return
 	}
@@ -284,6 +288,7 @@ func (ix *Index) walkPieces(lo int64, posHi int, ctx *opCtx, visit func(start, e
 			end = posHi
 		}
 		if p.lo < end {
+			ctx.Touched += int64(end - p.lo)
 			visit(p.lo, end)
 		}
 		np := p.next // stable under the read latch
@@ -306,6 +311,7 @@ func (ix *Index) fallbackScanPiece(wantSum bool, lo, hi int64, ctx *opCtx) int64
 		if !ix.pieceReadLock(p, ctx) {
 			return 0
 		}
+		ctx.Touched += int64(p.hi - p.lo)
 		res += ix.scanPieceLocked(p, wantSum, lo, hi)
 		np := p.next
 		ix.pieceReadUnlock(ctx, p)
@@ -343,6 +349,7 @@ func (ix *Index) fallbackScanColumn(wantSum bool, lo, hi int64, ctx *opCtx) int6
 	p := ix.findPieceLocked(lo)
 	ix.structUnlock()
 	for p != nil && p.loVal < hi {
+		ctx.Touched += int64(p.hi - p.lo)
 		res += ix.scanPieceLocked(p, wantSum, lo, hi)
 		p = p.next
 	}

@@ -101,7 +101,26 @@ type Column struct {
 	ing       *ingest.Coordinator
 	sink      *wal.FileSink
 	recovered bool
+	recovery  RecoveryBreakdown
 	closed    atomic.Bool
+}
+
+// RecoveryBreakdown is the wall-clock cost of the three Open phases:
+// loading and validating the checkpoint's data snapshot, scanning and
+// folding the structural WAL, and rebuilding the column (warm crack
+// replay plus the logged data tail). Open also publishes the three
+// durations as observer gauges (adaptix_recovery_*_ns), so the cost of
+// the last recovery is scrapeable at /metrics.
+type RecoveryBreakdown struct {
+	// CheckpointLoad is the time spent reading base.snap.
+	CheckpointLoad time.Duration
+	// WALScan is the time spent reading the log segments and folding
+	// them into the recovery catalog.
+	WALScan time.Duration
+	// Replay is the time spent rebuilding the column: shard
+	// partitioning, warm crack-boundary replay, and the logged data
+	// tail.
+	Replay time.Duration
 }
 
 // Open opens the store in dir, creating it (with opts.Values as
@@ -121,10 +140,14 @@ func Open(dir string, opts Options) (*Column, error) {
 		name = "sharded"
 	}
 
+	var bd RecoveryBreakdown
+	t0 := time.Now()
 	values, haveSnap, err := readSnapshot(dir)
 	if err != nil {
 		return nil, err
 	}
+	bd.CheckpointLoad = time.Since(t0)
+	t0 = time.Now()
 	raw, err := wal.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -145,6 +168,8 @@ func Open(dir string, opts Options) (*Column, error) {
 		if err != nil {
 			return nil, fmt.Errorf("durable: recover: %w", err)
 		}
+		bd.WALScan = time.Since(t0)
+		t0 = time.Now()
 		col = shard.NewWithBoundsAndCracks(values, cat.ShardBounds[name], cat.ShardCracks[name], opts.Shard)
 		// Epoch ids must stay monotonic across incarnations: reissuing
 		// low ids would let old-incarnation records in stale segments
@@ -154,8 +179,12 @@ func Open(dir string, opts Options) (*Column, error) {
 		col.AdvanceEpoch(maxRecoveredEpoch(cat, name))
 		replayTail(col, cat.TailWrites[name])
 	} else {
+		bd.WALScan = time.Since(t0)
+		t0 = time.Now()
 		col = shard.New(values, opts.Shard)
 	}
+	bd.Replay = time.Since(t0)
+	opts.Shard.Obs.RecordRecovery(bd.CheckpointLoad, bd.WALScan, bd.Replay)
 
 	sink, err := wal.NewFileSink(dir, wal.SinkOptions{
 		SegmentBytes: opts.SegmentBytes,
@@ -186,7 +215,7 @@ func Open(dir string, opts Options) (*Column, error) {
 		return writeSnapshot(dir, vals, !opts.NoSync)
 	}
 	ing := ingest.New(col, iopts)
-	c := &Column{dir: dir, col: col, ing: ing, sink: sink, recovered: recovered}
+	c := &Column{dir: dir, col: col, ing: ing, sink: sink, recovered: recovered, recovery: bd}
 	// Checkpoint immediately: the fresh log is self-contained from its
 	// first segment, and recovered refinement is re-persisted into it.
 	if !ing.Checkpoint() {
@@ -204,6 +233,11 @@ func (c *Column) Dir() string { return c.dir }
 // data snapshot — in the directory (as opposed to creating a fresh
 // one from Options.Values).
 func (c *Column) Recovered() bool { return c.recovered }
+
+// Recovery returns the wall-clock breakdown of the Open that produced
+// this column (all zeros never occur: even a fresh store pays the
+// three phases, if only to find them empty).
+func (c *Column) Recovery() RecoveryBreakdown { return c.recovery }
 
 // Column returns the underlying sharded column (the read surface;
 // useful for Snapshot, Validate, or wrapping in an Engine).

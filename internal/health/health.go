@@ -1,0 +1,332 @@
+// Package health is the index watchdog: it periodically evaluates a
+// fixed catalog of rules over the observer's instruments — writer-stall
+// tail, epoch-chain depth, sealed-but-unapplied backlog, WAL growth
+// since the last checkpoint, latch-stall storms, and convergence
+// stagnation — and reports readiness as a structured per-rule verdict
+// with the evidence values that produced it.
+//
+// The watchdog is the semantic layer above the raw metrics: a histogram
+// tells you the writer-stall p99 is 80ms; the watchdog tells you that
+// is degraded, why, and since when. Rule transitions are recorded in
+// the flight recorder (EvHealth events), so "when did it go bad?" is
+// answerable after the fact, and the facade serves the latest Report
+// at /health with readiness semantics (HTTP 503 while degraded).
+//
+// Evaluation is cheap (histogram snapshots and a few gauge loads) and
+// allocation is confined to the Report, so Eval can also run
+// synchronously on every /health request — probes always see fresh
+// state, not a stale ticker result.
+package health
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptix/internal/metrics"
+)
+
+// Status is a rule or report verdict.
+type Status string
+
+const (
+	// OK means the rule's thresholds hold.
+	OK Status = "ok"
+	// Degraded means the rule fired; the report carries the evidence.
+	Degraded Status = "degraded"
+)
+
+// Rule names, in evaluation (and flight-recorder ordinal) order.
+const (
+	RuleWriterStall   = "writer-stall-p99"
+	RuleEpochChain    = "epoch-chain-depth"
+	RuleSealedBacklog = "sealed-unapplied-backlog"
+	RuleWALGrowth     = "wal-since-checkpoint"
+	RuleLatchStorm    = "latch-stall-storm"
+	RuleConvergence   = "convergence-stagnation"
+)
+
+// Options tunes the watchdog thresholds. The zero value uses the
+// defaults noted per field.
+type Options struct {
+	// Interval is the background evaluation period (default 5s;
+	// negative disables the background loop — Eval still works on
+	// demand, which is how /health stays accurate without a ticker).
+	Interval time.Duration
+	// WriterStallP99 degrades RuleWriterStall when the writer-park p99
+	// reaches it (default 100ms).
+	WriterStallP99 time.Duration
+	// MaxEpochChain degrades RuleEpochChain when any shard's epoch
+	// chain exceeds this many files (default 32).
+	MaxEpochChain int64
+	// MaxSealedUnapplied degrades RuleSealedBacklog when the total
+	// sealed-but-unapplied epoch files exceed it (default 64).
+	MaxSealedUnapplied int64
+	// MaxWALBytes degrades RuleWALGrowth when WAL bytes since the last
+	// checkpoint exceed it (default 256 MiB).
+	MaxWALBytes int64
+	// LatchStallsPerSec degrades RuleLatchStorm when the latch-stall
+	// rate between evaluations exceeds it (default 1000/s).
+	LatchStallsPerSec float64
+	// StagnationWindows is how many trailing decay-series points the
+	// convergence rule examines (default 8; the rule never fires with
+	// fewer points recorded).
+	StagnationWindows int
+	// StagnationMinRows is the mean rows-touched floor below which the
+	// index counts as converged regardless of trend (default 4096).
+	StagnationMinRows int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval == 0 {
+		o.Interval = 5 * time.Second
+	}
+	if o.WriterStallP99 <= 0 {
+		o.WriterStallP99 = 100 * time.Millisecond
+	}
+	if o.MaxEpochChain <= 0 {
+		o.MaxEpochChain = 32
+	}
+	if o.MaxSealedUnapplied <= 0 {
+		o.MaxSealedUnapplied = 64
+	}
+	if o.MaxWALBytes <= 0 {
+		o.MaxWALBytes = 256 << 20
+	}
+	if o.LatchStallsPerSec <= 0 {
+		o.LatchStallsPerSec = 1000
+	}
+	if o.StagnationWindows <= 0 {
+		o.StagnationWindows = 8
+	}
+	if o.StagnationMinRows <= 0 {
+		o.StagnationMinRows = 4096
+	}
+	return o
+}
+
+// RuleResult is one rule's verdict with its evidence values.
+type RuleResult struct {
+	// Rule is the rule's catalog name.
+	Rule string `json:"rule"`
+	// Status is ok or degraded.
+	Status Status `json:"status"`
+	// Reason explains a degraded verdict ("" when ok).
+	Reason string `json:"reason,omitempty"`
+	// Evidence carries the measured values and thresholds the verdict
+	// derives from (always present, so a scraper can graph the margin
+	// while the rule is still ok).
+	Evidence map[string]int64 `json:"evidence"`
+}
+
+// Report is one full watchdog evaluation.
+type Report struct {
+	// Status is Degraded when any rule fired.
+	Status Status `json:"status"`
+	// When is the evaluation time.
+	When time.Time `json:"when"`
+	// Rules holds every rule's verdict in catalog order.
+	Rules []RuleResult `json:"rules"`
+}
+
+// OK reports whether every rule passed.
+func (r *Report) OK() bool { return r.Status == OK }
+
+// DepthFunc samples the engine state the observer cannot see on its
+// own: the longest per-shard epoch chain and the total
+// sealed-but-unapplied epoch files.
+type DepthFunc func() (maxEpochChain, sealedUnapplied int64)
+
+// Watchdog evaluates the rule catalog over one index's observer. Use
+// New, then Start for background evaluation; Eval works regardless.
+type Watchdog struct {
+	opts  Options
+	ob    *metrics.Observer
+	depth DepthFunc
+
+	last atomic.Pointer[Report]
+
+	mu         sync.Mutex // serializes Eval (rate bookkeeping + transitions)
+	prevStalls int64
+	prevWhen   time.Time
+	wasBad     [6]bool
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// New builds a watchdog over ob. depth may be nil (the epoch rules
+// then evaluate against zero depths and always pass).
+func New(opts Options, ob *metrics.Observer, depth DepthFunc) *Watchdog {
+	return &Watchdog{
+		opts:  opts.withDefaults(),
+		ob:    ob,
+		depth: depth,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Start launches the background evaluation loop (no-op when the
+// interval is negative). Safe to call once; pair with Stop.
+func (w *Watchdog) Start() {
+	w.startOnce.Do(func() {
+		if w.opts.Interval < 0 {
+			close(w.done)
+			return
+		}
+		go func() {
+			defer close(w.done)
+			t := time.NewTicker(w.opts.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-w.stop:
+					return
+				case <-t.C:
+					w.Eval()
+				}
+			}
+		}()
+	})
+}
+
+// Stop terminates the background loop and waits for it to exit.
+// Safe to call without Start and to call twice.
+func (w *Watchdog) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	w.startOnce.Do(func() { close(w.done) }) // never started: nothing to wait for
+	<-w.done
+}
+
+// Last returns the most recent report, evaluating once if none exists
+// yet.
+func (w *Watchdog) Last() Report {
+	if r := w.last.Load(); r != nil {
+		return *r
+	}
+	return w.Eval()
+}
+
+// Eval runs the full rule catalog now, publishes the report, refreshes
+// the epoch-depth gauges, and records rule transitions in the flight
+// recorder.
+func (w *Watchdog) Eval() Report {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	now := time.Now()
+	sum := w.ob.Summary()
+	var maxChain, sealed int64
+	if w.depth != nil {
+		maxChain, sealed = w.depth()
+	}
+	w.ob.SetEpochDepth(maxChain, sealed)
+	walBytes, walRecs := w.ob.WALSince()
+
+	// Latch-stall rate since the previous evaluation.
+	var stallRate float64
+	if !w.prevWhen.IsZero() {
+		if dt := now.Sub(w.prevWhen).Seconds(); dt > 0 {
+			stallRate = float64(sum.LatchStalls-w.prevStalls) / dt
+		}
+	}
+	w.prevStalls = sum.LatchStalls
+	w.prevWhen = now
+
+	rep := Report{Status: OK, When: now, Rules: make([]RuleResult, 0, 6)}
+	add := func(rule string, bad bool, reason string, ev map[string]int64) {
+		r := RuleResult{Rule: rule, Status: OK, Evidence: ev}
+		if bad {
+			r.Status = Degraded
+			r.Reason = reason
+			rep.Status = Degraded
+		}
+		i := len(rep.Rules)
+		rep.Rules = append(rep.Rules, r)
+		if bad != w.wasBad[i] {
+			w.wasBad[i] = bad
+			w.ob.RecordHealth(int64(i), bad)
+		}
+	}
+
+	add(RuleWriterStall,
+		sum.WriterStallP99 >= w.opts.WriterStallP99,
+		fmt.Sprintf("writer-stall p99 %v >= %v", sum.WriterStallP99, w.opts.WriterStallP99),
+		map[string]int64{
+			"p99_ns":       int64(sum.WriterStallP99),
+			"threshold_ns": int64(w.opts.WriterStallP99),
+			"stalls":       sum.WriterStalls,
+		})
+
+	add(RuleEpochChain,
+		maxChain > w.opts.MaxEpochChain,
+		fmt.Sprintf("longest epoch chain %d > %d", maxChain, w.opts.MaxEpochChain),
+		map[string]int64{"max_chain": maxChain, "threshold": w.opts.MaxEpochChain})
+
+	add(RuleSealedBacklog,
+		sealed > w.opts.MaxSealedUnapplied,
+		fmt.Sprintf("sealed-unapplied epochs %d > %d", sealed, w.opts.MaxSealedUnapplied),
+		map[string]int64{"sealed_unapplied": sealed, "threshold": w.opts.MaxSealedUnapplied})
+
+	add(RuleWALGrowth,
+		walBytes > w.opts.MaxWALBytes,
+		fmt.Sprintf("WAL grew %d bytes since last checkpoint (> %d)", walBytes, w.opts.MaxWALBytes),
+		map[string]int64{
+			"bytes_since_checkpoint":   walBytes,
+			"records_since_checkpoint": walRecs,
+			"threshold_bytes":          w.opts.MaxWALBytes,
+		})
+
+	add(RuleLatchStorm,
+		stallRate > w.opts.LatchStallsPerSec,
+		fmt.Sprintf("latch stalls at %.0f/s > %.0f/s", stallRate, w.opts.LatchStallsPerSec),
+		map[string]int64{
+			"stalls_per_sec": int64(stallRate),
+			"threshold":      int64(w.opts.LatchStallsPerSec),
+			"stalls_total":   sum.LatchStalls,
+		})
+
+	series := w.ob.ConvergenceSeries()
+	stag, early, late := stagnating(series, w.opts.StagnationWindows, w.opts.StagnationMinRows)
+	add(RuleConvergence, stag,
+		fmt.Sprintf("rows touched per query not decaying (%d -> %d over %d windows)",
+			early, late, w.opts.StagnationWindows),
+		map[string]int64{
+			"early_mean_rows": early,
+			"late_mean_rows":  late,
+			"min_rows":        w.opts.StagnationMinRows,
+			"windows":         int64(len(series)),
+		})
+
+	w.last.Store(&rep)
+	return rep
+}
+
+// stagnating detects a non-decaying rows-touched series: over the last
+// `windows` points, the late-half mean must have dropped below 80% of
+// the early-half mean (or under minRows outright) to count as
+// converging. Returns the two half-means as evidence.
+func stagnating(series []int64, windows int, minRows int64) (bool, int64, int64) {
+	if len(series) < windows || windows < 2 {
+		return false, 0, 0
+	}
+	tail := series[len(series)-windows:]
+	half := windows / 2
+	var a, b int64
+	for _, v := range tail[:half] {
+		a += v
+	}
+	for _, v := range tail[half:] {
+		b += v
+	}
+	early := a / int64(half)
+	late := b / int64(len(tail)-half)
+	if late <= minRows {
+		return false, early, late
+	}
+	return late*10 >= early*8, early, late
+}

@@ -108,6 +108,9 @@ func (g *Coordinator) checkpointLocked() bool {
 		_ = g.opts.Sink.ReleaseBefore(seg)
 	}
 	g.sinceCkpt.Store(0)
+	// The log prefix before the checkpoint is dead: restart the
+	// WAL-growth gauges the watchdog's wal-since-checkpoint rule reads.
+	g.opts.Obs.ResetWALSince()
 	g.opts.Obs.RecordStructural(metrics.EvCheckpoint, -1, time.Since(t0), 0)
 	return true
 }

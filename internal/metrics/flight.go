@@ -40,6 +40,9 @@ const (
 	EvMerge
 	// EvCheckpoint is a durable checkpoint (Dur = write+sync time).
 	EvCheckpoint
+	// EvHealth is a health-rule transition from the watchdog (A = rule
+	// ordinal, B = 1 when the rule degraded, 0 when it recovered).
+	EvHealth
 )
 
 // String returns the event kind's dump name.
@@ -61,6 +64,8 @@ func (k EventKind) String() string {
 		return "merge"
 	case EvCheckpoint:
 		return "checkpoint"
+	case EvHealth:
+		return "health"
 	default:
 		return "unknown"
 	}

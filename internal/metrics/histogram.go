@@ -82,6 +82,19 @@ func (h *Histogram) Record(v int64) {
 // RecordDuration records d in nanoseconds.
 func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
 
+// recordBucket counts an observation with weight n, without touching
+// the sum — for callers that batch sums separately (the convergence
+// layer drains its packed window sum via addSum) or record a sampled
+// stream with compensating weight.
+func (h *Histogram) recordBucket(v, n int64) { h.buckets[bucketOf(v)].Add(n) }
+
+// addSum folds a batched sum contribution in (pair of recordBucket).
+func (h *Histogram) addSum(v int64) {
+	if v > 0 {
+		h.sum.Add(v)
+	}
+}
+
 // Snapshot copies the current bucket counts. The copy is not a
 // point-in-time atomic cut across buckets (observations racing the
 // copy may or may not be included), but every observation is counted

@@ -91,6 +91,30 @@ type Observer struct {
 	// Durability.
 	fsyncDur    *Histogram
 	commitBatch *Histogram
+
+	// Semantic layer: key-range heatmap, convergence telemetry, and
+	// the depth gauges the health watchdog reads (see convergence.go).
+	// The per-query accumulators are deliberately adjacent inline
+	// atomics, not registry counters, so one query's recordings land
+	// on one cache line; the registry reads them through CounterFunc.
+	// rout and win are packed pair-accumulators drained every window
+	// close into the cold cumulative fields below them.
+	heat         atomic.Pointer[Heatmap]
+	rout         atomic.Int64 // packed: shard visits <<32 | covered hits
+	win          atomic.Int64 // packed: rows-touched sum <<16 | query count
+	winDone      atomic.Int64 // completed ConvWindow-sized windows
+	routVisits   atomic.Int64 // drained visit total (cold)
+	routCovered  atomic.Int64 // drained covered total (cold)
+	queryTouched *Histogram
+	series       [ConvSeriesLen]atomic.Int64 // stored as mean+1; 0 = empty slot
+
+	walSinceBytes   *Gauge
+	walSinceRecords *Gauge
+	chainLenMax     *Gauge
+	sealedUnapplied *Gauge
+	recoverCkptNS   *Gauge
+	recoverScanNS   *Gauge
+	recoverReplayNS *Gauge
 }
 
 // NewObserver builds an observer with its registry and flight
@@ -133,7 +157,23 @@ func NewObserver(o ObserverOptions) *Observer {
 
 		fsyncDur:    reg.Histogram("adaptix_fsync_ns", "WAL fsync latency."),
 		commitBatch: reg.Histogram("adaptix_group_commit_batch_records", "Logical records per group-commit fsync."),
+
+		queryTouched: reg.Histogram("adaptix_query_touched_rows", "Rows physically touched (scanned or cracked) per query."),
+
+		walSinceBytes:   reg.Gauge("adaptix_wal_bytes_since_checkpoint", "WAL bytes appended since the last checkpoint."),
+		walSinceRecords: reg.Gauge("adaptix_wal_records_since_checkpoint", "WAL records appended since the last checkpoint."),
+		chainLenMax:     reg.Gauge("adaptix_epoch_chain_len_max", "Longest per-shard epoch chain (open + sealed files)."),
+		sealedUnapplied: reg.Gauge("adaptix_epoch_sealed_unapplied", "Sealed epoch files not yet group-applied, all shards."),
+		recoverCkptNS:   reg.Gauge("adaptix_recovery_checkpoint_load_ns", "Recovery: checkpoint snapshot load time."),
+		recoverScanNS:   reg.Gauge("adaptix_recovery_wal_scan_ns", "Recovery: WAL segment scan time."),
+		recoverReplayNS: reg.Gauge("adaptix_recovery_crack_replay_ns", "Recovery: crack warm-replay + shard rebuild time."),
 	}
+	reg.CounterFunc("adaptix_shard_visits_total",
+		"Per-query shard visits (covered + indexed).",
+		func() int64 { v, _ := ob.Routing(); return v })
+	reg.CounterFunc("adaptix_covered_shards_total",
+		"Shard visits answered by the covered-aggregate fast path.",
+		func() int64 { _, c := ob.Routing(); return c })
 	ob.sampleEvery.Store(int64(o.SampleEvery))
 	ob.stallNS.Store(int64(o.StallThreshold))
 	return ob

@@ -30,20 +30,22 @@ func (g *Gauge) Load() int64 { return g.v.Load() }
 // Get-or-create registration is mutex-guarded; reading and recording
 // through the returned instruments is lock-free.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
-	help       map[string]string
+	mu           sync.Mutex
+	counters     map[string]*Counter
+	counterFuncs map[string]func() int64
+	gauges       map[string]*Gauge
+	histograms   map[string]*Histogram
+	help         map[string]string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
-		help:       make(map[string]string),
+		counters:     make(map[string]*Counter),
+		counterFuncs: make(map[string]func() int64),
+		gauges:       make(map[string]*Gauge),
+		histograms:   make(map[string]*Histogram),
+		help:         make(map[string]string),
 	}
 }
 
@@ -60,6 +62,20 @@ func (r *Registry) Counter(name, help string) *Counter {
 		r.setHelpLocked(name, help)
 	}
 	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time. It exists for counters a hot path keeps in its own
+// cache-local atomics (so several per-query increments share one
+// cache line) while still appearing in every exposition walk. First
+// registration wins.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.counterFuncs[name]; !ok {
+		r.counterFuncs[name] = fn
+		r.setHelpLocked(name, help)
+	}
 }
 
 // Gauge returns the gauge registered under name, creating it on first
@@ -105,14 +121,19 @@ func (r *Registry) Help(name string) string {
 	return r.help[name]
 }
 
-// VisitCounters calls f for each counter in name order with its
-// current value.
+// VisitCounters calls f for each counter (direct and func-backed) in
+// name order with its current value.
 func (r *Registry) VisitCounters(f func(name string, value int64)) {
 	for _, name := range r.counterNames() {
 		r.mu.Lock()
 		c := r.counters[name]
+		fn := r.counterFuncs[name]
 		r.mu.Unlock()
-		f(name, c.Load())
+		if c != nil {
+			f(name, c.Load())
+		} else {
+			f(name, fn())
+		}
 	}
 }
 
@@ -141,7 +162,17 @@ func (r *Registry) VisitHistograms(f func(name string, snap HistSnapshot)) {
 func (r *Registry) counterNames() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return sortedKeys(r.counters)
+	names := make([]string, 0, len(r.counters)+len(r.counterFuncs))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	for name := range r.counterFuncs {
+		if _, dup := r.counters[name]; !dup {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 func (r *Registry) gaugeNames() []string {

@@ -16,6 +16,9 @@
 //	/snapshot         the live snapshot the facade provides (stats +
 //	                  quantile summary), as JSON — what cmd/adaptixstat
 //	                  scrapes
+//	/health           the watchdog report (per-rule status + evidence)
+//	                  with readiness semantics: HTTP 200 while every
+//	                  rule passes, 503 once any rule degrades
 //	/                 a plain-text route index
 package obs
 
@@ -41,17 +44,22 @@ type Handler struct {
 	// JSON-marshalable live view of the index (the facade passes a
 	// closure over Index.Stats).
 	snapshot func() any
+	// health, when non-nil, supplies the /health payload (the facade
+	// passes a closure over the watchdog's Eval) plus the readiness
+	// verdict that selects the HTTP status code.
+	health func() (any, bool)
 }
 
 // NewHandler builds the handler for ob. snapshot may be nil (the
-// /snapshot route then serves 404).
-func NewHandler(ob *metrics.Observer, snapshot func() any) *Handler {
-	h := &Handler{ob: ob, snapshot: snapshot, mux: http.NewServeMux()}
+// /snapshot route then serves 404), as may health (/health serves 404).
+func NewHandler(ob *metrics.Observer, snapshot func() any, health func() (any, bool)) *Handler {
+	h := &Handler{ob: ob, snapshot: snapshot, health: health, mux: http.NewServeMux()}
 	h.mux.HandleFunc("/", h.serveIndex)
 	h.mux.HandleFunc("/metrics", h.serveMetrics)
 	h.mux.HandleFunc("/debug/vars", h.serveVars)
 	h.mux.HandleFunc("/flight", h.serveFlight)
 	h.mux.HandleFunc("/snapshot", h.serveSnapshot)
+	h.mux.HandleFunc("/health", h.serveHealth)
 	// The pprof handlers from net/http/pprof, mounted explicitly so we
 	// control the mux (importing the package for side effects would
 	// only register on http.DefaultServeMux).
@@ -78,6 +86,7 @@ func (h *Handler) serveIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /debug/pprof/  pprof profiles")
 	fmt.Fprintln(w, "  /flight        flight-recorder dump (JSON)")
 	fmt.Fprintln(w, "  /snapshot      live stats snapshot (JSON)")
+	fmt.Fprintln(w, "  /health        watchdog report (JSON; 503 while degraded)")
 }
 
 // quantiles emitted for every histogram summary.
@@ -189,6 +198,27 @@ func (h *Handler) serveSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, h.snapshot())
+}
+
+// serveHealth evaluates the watchdog and serves the report with
+// readiness semantics: 200 while every rule passes, 503 once any rule
+// degrades, so the route works directly as a Kubernetes-style probe.
+func (h *Handler) serveHealth(w http.ResponseWriter, r *http.Request) {
+	if h.health == nil {
+		http.NotFound(w, r)
+		return
+	}
+	report, ok := h.health()
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	w.Write(append(buf, '\n'))
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -88,6 +88,8 @@ func newTestHandler(t *testing.T) (*metrics.Observer, *Handler) {
 	ob.EnableTracing(true)
 	return ob, NewHandler(ob, func() any {
 		return map[string]any{"rows": 42}
+	}, func() (any, bool) {
+		return map[string]any{"status": "ok"}, true
 	})
 }
 
@@ -200,6 +202,37 @@ func TestFlightAndSnapshotRoutes(t *testing.T) {
 	}
 	if snap["rows"] != float64(42) {
 		t.Fatalf("snapshot rows = %v, want 42", snap["rows"])
+	}
+}
+
+func TestHealthRoute(t *testing.T) {
+	// Healthy: 200 with the report body.
+	_, h := newTestHandler(t)
+	w := get(t, h, "/health")
+	if w.Code != 200 {
+		t.Fatalf("/health status %d, want 200", w.Code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("health report is not valid JSON: %v", err)
+	}
+	if doc["status"] != "ok" {
+		t.Fatalf("health status = %v, want ok", doc["status"])
+	}
+
+	// Degraded: same body shape, readiness code 503.
+	ob := metrics.NewObserver(metrics.ObserverOptions{})
+	bad := NewHandler(ob, nil, func() (any, bool) {
+		return map[string]any{"status": "degraded"}, false
+	})
+	if w := get(t, bad, "/health"); w.Code != 503 {
+		t.Fatalf("degraded /health status %d, want 503", w.Code)
+	}
+
+	// No health source configured: 404.
+	none := NewHandler(ob, nil, nil)
+	if w := get(t, none, "/health"); w.Code != 404 {
+		t.Fatalf("nil-health /health status %d, want 404", w.Code)
 	}
 }
 

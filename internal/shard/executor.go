@@ -69,6 +69,7 @@ func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, 
 	// order (rows/total before min/max) is the reader half of the
 	// ordering contract in update.go.
 	var total int64
+	var covered int64
 	var targets []*part
 	// First shard whose upper bound exceeds lo: the first shard that
 	// can contain values >= lo.
@@ -87,6 +88,7 @@ func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, 
 			} else {
 				total += rows
 			}
+			covered++
 			continue
 		}
 		targets = append(targets, s)
@@ -94,6 +96,7 @@ func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, 
 
 	switch len(targets) {
 	case 0:
+		ob.RecordQueryProfile(lo, hi, covered, covered, 0)
 		ob.RecordQuery(span, 0, 0, 0)
 		return total, merged, nil
 	case 1:
@@ -103,6 +106,7 @@ func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, 
 			return 0, st, err
 		}
 		st.Critical = time.Since(t0)
+		ob.RecordQueryProfile(lo, hi, covered+1, covered, st.Touched)
 		ob.RecordQuery(span, st.Wait, st.Crack, st.Critical)
 		return total + v, st, nil
 	}
@@ -152,6 +156,7 @@ func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, 
 		total += r.val
 		merged.Wait += r.st.Wait
 		merged.Crack += r.st.Crack
+		merged.Touched += r.st.Touched
 		merged.Conflicts += r.st.Conflicts
 		merged.Skipped = merged.Skipped || r.st.Skipped
 		if r.st.Epochs > merged.Epochs {
@@ -166,6 +171,7 @@ func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, 
 			return 0, merged, r.err
 		}
 	}
+	ob.RecordQueryProfile(lo, hi, covered+int64(len(targets)), covered, merged.Touched)
 	ob.RecordQuery(span, merged.Wait, merged.Crack, merged.Critical)
 	return total, merged, nil
 }

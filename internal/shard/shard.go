@@ -439,6 +439,27 @@ func (c *Column) Rows() int {
 // Options returns the column configuration (with defaults applied).
 func (c *Column) Options() Options { return c.opts }
 
+// KeyDomain returns the smallest and largest key the per-shard
+// aggregates currently track (conservative: a deleted extremum leaves
+// the bounds stale-wide, and later inserts can widen them). ok is
+// false while the column is empty. The facade uses this to size the
+// key-range heatmap's fixed buckets.
+func (c *Column) KeyDomain() (lo, hi int64, ok bool) {
+	lo, hi = maxKey, minKey
+	for _, s := range c.m.Load().shards {
+		if s.agg.rows.Load() == 0 {
+			continue
+		}
+		if mn := s.agg.minA.Load(); mn < lo {
+			lo = mn
+		}
+		if mx := s.agg.maxA.Load(); mx > hi {
+			hi = mx
+		}
+	}
+	return lo, hi, lo <= hi
+}
+
 // ShardStat is an observability snapshot of one shard's refinement
 // state.
 type ShardStat struct {
@@ -487,6 +508,16 @@ type ShardStat struct {
 	// partitioning tree that would produce the current piece count
 	// (ceil(log2(Pieces)); 0 for an unrefined shard).
 	Depth int
+	// MaxPiece is the widest index piece in rows (0 until the index
+	// initializes; convergence telemetry).
+	MaxPiece int
+	// MaxPieceFrac is MaxPiece as a fraction of the shard's indexed
+	// rows: near 1 means one unrefined piece still dominates the shard
+	// (the stagnation signature under sequential workloads).
+	MaxPieceFrac float64
+	// PieceEntropy is the normalized Shannon entropy of the
+	// piece-size distribution (1 = perfectly uniform pieces).
+	PieceEntropy float64
 }
 
 // CrackBoundaries returns every shard's current crack boundary values
@@ -624,6 +655,10 @@ func snapshotOf(m *shardMap) []ShardStat {
 			if st.Pieces > 1 {
 				st.Depth = bits.Len(uint(st.Pieces - 1))
 			}
+			pr := s.ix.Profile()
+			st.MaxPiece = pr.MaxPiece
+			st.MaxPieceFrac = pr.MaxPieceFrac
+			st.PieceEntropy = pr.Entropy
 		}
 		out[i] = st
 	}

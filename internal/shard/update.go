@@ -77,6 +77,7 @@ func (c *Column) Insert(ctx context.Context, v int64) error {
 // tell writes captured by a checkpoint snapshot (epoch <= watermark)
 // from writes that must be replayed.
 func (c *Column) InsertEpoch(ctx context.Context, v int64) (int64, error) {
+	c.opts.Obs.RecordWriteKey(v)
 	for {
 		m := c.m.Load()
 		si := m.route(v)
@@ -106,6 +107,7 @@ func (c *Column) DeleteValue(ctx context.Context, v int64) (bool, error) {
 // DeleteValueEpoch is DeleteValue reporting the id of the epoch the
 // anti-matter record landed in (0 when no instance existed).
 func (c *Column) DeleteValueEpoch(ctx context.Context, v int64) (deleted bool, epochID int64, err error) {
+	c.opts.Obs.RecordWriteKey(v)
 	for {
 		m := c.m.Load()
 		si := m.route(v)

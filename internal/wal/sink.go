@@ -56,7 +56,10 @@ type SinkOptions struct {
 	// Obs, when non-nil, receives the latency of every explicit Sync —
 	// the fsync-on-commit and group-commit paths whose tail dominates
 	// write latency (rotation- and close-time syncs are not separately
-	// timed).
+	// timed) — and the WAL-growth gauges: every framed record adds its
+	// on-disk bytes to the since-last-checkpoint counters the watchdog's
+	// wal-since-checkpoint rule watches (the checkpoint writer resets
+	// them).
 	Obs *metrics.Observer
 }
 
@@ -232,6 +235,7 @@ func (s *FileSink) Write(p []byte) (int, error) {
 		return 0, fmt.Errorf("wal: sink: %w", err)
 	}
 	s.size += frame
+	s.opts.Obs.AddWALSince(frame, 1)
 	return len(p), nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"adaptix/internal/amerge"
+	"adaptix/internal/health"
 	"adaptix/internal/hybrid"
 	"adaptix/internal/ingest"
 	"adaptix/internal/metrics"
@@ -81,6 +82,12 @@ type config struct {
 	// is what the option enables.
 	obs     ObsOptions
 	tracing bool
+
+	// Health watchdog (WithHealth). The watchdog itself always exists
+	// — /health and Index.Health evaluate on demand regardless; the
+	// option tunes the thresholds and enables the background loop.
+	health    HealthOptions
+	healthSet bool
 }
 
 // Option configures New and Open.
@@ -335,6 +342,34 @@ func WithObservability(o ObsOptions) Option {
 		c.tracing = true
 		return nil
 	}
+}
+
+// WithHealth tunes the health watchdog's rule thresholds and enables
+// its background evaluation loop (HealthOptions.Interval, default 5s).
+// Every index has a watchdog without it — Index.Health and the
+// endpoint's /health route evaluate the rule catalog on demand either
+// way — but only WithHealth starts periodic evaluation, which is what
+// keeps the flight recorder's health-transition events timely when
+// nobody is scraping.
+func WithHealth(o HealthOptions) Option {
+	return func(c *config) error {
+		if o.StagnationWindows == 1 {
+			return fmt.Errorf("adaptix: WithHealth: StagnationWindows 1 cannot split into early/late halves (use 0 for the default)")
+		}
+		c.health = o
+		c.healthSet = true
+		return nil
+	}
+}
+
+// healthOptions resolves the watchdog configuration: the user's
+// thresholds under WithHealth, otherwise defaults with the background
+// loop disabled (on-demand evaluation only).
+func (c *config) healthOptions() health.Options {
+	if c.healthSet {
+		return c.health
+	}
+	return health.Options{Interval: -1}
 }
 
 func (c *config) setDurableOnly(name string) {
