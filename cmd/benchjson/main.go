@@ -5,15 +5,17 @@
 //
 // Usage:
 //
-//	benchjson [-out BENCH_results.json] [-rows 262144] [-queries 1024] [-seed 42]
+//	benchjson [-out BENCH_results.json] [-rows 262144] [-queries 1024] [-seed 42] [-repeat 1]
 //
 // Each cell builds a fresh index (adaptive state must not leak between
 // cells), drives the query sequence across the cell's client count,
 // and reports queries/sec over the wall-clock of the run and the
 // p50/p99/p999 of the per-query critical-path histogram plus the
-// Figure 15 wait-vs-crack p99 split. Absolute numbers are
-// machine-dependent; the JSON is for comparing runs on the same
-// hardware.
+// Figure 15 wait-vs-crack p99 split. With -repeat N each cell runs N
+// times and the best-throughput run is reported — min-of-N in time
+// terms — which damps scheduler noise when the numbers gate CI.
+// Absolute numbers are machine-dependent; the JSON is for comparing
+// runs on the same hardware.
 package main
 
 import (
@@ -63,7 +65,11 @@ func main() {
 	rows := flag.Int("rows", 1<<18, "base table size")
 	queries := flag.Int("queries", 1024, "query sequence length per cell")
 	seed := flag.Uint64("seed", 42, "workload seed")
+	repeat := flag.Int("repeat", 1, "runs per cell; the best-throughput run is reported")
 	flag.Parse()
+	if *repeat < 1 {
+		*repeat = 1
+	}
 
 	data := adaptix.NewUniqueDataset(*rows, *seed)
 	doc := Doc{
@@ -85,12 +91,19 @@ func main() {
 		{adaptix.AMerge, 4, 0},
 		{adaptix.Hybrid, 4, 0},
 		{adaptix.Sort, 4, 0},
+		{adaptix.Scan, 4, 0},
 	}
 	for _, g := range grid {
-		cell, err := runCell(data.Values, *rows, *queries, *seed, g.method, g.clients, g.writePct)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", cell.Name, err)
-			os.Exit(1)
+		var cell Cell
+		for r := 0; r < *repeat; r++ {
+			c, err := runCell(data.Values, *rows, *queries, *seed, g.method, g.clients, g.writePct)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", c.Name, err)
+				os.Exit(1)
+			}
+			if r == 0 || c.QPS > cell.QPS {
+				cell = c
+			}
 		}
 		fmt.Printf("%-22s %10.0f q/s  p99 %s\n", cell.Name, cell.QPS,
 			time.Duration(cell.CriticalP99))

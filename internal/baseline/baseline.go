@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"adaptix/internal/engine"
+	"adaptix/internal/kernel"
 )
 
 // scanCheckEvery is the number of values scanned between context
@@ -29,22 +30,26 @@ import (
 // of a millisecond of overshoot, rare enough to cost nothing.
 const scanCheckEvery = 1 << 16
 
-// scanVals aggregates the qualifying values of vals, checking ctx
-// periodically.
+// scanVals aggregates the qualifying values of vals with the
+// branch-free chunked kernels, one scanCheckEvery-sized block at a
+// time so the context check stays off the per-value path.
 func scanVals(ctx context.Context, vals []int64, lo, hi int64, wantSum bool) (int64, error) {
 	var res int64
 	done := ctx.Done()
-	for i, v := range vals {
-		if done != nil && i%scanCheckEvery == scanCheckEvery-1 {
+	for len(vals) > 0 {
+		blk := vals
+		if len(blk) > scanCheckEvery {
+			blk = blk[:scanCheckEvery]
+		}
+		if wantSum {
+			res += kernel.SumRange(blk, lo, hi)
+		} else {
+			res += kernel.CountRange(blk, lo, hi)
+		}
+		vals = vals[len(blk):]
+		if done != nil && len(vals) > 0 {
 			if err := ctx.Err(); err != nil {
 				return 0, err
-			}
-		}
-		if v >= lo && v < hi {
-			if wantSum {
-				res += v
-			} else {
-				res++
 			}
 		}
 	}
@@ -207,10 +212,6 @@ func (f *FullSort) Sum(ctx context.Context, lo, hi int64) (engine.Result, error)
 	s := f.ensure(&res)
 	a := sort.Search(len(s), func(i int) bool { return s[i] >= lo })
 	b := sort.Search(len(s), func(i int) bool { return s[i] >= hi })
-	var sum int64
-	for _, v := range s[a:b] {
-		sum += v
-	}
-	res.Value = sum
+	res.Value = kernel.Sum(s[a:b])
 	return res, nil
 }

@@ -19,7 +19,12 @@
 // index) latch the pieces they reorganize or read.
 package cracker
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+
+	"adaptix/internal/kernel"
+)
 
 // Layout selects the physical representation of the cracker array.
 type Layout int
@@ -110,41 +115,38 @@ func (a *Array) CrackInTwo(lo, hi int, pivot int64) int {
 	return crackInTwoSplit(a.vals, a.ids, lo, hi, pivot)
 }
 
+// crackInTwoSplit is a branch-free Lomuto partition. An uncracked
+// piece holds values in random physical order, so the comparison
+// outcome is unpredictable and a branching partition spends most of
+// its time in mispredict stalls; here every element pays the same
+// unconditional swap and the boundary advances by a flag (SETcc), so
+// the loop runs at memory speed regardless of the data.
+//
+// Invariant at the top of iteration i: vals[lo:j) < pivot and
+// vals[j:i) >= pivot. Swapping vals[i] and vals[j] unconditionally
+// preserves it in both cases — if v < pivot the first >=pivot element
+// moves to i and j extends over v; if v >= pivot both touched slots
+// hold >=pivot values and j stays.
 func crackInTwoSplit(vals []int64, ids []uint32, lo, hi int, pivot int64) int {
-	i, j := lo, hi-1
-	for {
-		for i <= j && vals[i] < pivot {
-			i++
-		}
-		for i <= j && vals[j] >= pivot {
-			j--
-		}
-		if i >= j {
-			return i
-		}
-		vals[i], vals[j] = vals[j], vals[i]
-		ids[i], ids[j] = ids[j], ids[i]
-		i++
-		j--
+	j := lo
+	for i := lo; i < hi; i++ {
+		v, id := vals[i], ids[i]
+		vals[i], ids[i] = vals[j], ids[j]
+		vals[j], ids[j] = v, id
+		j += int(b2u(v < pivot))
 	}
+	return j
 }
 
 func crackInTwoPairs(pairs []Pair, lo, hi int, pivot int64) int {
-	i, j := lo, hi-1
-	for {
-		for i <= j && pairs[i].Value < pivot {
-			i++
-		}
-		for i <= j && pairs[j].Value >= pivot {
-			j--
-		}
-		if i >= j {
-			return i
-		}
-		pairs[i], pairs[j] = pairs[j], pairs[i]
-		i++
-		j--
+	j := lo
+	for i := lo; i < hi; i++ {
+		p := pairs[i]
+		pairs[i] = pairs[j]
+		pairs[j] = p
+		j += int(b2u(p.Value < pivot))
 	}
+	return j
 }
 
 // CrackInThree partitions positions [lo, hi) in place into three
@@ -166,45 +168,24 @@ func (a *Array) CrackInThree(lo, hi int, va, vb int64) (posA, posB int) {
 	return crackInThreeSplit(a.vals, a.ids, lo, hi, va, vb)
 }
 
+// crackInThreeSplit runs two branch-free crack-in-two passes instead
+// of a Dutch-national-flag single pass: partition on b, then partition
+// the lower region on a. The flag pass touches each element once but
+// its three-way branch is unpredictable on random piece contents, and
+// the mispredict stalls cost far more than the second pass's extra
+// reads — the two branch-free passes (~1.5 passes of work, since the
+// second covers only the below-b region) run several times faster on
+// an uncracked piece.
 func crackInThreeSplit(vals []int64, ids []uint32, lo, hi int, va, vb int64) (int, int) {
-	// Dutch-national-flag single pass.
-	lp, i, hp := lo, lo, hi-1
-	for i <= hp {
-		v := vals[i]
-		switch {
-		case v < va:
-			vals[i], vals[lp] = vals[lp], vals[i]
-			ids[i], ids[lp] = ids[lp], ids[i]
-			lp++
-			i++
-		case v >= vb:
-			vals[i], vals[hp] = vals[hp], vals[i]
-			ids[i], ids[hp] = ids[hp], ids[i]
-			hp--
-		default:
-			i++
-		}
-	}
-	return lp, hp + 1
+	posB := crackInTwoSplit(vals, ids, lo, hi, vb)
+	posA := crackInTwoSplit(vals, ids, lo, posB, va)
+	return posA, posB
 }
 
 func crackInThreePairs(pairs []Pair, lo, hi int, va, vb int64) (int, int) {
-	lp, i, hp := lo, lo, hi-1
-	for i <= hp {
-		v := pairs[i].Value
-		switch {
-		case v < va:
-			pairs[i], pairs[lp] = pairs[lp], pairs[i]
-			lp++
-			i++
-		case v >= vb:
-			pairs[i], pairs[hp] = pairs[hp], pairs[i]
-			hp--
-		default:
-			i++
-		}
-	}
-	return lp, hp + 1
+	posB := crackInTwoPairs(pairs, lo, hi, vb)
+	posA := crackInTwoPairs(pairs, lo, posB, va)
+	return posA, posB
 }
 
 // CrackMulti partitions positions [lo, hi) on all pivots at once and
@@ -240,60 +221,60 @@ func (a *Array) crackMultiRec(lo, hi int, pivots []int64, out []int) {
 	a.crackMultiRec(pos, hi, pivots[m+1:], out[m+1:])
 }
 
+// b2u converts a bool to 0/1 branch-free (the pairs-layout twin of the
+// helper inside internal/kernel, which only speaks []int64).
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // Sum returns the sum of values at positions [lo, hi).
 func (a *Array) Sum(lo, hi int) int64 {
-	var s int64
 	if a.layout == LayoutPairs {
-		for _, p := range a.pairs[lo:hi] {
-			s += p.Value
+		var s0, s1 int64
+		ps := a.pairs[lo:hi]
+		var j int
+		for ; j+2 <= len(ps); j += 2 {
+			s0 += ps[j].Value
+			s1 += ps[j+1].Value
 		}
-		return s
+		if j < len(ps) {
+			s0 += ps[j].Value
+		}
+		return s0 + s1
 	}
-	for _, v := range a.vals[lo:hi] {
-		s += v
-	}
-	return s
+	return kernel.Sum(a.vals[lo:hi])
 }
 
 // ScanCount counts values v with va <= v < vb among positions [lo, hi)
-// by brute-force scan. Used when refinement is skipped under
-// conflict-avoidance: the piece is read without being reorganized.
+// by predicate scan (branch-free chunked kernel). Used when refinement
+// is skipped under conflict-avoidance: the piece is read without being
+// reorganized.
 func (a *Array) ScanCount(lo, hi int, va, vb int64) int64 {
-	var c int64
 	if a.layout == LayoutPairs {
+		var c int64
 		for _, p := range a.pairs[lo:hi] {
-			if p.Value >= va && p.Value < vb {
-				c++
-			}
+			c += int64(b2u(p.Value >= va) & b2u(p.Value < vb))
 		}
 		return c
 	}
-	for _, v := range a.vals[lo:hi] {
-		if v >= va && v < vb {
-			c++
-		}
-	}
-	return c
+	return kernel.CountRange(a.vals[lo:hi], va, vb)
 }
 
 // ScanSum sums values v with va <= v < vb among positions [lo, hi) by
-// brute-force scan.
+// predicate scan (branch-free chunked kernel).
 func (a *Array) ScanSum(lo, hi int, va, vb int64) int64 {
-	var s int64
 	if a.layout == LayoutPairs {
+		var s int64
 		for _, p := range a.pairs[lo:hi] {
-			if p.Value >= va && p.Value < vb {
-				s += p.Value
-			}
+			v := p.Value
+			s += v & -int64(b2u(v >= va)&b2u(v < vb))
 		}
 		return s
 	}
-	for _, v := range a.vals[lo:hi] {
-		if v >= va && v < vb {
-			s += v
-		}
-	}
-	return s
+	return kernel.SumRange(a.vals[lo:hi], va, vb)
 }
 
 // AppendRowIDs appends the rowIDs at positions [lo, hi) to dst and
@@ -310,22 +291,53 @@ func (a *Array) AppendRowIDs(dst []uint32, lo, hi int) []uint32 {
 }
 
 // AppendRowIDsWhere appends the rowIDs of values v with va <= v < vb
-// among positions [lo, hi) to dst and returns the extended slice.
+// among positions [lo, hi) to dst and returns the extended slice. The
+// predicate is evaluated as one branch-free 64-row mask per chunk; the
+// output loop then walks only the set bits, so sparse matches skip
+// non-qualifying rows entirely instead of testing them one branch at
+// a time.
 func (a *Array) AppendRowIDsWhere(dst []uint32, lo, hi int, va, vb int64) []uint32 {
 	if a.layout == LayoutPairs {
-		for _, p := range a.pairs[lo:hi] {
-			if p.Value >= va && p.Value < vb {
-				dst = append(dst, p.RowID)
+		for start := lo; start < hi; {
+			end := start + kernel.ChunkSize
+			if end > hi {
+				end = hi
 			}
+			m := maskPairs64(a.pairs[start:end], va, vb)
+			for m != 0 {
+				j := bits.TrailingZeros64(m)
+				dst = append(dst, a.pairs[start+j].RowID)
+				m &= m - 1
+			}
+			start = end
 		}
 		return dst
 	}
-	for i := lo; i < hi; i++ {
-		if a.vals[i] >= va && a.vals[i] < vb {
-			dst = append(dst, a.ids[i])
+	for start := lo; start < hi; {
+		end := start + kernel.ChunkSize
+		if end > hi {
+			end = hi
 		}
+		m := kernel.Mask64(a.vals[start:end], va, vb)
+		for m != 0 {
+			j := bits.TrailingZeros64(m)
+			dst = append(dst, a.ids[start+j])
+			m &= m - 1
+		}
+		start = end
 	}
 	return dst
+}
+
+// maskPairs64 is kernel.Mask64 for the pairs layout: bit j of the
+// result is set iff lo <= ps[j].Value < hi (len(ps) <= 64).
+func maskPairs64(ps []Pair, lo, hi int64) uint64 {
+	var m uint64
+	for j := range ps {
+		v := ps[j].Value
+		m |= (b2u(v >= lo) & b2u(v < hi)) << uint(j)
+	}
+	return m
 }
 
 // Sort fully sorts positions [lo, hi) by value (stable order between

@@ -2,6 +2,7 @@ package crackindex
 
 import (
 	"context"
+	"slices"
 	"sort"
 	"time"
 )
@@ -152,26 +153,45 @@ func (ix *Index) groupCrack(p *piece, v int64, pos *int) bool {
 // piece is already small (plain crack suffices). Caller holds p's
 // write latch; *pos receives v's split position.
 func (ix *Index) stochasticCrack(p *piece, v int64, pos *int) bool {
-	min := ix.opts.StochasticMinPiece
-	if min <= 0 {
-		min = 1024
+	minPiece := ix.opts.StochasticMinPiece
+	if minPiece <= 0 {
+		minPiece = 1024
 	}
-	if p.hi-p.lo < min {
+	if p.hi-p.lo < minPiece {
 		return false
 	}
-	// Sample a value from the middle of the piece's physical range;
-	// xorshift on the piece offset keeps this deterministic per state
-	// yet well spread.
+	// Estimate the piece's value quartiles from nine values at hashed
+	// positions and crack at all three alongside the query's own
+	// bound. A single random pivot leaves up to the whole far side of
+	// the piece uncut — and under a sequential sweep the far side is
+	// never touched again, so one unlucky draw pins the worst case
+	// near the plain-cracking one. Three quartile pivots bound the
+	// largest residual chunk near a quarter of the piece with high
+	// probability, whatever physical order earlier partition passes
+	// left behind. The xorshifted offset hash keeps the sampled
+	// positions deterministic per piece state yet well spread.
 	h := uint64(p.lo)*0x9e3779b97f4a7c15 + uint64(p.hi)*0xbf58476d1ce4e5b9
-	h ^= h >> 29
-	r := ix.arr.Value(p.lo + int(h%uint64(p.hi-p.lo)))
-	if r <= p.loVal || r >= p.hiVal || r == v {
-		return false
+	n := uint64(p.hi - p.lo)
+	var s [9]int64
+	for i := range s {
+		h ^= h >> 29
+		h *= 0xff51afd7ed558ccd
+		s[i] = ix.arr.Value(p.lo + int(h%n))
 	}
-	pivots := []int64{v, r}
-	if r < v {
-		pivots[0], pivots[1] = r, v
+	sort.Slice(s[:], func(i, j int) bool { return s[i] < s[j] })
+	pivots := make([]int64, 1, 4)
+	pivots[0] = v
+	for _, r := range [3]int64{s[2], s[4], s[6]} {
+		if r <= p.loVal || r >= p.hiVal || r == v {
+			continue
+		}
+		pivots = append(pivots, r)
 	}
+	if len(pivots) == 1 {
+		return false // every sample degenerate: plain crack
+	}
+	sort.Slice(pivots, func(i, j int) bool { return pivots[i] < pivots[j] })
+	pivots = slices.Compact(pivots)
 	positions := ix.arr.CrackMulti(p.lo, p.hi, pivots)
 	ix.mu.Lock()
 	cur := p
@@ -179,10 +199,11 @@ func (ix *Index) stochasticCrack(p *piece, v int64, pos *int) bool {
 		cur = ix.splitTwoLocked(cur, pv, positions[i])
 	}
 	ix.mu.Unlock()
-	if pivots[0] == v {
-		*pos = positions[0]
-	} else {
-		*pos = positions[1]
+	for i, pv := range pivots {
+		if pv == v {
+			*pos = positions[i]
+			break
+		}
 	}
 	ix.stats.StochasticCracks.Inc()
 	return true
@@ -354,8 +375,13 @@ func (ix *Index) crackPair(lo, hi int64, keepMiddle bool, ctx *opCtx) (posLo, po
 			st  opCtx
 		}
 		ch := make(chan res, 1)
+		// Capture the tag and context values, not ctx itself: a
+		// goroutine closure holding the *opCtx would force every
+		// caller's opCtx to the heap — one allocation per query on
+		// all paths, including the ones that never spawn a goroutine.
+		tag, cctx := ctx.tag, ctx.ctx
 		go func() {
-			sub := opCtx{tag: ctx.tag, ctx: ctx.ctx}
+			sub := opCtx{tag: tag, ctx: cctx}
 			pos, ok := ix.crackBound(hi, &sub)
 			ch <- res{pos, ok, sub}
 		}()

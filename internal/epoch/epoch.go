@@ -45,6 +45,8 @@ package epoch
 import (
 	"sort"
 	"sync"
+
+	"adaptix/internal/kernel"
 )
 
 // File is one epoch: a sorted multiset of pending inserts and
@@ -378,13 +380,11 @@ func CountRange(s []int64, lo, hi int64) int64 {
 	return int64(b - a)
 }
 
-// SumRange sums values in [lo, hi) of a sorted slice.
+// SumRange sums values in [lo, hi) of a sorted slice: two binary
+// searches bound the qualifying run, the unrolled kernel sums it
+// without materializing anything intermediate.
 func SumRange(s []int64, lo, hi int64) int64 {
 	a := sort.Search(len(s), func(i int) bool { return s[i] >= lo })
 	b := sort.Search(len(s), func(i int) bool { return s[i] >= hi })
-	var t int64
-	for _, v := range s[a:b] {
-		t += v
-	}
-	return t
+	return kernel.Sum(s[a:b])
 }

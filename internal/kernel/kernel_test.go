@@ -1,0 +1,209 @@
+package kernel
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// refCount/refSum/refMinMaxSum are the naive scalar references the
+// chunked kernels are differentially tested against.
+func refCount(v []int64, lo, hi int64) int64 {
+	var c int64
+	for _, x := range v {
+		if x >= lo && x < hi {
+			c++
+		}
+	}
+	return c
+}
+
+func refSum(v []int64, lo, hi int64) int64 {
+	var s int64
+	for _, x := range v {
+		if x >= lo && x < hi {
+			s += x
+		}
+	}
+	return s
+}
+
+func refMinMaxSum(v []int64) (int64, int64, int64) {
+	mn, mx, s := int64(math.MaxInt64), int64(math.MinInt64), int64(0)
+	for _, x := range v {
+		s += x
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return mn, mx, s
+}
+
+// checkAll cross-checks every kernel against the scalar reference on
+// one (values, bounds) case.
+func checkAll(t *testing.T, v []int64, lo, hi int64) {
+	t.Helper()
+	if got, want := CountRange(v, lo, hi), refCount(v, lo, hi); got != want {
+		t.Errorf("CountRange(%d values, [%d,%d)) = %d, want %d", len(v), lo, hi, got, want)
+	}
+	if got, want := SumRange(v, lo, hi), refSum(v, lo, hi); got != want {
+		t.Errorf("SumRange(%d values, [%d,%d)) = %d, want %d", len(v), lo, hi, got, want)
+	}
+	var plain int64
+	for _, x := range v {
+		plain += x
+	}
+	if got := Sum(v); got != plain {
+		t.Errorf("Sum(%d values) = %d, want %d", len(v), got, plain)
+	}
+	mn, mx, s := MinMaxSum(v)
+	wmn, wmx, ws := refMinMaxSum(v)
+	if mn != wmn || mx != wmx || s != ws {
+		t.Errorf("MinMaxSum = (%d,%d,%d), want (%d,%d,%d)", mn, mx, s, wmn, wmx, ws)
+	}
+	if Min(v) != wmn || Max(v) != wmx {
+		t.Errorf("Min/Max = (%d,%d), want (%d,%d)", Min(v), Max(v), wmn, wmx)
+	}
+}
+
+func TestKernelsEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		v      []int64
+		lo, hi int64
+	}{
+		{"empty", nil, 0, 10},
+		{"empty-inverted", []int64{}, 10, 0},
+		{"one-in", []int64{5}, 5, 6},
+		{"one-out", []int64{5}, 6, 7},
+		{"max-bound", []int64{math.MaxInt64, math.MaxInt64 - 1, 0, -1}, math.MaxInt64 - 1, math.MaxInt64},
+		{"min-bound", []int64{math.MinInt64, math.MinInt64 + 1, 0}, math.MinInt64, math.MinInt64 + 1},
+		{"full-domain", []int64{math.MinInt64, -7, 0, 7, math.MaxInt64}, math.MinInt64, math.MaxInt64},
+		{"inverted", []int64{1, 2, 3}, 3, 1},
+		{"chunk-exact", seq(ChunkSize), 10, 50},
+		{"chunk-plus-one", seq(ChunkSize + 1), 0, ChunkSize + 1},
+		{"chunk-minus-one", seq(ChunkSize - 1), -5, 5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { checkAll(t, c.v, c.lo, c.hi) })
+	}
+}
+
+func seq(n int) []int64 {
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = int64(i)
+	}
+	return v
+}
+
+func TestMask64(t *testing.T) {
+	v := seq(ChunkSize)
+	m := Mask64(v, 8, 24)
+	for j := range v {
+		want := v[j] >= 8 && v[j] < 24
+		if got := m>>uint(j)&1 == 1; got != want {
+			t.Fatalf("bit %d = %v, want %v", j, got, want)
+		}
+	}
+	// Short chunks leave high bits clear.
+	if m := Mask64(v[:3], math.MinInt64, math.MaxInt64); m != 0b111 {
+		t.Fatalf("short-chunk mask = %b, want 111", m)
+	}
+	if bits.OnesCount64(Mask64(nil, 0, 1)) != 0 {
+		t.Fatal("empty mask not zero")
+	}
+}
+
+// TestDifferentialWorkloads is the property-based harness: the chunked
+// kernels must agree with the scalar reference on every generated
+// workload shape — random, sequential, skewed, duplicate-heavy — for
+// random bounds including extreme ones.
+func TestDifferentialWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gens := map[string]func(n int) []int64{
+		"random": func(n int) []int64 {
+			v := make([]int64, n)
+			for i := range v {
+				v[i] = int64(rng.Uint64())
+			}
+			return v
+		},
+		"sequential": func(n int) []int64 {
+			v := make([]int64, n)
+			for i := range v {
+				v[i] = int64(i) - int64(n/2)
+			}
+			return v
+		},
+		"skewed": func(n int) []int64 {
+			// Zipf-ish: most values near zero, a heavy tail.
+			z := rand.NewZipf(rng, 1.2, 8, uint64(math.MaxUint32))
+			v := make([]int64, n)
+			for i := range v {
+				x := int64(z.Uint64())
+				if rng.Intn(2) == 0 {
+					x = -x
+				}
+				v[i] = x
+			}
+			return v
+		},
+		"duplicate-heavy": func(n int) []int64 {
+			v := make([]int64, n)
+			for i := range v {
+				v[i] = int64(rng.Intn(4)) // 4 distinct values
+			}
+			return v
+		},
+	}
+	bounds := func(v []int64) (int64, int64) {
+		switch rng.Intn(4) {
+		case 0:
+			return math.MinInt64, math.MaxInt64
+		case 1:
+			return math.MaxInt64 - 1, math.MaxInt64
+		default:
+			a, b := int64(rng.Uint64()), int64(rng.Uint64())
+			if len(v) > 0 && rng.Intn(2) == 0 {
+				a, b = v[rng.Intn(len(v))], v[rng.Intn(len(v))]+1
+			}
+			if a > b {
+				a, b = b, a
+			}
+			return a, b
+		}
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{0, 1, 3, ChunkSize - 1, ChunkSize, ChunkSize + 1, 255, 1024, 4097} {
+				v := gen(n)
+				for trial := 0; trial < 8; trial++ {
+					lo, hi := bounds(v)
+					checkAll(t, v, lo, hi)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelsDoNotAllocate pins the kernels' own allocation behavior
+// independently of any caller.
+func TestKernelsDoNotAllocate(t *testing.T) {
+	v := seq(4096)
+	var sink int64
+	if a := testing.AllocsPerRun(50, func() {
+		sink += CountRange(v, 100, 4000)
+		sink += SumRange(v, 100, 4000)
+		sink += Sum(v)
+		mn, mx, s := MinMaxSum(v)
+		sink += mn + mx + s
+	}); a != 0 {
+		t.Fatalf("kernels allocated %.1f times per run, want 0", a)
+	}
+	_ = sink
+}

@@ -42,6 +42,70 @@ type subResult struct {
 	elapsed time.Duration
 }
 
+// queryScratch holds one query's routing and fan-out state. The
+// buffers are pooled and reused across queries, so the warm query path
+// performs no per-query slice allocation at all — the routing loop
+// appends into a slice that already has capacity, and the fan-out
+// result array is resliced rather than remade. The fan-out parameters
+// (ctx, predicate, result slots) live here too so the pool workers run
+// a plain method instead of a closure: a closure would capture the
+// routing slices and force their headers to heap on every query,
+// including the single-target fast path that spawns no goroutine.
+//
+// Ownership rules: the scratch belongs to exactly one query from get
+// to release; worker goroutines write only their own res[i] slot and
+// never touch the scratch past wg.Wait; release clears every pointer
+// so a pooled scratch cannot keep replaced shards, contexts, or errors
+// alive.
+type queryScratch struct {
+	targets []*part
+	res     []subResult
+	wg      sync.WaitGroup
+	ctx     context.Context
+	done    <-chan struct{}
+	wantSum bool
+	lo, hi  int64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+// release clears the pointer-bearing fields and returns the scratch,
+// buffer capacity intact, to the pool.
+func (sc *queryScratch) release() {
+	clear(sc.targets)
+	sc.targets = sc.targets[:0]
+	clear(sc.res)
+	sc.res = sc.res[:0]
+	sc.ctx, sc.done = nil, nil
+	scratchPool.Put(sc)
+}
+
+// runSub is the fan-out worker: one pool-bounded sub-query against
+// targets[i], its result written to the worker's own res[i] slot. A
+// worker whose context is cancelled before it wins a pool slot — or
+// before it starts — skips its shard entirely.
+func (c *Column) runSub(sc *queryScratch, i int) {
+	defer sc.wg.Done()
+	if sc.done != nil {
+		select {
+		case c.sem <- struct{}{}:
+		case <-sc.done:
+			sc.res[i] = subResult{err: sc.ctx.Err()}
+			return
+		}
+	} else {
+		c.sem <- struct{}{}
+	}
+	defer func() { <-c.sem }()
+	if err := sc.ctx.Err(); err != nil {
+		sc.res[i] = subResult{err: err}
+		return
+	}
+	t0 := time.Now()
+	v, st, err := sc.targets[i].sub(sc.ctx, sc.wantSum, sc.lo, sc.hi)
+	sc.res[i] = subResult{val: v, st: st, err: err, elapsed: time.Since(t0)}
+}
+
 func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, crackindex.OpStats, error) {
 	var merged crackindex.OpStats
 	if lo >= hi {
@@ -70,7 +134,9 @@ func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, 
 	// ordering contract in update.go.
 	var total int64
 	var covered int64
-	var targets []*part
+	sc := scratchPool.Get().(*queryScratch)
+	defer sc.release()
+	targets := sc.targets
 	// First shard whose upper bound exceeds lo: the first shard that
 	// can contain values >= lo.
 	start := sort.Search(len(m.bounds), func(i int) bool { return m.bounds[i] > lo })
@@ -93,6 +159,7 @@ func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, 
 		}
 		targets = append(targets, s)
 	}
+	sc.targets = targets // keep any growth for the next query
 
 	switch len(targets) {
 	case 0:
@@ -120,37 +187,23 @@ func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, 
 	// cancelled before it wins a slot — or before it starts — skips its
 	// shard entirely: the remaining sub-queries of a cancelled query
 	// are never executed.
-	res := make([]subResult, len(targets))
-	done := ctx.Done()
-	var wg sync.WaitGroup
+	res := sc.res
+	if cap(res) >= len(targets) {
+		res = res[:len(targets)]
+	} else {
+		res = make([]subResult, len(targets))
+	}
+	sc.res = res
+	sc.ctx, sc.done = ctx, ctx.Done()
+	sc.wantSum, sc.lo, sc.hi = wantSum, lo, hi
 	for i := 1; i < len(targets); i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if done != nil {
-				select {
-				case c.sem <- struct{}{}:
-				case <-done:
-					res[i] = subResult{err: ctx.Err()}
-					return
-				}
-			} else {
-				c.sem <- struct{}{}
-			}
-			defer func() { <-c.sem }()
-			if err := ctx.Err(); err != nil {
-				res[i] = subResult{err: err}
-				return
-			}
-			t0 := time.Now()
-			v, st, err := targets[i].sub(ctx, wantSum, lo, hi)
-			res[i] = subResult{val: v, st: st, err: err, elapsed: time.Since(t0)}
-		}(i)
+		sc.wg.Add(1)
+		go c.runSub(sc, i)
 	}
 	t0 := time.Now()
 	v, st, err := targets[0].sub(ctx, wantSum, lo, hi)
 	res[0] = subResult{val: v, st: st, err: err, elapsed: time.Since(t0)}
-	wg.Wait()
+	sc.wg.Wait()
 
 	for _, r := range res {
 		total += r.val

@@ -49,6 +49,7 @@ import (
 	"adaptix/internal/crackindex"
 	"adaptix/internal/engine"
 	"adaptix/internal/epoch"
+	"adaptix/internal/kernel"
 	"adaptix/internal/metrics"
 	"adaptix/internal/workload"
 )
@@ -341,17 +342,7 @@ func (c *Column) newPart(loVal, hiVal int64, vals []int64, warm []int64) *part {
 	p.agg.minA.Store(maxKey)
 	p.agg.maxA.Store(minKey)
 	if len(vals) > 0 {
-		mn, mx := vals[0], vals[0]
-		var total int64
-		for _, v := range vals {
-			total += v
-			if v < mn {
-				mn = v
-			}
-			if v > mx {
-				mx = v
-			}
-		}
+		mn, mx, total := kernel.MinMaxSum(vals)
 		p.agg.rows.Store(int64(len(vals)))
 		p.agg.total.Store(total)
 		p.agg.minA.Store(mn)

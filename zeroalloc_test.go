@@ -1,0 +1,112 @@
+// The zero-allocation gate of the query hot path: warm Count and Sum
+// must perform exactly 0 heap allocations per query, for every method,
+// including while per-shard epoch chains carry unmerged differential
+// writes. CI runs this test by name (see .github/workflows/ci.yml), so
+// any allocation creeping back into the kernels, the piece walks, the
+// fan-out executor, or the observability recording fails the build.
+package adaptix_test
+
+import (
+	"context"
+	"testing"
+
+	"adaptix"
+)
+
+// allocsWarmMin reports the minimum AllocsPerRun over a few attempts.
+// AllocsPerRun counts process-wide mallocs, so a GC finalizer or a
+// pool repopulation during one attempt can charge a stray allocation
+// to an innocent run; the warm path's own behavior is the minimum a
+// clean window observes.
+func allocsWarmMin(runs int, f func()) float64 {
+	best := -1.0
+	for attempt := 0; attempt < 5; attempt++ {
+		a := testing.AllocsPerRun(runs, f)
+		if best < 0 || a < best {
+			best = a
+		}
+		if best == 0 {
+			break
+		}
+	}
+	return best
+}
+
+func TestQueryPathZeroAlloc(t *testing.T) {
+	const rows = 8192
+	d := adaptix.NewUniqueDataset(rows, 11)
+	lo, hi := int64(1000), int64(1260)
+	ctx := context.Background()
+
+	for _, m := range []adaptix.Method{
+		adaptix.Crack, adaptix.AMerge, adaptix.Hybrid, adaptix.Sort, adaptix.Scan,
+	} {
+		t.Run(m.String(), func(t *testing.T) {
+			ix, err := adaptix.New(d.Values, adaptix.WithMethod(m), adaptix.WithShards(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ix.Close()
+
+			warm := func() {
+				for i := 0; i < 4; i++ {
+					if _, err := ix.Count(ctx, lo, hi); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := ix.Sum(ctx, lo, hi); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			check := func(phase string) {
+				t.Helper()
+				if a := allocsWarmMin(100, func() { ix.Count(ctx, lo, hi) }); a != 0 {
+					t.Errorf("%s: warm Count allocates %.2f per query, want 0", phase, a)
+				}
+				if a := allocsWarmMin(100, func() { ix.Sum(ctx, lo, hi) }); a != 0 {
+					t.Errorf("%s: warm Sum allocates %.2f per query, want 0", phase, a)
+				}
+			}
+
+			warm()
+			check("base")
+
+			// Activate the differential machinery: a handful of routed
+			// writes inside the predicate leave the epoch chain non-empty
+			// (few enough that no group-apply or rebalance triggers), and
+			// the query path must fold the adjustments in without
+			// allocating.
+			for i := int64(0); i < 8; i++ {
+				if err := ix.Insert(ctx, 1100+i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			warm()
+			check("epoch-chain")
+		})
+	}
+}
+
+// TestQueryPathZeroAllocMultiShard pins the sharded routing path: with
+// several shards, a narrow warm query routes to exactly one of them
+// (the scratch-pooled single-target path) and must stay at 0
+// allocations too.
+func TestQueryPathZeroAllocMultiShard(t *testing.T) {
+	const rows = 1 << 14
+	d := adaptix.NewUniqueDataset(rows, 13)
+	lo, hi := int64(300), int64(560)
+	ctx := context.Background()
+	ix, err := adaptix.New(d.Values, adaptix.WithMethod(adaptix.Crack), adaptix.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := ix.Sum(ctx, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a := allocsWarmMin(100, func() { ix.Sum(ctx, lo, hi) }); a != 0 {
+		t.Errorf("warm single-target Sum across 4 shards allocates %.2f per query, want 0", a)
+	}
+}
