@@ -67,6 +67,7 @@ import (
 	"adaptix/internal/metrics"
 	"adaptix/internal/obs"
 	"adaptix/internal/shard"
+	"adaptix/internal/wcapture"
 )
 
 // Index is the unified handle over one adaptively indexed column: one
@@ -80,8 +81,9 @@ type Index struct {
 	ing    *ingest.Coordinator
 	dur    *durable.Column // nil for in-memory indexes
 	eng    engine.Engine
-	obs    *metrics.Observer // always non-nil
-	wd     *health.Watchdog  // always non-nil; background loop under WithHealth
+	obs    *metrics.Observer  // always non-nil
+	wd     *health.Watchdog   // always non-nil; background loop under WithHealth
+	cap    *wcapture.Recorder // always non-nil; recording under WithWorkloadCapture
 
 	closeOnce sync.Once
 	closeErr  error
@@ -104,12 +106,16 @@ func New(values []int64, opts ...Option) (*Index, error) {
 		return nil, errors.New("adaptix: WithValues is for Open; pass the values to New directly")
 	}
 	ob := cfg.newObserver()
-	col := shard.New(values, cfg.shardOptions(ob))
+	cap, err := cfg.newRecorder(ob)
+	if err != nil {
+		return nil, err
+	}
+	col := shard.New(values, cfg.shardOptions(ob, cap))
 	iopts := cfg.ingest
 	iopts.Obs = ob
 	ing := ingest.New(col, iopts)
 	ing.Start()
-	return newIndex(cfg, col, ing, nil, ob), nil
+	return newIndex(cfg, col, ing, nil, ob, cap), nil
 }
 
 // Open opens (or creates) a durable adaptive index in dir: a
@@ -127,9 +133,13 @@ func Open(dir string, opts ...Option) (*Index, error) {
 		return nil, err
 	}
 	ob := cfg.newObserver()
+	cap, err := cfg.newRecorder(ob)
+	if err != nil {
+		return nil, err
+	}
 	dopts := durable.Options{
 		Values:          cfg.values,
-		Shard:           cfg.shardOptions(ob),
+		Shard:           cfg.shardOptions(ob, cap),
 		Ingest:          cfg.ingest,
 		SegmentBytes:    cfg.segmentBytes,
 		CheckpointEvery: cfg.checkpointEvery,
@@ -140,18 +150,22 @@ func Open(dir string, opts ...Option) (*Index, error) {
 	}
 	dur, err := durable.Open(dir, dopts)
 	if err != nil {
+		cap.Close()
 		return nil, err
 	}
-	return newIndex(cfg, dur.Column(), dur.Ingestor(), dur, ob), nil
+	return newIndex(cfg, dur.Column(), dur.Ingestor(), dur, ob, cap), nil
 }
 
-func newIndex(cfg *config, col *shard.Column, ing *ingest.Coordinator, dur *durable.Column, ob *metrics.Observer) *Index {
-	// Size the key-range heatmap to the initial key domain (first-wins:
-	// later inserts outside it clamp to the edge buckets). An empty
-	// index never installs a sketch; recordings stay free no-ops.
+func newIndex(cfg *config, col *shard.Column, ing *ingest.Coordinator, dur *durable.Column, ob *metrics.Observer, cap *wcapture.Recorder) *Index {
+	// Size the key-range heatmap and the workload characterizer to the
+	// initial key domain (first-wins: later inserts outside it clamp to
+	// the edge buckets). An empty index never installs a sketch;
+	// recordings stay free no-ops.
 	if lo, hi, ok := col.KeyDomain(); ok {
 		ob.SetKeyDomain(lo, hi)
+		cap.SetDomain(lo, hi)
 	}
+	cap.SetMethod(uint8(cfg.method))
 	ix := &Index{
 		method: cfg.method,
 		col:    col,
@@ -159,6 +173,7 @@ func newIndex(cfg *config, col *shard.Column, ing *ingest.Coordinator, dur *dura
 		dur:    dur,
 		eng:    engine.NewShardedNamed(col, cfg.method.String()),
 		obs:    ob,
+		cap:    cap,
 	}
 	// The watchdog's epoch-depth sampler reads the live shard snapshot:
 	// the longest per-shard chain and the total sealed-but-unapplied
@@ -235,6 +250,7 @@ func (ix *Index) Stats() Stats {
 		Ingest:      ix.ing.Stats(),
 		Obs:         ix.obs.Summary(),
 		Convergence: ix.convergence(),
+		Workload:    ix.cap.Signature(),
 	}
 }
 
@@ -280,7 +296,8 @@ func (ix *Index) Observe() http.Handler {
 		func() (any, bool) {
 			r := ix.wd.Eval()
 			return r, r.OK()
-		})
+		},
+		func() any { return ix.cap.Signature() })
 }
 
 // FlightDump returns the flight recorder's contents, oldest first: the
@@ -302,6 +319,7 @@ func (ix *Index) ObsSnapshot() ObsSnapshot {
 		Ingest:      st.Ingest,
 		Obs:         st.Obs,
 		Convergence: st.Convergence,
+		Workload:    st.Workload,
 		Heatmap:     ix.obs.Heat(),
 		ShardStats:  st.Shards,
 	}
@@ -327,6 +345,9 @@ type ObsSnapshot struct {
 	// bytes-touched decay series, rows-touched quantiles, and the
 	// covered-aggregate hit rate.
 	Convergence ConvergenceStats `json:"convergence"`
+	// Workload is the live workload signature from the capture
+	// recorder (the zero value unless WithWorkloadCapture armed it).
+	Workload WorkloadStats `json:"workload"`
 	// Heatmap is the key-range access sketch (zero-valued until the
 	// key domain is known, i.e. for an index created empty).
 	Heatmap HeatSnapshot `json:"heatmap"`
@@ -418,9 +439,14 @@ func (ix *Index) Close() error {
 		ix.wd.Stop()
 		if ix.dur != nil {
 			ix.closeErr = ix.dur.Close()
-			return
+		} else {
+			ix.ing.Close()
 		}
-		ix.ing.Close()
+		// Stop capture last so writes flushed by Close are still
+		// recorded, then drain the trace sink.
+		if err := ix.cap.Close(); err != nil && ix.closeErr == nil {
+			ix.closeErr = err
+		}
 	})
 	return ix.closeErr
 }
@@ -452,6 +478,11 @@ type Stats struct {
 	// rows-touched decay series, touched quantiles, and the
 	// covered-aggregate hit rate.
 	Convergence ConvergenceStats
+	// Workload is the live workload signature (read/write mix,
+	// selectivity, locality, sequentiality) the capture recorder has
+	// characterized — the zero value unless WithWorkloadCapture armed
+	// it.
+	Workload WorkloadStats
 }
 
 // newSource builds the per-shard index factory for a method (nil for

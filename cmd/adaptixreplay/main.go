@@ -1,0 +1,228 @@
+// Command adaptixreplay captures and replays workload traces: the
+// command-line face of the wcapture subsystem (see
+// docs/OBSERVABILITY.md, "Workload capture & replay").
+//
+// Capture mode generates a deterministic workload against a fresh
+// index with capture armed and writes the trace file:
+//
+//	adaptixreplay -capture -trace t.trace -rows 200000 -seed 42 \
+//	    -queries 2000 -writefrac 0.1 -pattern uniform -sel 0.01
+//
+// Replay mode regenerates the same dataset from -rows/-seed, rebuilds
+// an index per method, and re-executes the trace, verifying every
+// recorded checksum (exit status 1 on any mismatch):
+//
+//	adaptixreplay -trace t.trace -rows 200000 -seed 42 -method all
+//
+// The determinism contract behind -verify: a trace captured serially
+// (capture mode is serial; SampleEvery is 1) replays exactly — same
+// answers, same found flags — on any method or shard count, because a
+// range aggregate depends only on the logical column contents, which
+// replay reconstructs by re-executing the write prefix in capture
+// order. -pace 1 reproduces the original timing; 0 runs flat out.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adaptix"
+	"adaptix/internal/workload"
+)
+
+func main() {
+	capture := flag.Bool("capture", false, "capture a generated workload instead of replaying")
+	trace := flag.String("trace", "adaptix.trace", "trace file path (written in capture mode, read in replay mode)")
+	rows := flag.Int("rows", 200000, "dataset rows (replay must use the capture run's value)")
+	seed := flag.Uint64("seed", 42, "dataset and workload seed (replay must use the capture run's value)")
+	method := flag.String("method", "all", "method: crack, amerge, hybrid, sort, scan, or all (replay); capture builds this method (all = crack)")
+	shards := flag.Int("shards", 0, "shard count (0: runtime default)")
+	queries := flag.Int("queries", 2000, "capture: operations to generate")
+	writeFrac := flag.Float64("writefrac", 0.1, "capture: fraction of operations that are writes")
+	pattern := flag.String("pattern", "uniform", "capture: query pattern (uniform, seq, zipf)")
+	sel := flag.Float64("sel", 0.01, "capture: query selectivity")
+	pace := flag.Float64("pace", 0, "replay: time-compression factor (1 = original pacing, 0 = flat out)")
+	verify := flag.Bool("verify", true, "replay: check every recorded checksum")
+	flag.Parse()
+
+	var err error
+	if *capture {
+		err = runCapture(*trace, *rows, *seed, *method, *shards, *queries, *writeFrac, *pattern, *sel)
+	} else {
+		err = runReplay(*trace, *rows, *seed, *method, *shards, *pace, *verify)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adaptixreplay: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseMethod maps a method name to its adaptix.Method.
+func parseMethod(s string) (adaptix.Method, error) {
+	for _, m := range []adaptix.Method{
+		adaptix.Crack, adaptix.AMerge, adaptix.Hybrid, adaptix.Sort, adaptix.Scan,
+	} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown method %q (want crack, amerge, hybrid, sort, scan, or all)", s)
+}
+
+// options assembles the common index options for one run.
+func options(m adaptix.Method, shards int, extra ...adaptix.Option) []adaptix.Option {
+	opts := []adaptix.Option{adaptix.WithMethod(m)}
+	if shards > 0 {
+		opts = append(opts, adaptix.WithShards(shards))
+	}
+	return append(opts, extra...)
+}
+
+// runCapture generates a deterministic serial workload against a
+// capture-armed index and leaves the trace at path.
+func runCapture(path string, rows int, seed uint64, method string, shards, queries int, writeFrac float64, pattern string, sel float64) error {
+	m := adaptix.Crack
+	if method != "all" {
+		var err error
+		if m, err = parseMethod(method); err != nil {
+			return err
+		}
+	}
+	domain := int64(rows)
+	var gen workload.Generator
+	switch pattern {
+	case "uniform":
+		gen = workload.NewUniform(workload.Count, domain, sel, seed)
+	case "seq":
+		gen = workload.NewSequential(workload.Count, domain, sel)
+	case "zipf":
+		gen = workload.NewZipf(workload.Count, domain, sel, 1.2, seed)
+	default:
+		return fmt.Errorf("unknown pattern %q (want uniform, seq, zipf)", pattern)
+	}
+
+	d := adaptix.NewUniqueDataset(rows, seed)
+	ix, err := adaptix.New(d.Values, options(m, shards,
+		adaptix.WithWorkloadCapture(adaptix.CaptureOptions{Sink: path}))...)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+
+	// One serial client: the capture the replay determinism contract
+	// covers. Writes interleave per writeFrac — inserts of fresh keys
+	// above the domain, deletes drawn across it (some hit, some miss,
+	// so the delete found-flag checksum is exercised both ways).
+	ctx := context.Background()
+	rng := workload.NewRNG(seed + 1)
+	fresh := domain
+	for i := 0; i < queries; i++ {
+		switch {
+		case rng.Float64() < writeFrac:
+			if rng.Intn(2) == 0 {
+				fresh++
+				if err := ix.Insert(ctx, fresh); err != nil {
+					return err
+				}
+			} else {
+				if _, err := ix.Delete(ctx, rng.Int64n(2*domain)); err != nil {
+					return err
+				}
+			}
+		case i%2 == 0:
+			q := gen.Next()
+			if _, err := ix.Count(ctx, q.Lo, q.Hi); err != nil {
+				return err
+			}
+		default:
+			q := gen.Next()
+			if _, err := ix.Sum(ctx, q.Lo, q.Hi); err != nil {
+				return err
+			}
+		}
+	}
+
+	sig := ix.Workload()
+	if err := ix.Close(); err != nil { // flush the sink before reading back
+		return err
+	}
+	recs, err := adaptix.ReadWorkloadTrace(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("captured %d records to %s (method %s)\n", len(recs), path, m)
+	buf, err := json.MarshalIndent(sig, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload signature: %s\n", buf)
+	if sig.Dropped > 0 {
+		return fmt.Errorf("%d records dropped during capture", sig.Dropped)
+	}
+	return nil
+}
+
+// runReplay re-executes the trace against each requested method and
+// reports per-method throughput and verification results. Any checksum
+// mismatch (or execution error) fails the run.
+func runReplay(path string, rows int, seed uint64, method string, shards int, pace float64, verify bool) error {
+	recs, err := adaptix.ReadWorkloadTrace(path)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("trace %s holds no records", path)
+	}
+	methods := []adaptix.Method{adaptix.Crack, adaptix.AMerge, adaptix.Hybrid, adaptix.Sort, adaptix.Scan}
+	if method != "all" {
+		m, err := parseMethod(method)
+		if err != nil {
+			return err
+		}
+		methods = []adaptix.Method{m}
+	}
+
+	fmt.Printf("replaying %d records from %s (rows=%d seed=%d pace=%g verify=%v)\n",
+		len(recs), path, rows, seed, pace, verify)
+	d := adaptix.NewUniqueDataset(rows, seed)
+	failed := false
+	for _, m := range methods {
+		rep, err := replayOne(d, m, shards, recs, pace, verify)
+		if err != nil {
+			fmt.Printf("  %-7s ERROR: %v\n", m, err)
+			failed = true
+			continue
+		}
+		line := fmt.Sprintf("  %-7s %d records (%d reads / %d writes)  %.0f ops/s  %s",
+			m, rep.Records, rep.Reads, rep.Writes, rep.PerSec, rep.Elapsed.Round(time.Millisecond))
+		if verify {
+			line += fmt.Sprintf("  mismatches=%d", rep.Mismatches)
+		}
+		fmt.Println(line)
+		if rep.Mismatches > 0 {
+			fmt.Printf("          first mismatch: record %d (%s [%d,%d)) got %d want %d\n",
+				rep.First.Index, rep.First.Rec.Kind, rep.First.Rec.Lo, rep.First.Rec.Hi,
+				rep.First.Got, rep.First.Rec.Result)
+			failed = true
+		}
+	}
+	if failed {
+		return fmt.Errorf("replay failed")
+	}
+	return nil
+}
+
+// replayOne rebuilds the dataset's index with one method and replays
+// the trace against it.
+func replayOne(d *adaptix.Dataset, m adaptix.Method, shards int, recs []adaptix.WorkloadRecord, pace float64, verify bool) (adaptix.ReplayReport, error) {
+	ix, err := adaptix.New(d.Values, options(m, shards)...)
+	if err != nil {
+		return adaptix.ReplayReport{}, err
+	}
+	defer ix.Close()
+	return adaptix.ReplayTrace(context.Background(), ix, recs, adaptix.ReplayOptions{Pace: pace, Verify: verify})
+}

@@ -11,8 +11,10 @@
 // until interrupted; counters are shown both as lifetime totals and as
 // per-second rates over the interval. With -top the output is a live
 // dashboard instead: the watchdog's per-rule health verdicts, the
-// key-range heatmap as bar strips, the convergence sparkline (mean
-// rows touched per query window), and a per-shard refinement table.
+// key-range heatmap as bar strips, the live workload signature
+// (read/write mix, selectivity, locality, sequentiality), the
+// convergence sparkline (mean rows touched per query window), and a
+// per-shard refinement table.
 package main
 
 import (
@@ -43,14 +45,14 @@ func main() {
 			os.Exit(1)
 		}
 		now := time.Now()
+		if *watch > 0 {
+			fmt.Print("\033[H\033[2J") // home + clear: redraw in place
+		}
 		if *top {
 			rep, err := scrapeHealth(*addr + "/health")
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "adaptixstat: %v\n", err)
 				os.Exit(1)
-			}
-			if *watch > 0 {
-				fmt.Print("\033[H\033[2J") // home + clear: refresh in place
 			}
 			printTop(snap, rep)
 		} else {
@@ -69,9 +71,6 @@ func main() {
 		}
 		prev, prevAt = &snap, now
 		time.Sleep(*watch)
-		if !*top {
-			fmt.Println()
-		}
 	}
 }
 
@@ -156,6 +155,19 @@ func printTop(s adaptix.ObsSnapshot, rep adaptix.HealthReport) {
 		fmt.Printf("heat    [%d, %d]  bucket=%d\n", h.Lo, h.Hi, h.BucketWidth)
 		fmt.Printf("  reads  %s\n", spark(h.Reads[:]))
 		fmt.Printf("  writes %s\n", spark(h.Writes[:]))
+	}
+
+	// Workload signature: what stream the index is facing, from the
+	// capture recorder's streaming characterizer.
+	wl := s.Workload
+	if wl.Enabled {
+		fmt.Printf("work    %d captured (%d reads / %d writes, %.0f%% wr)  dropped=%d\n",
+			wl.Captured, wl.Reads, wl.Writes, 100*wl.WriteFrac, wl.Dropped)
+		fmt.Printf("  sel p50=%.4f p99=%.4f  jump p50=%d p99=%d  locality=%.2f  seq=%.2f\n",
+			wl.SelectivityP50, wl.SelectivityP99, wl.KeyJumpP50, wl.KeyJumpP99,
+			wl.Locality, wl.SeqScore)
+	} else {
+		fmt.Println("work    capture off (enable with WithWorkloadCapture)")
 	}
 
 	// Convergence: the rows-touched decay series plus the routing

@@ -21,6 +21,7 @@ import (
 	"adaptix/internal/sideways"
 	"adaptix/internal/txn"
 	"adaptix/internal/wal"
+	"adaptix/internal/wcapture"
 	"adaptix/internal/workload"
 )
 
@@ -84,6 +85,29 @@ type (
 	// phases: checkpoint-snapshot load, structural-WAL scan, and column
 	// rebuild (Index.RecoveryStats).
 	RecoveryBreakdown = durable.RecoveryBreakdown
+)
+
+// Workload capture & replay (WithWorkloadCapture, Index.Workload,
+// WorkloadTrace, ReplayTrace, the endpoint's /workload route, and
+// cmd/adaptixreplay).
+type (
+	// WorkloadStats is the live workload signature: read/write mix,
+	// selectivity and width quantiles, inter-query key locality, and
+	// the sequentiality score (Stats.Workload, the /workload route).
+	WorkloadStats = wcapture.Signature
+	// WorkloadRecord is one captured workload record: a query with its
+	// bounds, tag, and answer checksum, or a routed write
+	// (Index.WorkloadTrace, ReadWorkloadTrace).
+	WorkloadRecord = wcapture.Record
+	// ReplayOptions configures ReplayTrace: pacing against the capture
+	// timestamps and checksum verification.
+	ReplayOptions = wcapture.ReplayOptions
+	// ReplayReport summarizes one replay run: records executed,
+	// read/write split, mismatches, and throughput.
+	ReplayReport = wcapture.Report
+	// ReplayMismatch is one replay divergence: a record whose
+	// re-executed result differed from the capture-time checksum.
+	ReplayMismatch = wcapture.Mismatch
 )
 
 // Health watchdog (WithHealth, Index.Health, the endpoint's /health).

@@ -45,6 +45,68 @@ func wantKeys(t *testing.T, what string, raw []byte, want ...string) {
 	}
 }
 
+// workloadKeys is the golden field set of the workload signature block
+// (/snapshot's "workload" and the whole /workload document).
+var workloadKeys = []string{
+	"enabled", "captured", "dropped", "reads", "writes", "write_frac",
+	"width_p50", "width_p99", "selectivity_p50", "selectivity_p99",
+	"key_jump_p50", "key_jump_p99", "locality", "seq_score",
+}
+
+// TestWorkloadGoldenSchema pins the JSON shape of the /workload
+// document on an armed recorder and sanity-checks the characterizer:
+// a read/write mix must show up in the mix fields and the selectivity
+// quantiles once the key domain is known.
+func TestWorkloadGoldenSchema(t *testing.T) {
+	ix, err := adaptix.New(seqValues(4096), adaptix.WithShards(4),
+		adaptix.WithWorkloadCapture(adaptix.CaptureOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ctx := context.Background()
+	for i := int64(0); i < 40; i++ {
+		if _, err := ix.Count(ctx, i*100, i*100+300); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Insert(ctx, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	code, body := getJSON(t, ix, "/workload")
+	if code != 200 {
+		t.Fatalf("/workload status %d", code)
+	}
+	wantKeys(t, "/workload", body, workloadKeys...)
+	var sig adaptix.WorkloadStats
+	if err := json.Unmarshal(body, &sig); err != nil {
+		t.Fatal(err)
+	}
+	if !sig.Enabled {
+		t.Fatal("armed recorder reports enabled=false")
+	}
+	if sig.Reads != 40 || sig.Writes != 40 {
+		t.Fatalf("signature counted %d reads / %d writes, want 40/40", sig.Reads, sig.Writes)
+	}
+	if sig.WriteFrac != 0.5 {
+		t.Fatalf("write_frac = %v, want 0.5", sig.WriteFrac)
+	}
+	if sig.SelectivityP50 <= 0 {
+		t.Fatalf("selectivity_p50 = %v, want > 0 (domain installed at New)", sig.SelectivityP50)
+	}
+	// The stride-100 walk is a sequential sweep: each query's lower
+	// bound lands 200 before the previous query's upper bound, well
+	// within one predicate width (300), so every consecutive pair is a
+	// sequentiality hit.
+	if sig.SeqScore < 0.9 {
+		t.Fatalf("sequential sweep scored seq_score=%v, want >= 0.9", sig.SeqScore)
+	}
+	if sig.Dropped != 0 {
+		t.Fatalf("dropped = %d without a sink, want 0", sig.Dropped)
+	}
+}
+
 // TestSnapshotGoldenSchema pins the JSON shape of the /snapshot and
 // /health documents: these are scraped by cmd/adaptixstat,
 // cmd/crackviz, and external probes, so a renamed or dropped field is
@@ -67,10 +129,11 @@ func TestSnapshotGoldenSchema(t *testing.T) {
 		t.Fatalf("/snapshot status %d", code)
 	}
 	wantKeys(t, "/snapshot", body,
-		"method", "rows", "shards", "ingest", "obs", "convergence", "heatmap", "shard_stats")
+		"method", "rows", "shards", "ingest", "obs", "convergence", "workload", "heatmap", "shard_stats")
 
 	var doc struct {
 		Convergence json.RawMessage   `json:"convergence"`
+		Workload    json.RawMessage   `json:"workload"`
 		Heatmap     json.RawMessage   `json:"heatmap"`
 		ShardStats  []json.RawMessage `json:"shard_stats"`
 	}
@@ -79,6 +142,17 @@ func TestSnapshotGoldenSchema(t *testing.T) {
 	}
 	wantKeys(t, "convergence", doc.Convergence,
 		"series", "touched_p50", "touched_p99", "queries", "visits", "covered", "covered_frac")
+	// The workload block is schema-complete (all zeros) even without
+	// WithWorkloadCapture; TestWorkloadGoldenSchema covers the armed
+	// recorder and the /workload route.
+	wantKeys(t, "workload", doc.Workload, workloadKeys...)
+	var sig adaptix.WorkloadStats
+	if err := json.Unmarshal(doc.Workload, &sig); err != nil {
+		t.Fatal(err)
+	}
+	if sig.Enabled || sig.Captured != 0 {
+		t.Fatalf("capture-disabled index reports workload %+v, want zeros", sig)
+	}
 	wantKeys(t, "heatmap", doc.Heatmap, "lo", "hi", "bucket_width", "reads", "writes")
 	var heat adaptix.HeatSnapshot
 	if err := json.Unmarshal(doc.Heatmap, &heat); err != nil {

@@ -17,6 +17,11 @@ func WithTag(ctx context.Context, tag string) context.Context {
 	return context.WithValue(ctx, tagKey{}, tag)
 }
 
+// Tag returns the query tag ctx carries ("" when none) — the same tag
+// WithTag attached. The workload recorder (internal/wcapture) stamps
+// it into captured records via the shard executor.
+func Tag(ctx context.Context) string { return tagFrom(ctx) }
+
 // tagFrom extracts the query tag from ctx ("" when none).
 func tagFrom(ctx context.Context) string {
 	if ctx == nil {

@@ -65,6 +65,7 @@ import (
 	"adaptix/internal/shard"
 	"adaptix/internal/txn"
 	"adaptix/internal/wal"
+	"adaptix/internal/wcapture"
 )
 
 // Op is one batched write operation (Apply).
@@ -228,6 +229,10 @@ type Stats struct {
 type Coordinator struct {
 	col  *shard.Column
 	opts Options
+	// cap is the column's workload recorder (shard.Options.Capture),
+	// cached so the write path records without re-copying the column
+	// options per write. Nil-safe and usually inactive.
+	cap *wcapture.Recorder
 	// probe reports a conflicting user-transaction lock on the column:
 	// maintenance, being optional structural work done by system
 	// transactions, is skipped while one exists (paper §3.3).
@@ -262,6 +267,7 @@ func New(col *shard.Column, opts Options) *Coordinator {
 	g := &Coordinator{
 		col:    col,
 		opts:   opts,
+		cap:    col.Options().Capture,
 		probe:  opts.Txns.RefinementProbe(opts.Name),
 		notify: make(chan struct{}, 1),
 	}
@@ -309,6 +315,7 @@ func (g *Coordinator) Insert(ctx context.Context, v int64) error {
 		return err
 	}
 	g.logWrite(v, eid, false)
+	g.cap.RecordWrite(v, false, false)
 	g.wrote(1)
 	g.opts.Obs.RecordWrite(span)
 	return nil
@@ -327,6 +334,7 @@ func (g *Coordinator) DeleteValue(ctx context.Context, v int64) (bool, error) {
 	if deleted {
 		g.logWrite(v, eid, true)
 	}
+	g.cap.RecordWrite(v, true, deleted)
 	g.wrote(1)
 	g.opts.Obs.RecordWrite(span)
 	return deleted, nil
@@ -355,12 +363,14 @@ func (g *Coordinator) Apply(ctx context.Context, batch []Op) (deleted int, err e
 				deleted++
 				g.logWrite(op.Value, eid, true)
 			}
+			g.cap.RecordWrite(op.Value, true, ok)
 		} else {
 			eid, err := g.col.InsertEpoch(ctx, op.Value)
 			if err != nil {
 				return deleted, err
 			}
 			g.logWrite(op.Value, eid, false)
+			g.cap.RecordWrite(op.Value, false, false)
 		}
 		g.opts.Obs.RecordWrite(span)
 	}

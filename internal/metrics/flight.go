@@ -43,6 +43,12 @@ const (
 	// EvHealth is a health-rule transition from the watchdog (A = rule
 	// ordinal, B = 1 when the rule degraded, 0 when it recovered).
 	EvHealth
+	// EvCaptureDrop is a workload-capture ring overflow: the sink
+	// drainer fell behind and records were lost (A = records lost when
+	// the burst was first observed, B = total lost so far).
+	// Edge-triggered: one event per loss burst, re-armed by the next
+	// clean drain pass.
+	EvCaptureDrop
 )
 
 // String returns the event kind's dump name.
@@ -66,6 +72,8 @@ func (k EventKind) String() string {
 		return "checkpoint"
 	case EvHealth:
 		return "health"
+	case EvCaptureDrop:
+		return "capture-drop"
 	default:
 		return "unknown"
 	}

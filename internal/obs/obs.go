@@ -19,6 +19,9 @@
 //	/health           the watchdog report (per-rule status + evidence)
 //	                  with readiness semantics: HTTP 200 while every
 //	                  rule passes, 503 once any rule degrades
+//	/workload         the live workload signature from the capture
+//	                  recorder (read/write mix, selectivity, locality,
+//	                  sequentiality), as JSON
 //	/                 a plain-text route index
 package obs
 
@@ -48,18 +51,24 @@ type Handler struct {
 	// passes a closure over the watchdog's Eval) plus the readiness
 	// verdict that selects the HTTP status code.
 	health func() (any, bool)
+	// workload, when non-nil, supplies the /workload payload: the live
+	// workload signature (the facade passes a closure over the capture
+	// recorder's Signature).
+	workload func() any
 }
 
 // NewHandler builds the handler for ob. snapshot may be nil (the
-// /snapshot route then serves 404), as may health (/health serves 404).
-func NewHandler(ob *metrics.Observer, snapshot func() any, health func() (any, bool)) *Handler {
-	h := &Handler{ob: ob, snapshot: snapshot, health: health, mux: http.NewServeMux()}
+// /snapshot route then serves 404), as may health (/health serves 404)
+// and workload (/workload serves 404).
+func NewHandler(ob *metrics.Observer, snapshot func() any, health func() (any, bool), workload func() any) *Handler {
+	h := &Handler{ob: ob, snapshot: snapshot, health: health, workload: workload, mux: http.NewServeMux()}
 	h.mux.HandleFunc("/", h.serveIndex)
 	h.mux.HandleFunc("/metrics", h.serveMetrics)
 	h.mux.HandleFunc("/debug/vars", h.serveVars)
 	h.mux.HandleFunc("/flight", h.serveFlight)
 	h.mux.HandleFunc("/snapshot", h.serveSnapshot)
 	h.mux.HandleFunc("/health", h.serveHealth)
+	h.mux.HandleFunc("/workload", h.serveWorkload)
 	// The pprof handlers from net/http/pprof, mounted explicitly so we
 	// control the mux (importing the package for side effects would
 	// only register on http.DefaultServeMux).
@@ -87,6 +96,7 @@ func (h *Handler) serveIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /flight        flight-recorder dump (JSON)")
 	fmt.Fprintln(w, "  /snapshot      live stats snapshot (JSON)")
 	fmt.Fprintln(w, "  /health        watchdog report (JSON; 503 while degraded)")
+	fmt.Fprintln(w, "  /workload      live workload signature (JSON)")
 }
 
 // quantiles emitted for every histogram summary.
@@ -219,6 +229,18 @@ func (h *Handler) serveHealth(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	w.Write(append(buf, '\n'))
+}
+
+// serveWorkload serves the live workload signature: what kind of
+// query/write stream the index is facing, per the capture recorder's
+// streaming characterizer (schema-complete zeros while capture is
+// disabled).
+func (h *Handler) serveWorkload(w http.ResponseWriter, r *http.Request) {
+	if h.workload == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, h.workload())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -90,6 +90,8 @@ func newTestHandler(t *testing.T) (*metrics.Observer, *Handler) {
 		return map[string]any{"rows": 42}
 	}, func() (any, bool) {
 		return map[string]any{"status": "ok"}, true
+	}, func() any {
+		return map[string]any{"reads": 7}
 	})
 }
 
@@ -224,15 +226,37 @@ func TestHealthRoute(t *testing.T) {
 	ob := metrics.NewObserver(metrics.ObserverOptions{})
 	bad := NewHandler(ob, nil, func() (any, bool) {
 		return map[string]any{"status": "degraded"}, false
-	})
+	}, nil)
 	if w := get(t, bad, "/health"); w.Code != 503 {
 		t.Fatalf("degraded /health status %d, want 503", w.Code)
 	}
 
 	// No health source configured: 404.
-	none := NewHandler(ob, nil, nil)
+	none := NewHandler(ob, nil, nil, nil)
 	if w := get(t, none, "/health"); w.Code != 404 {
 		t.Fatalf("nil-health /health status %d, want 404", w.Code)
+	}
+}
+
+func TestWorkloadRoute(t *testing.T) {
+	_, h := newTestHandler(t)
+	w := get(t, h, "/workload")
+	if w.Code != 200 {
+		t.Fatalf("/workload status %d, want 200", w.Code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("workload signature is not valid JSON: %v", err)
+	}
+	if doc["reads"] != float64(7) {
+		t.Fatalf("workload reads = %v, want 7", doc["reads"])
+	}
+
+	// No workload source configured: 404.
+	ob := metrics.NewObserver(metrics.ObserverOptions{})
+	none := NewHandler(ob, nil, nil, nil)
+	if w := get(t, none, "/workload"); w.Code != 404 {
+		t.Fatalf("nil-workload /workload status %d, want 404", w.Code)
 	}
 }
 

@@ -165,6 +165,7 @@ func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, 
 	case 0:
 		ob.RecordQueryProfile(lo, hi, covered, covered, 0)
 		ob.RecordQuery(span, 0, 0, 0)
+		c.capture(ctx, wantSum, lo, hi, total, 0, 0)
 		return total, merged, nil
 	case 1:
 		t0 := time.Now()
@@ -175,6 +176,7 @@ func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, 
 		st.Critical = time.Since(t0)
 		ob.RecordQueryProfile(lo, hi, covered+1, covered, st.Touched)
 		ob.RecordQuery(span, st.Wait, st.Crack, st.Critical)
+		c.capture(ctx, wantSum, lo, hi, total+v, st.Touched, st.Epochs)
 		return total + v, st, nil
 	}
 
@@ -226,7 +228,19 @@ func (c *Column) query(ctx context.Context, wantSum bool, lo, hi int64) (int64, 
 	}
 	ob.RecordQueryProfile(lo, hi, covered+int64(len(targets)), covered, merged.Touched)
 	ob.RecordQuery(span, merged.Wait, merged.Crack, merged.Critical)
+	c.capture(ctx, wantSum, lo, hi, total, merged.Touched, merged.Epochs)
 	return total, merged, nil
+}
+
+// capture hands one successful query to the workload recorder: bounds,
+// the answer (the replay checksum), touched rows, epoch depth, and the
+// ctx query tag. The inactive path is a nil check plus one atomic
+// load, so it rides every query inside the 0-alloc and overhead gates;
+// the tag's ctx.Value lookup is paid only when capture is on.
+func (c *Column) capture(ctx context.Context, wantSum bool, lo, hi, result, touched int64, epochs int) {
+	if cr := c.opts.Capture; cr.Active() {
+		cr.RecordRead(crackindex.Tag(ctx), wantSum, lo, hi, result, touched, epochs)
+	}
 }
 
 // sub runs one per-shard sub-query with the predicate clamped to the

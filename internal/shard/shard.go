@@ -51,6 +51,7 @@ import (
 	"adaptix/internal/epoch"
 	"adaptix/internal/kernel"
 	"adaptix/internal/metrics"
+	"adaptix/internal/wcapture"
 	"adaptix/internal/workload"
 )
 
@@ -96,6 +97,12 @@ type Options struct {
 	// durations. It is also propagated into every per-shard cracked
 	// index (Index.Obs) so latch waits are observed at the source.
 	Obs *metrics.Observer
+	// Capture, when non-nil and active, receives the workload stream:
+	// every successful query's bounds, ctx tag, answer checksum,
+	// touched rows, and epoch depth (the write-side records come from
+	// internal/ingest). Nil-safe and disabled-by-default — the facade
+	// threads a recorder through unconditionally.
+	Capture *wcapture.Recorder
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,142 @@
+// Concurrency gate of the capture tap, run under -race in CI: readers,
+// writers, structural rebalancing, and signature/retention observers
+// all hammer one recorder at once while the sink drains to disk. The
+// assertions pin the accounting invariant — every pushed record is
+// eventually persisted or counted dropped, never lost silently and
+// never duplicated.
+package wcapture_test
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"adaptix/internal/crackindex"
+	"adaptix/internal/ingest"
+	"adaptix/internal/metrics"
+	"adaptix/internal/shard"
+	"adaptix/internal/wcapture"
+)
+
+func TestConcurrentCaptureUnderRace(t *testing.T) {
+	const rows = 16384
+	values := make([]int64, rows)
+	for i := range values {
+		values[i] = int64(i)
+	}
+	ob := metrics.NewObserver(metrics.ObserverOptions{})
+	trace := filepath.Join(t.TempDir(), "race.trace")
+	rec, err := wcapture.New(wcapture.Options{Ring: 4096, Sink: trace}, true, ob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.SetMethod(1)
+	col := shard.New(values, shard.Options{Shards: 4, Obs: ob, Capture: rec})
+	if lo, hi, ok := col.KeyDomain(); ok {
+		rec.SetDomain(lo, hi)
+	}
+	g := ingest.New(col, ingest.Options{})
+	g.Start()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+
+	// Readers: tagged range queries roaming the key space.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			qctx := crackindex.WithTag(ctx, "racer")
+			for i := 0; i < 300; i++ {
+				lo := int64((i*97 + id*131) % rows)
+				if i%2 == 0 {
+					if _, _, err := col.Count(qctx, lo, lo+256); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					if _, _, err := col.Sum(qctx, lo, lo+256); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Writers: inserts of fresh keys and deletes of existing ones.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				if i%2 == 0 {
+					if err := g.Insert(ctx, int64(rows+id*1000+i)); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					if _, err := g.DeleteValue(ctx, int64((i*193+id*777)%rows)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Rebalancer: group-applies plus explicit split/merge churn, so
+	// capture races against shard-map republication.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			g.Maintain()
+			col.SplitShard(i % col.NumShards())
+			col.MergeShards(0)
+		}
+	}()
+
+	// Observers: retention dumps and signature reads during capture.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			rec.Retained()
+			sig := rec.Signature()
+			if sig.Captured != sig.Reads+sig.Writes {
+				t.Errorf("signature split %d+%d != %d", sig.Reads, sig.Writes, sig.Captured)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	g.Close()
+	sig := rec.Signature()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const reads, writes = 3 * 300, 2 * 300
+	if sig.Reads != reads || sig.Writes != writes {
+		t.Fatalf("signature reads/writes = %d/%d, want %d/%d", sig.Reads, sig.Writes, reads, writes)
+	}
+	recs, err := wcapture.ReadTrace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(len(recs)) + rec.Dropped(); got != reads+writes {
+		t.Fatalf("persisted %d + dropped %d = %d, want %d (every record accounted)",
+			len(recs), rec.Dropped(), got, reads+writes)
+	}
+	for i, r := range recs {
+		if r.Kind < wcapture.RecCount || r.Kind > wcapture.RecDelete {
+			t.Fatalf("trace record %d has unknown kind %d", i, r.Kind)
+		}
+		if r.IsRead() && r.Tag != 0 && r.Hi-r.Lo != 256 {
+			t.Fatalf("trace record %d: tagged read with width %d, want 256", i, r.Hi-r.Lo)
+		}
+	}
+}

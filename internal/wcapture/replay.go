@@ -1,0 +1,157 @@
+// The deterministic replayer: re-execute a captured trace against any
+// engine configuration, at original or accelerated pacing, verifying
+// each read's answer against the checksum recorded at capture time.
+//
+// Determinism contract: replaying a trace captured serially (one
+// client, SampleEvery 1) against a target built over the same logical
+// dataset reproduces every recorded checksum exactly, for any method,
+// shard count, or option set — the answer to a count/sum depends only
+// on the logical contents, and the logical contents at record i depend
+// only on the write prefix records[0:i], which replay re-executes in
+// capture order. Traces captured from concurrent clients interleave at
+// ring-claim order, which may differ from the engine's linearization
+// order; replaying them is still valid load (and the write/read mix is
+// preserved), but per-record checksum verification is only meaningful
+// for serial captures — run Replay with Verify false for concurrent
+// ones.
+package wcapture
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Target is the replay execution surface: any engine that can answer
+// the four record kinds. The facade's Index satisfies it via a thin
+// adapter (adaptix.ReplayTrace), as do raw shard.Column+ingest
+// pairings in internal/experiments — keeping this package free of
+// engine dependencies.
+type Target interface {
+	// Count evaluates select count(*) where lo <= A < hi.
+	Count(ctx context.Context, lo, hi int64) (int64, error)
+	// Sum evaluates select sum(A) where lo <= A < hi.
+	Sum(ctx context.Context, lo, hi int64) (int64, error)
+	// Insert adds one logical instance of v.
+	Insert(ctx context.Context, v int64) error
+	// Delete removes one logical instance of v, reporting whether one
+	// existed.
+	Delete(ctx context.Context, v int64) (bool, error)
+}
+
+// ReplayOptions configures one Replay run.
+type ReplayOptions struct {
+	// Pace is the time-compression factor against the capture
+	// timestamps: 1 reproduces the original inter-record gaps, 2 runs
+	// twice as fast, 0 (the default) replays as fast as the target
+	// allows.
+	Pace float64
+	// Verify compares every read's answer (and every delete's found
+	// flag) against the checksum recorded at capture time, reporting
+	// mismatches in the Report.
+	Verify bool
+}
+
+// Mismatch is one replay divergence: a record whose re-executed result
+// differed from the capture-time checksum.
+type Mismatch struct {
+	// Index is the record's position in the replayed trace.
+	Index int
+	// Rec is the trace record (Rec.Result holds the expected value).
+	Rec Record
+	// Got is the result replay observed.
+	Got int64
+}
+
+// Report summarizes one Replay run.
+type Report struct {
+	// Records is the number of trace records executed.
+	Records int
+	// Reads and Writes split Records by operation class.
+	Reads, Writes int
+	// Mismatches counts verification failures (0 when Verify is off).
+	Mismatches int
+	// First is the first mismatch observed (nil when none).
+	First *Mismatch
+	// Elapsed is the wall-clock replay duration.
+	Elapsed time.Duration
+	// PerSec is Records/Elapsed in operations per second.
+	PerSec float64
+}
+
+// Replay re-executes recs against t in capture order. With
+// ReplayOptions.Pace non-zero the capture timestamps pace the run;
+// with Verify every read and delete is checked against its recorded
+// checksum. Execution stops on the first target or context error (the
+// partial Report is still returned); mismatches never stop the run.
+func Replay(ctx context.Context, recs []Record, t Target, o ReplayOptions) (rep Report, err error) {
+	start := time.Now()
+	var base int64
+	if len(recs) > 0 {
+		base = recs[0].T
+	}
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+		rep.Elapsed = time.Since(start)
+		if rep.Records > 0 && rep.Elapsed > 0 {
+			rep.PerSec = float64(rep.Records) / rep.Elapsed.Seconds()
+		}
+	}()
+	for i, rec := range recs {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		if o.Pace > 0 {
+			due := start.Add(time.Duration(float64(rec.T-base) / o.Pace))
+			if wait := time.Until(due); wait > 0 {
+				if timer == nil {
+					timer = time.NewTimer(wait)
+				} else {
+					timer.Reset(wait)
+				}
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					return rep, ctx.Err()
+				}
+			}
+		}
+		var got int64
+		var err error
+		switch rec.Kind {
+		case RecCount:
+			got, err = t.Count(ctx, rec.Lo, rec.Hi)
+			rep.Reads++
+		case RecSum:
+			got, err = t.Sum(ctx, rec.Lo, rec.Hi)
+			rep.Reads++
+		case RecInsert:
+			err = t.Insert(ctx, rec.Lo)
+			got = rec.Result // inserts carry no checksum
+			rep.Writes++
+		case RecDelete:
+			var found bool
+			found, err = t.Delete(ctx, rec.Lo)
+			if found {
+				got = 1
+			}
+			rep.Writes++
+		default:
+			return rep, fmt.Errorf("wcapture: record %d: unknown kind %d", i, rec.Kind)
+		}
+		if err != nil {
+			return rep, fmt.Errorf("wcapture: record %d (%s): %w", i, rec.Kind, err)
+		}
+		rep.Records++
+		if o.Verify && got != rec.Result {
+			rep.Mismatches++
+			if rep.First == nil {
+				rep.First = &Mismatch{Index: i, Rec: rec, Got: got}
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,195 @@
+// The on-disk trace format and its sink: fixed-width binary records
+// behind a small self-identifying header, append-only, size-rotated.
+//
+// Layout (all little-endian):
+//
+//	header (32 bytes)   magic "AXWTRC01" | domainLo int64 |
+//	                    domainHi int64 | reserved 8 bytes
+//	records (48 bytes)  meta uint64 (kind<<56|method<<48|epochs<<32|tag)
+//	                    | t | lo | hi | result | touched (int64 each)
+//
+// The header's domain fields are advisory (the key domain known when
+// the file was started; replay regenerates its dataset from rows+seed
+// and does not need them). A truncated final record — the process died
+// mid-append — is ignored by the reader, so a trace interrupted at any
+// byte is still loadable up to the last complete record.
+package wcapture
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+const (
+	// recordSize is the fixed encoded size of one trace record.
+	recordSize = 48
+	// headerSize is the fixed trace file header size.
+	headerSize = 32
+)
+
+// traceMagic identifies a workload trace file and its format version.
+var traceMagic = [8]byte{'A', 'X', 'W', 'T', 'R', 'C', '0', '1'}
+
+// encode writes the record's fixed-width form into b.
+func (r Record) encode(b *[recordSize]byte) {
+	meta := uint64(r.Kind)<<56 | uint64(r.Method)<<48 |
+		uint64(r.Epochs)<<32 | uint64(r.Tag)
+	binary.LittleEndian.PutUint64(b[0:], meta)
+	binary.LittleEndian.PutUint64(b[8:], uint64(r.T))
+	binary.LittleEndian.PutUint64(b[16:], uint64(r.Lo))
+	binary.LittleEndian.PutUint64(b[24:], uint64(r.Hi))
+	binary.LittleEndian.PutUint64(b[32:], uint64(r.Result))
+	binary.LittleEndian.PutUint64(b[40:], uint64(r.Touched))
+}
+
+// decodeRecord parses one fixed-width record from b (len >= recordSize).
+func decodeRecord(b []byte) Record {
+	meta := binary.LittleEndian.Uint64(b[0:])
+	return Record{
+		Kind:    RecKind(meta >> 56),
+		Method:  uint8(meta >> 48),
+		Epochs:  uint16(meta >> 32),
+		Tag:     uint32(meta),
+		T:       int64(binary.LittleEndian.Uint64(b[8:])),
+		Lo:      int64(binary.LittleEndian.Uint64(b[16:])),
+		Hi:      int64(binary.LittleEndian.Uint64(b[24:])),
+		Result:  int64(binary.LittleEndian.Uint64(b[32:])),
+		Touched: int64(binary.LittleEndian.Uint64(b[40:])),
+	}
+}
+
+// traceSink is the size-rotated trace file writer, owned by the
+// drainer goroutine (single-writer; no locking).
+type traceSink struct {
+	path     string
+	maxBytes int64
+	f        *os.File
+	w        *bufio.Writer
+	written  int64
+	domainLo int64
+	domainHi int64
+	buf      [recordSize]byte
+}
+
+// newTraceSink creates (truncating) the trace file at path and writes
+// its header.
+func newTraceSink(path string, maxBytes int64) (*traceSink, error) {
+	s := &traceSink{path: path, maxBytes: maxBytes}
+	if err := s.open(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// open starts a fresh trace file at s.path and writes the header.
+func (s *traceSink) open() error {
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	s.w = bufio.NewWriterSize(f, 1<<16)
+	var hdr [headerSize]byte
+	copy(hdr[:], traceMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(s.domainLo))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(s.domainHi))
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	s.written = headerSize
+	return nil
+}
+
+// append encodes and appends one record, rotating first when the file
+// has exceeded maxBytes.
+func (s *traceSink) append(rec Record) error {
+	if s.maxBytes > 0 && s.written+recordSize > s.maxBytes {
+		if err := s.rotate(); err != nil {
+			return err
+		}
+	}
+	rec.encode(&s.buf)
+	if _, err := s.w.Write(s.buf[:]); err != nil {
+		return err
+	}
+	s.written += recordSize
+	return nil
+}
+
+// rotate renames the current file to path+".1" (replacing any earlier
+// rotation) and starts a fresh one, so disk use stays bounded at about
+// twice maxBytes while the newest full rotation is always retained.
+func (s *traceSink) rotate() error {
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(s.path, s.path+".1"); err != nil {
+		return err
+	}
+	return s.open()
+}
+
+// close flushes and closes the sink.
+func (s *traceSink) close() error {
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// ReadTrace loads a captured trace from path, oldest record first. If
+// a rotated predecessor path+".1" exists its records are returned
+// first, so a rotation boundary is invisible to the caller. A
+// truncated final record (crash mid-append) is dropped silently; a
+// missing or malformed header is an error.
+func ReadTrace(path string) ([]Record, error) {
+	var out []Record
+	if _, err := os.Stat(path + ".1"); err == nil {
+		recs, err := readTraceFile(path + ".1")
+		if err != nil {
+			return nil, fmt.Errorf("wcapture: rotated trace %s.1: %w", path, err)
+		}
+		out = recs
+	}
+	recs, err := readTraceFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wcapture: trace %s: %w", path, err)
+	}
+	return append(out, recs...), nil
+}
+
+// readTraceFile loads one trace file.
+func readTraceFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("short header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != traceMagic {
+		return nil, fmt.Errorf("bad magic %q (not a workload trace?)", hdr[:8])
+	}
+	var out []Record
+	var buf [recordSize]byte
+	for {
+		_, err := io.ReadFull(br, buf[:])
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return out, nil // clean end, or a truncated tail record
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, decodeRecord(buf[:]))
+	}
+}

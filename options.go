@@ -10,6 +10,7 @@ import (
 	"adaptix/internal/ingest"
 	"adaptix/internal/metrics"
 	"adaptix/internal/shard"
+	"adaptix/internal/wcapture"
 )
 
 // Method selects the adaptive-indexing algorithm behind an Index. All
@@ -88,6 +89,13 @@ type config struct {
 	// option tunes the thresholds and enables the background loop.
 	health    HealthOptions
 	healthSet bool
+
+	// Workload capture (WithWorkloadCapture). The recorder itself
+	// always exists — Stats().Workload and /workload serve a
+	// schema-complete zero signature regardless; the option is what
+	// arms recording (and the optional on-disk trace).
+	capture    CaptureOptions
+	captureSet bool
 }
 
 // Option configures New and Open.
@@ -107,16 +115,29 @@ func buildConfig(opts []Option) (*config, error) {
 }
 
 // shardOptions resolves the shard.Options for the configured method;
-// ob is threaded down so every layer under the column records into the
-// handle's one observer.
-func (c *config) shardOptions(ob *metrics.Observer) shard.Options {
+// ob and cap are threaded down so every layer under the column records
+// into the handle's one observer and one workload recorder.
+func (c *config) shardOptions(ob *metrics.Observer, cap *wcapture.Recorder) shard.Options {
 	s := c.shard
 	if c.shards != 0 {
 		s.Shards = c.shards
 	}
 	s.Source = c.newSource()
 	s.Obs = ob
+	s.Capture = cap
 	return s
+}
+
+// newRecorder builds the handle's workload recorder: armed (ring,
+// sampling, optional sink) under WithWorkloadCapture, otherwise a
+// disabled recorder that still serves the zero signature.
+func (c *config) newRecorder(ob *metrics.Observer) (*wcapture.Recorder, error) {
+	return wcapture.New(wcapture.Options{
+		SampleEvery: c.capture.SampleEvery,
+		Ring:        c.capture.Ring,
+		Sink:        c.capture.Sink,
+		MaxBytes:    c.capture.MaxBytes,
+	}, c.captureSet, ob)
 }
 
 // newObserver builds the handle's observer from the resolved config.
@@ -340,6 +361,55 @@ func WithObservability(o ObsOptions) Option {
 		}
 		c.obs = o
 		c.tracing = true
+		return nil
+	}
+}
+
+// CaptureOptions tunes the workload recorder (WithWorkloadCapture).
+// Zero values take the defaults noted on each field.
+type CaptureOptions struct {
+	// SampleEvery captures 1 in N operations (default 1: every
+	// operation). Sampled-out operations cost one atomic add and
+	// allocate nothing.
+	SampleEvery int
+	// Ring is the capture ring capacity in records — also the
+	// in-memory retention WorkloadTrace() serves (default 8192,
+	// minimum 64).
+	Ring int
+	// Sink, when non-empty, is the path of an on-disk binary trace
+	// file the capture stream is persisted to (see
+	// docs/OBSERVABILITY.md for the record format); load it back with
+	// ReadWorkloadTrace or cmd/adaptixreplay. Empty keeps capture
+	// in-memory only.
+	Sink string
+	// MaxBytes rotates the sink file when it exceeds this size (the
+	// previous rotation is replaced, bounding disk use at about twice
+	// MaxBytes). Default 256 MiB.
+	MaxBytes int64
+}
+
+// WithWorkloadCapture arms the workload recorder: every sampled query
+// (bounds, ctx tag, answer checksum, touched rows, epoch depth) and
+// every sampled write (routed key, delete flag, found flag) is pushed
+// through a lock-free ring into in-memory retention and, with
+// CaptureOptions.Sink, an on-disk trace replayable by cmd/adaptixreplay
+// or ReplayTrace. Every index carries a disabled recorder without this
+// option — Stats().Workload and the endpoint's /workload route always
+// serve — and the disabled path stays allocation-free inside the
+// observability overhead budget.
+func WithWorkloadCapture(o CaptureOptions) Option {
+	return func(c *config) error {
+		if o.SampleEvery < 0 {
+			return fmt.Errorf("adaptix: WithWorkloadCapture: SampleEvery %d must be >= 0", o.SampleEvery)
+		}
+		if o.Ring < 0 {
+			return fmt.Errorf("adaptix: WithWorkloadCapture: Ring %d must be >= 0", o.Ring)
+		}
+		if o.MaxBytes < 0 {
+			return fmt.Errorf("adaptix: WithWorkloadCapture: MaxBytes %d must be >= 0", o.MaxBytes)
+		}
+		c.capture = o
+		c.captureSet = true
 		return nil
 	}
 }

@@ -1,0 +1,157 @@
+// Facade-level gates of the workload capture subsystem: the replay
+// determinism contract (a serially captured mixed read/write trace
+// reproduces its checksums on every method) and the allocation
+// contract (capture-disabled and sampled-out paths stay at 0 allocs
+// per query, like the rest of the observability layer).
+package adaptix_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"adaptix"
+)
+
+// TestWorkloadCaptureReplayRoundTrip captures a serial mixed
+// read/write workload to an on-disk trace, then replays it with
+// verification against every method: each read's recorded answer and
+// each delete's found flag must reproduce exactly — the determinism
+// contract cmd/adaptixreplay and the CI replay-smoke step rely on.
+func TestWorkloadCaptureReplayRoundTrip(t *testing.T) {
+	const rows = 8192
+	d := adaptix.NewUniqueDataset(rows, 17)
+	trace := filepath.Join(t.TempDir(), "workload.trace")
+	ctx := context.Background()
+
+	src, err := adaptix.New(d.Values,
+		adaptix.WithMethod(adaptix.Crack),
+		adaptix.WithShards(4),
+		adaptix.WithWorkloadCapture(adaptix.CaptureOptions{Sink: trace, Ring: 1 << 14}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One client, SampleEvery 1: the serial capture the determinism
+	// contract covers. An LCG walks the key space; every 4th op writes
+	// (insert fresh keys, delete keys that exist and keys that don't,
+	// so the found-flag checksum is exercised both ways).
+	var ops int
+	state := uint64(99991)
+	next := func(n int64) int64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		v := int64(state>>33) % n
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}
+	for i := 0; i < 600; i++ {
+		switch i % 4 {
+		case 1:
+			if err := src.Insert(ctx, 2*rows+int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		case 3:
+			// Existing key half the time, certainly-absent key otherwise.
+			key := next(rows)
+			if i%8 == 3 {
+				key = 10*rows + int64(i)
+			}
+			if _, err := src.Delete(ctx, key); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			lo := next(rows)
+			if i%2 == 0 {
+				if _, err := src.Count(ctx, lo, lo+200); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if _, err := src.Sum(ctx, lo, lo+200); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		ops++
+	}
+	if sig := src.Workload(); sig.Captured != int64(ops) || sig.Dropped != 0 {
+		t.Fatalf("captured %d / dropped %d, want %d / 0", sig.Captured, sig.Dropped, ops)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := adaptix.ReadWorkloadTrace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != ops {
+		t.Fatalf("trace holds %d records, want %d", len(recs), ops)
+	}
+
+	for _, m := range []adaptix.Method{
+		adaptix.Crack, adaptix.AMerge, adaptix.Hybrid, adaptix.Sort, adaptix.Scan,
+	} {
+		t.Run(m.String(), func(t *testing.T) {
+			ix, err := adaptix.New(d.Values, adaptix.WithMethod(m), adaptix.WithShards(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ix.Close()
+			rep, err := adaptix.ReplayTrace(ctx, ix, recs, adaptix.ReplayOptions{Verify: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Records != len(recs) {
+				t.Fatalf("replayed %d of %d records", rep.Records, len(recs))
+			}
+			if rep.Mismatches != 0 {
+				t.Fatalf("%d checksum mismatches; first: %+v", rep.Mismatches, rep.First)
+			}
+		})
+	}
+}
+
+// TestWorkloadCaptureZeroAlloc pins the allocation contract of the
+// capture tap: a capture-disabled index (the default), a sampled-out
+// query on an armed recorder, and even a sampled-in in-memory capture
+// must all stay at 0 allocations per warm query.
+func TestWorkloadCaptureZeroAlloc(t *testing.T) {
+	const rows = 8192
+	d := adaptix.NewUniqueDataset(rows, 19)
+	ctx := context.Background()
+	lo, hi := int64(1000), int64(1260)
+
+	cases := []struct {
+		name string
+		opts []adaptix.Option
+	}{
+		{"capture-disabled", nil},
+		{"sampled-out", []adaptix.Option{
+			adaptix.WithWorkloadCapture(adaptix.CaptureOptions{SampleEvery: 1 << 30}),
+		}},
+		{"sampled-in", []adaptix.Option{
+			adaptix.WithWorkloadCapture(adaptix.CaptureOptions{}),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := append([]adaptix.Option{adaptix.WithShards(1)}, tc.opts...)
+			ix, err := adaptix.New(d.Values, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ix.Close()
+			for i := 0; i < 4; i++ {
+				if _, err := ix.Count(ctx, lo, hi); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if a := allocsWarmMin(100, func() { ix.Count(ctx, lo, hi) }); a != 0 {
+				t.Errorf("%s: warm Count allocates %.2f per query, want 0", tc.name, a)
+			}
+		})
+	}
+}
