@@ -56,6 +56,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"adaptix/internal/amerge"
 	"adaptix/internal/baseline"
@@ -66,6 +67,7 @@ import (
 	"adaptix/internal/ingest"
 	"adaptix/internal/metrics"
 	"adaptix/internal/obs"
+	"adaptix/internal/serve"
 	"adaptix/internal/shard"
 	"adaptix/internal/wcapture"
 )
@@ -84,6 +86,8 @@ type Index struct {
 	obs    *metrics.Observer  // always non-nil
 	wd     *health.Watchdog   // always non-nil; background loop under WithHealth
 	cap    *wcapture.Recorder // always non-nil; recording under WithWorkloadCapture
+
+	srv atomic.Pointer[serve.Server] // live serving front (nil unless Serve is up)
 
 	closeOnce sync.Once
 	closeErr  error
@@ -312,7 +316,7 @@ func (ix *Index) FlightDump() []FlightEvent { return ix.obs.Flight().Dump() }
 // endpoint's /snapshot route.
 func (ix *Index) ObsSnapshot() ObsSnapshot {
 	st := ix.Stats()
-	return ObsSnapshot{
+	snap := ObsSnapshot{
 		Method:      ix.method.String(),
 		Rows:        st.Rows,
 		Shards:      len(st.Shards),
@@ -323,6 +327,11 @@ func (ix *Index) ObsSnapshot() ObsSnapshot {
 		Heatmap:     ix.obs.Heat(),
 		ShardStats:  st.Shards,
 	}
+	if srv := ix.srv.Load(); srv != nil {
+		ss := srv.Stats()
+		snap.Serve = &ss
+	}
+	return snap
 }
 
 // ObsSnapshot is the JSON document served at the observability
@@ -354,6 +363,9 @@ type ObsSnapshot struct {
 	// ShardStats is the per-shard refinement breakdown, in value order
 	// — piece counts, piece-size profile, epoch-chain depth.
 	ShardStats []ShardStat `json:"shard_stats"`
+	// Serve is the serving front's readout, present only while a
+	// network server (Index.Serve) is up.
+	Serve *ServeStats `json:"serve,omitempty"`
 }
 
 // ConvergenceStats is the index-wide convergence readout (Stats and

@@ -148,6 +148,19 @@ func printTop(s adaptix.ObsSnapshot, rep adaptix.HealthReport) {
 		}
 	}
 
+	// Serving front: present only while a network server (Index.Serve)
+	// is up on the scraped process.
+	if sv := s.Serve; sv != nil {
+		state := "accepting"
+		if sv.Draining {
+			state = "draining"
+		}
+		fmt.Printf("serve   %s  %s  conns=%d  %.0f qps  in-flight=%d\n",
+			sv.Addr, state, sv.Conns, sv.QPS, sv.InFlight)
+		fmt.Printf("  batch p50=%d p99=%d  queue p50=%d p99=%d  coalesce=%.2f  rejects=%d\n",
+			sv.BatchP50, sv.BatchP99, sv.QueueP50, sv.QueueP99, sv.CoalesceRate, sv.Rejected)
+	}
+
 	// Key-range heatmap: reads and writes strips over the bucketed
 	// domain, hottest bucket annotated.
 	h := s.Heatmap

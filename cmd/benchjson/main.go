@@ -26,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adaptix"
@@ -110,6 +111,24 @@ func main() {
 		doc.Cells = append(doc.Cells, cell)
 	}
 
+	// The serving cell goes over the wire: a batched server in front of
+	// the same index, 16 pipelined connections, 10% writes — guards the
+	// whole serving front (framing, scheduler, admission) end to end.
+	var served Cell
+	for r := 0; r < *repeat; r++ {
+		c, err := runServedCell(data.Values, *rows, *queries, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", c.Name, err)
+			os.Exit(1)
+		}
+		if r == 0 || c.QPS > served.QPS {
+			served = c
+		}
+	}
+	fmt.Printf("%-22s %10.0f q/s  p99 %s\n", served.Name, served.QPS,
+		time.Duration(served.CriticalP99))
+	doc.Cells = append(doc.Cells, served)
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -125,6 +144,91 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d cells)\n", *out, len(doc.Cells))
+}
+
+// runServedCell measures the serving front: the served/c16/w10 cell
+// drives the query mix through 16 protocol connections against a
+// batched server on a loopback listener. QPS counts wire round trips
+// per second; the latency columns still read the engine-side
+// histograms (the serving layer's own quantiles live in /snapshot).
+func runServedCell(values []int64, rows, queries int, seed uint64) (Cell, error) {
+	const clients, writePct = 16, 10
+	c := Cell{
+		Name:     fmt.Sprintf("served/c%d/w%d", clients, writePct),
+		Method:   adaptix.Crack.String(),
+		Clients:  clients,
+		WritePct: writePct,
+	}
+	ix, err := adaptix.New(values,
+		adaptix.WithMethod(adaptix.Crack),
+		adaptix.WithShards(runtime.GOMAXPROCS(0)),
+		adaptix.WithObservability(adaptix.ObsOptions{SampleEvery: 16}),
+	)
+	if err != nil {
+		return c, err
+	}
+	defer ix.Close()
+	srv, err := ix.ServeAddr("127.0.0.1:0", adaptix.ServeOptions{})
+	if err != nil {
+		return c, err
+	}
+	defer srv.Close()
+
+	qs := adaptix.UniformQueries(adaptix.SumQuery, int64(rows), 0.001, seed+7, queries)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	var wire atomic.Int64
+	t0 := time.Now()
+	for w := 0; w < clients; w++ {
+		cl, err := adaptix.DialServe(srv.Addr().String())
+		if err != nil {
+			return c, err
+		}
+		defer cl.Close()
+		wg.Add(1)
+		go func(w int, cl *adaptix.ServeClient) {
+			defer wg.Done()
+			n := int64(0)
+			for i := w; i < len(qs); i += clients {
+				if i%100 < writePct {
+					if err := cl.Insert(ctx, int64(rows+i)); err != nil {
+						errc <- err
+						return
+					}
+					n++
+					continue
+				}
+				if _, err := cl.Sum(ctx, qs[i].Lo, qs[i].Hi); err != nil {
+					errc <- err
+					return
+				}
+				n++
+			}
+			wire.Add(n)
+		}(w, cl)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		return c, err
+	}
+	c.Seconds = time.Since(t0).Seconds()
+	if c.Seconds > 0 {
+		c.QPS = float64(wire.Load()) / c.Seconds
+	}
+	c.Queries = wire.Load()
+
+	st := ix.Stats()
+	c.Writes = st.Obs.Writes
+	c.CriticalP50 = int64(st.Obs.CriticalPathP50)
+	c.CriticalP99 = int64(st.Obs.CriticalPathP99)
+	c.CritP999 = int64(st.Obs.CriticalPathP999)
+	c.WaitP99 = int64(st.Obs.QueryWaitP99)
+	c.CrackP99 = int64(st.Obs.QueryCrackP99)
+	c.LatencyP99 = int64(st.Obs.QueryLatencyP99)
+	c.WriterP99 = int64(st.Obs.WriterStallP99)
+	return c, nil
 }
 
 func runCell(values []int64, rows, queries int, seed uint64, m adaptix.Method, clients, writePct int) (Cell, error) {

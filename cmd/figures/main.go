@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-fig 11|12|13|14|15|ablations|rwmix|collision|replay|all] [-rows N] [-queries N] [-seed N]
+//	figures [-fig 11|12|13|14|15|ablations|rwmix|collision|replay|serve|all] [-rows N] [-queries N] [-seed N]
 //
 // The paper ran 100M rows on a 4-core i7-2600; the default here is 1M
 // rows so every figure regenerates in seconds. Absolute times differ
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 11, 12, 13, 14, 15, ablations, rwmix, collision, replay, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 11, 12, 13, 14, 15, ablations, rwmix, collision, replay, serve, or all")
 	rows := flag.Int("rows", 1<<20, "base table size (paper: 100M)")
 	queries := flag.Int("queries", 1024, "query sequence length (paper: 1024)")
 	seed := flag.Uint64("seed", 42, "workload seed")
@@ -68,6 +68,10 @@ func main() {
 	}
 	if *fig == "replay" || *fig == "all" {
 		experiments.ReplayAB(cfg, out)
+		ran = true
+	}
+	if *fig == "serve" || *fig == "all" {
+		experiments.ServeBatching(cfg, out)
 		ran = true
 	}
 	if !ran {

@@ -52,7 +52,14 @@ func (p Policy) String() string {
 type waiter struct {
 	bound int64
 	seq   uint64 // arrival order, for FIFO and for stable middle picks
-	ready chan struct{}
+	// deadline is the waiter's context deadline (zero when the waiter
+	// has none). Waiters carrying a deadline are woken earliest-deadline
+	// first, ahead of the policy pick: a latch grant handed to a waiter
+	// that is about to expire is wasted work — it wakes, observes the
+	// expired context, and releases — while the tight-deadline waiter
+	// behind it times out anyway.
+	deadline time.Time
+	ready    chan struct{}
 }
 
 // Latch is a read/write latch with wait accounting and scheduled
@@ -64,7 +71,10 @@ type waiter struct {
 //     writer is queued ahead of it per the policy;
 //   - on writer release, all queued readers are granted together; if
 //     none, the policy-chosen writer is granted;
-//   - on last-reader release, the policy-chosen writer is granted.
+//   - on last-reader release, the policy-chosen writer is granted;
+//   - a queued writer that arrived through LockCtx with a context
+//     deadline outranks the policy: the earliest-deadline waiter is
+//     always granted first (see waiter.deadline).
 type Latch struct {
 	mu      sync.Mutex
 	readers int  // active shared holders
@@ -138,6 +148,9 @@ func (l *Latch) LockCtx(ctx context.Context, bound int64) (time.Duration, error)
 		return 0, nil
 	}
 	w := waiter{bound: bound, seq: l.seq, ready: make(chan struct{})}
+	if dl, ok := ctx.Deadline(); ok {
+		w.deadline = dl
+	}
 	l.seq++
 	l.enqueueWriter(w)
 	l.mu.Unlock()
@@ -347,9 +360,23 @@ func (l *Latch) grantLocked() {
 	if len(l.writeQ) == 0 {
 		return
 	}
-	var i int
-	if l.policy == MiddleFirst {
-		i = len(l.writeQ) / 2
+	// Deadline-aware wake order: among waiters that carry a context
+	// deadline, the earliest wakes first, ahead of the policy pick.
+	// Waiters without deadlines fall back to the configured policy
+	// (middle-most bound or FIFO).
+	i := -1
+	for j := range l.writeQ {
+		if d := l.writeQ[j].deadline; !d.IsZero() {
+			if i < 0 || d.Before(l.writeQ[i].deadline) {
+				i = j
+			}
+		}
+	}
+	if i < 0 {
+		i = 0
+		if l.policy == MiddleFirst {
+			i = len(l.writeQ) / 2
+		}
 	}
 	w := l.writeQ[i]
 	l.writeQ = append(l.writeQ[:i], l.writeQ[i+1:]...)

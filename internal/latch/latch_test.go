@@ -1,6 +1,7 @@
 package latch
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -337,4 +338,94 @@ func TestPolicyString(t *testing.T) {
 	if MiddleFirst.String() != "middle-first" || FIFO.String() != "fifo" {
 		t.Fatal("bad Policy strings")
 	}
+}
+
+// TestDeadlineAwareWakeOrder queues three deadline-carrying writers
+// plus one deadline-free writer behind a held latch and asserts the
+// grant order is earliest-deadline first, with the deadline-free
+// waiter last — regardless of the middle-first bound policy that would
+// otherwise pick the median bound.
+func TestDeadlineAwareWakeOrder(t *testing.T) {
+	l := New(MiddleFirst)
+	l.Lock(0)
+	var order []int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	// Far-future deadlines so nothing expires during the test; the
+	// *ordering* among them is what matters. Bounds are chosen so the
+	// middle-first policy would pick a different winner (median bound
+	// 50 belongs to the latest deadline).
+	base := time.Now().Add(time.Hour)
+	waiters := []struct {
+		bound int64
+		dl    time.Duration // offset from base; -1 = no deadline
+	}{
+		{bound: 50, dl: 30 * time.Minute}, // median bound, latest deadline
+		{bound: 90, dl: 10 * time.Minute}, // earliest deadline: must win
+		{bound: 20, dl: 20 * time.Minute},
+		{bound: 70, dl: -1}, // no deadline: must go last
+	}
+	for i, w := range waiters {
+		wg.Add(1)
+		go func(bound int64, dl time.Duration) {
+			defer wg.Done()
+			ctx := context.Background()
+			if dl >= 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithDeadline(ctx, base.Add(dl))
+				defer cancel()
+			}
+			if _, err := l.LockCtx(ctx, bound); err != nil {
+				t.Errorf("LockCtx(bound=%d): %v", bound, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, bound)
+			mu.Unlock()
+			l.Unlock()
+		}(w.bound, w.dl)
+		// Serialize arrival so queue membership is deterministic.
+		for l.QueuedWriters() != i+1 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	l.Unlock()
+	wg.Wait()
+
+	want := []int64{90, 20, 50, 70} // deadline order, then the free waiter
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v (earliest deadline first)", order, want)
+		}
+	}
+}
+
+// TestDeadlineWakeExpiredWaiterDoesNotWedge checks the interaction of
+// deadline-first wake with cancellation: a waiter whose context
+// expires while parked removes itself (or takes and releases a grant
+// already in flight), and the remaining waiters still all run.
+func TestDeadlineWakeExpiredWaiterDoesNotWedge(t *testing.T) {
+	l := New(MiddleFirst)
+	l.Lock(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.LockCtx(ctx, 10)
+		done <- err
+	}()
+	for l.QueuedWriters() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	// Let the deadline expire while the waiter is parked.
+	if err := <-done; err == nil {
+		t.Fatal("expired waiter acquired the latch with the holder active")
+	}
+	l.Unlock()
+	// The latch must still be fully usable.
+	if !l.TryLock() {
+		t.Fatal("latch wedged after an expired deadline waiter")
+	}
+	l.Unlock()
 }

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptix/internal/metrics"
+	"adaptix/internal/shard"
+)
+
+// DefaultWindow is the batching window: queries arriving within one
+// window that route to the same home shard are coalesced into one
+// executor dispatch.
+const DefaultWindow = 100 * time.Microsecond
+
+// pendReq is one admitted query parked in the scheduler.
+type pendReq struct {
+	id       uint64
+	op       Op
+	lo, hi   int64
+	deadline time.Time // zero = none
+	finish   func(Response)
+}
+
+// batch accumulates the requests of one (shard, window) cell.
+type batch struct {
+	reqs []pendReq
+}
+
+// scheduler is the per-shard batch scheduler. Requests landing in the
+// same scheduling window whose lower bound routes to the same shard
+// are dispatched together: one executor goroutine serves the whole
+// batch against warm latches and piece caches, and exact-duplicate
+// (op, lo, hi) bounds execute ONCE — one latch acquisition and one
+// piece traversal (and at most one crack) — with the answer fanned
+// out to every waiter. Batches for different shards dispatch
+// independently and in parallel.
+type scheduler struct {
+	col    *shard.Column
+	window time.Duration
+
+	mu      sync.Mutex
+	pending map[int]*batch
+	depth   int // queries currently parked across all shards
+
+	// bounds caches the column's shard cut values for routing; the
+	// cache refreshes when the shard count changes. Routing is a
+	// grouping heuristic — a stale cut can only cost a missed coalesce,
+	// never a wrong answer (execution always goes through the column's
+	// own fan-out).
+	bounds atomic.Pointer[[]int64]
+
+	// Shared observability instruments (owned by the Server).
+	batchSize  *metrics.Histogram
+	queueDepth *metrics.Histogram
+	batches    *atomic.Int64
+	batchedReq *atomic.Int64
+	coalesced  *atomic.Int64
+}
+
+// route returns the index of the shard owning value lo under the
+// cached cut snapshot.
+func (s *scheduler) route(lo int64) int {
+	b := s.bounds.Load()
+	if b == nil || s.col.NumShards() != len(*b)+1 {
+		nb := s.col.Bounds()
+		s.bounds.Store(&nb)
+		b = &nb
+	}
+	cuts := *b
+	return sort.Search(len(cuts), func(i int) bool { return cuts[i] > lo })
+}
+
+// enqueue parks r in its home shard's building batch, opening the
+// batch (and arming its window timer) if r is the first request of
+// the window.
+func (s *scheduler) enqueue(r pendReq) {
+	home := s.route(r.lo)
+	s.mu.Lock()
+	b := s.pending[home]
+	if b == nil {
+		b = &batch{}
+		s.pending[home] = b
+		time.AfterFunc(s.window, func() { s.fire(home, b) })
+	}
+	b.reqs = append(b.reqs, r)
+	s.depth++
+	s.mu.Unlock()
+}
+
+// fire dispatches the batch b if it is still the pending batch for
+// its shard (flush may have raced it out of the map; identity makes
+// dispatch exactly-once).
+func (s *scheduler) fire(home int, b *batch) {
+	s.mu.Lock()
+	if s.pending[home] != b {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.pending, home)
+	s.depth -= len(b.reqs)
+	depth := s.depth
+	s.mu.Unlock()
+	s.exec(b.reqs, depth)
+}
+
+// flush dispatches every pending batch immediately (graceful drain:
+// no request waits out a window that will never fill).
+func (s *scheduler) flush() {
+	s.mu.Lock()
+	grabbed := make([]*batch, 0, len(s.pending))
+	for home, b := range s.pending {
+		grabbed = append(grabbed, b)
+		delete(s.pending, home)
+		s.depth -= len(b.reqs)
+	}
+	depth := s.depth
+	s.mu.Unlock()
+	for _, b := range grabbed {
+		s.exec(b.reqs, depth)
+	}
+}
+
+// boundsKey identifies an exact-duplicate query inside one batch.
+type boundsKey struct {
+	op     Op
+	lo, hi int64
+}
+
+// exec serves one batch: expired requests are answered StatusDeadline
+// without touching the engine, the remainder is grouped by exact
+// bounds, each unique bound executes once under a context bounded by
+// the latest waiter deadline, and the answer fans out to all waiters
+// of that bound.
+func (s *scheduler) exec(reqs []pendReq, depthAfter int) {
+	s.batchSize.Record(int64(len(reqs)))
+	s.queueDepth.Record(int64(depthAfter))
+	s.batches.Add(1)
+	s.batchedReq.Add(int64(len(reqs)))
+
+	now := time.Now()
+	var maxDeadline time.Time
+	groups := make(map[boundsKey][]pendReq, len(reqs))
+	order := make([]boundsKey, 0, len(reqs))
+	for _, r := range reqs {
+		if !r.deadline.IsZero() && r.deadline.Before(now) {
+			r.finish(Response{ID: r.id, Op: r.op, Status: StatusDeadline})
+			continue
+		}
+		k := boundsKey{op: r.op, lo: r.lo, hi: r.hi}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		} else {
+			s.coalesced.Add(1)
+		}
+		groups[k] = append(groups[k], r)
+		if r.deadline.After(maxDeadline) {
+			maxDeadline = r.deadline
+		}
+	}
+	if len(order) == 0 {
+		return
+	}
+
+	// One context for the whole dispatch, bounded by the LATEST waiter
+	// deadline: the execution must be allowed to run long enough to
+	// serve its most patient waiter, and individual expiry was already
+	// settled at dispatch time.
+	ctx := context.Background()
+	if !maxDeadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, maxDeadline)
+		defer cancel()
+	}
+	for _, k := range order {
+		var v int64
+		var err error
+		switch k.op {
+		case OpCount:
+			v, _, err = s.col.Count(ctx, k.lo, k.hi)
+		case OpSum:
+			v, _, err = s.col.Sum(ctx, k.lo, k.hi)
+		}
+		status := StatusOK
+		if err != nil {
+			status = StatusInternal
+			if ctx.Err() != nil {
+				status = StatusDeadline
+			}
+			v = 0
+		}
+		for _, r := range groups[k] {
+			r.finish(Response{ID: r.id, Op: r.op, Status: status, Value: v})
+		}
+	}
+}

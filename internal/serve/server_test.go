@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptix/internal/crackindex"
+	"adaptix/internal/ingest"
+	"adaptix/internal/shard"
+	"adaptix/internal/workload"
+)
+
+// newTestServer builds a 4-shard cracked column with an active ingest
+// coordinator behind a server on a loopback listener, returning the
+// server and a cleanup.
+func newTestServer(t *testing.T, rows int, o Options) (*Server, *workload.Dataset) {
+	t.Helper()
+	d := workload.NewUniqueUniform(rows, 7)
+	col := shard.New(d.Values, shard.Options{
+		Shards: 4, Seed: 3,
+		Index: crackindex.Options{Latching: crackindex.LatchPiece},
+	})
+	g := ingest.New(col, ingest.Options{
+		ApplyThreshold: 256, MinShardRows: 512, CheckEvery: 128,
+	})
+	g.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Backend{Col: col, Ing: g}, ln, o)
+	t.Cleanup(func() {
+		s.Close()
+		g.Close()
+	})
+	return s, d
+}
+
+func dialT(t *testing.T, s *Server) *Client {
+	t.Helper()
+	c, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestWireBasicOps(t *testing.T) {
+	const rows = 1 << 12
+	s, d := newTestServer(t, rows, Options{})
+	c := dialT(t, s)
+	ctx := context.Background()
+
+	if n, err := c.Count(ctx, 100, 200); err != nil || n != d.TrueCount(100, 200) {
+		t.Fatalf("Count = %d, %v; want %d", n, err, d.TrueCount(100, 200))
+	}
+	if v, err := c.Sum(ctx, 100, 200); err != nil || v != d.TrueSum(100, 200) {
+		t.Fatalf("Sum = %d, %v; want %d", v, err, d.TrueSum(100, 200))
+	}
+	if err := c.Insert(ctx, 150); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if n, err := c.Count(ctx, 100, 200); err != nil || n != d.TrueCount(100, 200)+1 {
+		t.Fatalf("Count after insert = %d, %v; want %d", n, err, d.TrueCount(100, 200)+1)
+	}
+	if ok, err := c.Delete(ctx, 150); err != nil || !ok {
+		t.Fatalf("Delete(150) = %v, %v; want found", ok, err)
+	}
+	if ok, err := c.Delete(ctx, int64(rows)+99); err != nil || ok {
+		t.Fatalf("Delete(absent) = %v, %v; want not found", ok, err)
+	}
+	nrows, shards, err := c.Stats(ctx)
+	if err != nil || nrows != int64(rows) || shards < 1 {
+		t.Fatalf("Stats = %d rows, %d shards, %v; want %d rows", nrows, shards, err, rows)
+	}
+	st := s.Stats()
+	if st.Requests < 7 || st.Served < 7 {
+		t.Fatalf("counters did not move: %+v", st)
+	}
+}
+
+func TestBatchCoalesce(t *testing.T) {
+	const rows = 1 << 12
+	// A long window guarantees concurrently-issued duplicates land in
+	// one dispatch.
+	s, d := newTestServer(t, rows, Options{Window: 20 * time.Millisecond})
+	c := dialT(t, s)
+	want := d.TrueCount(500, 900)
+
+	const N = 32
+	var wg sync.WaitGroup
+	errs := make([]error, N)
+	vals := make([]int64, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], errs[i] = c.Count(context.Background(), 500, 900)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < N; i++ {
+		if errs[i] != nil || vals[i] != want {
+			t.Fatalf("waiter %d: got %d, %v; want %d", i, vals[i], errs[i], want)
+		}
+	}
+	st := s.Stats()
+	if st.Coalesced == 0 {
+		t.Fatalf("no coalescing across %d identical concurrent queries: %+v", N, st)
+	}
+	if st.Batches >= st.Batched {
+		t.Fatalf("batching had no effect: %d batches for %d batched requests", st.Batches, st.Batched)
+	}
+	if st.CoalesceRate <= 0 {
+		t.Fatalf("coalesce rate not computed: %+v", st)
+	}
+}
+
+func TestAdmissionFastReject(t *testing.T) {
+	// Budget of 1 with a long window: the first query parks in the
+	// batch; the second must be rejected immediately — no queueing
+	// behind the window.
+	s, _ := newTestServer(t, 1<<10, Options{
+		Window:      50 * time.Millisecond,
+		MaxInFlight: 1,
+		ConnQuota:   8,
+	})
+	c := dialT(t, s)
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := c.Count(context.Background(), 0, 100)
+		first <- err
+	}()
+	// Wait for the first request to be admitted.
+	for i := 0; s.Stats().InFlight == 0; i++ {
+		if i > 1000 {
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	t0 := time.Now()
+	r, err := c.Do(context.Background(), Request{Op: OpCount, Lo: 0, Hi: 100})
+	rtt := time.Since(t0)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if r.Status != StatusOverloaded {
+		t.Fatalf("over-budget status = %s, want overloaded", r.Status)
+	}
+	// The reject must not have waited out the 50ms batching window.
+	if rtt >= 25*time.Millisecond {
+		t.Fatalf("reject took %v; queued behind the batch window?", rtt)
+	}
+	if s.Stats().Rejected == 0 {
+		t.Fatal("reject counter did not move")
+	}
+	if err := <-first; err != nil {
+		t.Fatalf("first (admitted) request failed: %v", err)
+	}
+}
+
+func TestConnQuotaReject(t *testing.T) {
+	s, _ := newTestServer(t, 1<<10, Options{
+		Window:      50 * time.Millisecond,
+		MaxInFlight: 1024,
+		ConnQuota:   1,
+	})
+	c := dialT(t, s)
+	go c.Count(context.Background(), 0, 100)
+	for i := 0; s.Stats().InFlight == 0; i++ {
+		if i > 1000 {
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r, err := c.Do(context.Background(), Request{Op: OpCount, Lo: 0, Hi: 100})
+	if err != nil || r.Status != StatusOverloaded {
+		t.Fatalf("over-quota: status %s, err %v; want overloaded", r.Status, err)
+	}
+	// A second connection has its own quota and must get through.
+	c2 := dialT(t, s)
+	if _, err := c2.Count(context.Background(), 0, 100); err != nil {
+		t.Fatalf("fresh connection rejected: %v", err)
+	}
+}
+
+func TestTTLExpiryAtDispatch(t *testing.T) {
+	// TTL far shorter than the window: by dispatch time the request is
+	// dead and must get StatusDeadline without touching the engine.
+	s, _ := newTestServer(t, 1<<10, Options{Window: 30 * time.Millisecond})
+	c := dialT(t, s)
+	r, err := c.Do(context.Background(), Request{Op: OpCount, TTLus: 50, Lo: 0, Hi: 100})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if r.Status != StatusDeadline {
+		t.Fatalf("expired-in-window status = %s, want deadline", r.Status)
+	}
+}
+
+func TestBadOpRejected(t *testing.T) {
+	s, _ := newTestServer(t, 1<<10, Options{})
+	c := dialT(t, s)
+	r, err := c.Do(context.Background(), Request{Op: 99, Lo: 1})
+	if err != nil || r.Status != StatusBadRequest {
+		t.Fatalf("unknown op: status %s, err %v; want bad-request", r.Status, err)
+	}
+}
+
+func TestDrainGraceful(t *testing.T) {
+	s, d := newTestServer(t, 1<<12, Options{Window: 10 * time.Millisecond})
+	c := dialT(t, s)
+
+	// Park a request in the batching window, then drain: the request
+	// must still be answered (flush), and drain must return clean.
+	res := make(chan error, 1)
+	go func() {
+		n, err := c.Count(context.Background(), 10, 500)
+		if err == nil && n != d.TrueCount(10, 500) {
+			err = errors.New("wrong count through drain flush")
+		}
+		res <- err
+	}()
+	for i := 0; s.Stats().InFlight == 0; i++ {
+		if i > 1000 {
+			t.Fatal("request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if err := <-res; err != nil {
+		t.Fatalf("in-flight request through drain: %v", err)
+	}
+	if !s.Stats().Draining {
+		t.Fatal("Draining flag not set")
+	}
+	// New connections must be refused after drain.
+	if _, err := net.DialTimeout("tcp", s.Addr().String(), time.Second); err == nil {
+		t.Fatal("listener still accepting after drain")
+	}
+}
+
+func TestSlowLorisPartialFrameTimesOut(t *testing.T) {
+	s, _ := newTestServer(t, 1<<10, Options{FrameTimeout: 100 * time.Millisecond})
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	// Send half a frame and stall: the server must cut the connection
+	// once FrameTimeout elapses, not hold the goroutine forever.
+	frame := AppendRequestFrame(nil, Request{ID: 1, Op: OpCount, Lo: 0, Hi: 10})
+	if _, err := nc.Write(frame[:len(frame)/2]); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	t0 := time.Now()
+	_, err = nc.Read(buf)
+	if err == nil {
+		t.Fatal("server replied to half a frame")
+	}
+	if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Fatalf("server did not close the stalled connection within %v", 5*time.Second)
+	}
+	if waited := time.Since(t0); waited < 50*time.Millisecond {
+		t.Logf("connection closed after %v (frame already rejected)", waited)
+	}
+
+	// An idle connection with NO partial frame must NOT be cut: only
+	// started frames are on the clock.
+	nc2, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	time.Sleep(250 * time.Millisecond) // > FrameTimeout, zero bytes sent
+	full := AppendRequestFrame(nil, Request{ID: 2, Op: OpStats})
+	if _, err := nc2.Write(full); err != nil {
+		t.Fatalf("idle connection was cut: %v", err)
+	}
+	p, err := ReadFrame(bufio.NewReader(nc2), nil)
+	if err != nil {
+		t.Fatalf("idle-then-request got no answer: %v", err)
+	}
+	r, err := DecodeResponse(p)
+	if err != nil || r.ID != 2 || r.Status != StatusOK {
+		t.Fatalf("idle-then-request response %+v, %v", r, err)
+	}
+}

@@ -1,0 +1,86 @@
+package adaptix
+
+import (
+	"context"
+	"net"
+
+	"adaptix/internal/serve"
+)
+
+// ServeOptions tunes the network serving front; see serve.Options for
+// the field semantics (batching window, admission budget, per-connection
+// quota, frame timeout). The zero value gives the defaults.
+type ServeOptions = serve.Options
+
+// ServeStats is the serving front's live readout — the `serve` block
+// of the /snapshot document.
+type ServeStats = serve.Stats
+
+// ServeClient is a pipelined client for the serving front's protocol:
+// any number of goroutines may issue requests concurrently over one
+// connection, and responses are matched by correlation id. Obtain one
+// with DialServe.
+type ServeClient = serve.Client
+
+// DialServe connects a protocol client to a serving front's address.
+func DialServe(addr string) (*ServeClient, error) { return serve.Dial(addr) }
+
+// Server is a running serving front over one Index: the adaptixd
+// network protocol (see docs/SERVING.md) with shared-scan query
+// batching and admission control. Obtain one from Index.Serve or
+// Index.ServeAddr; stop it with Drain (graceful: flush batches, wait
+// for in-flight work, final checkpoint) or Close (abrupt).
+type Server struct {
+	ix  *Index
+	srv *serve.Server
+}
+
+// Serve starts the serving front on ln. The server takes ownership of
+// the listener and begins accepting immediately; its instruments
+// appear on the index's /metrics and /snapshot routes.
+func (ix *Index) Serve(ln net.Listener, o ServeOptions) *Server {
+	s := &Server{
+		ix: ix,
+		srv: serve.New(serve.Backend{
+			Col: ix.col,
+			Ing: ix.ing,
+			Obs: ix.obs,
+		}, ln, o),
+	}
+	ix.srv.Store(s.srv)
+	return s
+}
+
+// ServeAddr is Serve over a fresh TCP listener on addr (":0" picks a
+// free port; read it back from Addr).
+func (ix *Index) ServeAddr(addr string, o ServeOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return ix.Serve(ln, o), nil
+}
+
+// Addr returns the listener's bound address.
+func (s *Server) Addr() net.Addr { return s.srv.Addr() }
+
+// Stats returns the live serving readout.
+func (s *Server) Stats() ServeStats { return s.srv.Stats() }
+
+// Drain shuts the front down gracefully: stop accepting, reject new
+// requests as draining, flush pending batches, wait for in-flight
+// requests (bounded by ctx), close connections, then take a final
+// durability checkpoint (durable indexes only). It returns ctx.Err()
+// if in-flight work outlived the context.
+func (s *Server) Drain(ctx context.Context) error {
+	err := s.srv.Drain(ctx)
+	s.ix.srv.CompareAndSwap(s.srv, nil)
+	s.ix.Checkpoint()
+	return err
+}
+
+// Close shuts the front down abruptly (no flush, no checkpoint).
+func (s *Server) Close() error {
+	s.ix.srv.CompareAndSwap(s.srv, nil)
+	return s.srv.Close()
+}
